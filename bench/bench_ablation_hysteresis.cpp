@@ -1,0 +1,71 @@
+// Ablation C: rate-switch hysteresis (an extension beyond the paper).
+//
+// The paper's section controller re-decides every evaluation with no
+// memory; content rates hovering near a threshold make the panel flip
+// between adjacent rates.  Real panels pay for every mode switch (timing
+// reprogram, visible cadence change).  This bench counts switches and the
+// power/quality cost of suppressing them with asymmetric hysteresis
+// (core::HysteresisPolicy: up immediately, down after 3 confirmations).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Ablation: refresh-rate switch hysteresis ("
+            << seconds << " s per run) ===\n\n";
+
+  harness::TextTable t({"App", "Controller", "Rate switches", "Saved (mW)",
+                        "Quality (%)"});
+  struct Row {
+    const char* app;
+    std::uint64_t plain_switches = 0, hyst_switches = 0;
+    double plain_quality = 0, hyst_quality = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const char* name :
+       {"Facebook", "Jelly Splash", "Weather", "Everypong"}) {
+    Row row;
+    row.app = name;
+    const apps::AppSpec app = apps::app_by_name(name);
+    const auto base = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kBaseline60, seconds, /*seed=*/14));
+    for (const auto mode : {harness::ControlMode::kSectionWithBoost,
+                            harness::ControlMode::kSectionHysteresis}) {
+      const auto r = harness::run_experiment(
+          bench::make_config(app, mode, seconds, /*seed=*/14));
+      const auto q =
+          metrics::compare_quality(base.content_rate, r.content_rate);
+      t.add_row({name, harness::control_mode_name(mode),
+                 std::to_string(r.rate_switches),
+                 harness::fmt(base.mean_power_mw - r.mean_power_mw, 1),
+                 harness::fmt(q.display_quality_pct)});
+      if (mode == harness::ControlMode::kSectionWithBoost) {
+        row.plain_switches = r.rate_switches;
+        row.plain_quality = q.display_quality_pct;
+      } else {
+        row.hyst_switches = r.rate_switches;
+        row.hyst_quality = q.display_quality_pct;
+      }
+    }
+    rows.push_back(row);
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+
+  for (const Row& r : rows) {
+    std::cout << "[check] " << r.app << ": hysteresis reduces switches ("
+              << r.plain_switches << " -> " << r.hyst_switches << ", "
+              << (r.hyst_switches <= r.plain_switches ? "OK" : "UNEXPECTED")
+              << ") without hurting quality ("
+              << harness::fmt(r.plain_quality) << " -> "
+              << harness::fmt(r.hyst_quality) << " %, "
+              << (r.hyst_quality + 2.0 >= r.plain_quality ? "OK"
+                                                          : "UNEXPECTED")
+              << ")\n";
+  }
+  return 0;
+}

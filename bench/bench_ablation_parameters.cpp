@@ -1,0 +1,103 @@
+// Ablation B: the design parameters the paper fixes without sweeping.
+//
+//  1. Section-table threshold placement (Equation (1) uses the median,
+//     alpha = 0.5): sweep alpha from 0 (maximal headroom, conservative) to
+//     1 (minimal sufficient rate, aggressive).
+//  2. Touch-boost hold time (unspecified in the paper; this reproduction
+//     defaults to 1 s): sweep 0.25-4 s.
+//
+// Both sweeps report the power/quality trade-off on a mixed workload so the
+// default choices can be judged.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+namespace {
+
+struct SweepPoint {
+  double saved_mw = 0.0;
+  double quality_pct = 0.0;
+};
+
+SweepPoint run_point(const std::vector<apps::AppSpec>& mix, int seconds,
+                     double alpha, sim::Duration boost_hold) {
+  SweepPoint p;
+  int n = 0;
+  for (const apps::AppSpec& app : mix) {
+    auto cfg = bench::make_config(
+        app, harness::ControlMode::kSectionWithBoost, seconds, /*seed=*/12);
+    cfg.dpm.section_alpha = alpha;
+    cfg.dpm.boost_hold = boost_hold;
+    const auto ab = harness::run_ab(cfg);
+    p.saved_mw += ab.saved_power_mw;
+    p.quality_pct += ab.quality.display_quality_pct;
+    ++n;
+  }
+  p.saved_mw /= n;
+  p.quality_pct /= n;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Ablation: section thresholds and boost hold time ("
+            << seconds << " s per run) ===\n\n";
+
+  const std::vector<apps::AppSpec> mix = {
+      apps::app_by_name("Facebook"), apps::app_by_name("Daum Maps"),
+      apps::app_by_name("Jelly Splash"), apps::app_by_name("Cookie Run")};
+
+  std::cout << "--- threshold placement alpha (0.5 = paper's Eq. (1)) ---\n";
+  harness::TextTable ta({"alpha", "Mean saved (mW)", "Mean quality (%)"});
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const SweepPoint p = run_point(mix, seconds, alpha, sim::seconds(1));
+    ta.add_row({harness::fmt(alpha, 2), harness::fmt(p.saved_mw, 1),
+                harness::fmt(p.quality_pct, 1)});
+  }
+  ta.print(std::cout);
+  std::cout << "Higher alpha picks tighter rates (more saving, more risk of "
+               "capping content);\nlower alpha keeps headroom (less saving, "
+               "higher quality).\n\n";
+
+  std::cout << "--- touch-boost hold time (default 1 s) ---\n";
+  harness::TextTable tb({"hold (s)", "Mean saved (mW)", "Mean quality (%)"});
+  for (const double hold_s : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const SweepPoint p =
+        run_point(mix, seconds, 0.5, sim::seconds_f(hold_s));
+    tb.add_row({harness::fmt(hold_s, 2), harness::fmt(p.saved_mw, 1),
+                harness::fmt(p.quality_pct, 1)});
+  }
+  tb.print(std::cout);
+  std::cout << "Longer holds keep the panel at 60 Hz after interaction: "
+               "quality saturates\nwhile savings keep shrinking -- the knee "
+               "sits near the paper-era ~1 s touch\nboost windows.\n\n";
+
+  std::cout << "--- meter window (content rate is per second; default 1 s) "
+               "---\n";
+  harness::TextTable tc({"window (s)", "Mean saved (mW)",
+                         "Mean quality (%)"});
+  for (const double win_s : {0.25, 0.5, 1.0, 2.0}) {
+    SweepPoint p{};
+    int n = 0;
+    for (const apps::AppSpec& app : mix) {
+      auto cfg = bench::make_config(
+          app, harness::ControlMode::kSectionWithBoost, seconds, 12);
+      cfg.dpm.meter_window = sim::seconds_f(win_s);
+      const auto ab = harness::run_ab(cfg);
+      p.saved_mw += ab.saved_power_mw;
+      p.quality_pct += ab.quality.display_quality_pct;
+      ++n;
+    }
+    tc.add_row({harness::fmt(win_s, 2), harness::fmt(p.saved_mw / n, 1),
+                harness::fmt(p.quality_pct / n, 1)});
+  }
+  tc.print(std::cout);
+  std::cout << "Short windows react faster but jitter between sections; "
+               "long windows smooth\nthe estimate and slow the ramp-down "
+               "after bursts.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Comparison baseline: E3-style frame-rate adaptation (Han et al.,
+// SenSys'13 -- the paper's reference [16]).
+//
+// E3-class schemes throttle the application's frame rate to the content
+// demand while the panel keeps refreshing at 60 Hz.  The paper positions
+// its contribution against this family: refresh-rate control harvests the
+// render savings *and* the refresh-proportional panel power.  This bench
+// quantifies the split on redundancy-heavy workloads.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Baseline comparison: frame-rate cap (E3-style) vs "
+               "refresh control (" << seconds << " s per run) ===\n\n";
+
+  harness::TextTable t({"App", "Scheme", "Saved (mW)", "Quality (%)",
+                        "Mean refresh (Hz)"});
+  struct Pair {
+    const char* app;
+    double e3_saved = 0, ours_saved = 0;
+  };
+  std::vector<Pair> pairs;
+
+  for (const char* name :
+       {"Jelly Splash", "Cash Slide", "Cookie Run", "Daum Maps"}) {
+    Pair pair;
+    pair.app = name;
+    const apps::AppSpec app = apps::app_by_name(name);
+    const auto base = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kBaseline60, seconds, /*seed=*/13));
+    for (const auto mode : {harness::ControlMode::kE3FrameRate,
+                            harness::ControlMode::kSectionWithBoost}) {
+      const auto r = harness::run_experiment(
+          bench::make_config(app, mode, seconds, /*seed=*/13));
+      const auto q =
+          metrics::compare_quality(base.content_rate, r.content_rate);
+      const double saved = base.mean_power_mw - r.mean_power_mw;
+      t.add_row({name, harness::control_mode_name(mode),
+                 harness::fmt(saved, 1),
+                 harness::fmt(q.display_quality_pct),
+                 harness::fmt(r.mean_refresh_hz)});
+      if (mode == harness::ControlMode::kE3FrameRate) {
+        pair.e3_saved = saved;
+      } else {
+        pair.ours_saved = saved;
+      }
+    }
+    pairs.push_back(pair);
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+
+  for (const Pair& p : pairs) {
+    std::cout << "[check] " << p.app
+              << ": refresh control beats the frame-rate-only baseline ("
+              << harness::fmt(p.ours_saved, 0) << " vs "
+              << harness::fmt(p.e3_saved, 0) << " mW, "
+              << (p.ours_saved > p.e3_saved ? "OK" : "UNEXPECTED") << ")\n";
+  }
+  std::cout << "\nThe gap is the refresh-proportional panel power (~4 mW/Hz "
+               "on the modelled\npanel): a frame-rate governor cannot touch "
+               "it because the panel still scans\nat 60 Hz.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Extension: energy breakdown -- where do the savings come from?
+//
+// The paper reports total milliwatts; this bench decomposes them.  For each
+// workload it prints per-component energy (SoC base, panel static, refresh
+// scan-out, app render, composition, metering, ...) for the 60 Hz baseline
+// and the full proposed system, showing that the savings come from exactly
+// two places -- the refresh-proportional panel term and the V-Sync-capped
+// app render term -- while the metering overhead stays negligible.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+namespace {
+
+double to_mw(double mj, int seconds) {
+  return mj / static_cast<double>(seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Extension: energy breakdown (" << seconds
+            << " s per run) ===\n\n";
+
+  for (const char* name : {"Jelly Splash", "Facebook"}) {
+    const apps::AppSpec app = apps::app_by_name(name);
+    const auto base = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kBaseline60, seconds, /*seed=*/37));
+    const auto ctl = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kSectionWithBoost, seconds, /*seed=*/37));
+
+    std::cout << "--- " << name << " (mW averaged over the run) ---\n";
+    harness::TextTable t({"Component", "Baseline 60 Hz", "Proposed",
+                          "Delta"});
+    struct RowDef {
+      const char* label;
+      double base_mj;
+      double ctl_mj;
+    };
+    const RowDef rows[] = {
+        {"SoC base", base.energy.soc_base_mj, ctl.energy.soc_base_mj},
+        {"panel static", base.energy.panel_static_mj,
+         ctl.energy.panel_static_mj},
+        {"refresh scan-out", base.energy.refresh_mj, ctl.energy.refresh_mj},
+        {"app render", base.energy.render_mj, ctl.energy.render_mj},
+        {"composition", base.energy.composition_mj,
+         ctl.energy.composition_mj},
+        {"touch handling", base.energy.touch_mj, ctl.energy.touch_mj},
+        {"content metering", base.energy.meter_mj, ctl.energy.meter_mj},
+        {"rate switches", base.energy.rate_switch_mj,
+         ctl.energy.rate_switch_mj},
+    };
+    for (const RowDef& r : rows) {
+      t.add_row({r.label, harness::fmt(to_mw(r.base_mj, seconds), 1),
+                 harness::fmt(to_mw(r.ctl_mj, seconds), 1),
+                 harness::fmt(to_mw(r.ctl_mj - r.base_mj, seconds), 1)});
+    }
+    t.add_row({"TOTAL", harness::fmt(to_mw(base.energy.total_mj(), seconds), 1),
+               harness::fmt(to_mw(ctl.energy.total_mj(), seconds), 1),
+               harness::fmt(to_mw(ctl.energy.total_mj() -
+                                      base.energy.total_mj(),
+                                  seconds),
+                            1)});
+    t.print(std::cout);
+
+    const double refresh_saved =
+        to_mw(base.energy.refresh_mj - ctl.energy.refresh_mj, seconds);
+    const double render_saved =
+        to_mw(base.energy.render_mj - ctl.energy.render_mj, seconds);
+    const double meter_cost = to_mw(ctl.energy.meter_mj, seconds);
+    std::cout << "[check] savings split between scan-out ("
+              << harness::fmt(refresh_saved, 0) << " mW) and render ("
+              << harness::fmt(render_saved, 0) << " mW): "
+              << (refresh_saved > 20.0 && render_saved >= -1.0 ? "OK"
+                                                               : "UNEXPECTED")
+              << "\n";
+    std::cout << "[check] metering overhead is small: "
+              << harness::fmt(meter_cost, 1) << " mW ("
+              << (meter_cost < 30.0 ? "OK" : "UNEXPECTED") << ")\n\n";
+  }
+  std::cout << "The SoC base and panel static terms cancel in the A/B "
+               "difference -- every\nsaved milliwatt is attributable to the "
+               "refresh and render paths, which is the\npaper's causal "
+               "claim (\"eliminating redundant frames\") made visible.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension: brightness sweep.
+//
+// The paper measures everything at 50 % brightness.  Backlight/emission
+// power scales with brightness while the refresh/render path does not, so
+// the proposed system's *absolute* saving should be nearly brightness-
+// independent even though the *relative* saving shrinks on a bright screen.
+// This bench sweeps brightness and reports both, plus seed-robustness
+// statistics at the paper's measurement point.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Extension: brightness sweep and seed robustness ("
+            << seconds << " s per run) ===\n\n";
+
+  const apps::AppSpec app = apps::app_by_name("Jelly Splash");
+
+  harness::TextTable t({"Brightness (%)", "Baseline (mW)", "Saved (mW)",
+                        "Saved (%)"});
+  double saved_min = 1e9, saved_max = 0.0;
+  for (const double b : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto cfg = bench::make_config(
+        app, harness::ControlMode::kSectionWithBoost, seconds, /*seed=*/31);
+    cfg.brightness = b;
+    const harness::AbResult ab = harness::run_ab(cfg);
+    t.add_row({harness::fmt(b * 100.0, 0),
+               harness::fmt(ab.baseline.mean_power_mw, 0),
+               harness::fmt(ab.saved_power_mw, 1),
+               harness::fmt(ab.saved_power_pct, 1)});
+    saved_min = std::min(saved_min, ab.saved_power_mw);
+    saved_max = std::max(saved_max, ab.saved_power_mw);
+  }
+  t.print(std::cout);
+  std::cout << "\n[check] absolute saving is brightness-independent "
+               "(spread < 15 %): "
+            << harness::fmt(saved_min, 0) << " .. "
+            << harness::fmt(saved_max, 0) << " mW ("
+            << ((saved_max - saved_min) / saved_max < 0.15 ? "OK"
+                                                           : "UNEXPECTED")
+            << ")\n\n";
+
+  // Seed robustness at the paper's 50 % point.
+  std::cout << "--- seed robustness (8 Monkey sessions) ---\n";
+  harness::TextTable rt({"App", "Saved (mW, mean+-std)",
+                         "Quality (%, mean+-std)"});
+  for (const char* name : {"Facebook", "Jelly Splash"}) {
+    auto cfg = bench::make_config(apps::app_by_name(name),
+                                  harness::ControlMode::kSectionWithBoost,
+                                  seconds, /*seed=*/100);
+    const harness::RepeatedAbResult r = harness::run_ab_repeated(cfg, 8);
+    rt.add_row({name, harness::fmt_pm(r.saved_mean_mw, 0, r.saved_std_mw),
+                harness::fmt_pm(r.quality_mean_pct, 1, r.quality_std_pct)});
+  }
+  rt.print(std::cout);
+  std::cout << "\nThe per-seed spread mirrors the paper's +- figures: the "
+               "saving depends on\nhow often the random script interacts, "
+               "the quality barely varies.\n";
+  return 0;
+}

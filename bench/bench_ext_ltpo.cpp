@@ -1,0 +1,76 @@
+// Extension: the scheme on a modern LTPO-class panel (1-120 Hz ladder).
+//
+// The paper notes the section table must be rebuilt when the available
+// refresh rates change.  This bench runs a representative app set on the
+// Galaxy S3's coarse 5-level ladder and on an LTPO-style 8-level ladder
+// whose floor is 1 Hz, showing how much more idle headroom a fine ladder
+// harvests with the *same* controller -- essentially what shipped years
+// later as Android's adaptive refresh rate.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/section_table.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Extension: LTPO 1-120 Hz ladder vs Galaxy S3 ladder ("
+            << seconds << " s per run) ===\n\n";
+
+  const display::RefreshRateSet s3 = display::RefreshRateSet::galaxy_s3();
+  const display::RefreshRateSet ltpo = display::RefreshRateSet::ltpo_120();
+  std::cout << "LTPO section table (Equation (1) rebuilt):\n"
+            << core::SectionTable::build(ltpo, 0.5).to_string() << "\n";
+
+  harness::TextTable t({"App", "S3 saved (mW)", "LTPO saved (mW)",
+                        "S3 mean Hz", "LTPO mean Hz", "LTPO quality (%)"});
+  double s3_sum = 0.0, ltpo_sum = 0.0;
+  int n = 0;
+  for (const char* name :
+       {"Tiny Flashlight", "Facebook", "KakaoTalk", "Jelly Splash",
+        "MX Player"}) {
+    const apps::AppSpec app = apps::app_by_name(name);
+    auto cfg_s3 = bench::make_config(
+        app, harness::ControlMode::kSectionWithBoost, seconds, /*seed=*/33);
+    cfg_s3.rates = s3;
+    cfg_s3.baseline_hz = 60;  // stock phone baseline on both panels
+    const harness::AbResult r_s3 = harness::run_ab(cfg_s3);
+
+    auto cfg_ltpo = cfg_s3;
+    cfg_ltpo.rates = ltpo;
+    cfg_ltpo.fast_rate_up = true;  // LTPO hardware exits low rates early
+    cfg_ltpo.dpm.boost_hz = 60;    // boost to the app-relevant max, not 120
+    cfg_ltpo.dpm.min_hz = 10;      // safety floor against metering misses
+    const harness::AbResult r_ltpo = harness::run_ab(cfg_ltpo);
+
+    t.add_row({name, harness::fmt(r_s3.saved_power_mw, 1),
+               harness::fmt(r_ltpo.saved_power_mw, 1),
+               harness::fmt(r_s3.controlled.mean_refresh_hz),
+               harness::fmt(r_ltpo.controlled.mean_refresh_hz),
+               harness::fmt(r_ltpo.quality.display_quality_pct)});
+    s3_sum += r_s3.saved_power_mw;
+    ltpo_sum += r_ltpo.saved_power_mw;
+    ++n;
+  }
+  t.print(std::cout);
+
+  std::cout << "\nMean saving: S3 ladder " << harness::fmt(s3_sum / n, 0)
+            << " mW, LTPO ladder " << harness::fmt(ltpo_sum / n, 0)
+            << " mW\n";
+  std::cout << "[check] the finer ladder saves at least as much: "
+            << (ltpo_sum >= s3_sum - 10.0 * n ? "OK" : "UNEXPECTED") << "\n";
+  std::cout << "\nNote: both arms are measured against the SAME fixed-60 Hz "
+               "baseline device.\nThe LTPO panel's low floor lets "
+               "near-static apps park far below the S3's\n20 Hz minimum -- "
+               "the content-centric controller needs no change, only a "
+               "rebuilt\nsection table, plus two deployment guards this "
+               "study surfaced:\n"
+               "  * fast rate-up: at a 1 Hz floor a boundary-only switch "
+               "waits up to 1 s,\n    wrecking touch response;\n"
+               "  * a safety floor (min 10 Hz here): sub-grid content the "
+               "meter cannot see\n    (KakaoTalk's 3 px cursor slips between "
+               "the 9K grid's 10 px sample\n    stride) freezes if the panel "
+               "parks at 1 Hz.\n";
+  return 0;
+}

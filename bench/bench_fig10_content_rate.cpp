@@ -1,0 +1,62 @@
+// Figure 10: effect of refresh-rate control on the content rate -- actual
+// (fixed 60 Hz) vs delivered content rate per app, with and without touch
+// boosting, plus the dropped-frame statistics of section 4.4.
+//
+// Paper claims regenerated here:
+//  * with touch boosting the delivered content rate approximately equals
+//    the actual content rate; without it the content rate is underestimated
+//    because touch bursts exceed the lagging refresh rate;
+//  * dropped frames at the 80th percentile: < 2.9 fps (general) / 3.8 fps
+//    (game) with section control, < 0.7 / 1.3 fps with boosting.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Figure 10: content-rate effect (" << seconds
+            << " s per run) ===\n\n";
+
+  const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 8);
+
+  for (const bool games : {false, true}) {
+    std::cout << (games ? "--- Game applications ---\n"
+                        : "--- General applications ---\n");
+    harness::TextTable t({"App", "Actual (fps)", "Section (fps)",
+                          "+Boost (fps)", "Drop sec (fps)",
+                          "Drop boost (fps)"});
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      t.add_row({e.app.name, harness::fmt(e.q_section.actual_content_fps),
+                 harness::fmt(e.q_section.delivered_content_fps),
+                 harness::fmt(e.q_boost.delivered_content_fps),
+                 harness::fmt(e.q_section.dropped_fps, 2),
+                 harness::fmt(e.q_boost.dropped_fps, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  for (const bool games : {false, true}) {
+    std::vector<double> drop_section, drop_boost;
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      drop_section.push_back(e.q_section.dropped_fps);
+      drop_boost.push_back(e.q_boost.dropped_fps);
+    }
+    const double p80_section = metrics::value_at_80th(drop_section);
+    const double p80_boost = metrics::value_at_80th(drop_boost);
+    const char* label = games ? "games" : "general";
+    std::cout << "[" << label
+              << "] dropped frames, 80th percentile: section "
+              << harness::fmt(p80_section, 2) << " fps (paper: < "
+              << (games ? "3.8" : "2.9") << "), +boost "
+              << harness::fmt(p80_boost, 2) << " fps (paper: < "
+              << (games ? "1.3" : "0.7") << ")\n";
+    std::cout << "[check] boosting reduces dropping: "
+              << (p80_boost <= p80_section ? "OK" : "UNEXPECTED") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 11: display quality -- the delivered content rate divided by the
+// actual content rate, per app, with and without touch boosting.
+//
+// Paper claims regenerated here:
+//  * with section control only, quality at the 80th percentile is > 55 %
+//    (general) / > 85 % (games);
+//  * with touch boosting, quality is > 95 % for 80 % of both categories and
+//    > 90 % for all applications.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Figure 11: display quality (" << seconds
+            << " s per run) ===\n\n";
+
+  const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 9);
+
+  for (const bool games : {false, true}) {
+    std::cout << (games ? "--- Game applications (Fig. 11b) ---\n"
+                        : "--- General applications (Fig. 11a) ---\n");
+    harness::TextTable t(
+        {"App", "Section quality (%)", "+Boost quality (%)"});
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      t.add_row({e.app.name,
+                 harness::fmt(e.q_section.display_quality_pct),
+                 harness::fmt(e.q_boost.display_quality_pct)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  double min_boost_quality = 100.0;
+  for (const bool games : {false, true}) {
+    std::vector<double> q_section, q_boost;
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      q_section.push_back(e.q_section.display_quality_pct);
+      q_boost.push_back(e.q_boost.display_quality_pct);
+      min_boost_quality =
+          std::min(min_boost_quality, e.q_boost.display_quality_pct);
+    }
+    // "maintained in more than X % for 80 % of apps" = 20th percentile.
+    const double p20_section = metrics::percentile(q_section, 20.0);
+    const double p20_boost = metrics::percentile(q_boost, 20.0);
+    const char* label = games ? "games" : "general";
+    std::cout << "[" << label << "] quality at 80 % of apps: section "
+              << harness::fmt(p20_section) << " % (paper: > "
+              << (games ? 85 : 55) << " %), +boost "
+              << harness::fmt(p20_boost) << " % (paper: > 95 %)\n";
+  }
+  std::cout << "[check] minimum quality with boosting across all 30 apps: "
+            << harness::fmt(min_boost_quality) << " % (paper: > 90 %, "
+            << (min_boost_quality > 90.0 ? "OK" : "UNEXPECTED") << ")\n";
+  return 0;
+}

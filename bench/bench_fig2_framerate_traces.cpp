@@ -1,0 +1,67 @@
+// Figure 2: frame rate and refresh rate traces of Facebook and Jelly Splash
+// on the stock device (fixed 60 Hz refresh).
+//
+// The paper's observations this bench regenerates:
+//  * Facebook's frame rate is low most of the time, except when user
+//    requests (touches) occur;
+//  * Jelly Splash remains at about 60 fps most of the time even when the
+//    frame content does not change (redundant updates).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Figure 2: frame rate traces at fixed 60 Hz ("
+            << seconds << " s runs) ===\n\n";
+
+  for (const char* name : {"Facebook", "Jelly Splash"}) {
+    const auto r = harness::run_experiment(bench::make_config(
+        apps::app_by_name(name), harness::ControlMode::kBaseline60, seconds,
+        /*seed=*/2));
+    std::cout << "--- " << name << " ---\n";
+    harness::print_ascii_chart(std::cout, "frame rate (fps)", r.frame_rate,
+                               sim::seconds(1), sim::Time{},
+                               sim::Time{r.duration.ticks}, 60.0);
+    harness::print_ascii_chart(std::cout, "content rate (fps)",
+                               r.content_rate, sim::seconds(1), sim::Time{},
+                               sim::Time{r.duration.ticks}, 60.0);
+    const double frame_fps =
+        static_cast<double>(r.frames_composed) / r.duration.seconds();
+    const double content_fps =
+        static_cast<double>(r.content_frames) / r.duration.seconds();
+    std::cout << "mean frame rate " << harness::fmt(frame_fps)
+              << " fps, mean content rate " << harness::fmt(content_fps)
+              << " fps, refresh fixed at 60 Hz\n\n";
+  }
+
+  // The claims, checked numerically.
+  const auto fb = harness::run_experiment(bench::make_config(
+      apps::app_by_name("Facebook"), harness::ControlMode::kBaseline60,
+      seconds, 2));
+  const auto js = harness::run_experiment(bench::make_config(
+      apps::app_by_name("Jelly Splash"), harness::ControlMode::kBaseline60,
+      seconds, 2));
+  // "low most of the time": judge the median per-second frame rate, not the
+  // mean (interaction bursts dominate the mean by design).
+  std::vector<double> fb_seconds;
+  for (const auto& p : fb.frame_rate.points()) fb_seconds.push_back(p.value);
+  const double fb_median = metrics::percentile(fb_seconds, 50.0);
+  const double js_fps =
+      static_cast<double>(js.frames_composed) / js.duration.seconds();
+  const double js_content =
+      static_cast<double>(js.content_frames) / js.duration.seconds();
+  std::cout << "[check] Facebook frame rate is low most of the time "
+               "(median): "
+            << harness::fmt(fb_median) << " fps ("
+            << (fb_median < 20.0 ? "OK" : "UNEXPECTED") << ")\n";
+  std::cout << "[check] Jelly Splash pins near 60 fps: "
+            << harness::fmt(js_fps) << " fps ("
+            << (js_fps > 50.0 ? "OK" : "UNEXPECTED") << ")\n";
+  std::cout << "[check] Jelly Splash content far below its frame rate: "
+            << harness::fmt(js_content) << " fps ("
+            << (js_content < js_fps / 2.0 ? "OK" : "UNEXPECTED") << ")\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3: meaningful vs redundant frame rate for the 30 commercial
+// applications (15 general + 15 games) at a fixed 60 Hz refresh.
+//
+// Paper claims regenerated here:
+//  (a/c) most general applications require less than 30 fps;
+//  (d)   ~40 % of general apps exhibit ~20 fps of redundant frames
+//        (e.g. Cash Slide, Daum Maps);
+//  (b)   all game applications update the display at more than 30 fps;
+//  (d)   80 % of games have more than 20 redundant frames per second.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Figure 3: frame redundancy census (" << seconds
+            << " s per app, fixed 60 Hz) ===\n\n";
+
+  struct Row {
+    std::string name;
+    bool game;
+    double frame_fps;
+    double content_fps;
+    double redundant_fps;
+  };
+  std::vector<Row> rows;
+  for (const apps::AppSpec& app : apps::all_apps()) {
+    const auto r = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kBaseline60, seconds, /*seed=*/3));
+    const double run_s = r.duration.seconds();
+    const double f = static_cast<double>(r.frames_composed) / run_s;
+    const double c = static_cast<double>(r.content_frames) / run_s;
+    rows.push_back({app.name, app.category == apps::AppSpec::Category::kGame,
+                    f, c, f - c});
+  }
+
+  for (const bool games : {false, true}) {
+    std::cout << (games ? "--- Game applications (Fig. 3b/3d) ---\n"
+                        : "--- General applications (Fig. 3a/3c/3d) ---\n");
+    harness::TextTable t({"App", "Frame rate (fps)", "Meaningful (fps)",
+                          "Redundant (fps)"});
+    for (const Row& r : rows) {
+      if (r.game != games) continue;
+      t.add_row({r.name, harness::fmt(r.frame_fps),
+                 harness::fmt(r.content_fps), harness::fmt(r.redundant_fps)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Aggregate claims.
+  int general_low_fps = 0, general_heavy_redundant = 0;
+  int games_above_30 = 0, games_heavy_redundant = 0, n_general = 0, n_games = 0;
+  for (const Row& r : rows) {
+    if (r.game) {
+      ++n_games;
+      if (r.frame_fps > 30.0) ++games_above_30;
+      if (r.redundant_fps > 20.0) ++games_heavy_redundant;
+    } else {
+      ++n_general;
+      if (r.frame_fps < 30.0) ++general_low_fps;
+      if (r.redundant_fps >= 14.0) ++general_heavy_redundant;
+    }
+  }
+  std::cout << "[check] general apps below 30 fps: " << general_low_fps << "/"
+            << n_general << " (paper: most)\n";
+  std::cout << "[check] general apps with heavy redundancy (~20 fps): "
+            << general_heavy_redundant << "/" << n_general
+            << " (paper: ~40 %)\n";
+  std::cout << "[check] games above 30 fps: " << games_above_30 << "/"
+            << n_games << " (paper: all)\n";
+  std::cout << "[check] games with > 20 redundant fps: "
+            << games_heavy_redundant << "/" << n_games << " (paper: 80 %)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 7: content-rate and refresh-rate traces under (a/c) section-based
+// control only and (b/d) section-based control plus touch boosting, for
+// Facebook and Jelly Splash.
+//
+// Paper claims regenerated here:
+//  * with section control only, the refresh rate tracks the content rate
+//    but lags touch bursts, dropping frames;
+//  * with touch boosting, large refresh-rate fluctuations appear (boost to
+//    60 Hz on every touch) and frame dropping is significantly reduced.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 30);
+  std::cout << "=== Figure 7: control traces (" << seconds
+            << " s runs) ===\n\n";
+
+  struct Drops {
+    double section = 0.0;
+    double boost = 0.0;
+  };
+  std::vector<std::pair<std::string, Drops>> summary;
+
+  for (const char* name : {"Facebook", "Jelly Splash"}) {
+    const apps::AppSpec app = apps::app_by_name(name);
+    const auto base = harness::run_experiment(bench::make_config(
+        app, harness::ControlMode::kBaseline60, seconds, /*seed=*/5));
+    Drops drops;
+    for (const auto mode : {harness::ControlMode::kSection,
+                            harness::ControlMode::kSectionWithBoost}) {
+      const auto r = harness::run_experiment(
+          bench::make_config(app, mode, seconds, /*seed=*/5));
+      std::cout << "--- " << name << ", "
+                << harness::control_mode_name(mode) << " ---\n";
+      harness::print_ascii_chart(std::cout, "content rate (fps, delivered)",
+                                 r.content_rate, sim::seconds(1), sim::Time{},
+                                 sim::Time{r.duration.ticks}, 60.0);
+      harness::print_ascii_chart(std::cout, "refresh rate (Hz)",
+                                 r.refresh_rate, sim::seconds(1), sim::Time{},
+                                 sim::Time{r.duration.ticks}, 60.0);
+      const auto q = metrics::compare_quality(base.content_rate,
+                                              r.content_rate);
+      std::cout << "dropped frames: " << harness::fmt(q.dropped_fps, 2)
+                << " fps, quality " << harness::fmt(q.display_quality_pct, 1)
+                << " %, mean refresh " << harness::fmt(r.mean_refresh_hz)
+                << " Hz\n\n";
+      if (mode == harness::ControlMode::kSection) {
+        drops.section = q.dropped_fps;
+      } else {
+        drops.boost = q.dropped_fps;
+      }
+    }
+    summary.emplace_back(name, drops);
+  }
+
+  for (const auto& [name, d] : summary) {
+    std::cout << "[check] " << name
+              << ": touch boosting reduces frame dropping ("
+              << harness::fmt(d.section, 2) << " -> "
+              << harness::fmt(d.boost, 2) << " fps, "
+              << (d.boost <= d.section ? "OK" : "UNEXPECTED") << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 9: per-application power saving for all 30 apps, section-based
+// control with and without touch boosting.
+//
+// Paper claims regenerated here:
+//  * average power reduction ~120 mW for general apps and ~290 mW for games;
+//  * maxima around 440 mW (general) and 530 mW (game);
+//  * for 80 % of apps the reduction exceeds ~110 mW (general) / ~220 mW
+//    (game);
+//  * touch boosting gives back ~16 mW (general) / ~30 mW (game) on average.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ccdem;
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 40);
+  std::cout << "=== Figure 9: per-app power savings (" << seconds
+            << " s per run) ===\n\n";
+
+  const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 7);
+
+  for (const bool games : {false, true}) {
+    std::cout << (games ? "--- Game applications (Fig. 9b) ---\n"
+                        : "--- General applications (Fig. 9a) ---\n");
+    harness::TextTable t({"App", "Baseline (mW)", "Section saved (mW)",
+                          "+Boost saved (mW)", "Boost cost (mW)"});
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      t.add_row({e.app.name, harness::fmt(e.baseline.mean_power_mw, 0),
+                 harness::fmt(e.saved_section_mw(), 1),
+                 harness::fmt(e.saved_boost_mw(), 1),
+                 harness::fmt(e.saved_section_mw() - e.saved_boost_mw(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  for (const bool games : {false, true}) {
+    metrics::StreamingStats boost_saved, section_saved, boost_cost;
+    std::vector<double> boosted;
+    for (const auto& e : evals) {
+      if (e.is_game() != games) continue;
+      section_saved.add(e.saved_section_mw());
+      boost_saved.add(e.saved_boost_mw());
+      boost_cost.add(e.saved_section_mw() - e.saved_boost_mw());
+      boosted.push_back(e.saved_boost_mw());
+    }
+    // "for 80 % of apps the reduction is more than X" = 20th percentile.
+    const double p20 = metrics::percentile(boosted, 20.0);
+    const char* label = games ? "games" : "general";
+    std::cout << "[" << label << "] mean saved: section "
+              << harness::fmt(section_saved.mean(), 0) << " mW, +boost "
+              << harness::fmt(boost_saved.mean(), 0) << " mW (paper: ~"
+              << (games ? 290 : 120) << " mW)\n";
+    std::cout << "[" << label << "] max saved (+boost): "
+              << harness::fmt(boost_saved.max(), 0) << " mW (paper: ~"
+              << (games ? 530 : 440) << " mW)\n";
+    std::cout << "[" << label << "] 80 % of apps save more than "
+              << harness::fmt(p20, 0) << " mW (paper: > "
+              << (games ? 220 : 110) << " mW)\n";
+    std::cout << "[" << label << "] mean boost cost: "
+              << harness::fmt(boost_cost.mean(), 0) << " mW (paper: ~"
+              << (games ? 30 : 16) << " mW)\n\n";
+  }
+
+  int negative = 0;
+  for (const auto& e : evals) {
+    if (e.saved_boost_mw() < 0.0) ++negative;
+  }
+  std::cout << "[check] apps where the proposed system costs power: "
+            << negative << "/30 (paper: none)\n";
+  return 0;
+}

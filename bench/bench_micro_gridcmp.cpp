@@ -1,0 +1,92 @@
+// Micro-benchmark (google-benchmark): raw cost of the grid comparison on
+// this host, for each of Fig. 6's grid configurations.
+//
+// The absolute times on a desktop CPU are far below the Galaxy S3's (the
+// device-side curve lives in core::MeteringCostModel); what this bench
+// validates is the *shape*: cost grows monotonically with the sampled pixel
+// count, and the full-resolution comparison costs orders of magnitude more
+// than the sparse grids.
+#include <benchmark/benchmark.h>
+
+#include "core/grid_sampler.h"
+#include "gfx/framebuffer.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace ccdem;
+
+constexpr gfx::Size kScreen{720, 1280};
+
+gfx::Framebuffer make_noise_frame(std::uint64_t seed) {
+  gfx::Framebuffer fb(kScreen);
+  sim::Rng rng(seed);
+  for (int y = 0; y < fb.height(); ++y) {
+    for (auto& px : fb.row(y)) {
+      px = gfx::Rgb888::from_packed(
+          static_cast<std::uint32_t>(rng.next_u64()));
+    }
+  }
+  return fb;
+}
+
+core::GridSpec spec_for(int idx) {
+  const auto sweep = core::GridSpec::figure6_sweep();
+  return sweep[static_cast<std::size_t>(idx)];
+}
+
+/// Worst case for `differs`: identical frames force a full scan.
+void BM_GridCompare_Identical(benchmark::State& state) {
+  const core::GridSampler sampler(kScreen, spec_for(static_cast<int>(state.range(0))));
+  const gfx::Framebuffer fb = make_noise_frame(1);
+  std::vector<gfx::Rgb888> prev;
+  sampler.sample(fb, prev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.differs(fb, prev));
+  }
+  state.SetLabel(sampler.grid().label());
+  state.counters["pixels"] =
+      static_cast<double>(sampler.sample_count());
+}
+BENCHMARK(BM_GridCompare_Identical)->DenseRange(0, 4);
+
+/// Typical case: frames differ somewhere, allowing early exit.
+void BM_GridCompare_Different(benchmark::State& state) {
+  const core::GridSampler sampler(kScreen, spec_for(static_cast<int>(state.range(0))));
+  const gfx::Framebuffer fb = make_noise_frame(1);
+  const gfx::Framebuffer fb2 = make_noise_frame(2);
+  std::vector<gfx::Rgb888> prev;
+  sampler.sample(fb2, prev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.differs(fb, prev));
+  }
+  state.SetLabel(sampler.grid().label());
+}
+BENCHMARK(BM_GridCompare_Different)->DenseRange(0, 4);
+
+/// Cost of extracting the samples (the capture half of the double buffer).
+void BM_GridSample(benchmark::State& state) {
+  const core::GridSampler sampler(kScreen, spec_for(static_cast<int>(state.range(0))));
+  const gfx::Framebuffer fb = make_noise_frame(1);
+  std::vector<gfx::Rgb888> out;
+  for (auto _ : state) {
+    sampler.sample(fb, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(sampler.grid().label());
+}
+BENCHMARK(BM_GridSample)->DenseRange(0, 4);
+
+/// Baseline the paper rejects: full-framebuffer memcmp.
+void BM_FullFrameEquals(benchmark::State& state) {
+  const gfx::Framebuffer a = make_noise_frame(1);
+  const gfx::Framebuffer b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.equals(b));
+  }
+}
+BENCHMARK(BM_FullFrameEquals);
+
+}  // namespace
+
+BENCHMARK_MAIN();

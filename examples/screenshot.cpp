@@ -1,0 +1,50 @@
+// Screenshot: render each scene type at a few timestamps and dump PPM
+// images -- the quickest way to see what the simulated workloads look like.
+//
+//   ./screenshot [output-dir]
+#include <iostream>
+#include <string>
+
+#include "apps/app_profiles.h"
+#include "apps/scene.h"
+#include "gfx/ppm.h"
+
+int main(int argc, char** argv) {
+  using namespace ccdem;
+
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  struct Shot {
+    const char* name;
+    apps::SceneSpec spec;
+  };
+  const Shot shots[] = {
+      {"feed_ui", apps::SceneSpec::static_ui(2.0)},
+      {"video_player", apps::SceneSpec::video(24.0)},
+      {"game", apps::SceneSpec::game(20.0)},
+      {"live_wallpaper", apps::SceneSpec::wallpaper(2, 8)},
+      {"messenger", apps::SceneSpec::typing()},
+      {"map", apps::SceneSpec::map()},
+  };
+
+  for (const Shot& shot : shots) {
+    gfx::Framebuffer fb(apps::kGalaxyS3Screen);
+    gfx::Canvas canvas(fb);
+    auto scene = apps::make_scene(shot.spec, fb.size(), sim::Rng(7));
+    scene->init(canvas);
+    // Let the scene animate for two seconds of 30 fps renders so the image
+    // shows it mid-motion, not the initial state.
+    for (int i = 1; i <= 60; ++i) {
+      scene->render(canvas, sim::at_seconds(i / 30.0));
+    }
+    const std::string path = dir + "/scene_" + shot.name + ".ppm";
+    if (gfx::write_ppm_file(path, fb)) {
+      std::cout << "wrote " << path << " (" << fb.width() << "x"
+                << fb.height() << ")\n";
+    } else {
+      std::cerr << "failed to write " << path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

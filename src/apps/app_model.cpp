@@ -1,0 +1,84 @@
+#include "apps/app_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ccdem::apps {
+
+AppModel::AppModel(AppSpec spec, gfx::Surface* surface,
+                   power::DevicePowerModel* power, sim::Rng rng)
+    : spec_(std::move(spec)), surface_(surface), power_(power) {
+  assert(surface_ != nullptr);
+  scene_ = make_scene(spec_.scene, surface_->buffer().size(), rng);
+}
+
+double AppModel::render_energy_mj(double request_fps) const {
+  if (!spec_.dvfs_coupling) return spec_.render_mj_per_frame;
+  return spec_.render_mj_per_frame * (0.7 + 0.6 * request_fps / 60.0);
+}
+
+double AppModel::current_request_fps(sim::Time t) const {
+  const double own =
+      t <= burst_until_ ? spec_.burst_request_fps : spec_.idle_request_fps;
+  if (request_cap_fps_ > 0.0) return std::min(own, request_cap_fps_);
+  return own;
+}
+
+void AppModel::set_foreground(bool fg) {
+  if (fg && !foreground_) {
+    // Activity resume: repaint the whole window (the framebuffer may hold
+    // another app's pixels) and start requesting immediately.
+    initialized_ = false;
+    next_render_ = sim::Time{};
+  }
+  foreground_ = fg;
+  surface_->set_visible(fg);
+}
+
+void AppModel::on_touch(const input::TouchEvent& e) {
+  if (!foreground_) return;
+  burst_until_ = e.t + sim::seconds_f(spec_.burst_hold_s);
+  // A parked app (zero idle rate) resumes requesting right away.
+  next_render_ = std::min(next_render_, e.t);
+  scene_->on_touch(e);
+}
+
+void AppModel::on_vsync(sim::Time t, int refresh_hz) {
+  if (!foreground_) return;
+  const double desired_fps = current_request_fps(t);
+  // An app always paints its window once on launch/resume, even if it then
+  // never requests again (idle_request_fps == 0: a truly static app).
+  if (initialized_ && desired_fps <= 0.0) return;
+  if (initialized_ && t < next_render_) return;
+
+  gfx::Canvas& canvas = surface_->begin_frame();
+  if (!initialized_) {
+    scene_->init(canvas);
+    initialized_ = true;
+  }
+  scene_->render(canvas, t);
+  surface_->post_frame();
+  ++frames_posted_;
+  if (power_ != nullptr) {
+    // The DVFS factor follows the *achieved* rate: V-Sync caps rendering at
+    // the refresh rate, and the frequency governor follows the actual load.
+    power_->add_energy_mj(
+        t,
+        render_energy_mj(
+            std::min(desired_fps, static_cast<double>(refresh_hz))),
+        power::EnergyTag::kRender);
+  }
+
+  // Pace the next request at the desired cadence, allowing at most one
+  // frame of backlog so a refresh-rate jump does not trigger a burst of
+  // catch-up renders.
+  if (desired_fps > 0.0) {
+    const sim::Duration period = sim::period_of_hz(desired_fps);
+    next_render_ = std::max(next_render_ + period, t - period);
+  } else {
+    next_render_ = t + sim::seconds(3600);  // parked until a touch burst
+  }
+}
+
+}  // namespace ccdem::apps

@@ -1,0 +1,103 @@
+// AppModel: the frame-request behaviour of an application.
+//
+// Separates *how often the app asks for frames* (the frame rate, Fig. 2)
+// from *how often its content changes* (the scene's content rate).  The app
+// renders on V-Sync callbacks -- V-Sync caps its request rate at the current
+// refresh rate, which is the interaction the whole paper leans on -- and
+// posts a frame whether or not the scene drew anything, charging its render
+// energy either way (a real app burns GPU redrawing identical content).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/scene.h"
+#include "display/display_panel.h"
+#include "gfx/surface.h"
+#include "input/input_dispatcher.h"
+#include "input/monkey.h"
+#include "power/device_power_model.h"
+#include "sim/rng.h"
+
+namespace ccdem::apps {
+
+struct AppSpec {
+  enum class Category { kGeneral, kGame };
+
+  std::string name;
+  Category category = Category::kGeneral;
+
+  /// Frames the app requests per second when idle.
+  double idle_request_fps = 8.0;
+  /// Request rate during and shortly after interaction.
+  double burst_request_fps = 60.0;
+  /// How long after the last touch the burst request rate persists.
+  double burst_hold_s = 1.0;
+  /// App-side render energy per posted frame (GPU + CPU), in mJ.
+  double render_mj_per_frame = 2.5;
+
+  /// DVFS coupling (extension, off by default): real governors raise the
+  /// GPU/CPU frequency -- and the energy *per frame* -- with the frame
+  /// rate.  When enabled, the per-frame render energy is scaled by
+  /// 0.7 + 0.6 * (request_fps / 60), so halving the frame rate saves more
+  /// than linearly (the effect the paper's hardware measurements include
+  /// and a pure per-frame model misses).
+  bool dvfs_coupling = false;
+
+  SceneSpec scene{};
+  input::MonkeyProfile monkey = input::MonkeyProfile::general_app();
+};
+
+class AppModel final : public display::VsyncObserver,
+                       public input::TouchListener {
+ public:
+  /// `power` may be null (no render-energy accounting).
+  AppModel(AppSpec spec, gfx::Surface* surface,
+           power::DevicePowerModel* power, sim::Rng rng);
+
+  AppModel(const AppModel&) = delete;
+  AppModel& operator=(const AppModel&) = delete;
+
+  /// Choreographer callback (panel phase kApp): maybe renders and posts.
+  void on_vsync(sim::Time t, int refresh_hz) override;
+
+  /// Input delivery: opens the request burst and forwards to the scene.
+  void on_touch(const input::TouchEvent& e) override;
+
+  [[nodiscard]] const AppSpec& spec() const { return spec_; }
+  [[nodiscard]] Scene& scene() { return *scene_; }
+  [[nodiscard]] std::uint64_t frames_posted() const { return frames_posted_; }
+  [[nodiscard]] double current_request_fps(sim::Time t) const;
+
+  /// Render energy for one frame at the given request rate, including the
+  /// optional DVFS coupling factor.
+  [[nodiscard]] double render_energy_mj(double request_fps) const;
+
+  /// External cap on the request rate, used by frame-rate governors
+  /// (core::FrameRateGovernor); 0 disables the cap.  The cap models an
+  /// OS-imposed render throttle, so it applies on top of the app's own
+  /// idle/burst request behaviour.
+  void set_request_cap(double fps) { request_cap_fps_ = fps; }
+  [[nodiscard]] double request_cap() const { return request_cap_fps_; }
+
+  /// Foreground control for app-switching sessions.  A backgrounded app
+  /// ignores V-Sync and touch; bringing it to the foreground forces a full
+  /// window redraw on the next frame (as a real activity resume does).
+  void set_foreground(bool fg);
+  [[nodiscard]] bool foreground() const { return foreground_; }
+
+ private:
+  AppSpec spec_;
+  gfx::Surface* surface_;
+  power::DevicePowerModel* power_;
+  std::unique_ptr<Scene> scene_;
+  bool initialized_ = false;
+  bool foreground_ = true;
+  sim::Time next_render_{};
+  sim::Time burst_until_{sim::Time{} - sim::seconds(1)};
+  double request_cap_fps_ = 0.0;
+  std::uint64_t frames_posted_ = 0;
+};
+
+}  // namespace ccdem::apps

@@ -1,0 +1,191 @@
+#include "apps/app_profiles.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <utility>
+
+namespace ccdem::apps {
+
+namespace {
+
+/// Builds a general-app spec around a StaticUi scene.
+AppSpec general(std::string name, double idle_request_fps,
+                double idle_content_fps, double render_mj = 2.5) {
+  AppSpec s;
+  s.name = std::move(name);
+  s.category = AppSpec::Category::kGeneral;
+  s.idle_request_fps = idle_request_fps;
+  s.burst_request_fps = 60.0;
+  s.burst_hold_s = 1.0;
+  s.render_mj_per_frame = render_mj;
+  s.scene = SceneSpec::static_ui(idle_content_fps);
+  s.monkey = input::MonkeyProfile::general_app();
+  return s;
+}
+
+/// Builds a game spec around a Game scene.  Games request frames near the
+/// engine's target rate at all times and respond to touch with extra logic.
+AppSpec game(std::string name, double request_fps, double content_fps,
+             double touch_boost_fps = 14.0, int sprites = 8,
+             double render_mj = 9.0) {
+  AppSpec s;
+  s.name = std::move(name);
+  s.category = AppSpec::Category::kGame;
+  s.idle_request_fps = request_fps;
+  s.burst_request_fps = std::max(request_fps, 60.0);
+  s.burst_hold_s = 0.8;
+  s.render_mj_per_frame = render_mj;
+  s.scene = SceneSpec::game(content_fps, sprites, touch_boost_fps);
+  s.monkey = input::MonkeyProfile::game_app();
+  return s;
+}
+
+}  // namespace
+
+std::vector<AppSpec> general_apps() {
+  std::vector<AppSpec> v;
+  v.push_back(general("Auction", 6.0, 2.0));
+  // Cash Slide, CGV and Daum Maps are the paper's examples of general apps
+  // with ~20 redundant fps (Fig. 3(c)): high request rate, low content rate.
+  v.push_back(general("Cash Slide", 25.0, 3.0, 4.5));
+  v.push_back(general("CGV", 24.0, 4.0, 5.0));
+  v.push_back(general("Coupang", 8.0, 3.0));
+  v.push_back(general("Daum", 7.0, 3.0));
+  {
+    // Daum Maps: the 2-D panning map scene; map engines keep requesting
+    // frames while the map sits still (Fig. 3's ~20 redundant fps) and
+    // tile redraws are the costliest general-app renders.
+    AppSpec s;
+    s.name = "Daum Maps";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 28.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 1.0;
+    s.render_mj_per_frame = 6.0;
+    s.scene = SceneSpec::map(/*marker_pulse_fps=*/2.0);
+    s.monkey = input::MonkeyProfile::general_app();
+    s.monkey.swipe_probability = 0.85;  // maps are dragged, not tapped
+    v.push_back(std::move(s));
+  }
+  v.push_back(general("Facebook", 7.0, 5.0));
+  {
+    // KakaoTalk: the messenger scene -- cursor blink when idle, keystroke
+    // bursts while touched, incoming bubbles every few seconds.
+    AppSpec s;
+    s.name = "KakaoTalk";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 6.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 1.0;
+    s.render_mj_per_frame = 2.5;
+    s.scene = SceneSpec::typing(2.0, 8.0);
+    s.monkey = input::MonkeyProfile::general_app();
+    s.monkey.mean_gap_s = 4.5;         // typing means frequent-ish taps
+    s.monkey.swipe_probability = 0.1;  // mostly key presses
+    v.push_back(std::move(s));
+  }
+  {
+    // MX Player: the video case; content is pinned at the video cadence.
+    AppSpec s;
+    s.name = "MX Player";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 26.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 0.6;
+    s.render_mj_per_frame = 4.0;
+    s.scene = SceneSpec::video(24.0);
+    s.monkey = input::MonkeyProfile::general_app();
+    s.monkey.mean_gap_s = 12.0;  // a video is mostly watched, rarely touched
+    v.push_back(std::move(s));
+  }
+  v.push_back(general("Naver", 9.0, 4.0));
+  v.push_back(general("Naver Webtoon", 10.0, 6.0));
+  {
+    AppSpec s;
+    s.name = "NaverMap";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 22.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 1.0;
+    s.render_mj_per_frame = 5.0;
+    s.scene = SceneSpec::map(/*marker_pulse_fps=*/3.0);
+    s.monkey = input::MonkeyProfile::general_app();
+    s.monkey.swipe_probability = 0.85;
+    v.push_back(std::move(s));
+  }
+  v.push_back(general("PhotoWonder", 5.0, 2.0));
+  v.push_back(general("Tiny Flashlight", 2.0, 0.3, 1.5));
+  v.push_back(general("Weather", 20.0, 4.0, 4.0));
+  return v;
+}
+
+std::vector<AppSpec> game_apps() {
+  // Names as printed in Fig. 3(b)/(d); a few are garbled in the available
+  // text of the paper and are reconstructed (see DESIGN.md).
+  std::vector<AppSpec> v;
+  // Touch-response content boosts are set so an interacting game's content
+  // rate lands in the upper sections (~26-43 fps): the section controller
+  // then rides up on its own during interaction and the touch booster only
+  // pays for the ramp lag, matching the paper's small boost cost.
+  v.push_back(game("Anipang", 60.0, 12.0, 20.0));
+  // Engine-heavy titles render near 60 fps but their game logic targets
+  // ~30 fps, the console-era cadence of 2013 mobile engines.
+  v.push_back(game("Asphalt 8", 50.0, 33.0, 10.0, 10, 10.0));
+  v.push_back(game("Canimal Wars", 55.0, 18.0, 14.0));
+  v.push_back(game("Castle Heros", 55.0, 15.0, 16.0));
+  v.push_back(game("Cookie Run", 60.0, 30.0, 12.0, 9));
+  v.push_back(game("Devilishness", 50.0, 10.0, 22.0));
+  v.push_back(game("Everypong", 55.0, 20.0, 12.0));
+  v.push_back(game("Geometry Dash", 60.0, 32.0, 10.0, 9));
+  v.push_back(game("I Love Style", 35.0, 8.0, 18.0, 6, 6.0));
+  // Jelly Splash: Fig. 2's poster child -- pinned near 60 fps requests with
+  // content changing an order of magnitude slower.
+  v.push_back(game("Jelly Splash", 60.0, 8.0, 20.0));
+  v.push_back(game("Modoo Marble", 45.0, 12.0, 18.0));
+  v.push_back(game("PokoPang", 58.0, 22.0, 10.0));
+  v.push_back(game("Swingrun", 45.0, 28.0, 8.0));
+  v.push_back(game("TempleRun", 60.0, 31.0, 10.0, 9));
+  v.push_back(game("Watermargin", 40.0, 10.0, 18.0, 6, 6.0));
+  return v;
+}
+
+std::vector<AppSpec> all_apps() {
+  std::vector<AppSpec> v = general_apps();
+  std::vector<AppSpec> g = game_apps();
+  v.insert(v.end(), std::make_move_iterator(g.begin()),
+           std::make_move_iterator(g.end()));
+  return v;
+}
+
+AppSpec app_by_name(const std::string& name) {
+  for (AppSpec& s : all_apps()) {
+    if (s.name == name) return std::move(s);
+  }
+  std::cerr << "unknown app profile: " << name << "\n";
+  std::abort();
+}
+
+AppSpec nexus_revampled_wallpaper() {
+  AppSpec s;
+  s.name = "Nexus Revampled";
+  s.category = AppSpec::Category::kGeneral;
+  // The wallpaper animates continuously; it requests frames at its own
+  // cadence (below 25 fps per section 4.1) and every frame has content.
+  s.idle_request_fps = 22.0;
+  s.burst_request_fps = 22.0;
+  s.burst_hold_s = 0.0;
+  s.render_mj_per_frame = 1.5;
+  // Dot geometry vs the sampling grids: a radius-8 dot always covers a
+  // sample point of the 9K grid (10 px stride; worst-case corner distance
+  // sqrt(50) ~ 7.1 < 8) but can fall entirely between the samples of the
+  // 4K (15 px) and 2K (20 px) grids -- giving Fig. 6's "accurate from 9K
+  // up, erroneous below" shape.
+  s.scene = SceneSpec::wallpaper(/*dots=*/2, /*dot_radius=*/8, /*fps=*/20.0);
+  s.monkey = input::MonkeyProfile::general_app();
+  s.monkey.mean_gap_s = 1e9;  // never touched during the accuracy study
+  return s;
+}
+
+}  // namespace ccdem::apps

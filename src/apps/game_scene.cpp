@@ -1,0 +1,129 @@
+#include "apps/game_scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdem::apps {
+
+GameScene::GameScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng)
+    : spec_(spec), size_(size), rng_(rng) {
+  hud_ = {0, 0, size.width, 56};
+  sprites_.resize(static_cast<std::size_t>(spec.sprite_count));
+  const int r = spec.sprite_radius;
+  for (auto& s : sprites_) {
+    s.center = {static_cast<int>(rng_.uniform_int(r + 10, size.width - r - 10)),
+                static_cast<int>(
+                    rng_.uniform_int(hud_.bottom() + r + 10,
+                                     size.height - r - 10))};
+    s.ax = rng_.uniform(40.0, 160.0);
+    s.ay = rng_.uniform(40.0, 200.0);
+    s.fx = rng_.uniform(0.05, 0.22);
+    s.fy = rng_.uniform(0.05, 0.22);
+    s.phx = rng_.uniform(0.0, 6.28);
+    s.phy = rng_.uniform(0.0, 6.28);
+    s.color = gfx::Rgb888{static_cast<std::uint8_t>(rng_.uniform_int(90, 255)),
+                          static_cast<std::uint8_t>(rng_.uniform_int(90, 255)),
+                          static_cast<std::uint8_t>(rng_.uniform_int(90, 255))};
+    s.pos = sprite_pos(s, 0);
+  }
+}
+
+gfx::Point GameScene::sprite_pos(const Sprite& s, std::int64_t tick) const {
+  const double td = static_cast<double>(tick);
+  int x = s.center.x + static_cast<int>(s.ax * std::sin(s.fx * td + s.phx));
+  int y = s.center.y + static_cast<int>(s.ay * std::cos(s.fy * td + s.phy));
+  const int r = spec_.sprite_radius;
+  x = std::clamp(x, r, size_.width - r - 1);
+  y = std::clamp(y, hud_.bottom() + r, size_.height - r - 1);
+  return {x, y};
+}
+
+void GameScene::draw_sprite_at(gfx::Canvas& canvas, const Sprite& s,
+                               gfx::Point p) {
+  canvas.draw_circle(p, spec_.sprite_radius, s.color);
+}
+
+// The sprite parameter exists for symmetry with draw_sprite_at; every
+// sprite erases to the same background.
+void GameScene::erase_sprite_at(gfx::Canvas& canvas, const Sprite&,
+                                gfx::Point p) {
+  const int r = spec_.sprite_radius;
+  canvas.fill_rect(gfx::Rect{p.x - r, p.y - r, 2 * r + 1, 2 * r + 1}, bg_);
+}
+
+void GameScene::init(gfx::Canvas& canvas) {
+  canvas.fill(bg_);
+  canvas.fill_rect(hud_, gfx::Rgb888{10, 10, 20});
+  canvas.draw_text_block(gfx::Rect{12, 12, hud_.width / 3, 32},
+                         gfx::colors::kYellow, gfx::Rgb888{10, 10, 20},
+                         score_);
+  for (const auto& s : sprites_) draw_sprite_at(canvas, s, s.pos);
+}
+
+void GameScene::on_touch(const input::TouchEvent& e) {
+  // The game reacts: logic speeds up briefly and the score HUD changes.
+  boost_until_ = e.t + sim::seconds_f(spec_.touch_boost_hold_s);
+  if (e.action == input::TouchEvent::Action::kDown) ++score_;
+}
+
+double GameScene::effective_content_fps(sim::Time t) const {
+  double fps = spec_.game_content_fps;
+  if (t <= boost_until_) fps += spec_.touch_content_boost_fps;
+  return fps;
+}
+
+bool GameScene::render(gfx::Canvas& canvas, sim::Time t) {
+  // Advance the logic clock at the effective rate since the last render.
+  // The boost changes the rate, so integrate piecewise rather than sampling.
+  const double dt = (t - last_render_).seconds();
+  if (dt > 0.0) {
+    double boosted_s = 0.0;
+    if (last_render_ < boost_until_) {
+      boosted_s = (std::min(t, boost_until_) - last_render_).seconds();
+    }
+    logic_clock_ += spec_.game_content_fps * dt +
+                    spec_.touch_content_boost_fps * boosted_s;
+  }
+  last_render_ = t;
+
+  const auto tick = static_cast<std::int64_t>(logic_clock_);
+  if (tick == last_tick_) return false;  // engine re-render, content static
+  const std::int64_t prev_tick = last_tick_;
+  last_tick_ = tick;
+
+  // A tick only changes pixels if some sprite's rounded position moved or
+  // the HUD readout rolled over; otherwise the redraw would be identical
+  // and the frame is redundant despite the logic advancing.
+  std::vector<gfx::Point> new_pos(sprites_.size());
+  bool any_moved = false;
+  for (std::size_t i = 0; i < sprites_.size(); ++i) {
+    new_pos[i] = sprite_pos(sprites_[i], tick);
+    if (new_pos[i] != sprites_[i].pos) any_moved = true;
+  }
+  const bool hud_changed = prev_tick >= 0 && prev_tick / 30 != tick / 30;
+  if (!any_moved && !hud_changed) return false;
+
+  if (any_moved) {
+    // Erase all sprites at their old positions, then redraw at new positions
+    // (two passes so overlapping sprites do not punch holes in each other).
+    for (auto& s : sprites_) erase_sprite_at(canvas, s, s.pos);
+    for (std::size_t i = 0; i < sprites_.size(); ++i) {
+      sprites_[i].pos = new_pos[i];
+      draw_sprite_at(canvas, sprites_[i], sprites_[i].pos);
+    }
+  }
+  // HUD updates once per ~30 logic ticks (score/time readout).
+  if (hud_changed) {
+    canvas.fill_rect(hud_, gfx::Rgb888{10, 10, 20});
+    canvas.draw_text_block(gfx::Rect{12, 12, hud_.width / 3, 32},
+                           gfx::colors::kYellow, gfx::Rgb888{10, 10, 20},
+                           score_ + static_cast<std::uint32_t>(tick / 30));
+  }
+  return true;
+}
+
+double GameScene::nominal_content_fps(sim::Time t) const {
+  return effective_content_fps(t);
+}
+
+}  // namespace ccdem::apps

@@ -1,0 +1,57 @@
+// GameScene: an engine-driven game (Jelly Splash class).
+//
+// Game engines typically render every V-Sync whether or not the game state
+// advanced -- this is the dominant redundancy source in Fig. 3 (80 % of
+// games post >20 redundant fps).  The scene's *logic* ticks at
+// `game_content_fps`; each logic tick moves sprites (erase + redraw), and a
+// touch temporarily raises the logic rate (the game reacts), which drives
+// the sudden content-rate rises the touch booster exists for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class GameScene final : public Scene {
+ public:
+  GameScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  void on_touch(const input::TouchEvent& e) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+ private:
+  struct Sprite {
+    gfx::Point pos{};
+    gfx::Rgb888 color{};
+    // Deterministic Lissajous-style path parameters.
+    double ax = 0, ay = 0;        ///< amplitudes
+    double fx = 0, fy = 0;        ///< angular step per logic tick
+    double phx = 0, phy = 0;      ///< phases
+    gfx::Point center{};
+  };
+
+  [[nodiscard]] gfx::Point sprite_pos(const Sprite& s,
+                                      std::int64_t tick) const;
+  void draw_sprite_at(gfx::Canvas& canvas, const Sprite& s, gfx::Point p);
+  void erase_sprite_at(gfx::Canvas& canvas, const Sprite& s, gfx::Point p);
+  [[nodiscard]] double effective_content_fps(sim::Time t) const;
+
+  SceneSpec spec_;
+  gfx::Size size_;
+  sim::Rng rng_;
+  std::vector<Sprite> sprites_;
+  gfx::Rgb888 bg_{18, 24, 40};
+  gfx::Rect hud_{};
+  std::int64_t last_tick_ = -1;
+  double logic_clock_ = 0.0;       ///< accumulated logic ticks (fractional)
+  sim::Time last_render_{};
+  sim::Time boost_until_{};
+  std::uint32_t score_ = 0;
+};
+
+}  // namespace ccdem::apps

@@ -1,0 +1,30 @@
+#include "apps/game_scene.h"
+#include "apps/map_scene.h"
+#include "apps/scene.h"
+#include "apps/static_ui_scene.h"
+#include "apps/typing_scene.h"
+#include "apps/video_scene.h"
+#include "apps/wallpaper_scene.h"
+
+namespace ccdem::apps {
+
+std::unique_ptr<Scene> make_scene(const SceneSpec& spec,
+                                  gfx::Size surface_size, sim::Rng rng) {
+  switch (spec.type) {
+    case SceneSpec::Type::kStaticUi:
+      return std::make_unique<StaticUiScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kVideo:
+      return std::make_unique<VideoScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kGame:
+      return std::make_unique<GameScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kWallpaper:
+      return std::make_unique<WallpaperScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kTyping:
+      return std::make_unique<TypingScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kMap:
+      return std::make_unique<MapScene>(spec, surface_size, rng);
+  }
+  return nullptr;  // unreachable: all enum values handled
+}
+
+}  // namespace ccdem::apps

@@ -1,0 +1,122 @@
+#include "apps/static_ui_scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdem::apps {
+
+namespace {
+constexpr int kHeaderHeight = 80;
+constexpr int kBannerHeight = 96;
+constexpr int kCardHeight = 150;
+
+/// Colour of the virtual feed card containing virtual row `vy`.
+gfx::Rgb888 card_color(int vy) {
+  const std::uint32_t i = static_cast<std::uint32_t>(vy / kCardHeight);
+  // Hash the card index into a pastel palette entry.
+  const std::uint32_t h = i * 2654435761u;
+  return gfx::Rgb888{static_cast<std::uint8_t>(180 + (h & 0x3f)),
+                     static_cast<std::uint8_t>(180 + ((h >> 8) & 0x3f)),
+                     static_cast<std::uint8_t>(180 + ((h >> 16) & 0x3f))};
+}
+}  // namespace
+
+StaticUiScene::StaticUiScene(const SceneSpec& spec, gfx::Size size,
+                             sim::Rng rng)
+    : spec_(spec), size_(size), rng_(rng) {
+  header_ = {0, 0, size.width, kHeaderHeight};
+  banner_ = {0, size.height - kBannerHeight, size.width, kBannerHeight};
+  feed_ = {0, kHeaderHeight, size.width,
+           size.height - kHeaderHeight - kBannerHeight};
+}
+
+void StaticUiScene::init(gfx::Canvas& canvas) {
+  canvas.fill_rect(header_, gfx::Rgb888{30, 60, 120});
+  canvas.draw_text_block(
+      gfx::Rect{12, 20, header_.width / 2, kHeaderHeight - 40},
+      gfx::colors::kWhite, gfx::Rgb888{30, 60, 120}, 7u);
+  paint_feed_band(canvas, feed_.y, feed_.bottom());
+  paint_banner(canvas, 0u);
+  last_idle_version_ = 0;  // banner seed 0 is on screen already
+}
+
+void StaticUiScene::paint_feed_band(gfx::Canvas& canvas, int y0, int y1) {
+  // Each screen row maps to virtual feed row (y - feed_.y + scroll_offset).
+  int y = y0;
+  while (y < y1) {
+    const int vy = y - feed_.y + scroll_offset_px_;
+    const int card_top_vy = (vy / kCardHeight) * kCardHeight;
+    const int card_end_y = y + (card_top_vy + kCardHeight - vy);
+    const int band_end = std::min(card_end_y, y1);
+    // Card body with a darker separator line at the card boundary.
+    canvas.fill_rect(gfx::Rect{feed_.x, y, feed_.width, band_end - y},
+                     card_color(vy));
+    if (vy == card_top_vy) {
+      canvas.fill_rect(gfx::Rect{feed_.x, y, feed_.width, 2},
+                       gfx::colors::kDarkGray);
+    }
+    y = band_end;
+  }
+}
+
+void StaticUiScene::paint_banner(gfx::Canvas& canvas, std::uint32_t seed) {
+  const gfx::Rgb888 bg{static_cast<std::uint8_t>(60 + (seed * 37) % 120),
+                       static_cast<std::uint8_t>(40 + (seed * 61) % 120),
+                       static_cast<std::uint8_t>(80 + (seed * 13) % 120)};
+  canvas.fill_rect(banner_, bg);
+  canvas.draw_text_block(gfx::Rect{24, banner_.y + 24, banner_.width - 48,
+                                   banner_.height - 48},
+                         gfx::colors::kWhite, bg, seed);
+}
+
+void StaticUiScene::on_touch(const input::TouchEvent& e) {
+  last_touch_ = e.t;
+  switch (e.action) {
+    case input::TouchEvent::Action::kDown:
+      touching_ = true;
+      break;
+    case input::TouchEvent::Action::kMove:
+      pending_scroll_px_ += spec_.scroll_px_per_move;
+      break;
+    case input::TouchEvent::Action::kUp:
+      touching_ = false;
+      // Fling: the feed keeps moving after the finger lifts.
+      pending_scroll_px_ += spec_.fling_px;
+      break;
+  }
+}
+
+bool StaticUiScene::render(gfx::Canvas& canvas, sim::Time t) {
+  bool changed = false;
+
+  // Consume queued scroll, at most `scroll_px_per_frame` per render.
+  if (pending_scroll_px_ > 0) {
+    const int dy = std::min(pending_scroll_px_, spec_.scroll_px_per_frame);
+    pending_scroll_px_ -= dy;
+    scroll_offset_px_ += dy;
+    canvas.scroll_up(feed_, dy);
+    paint_feed_band(canvas, feed_.bottom() - dy, feed_.bottom());
+    changed = true;
+  }
+
+  // Idle content: the ad banner rotates at idle_content_fps.
+  if (spec_.idle_content_fps > 0.0) {
+    const auto version = static_cast<std::int64_t>(
+        t.seconds() * spec_.idle_content_fps);
+    if (version != last_idle_version_) {
+      last_idle_version_ = version;
+      paint_banner(canvas, static_cast<std::uint32_t>(version));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+double StaticUiScene::nominal_content_fps(sim::Time) const {
+  // While scroll is queued every render changes pixels; otherwise only the
+  // banner ticks.
+  if (pending_scroll_px_ > 0) return 60.0;
+  return spec_.idle_content_fps;
+}
+
+}  // namespace ccdem::apps

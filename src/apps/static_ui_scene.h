@@ -1,0 +1,44 @@
+// StaticUiScene: the browse-style UI of general applications.
+//
+// Layout: a header bar, a scrollable feed of content cards, and an ad
+// banner.  When idle the only pixel changes are banner/widget ticks at
+// `idle_content_fps`; touch moves queue scroll pixels that subsequent
+// renders consume, so interaction produces a content burst (Fig. 2's
+// Facebook trace: flat when idle, spikes on user requests).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class StaticUiScene final : public Scene {
+ public:
+  StaticUiScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  void on_touch(const input::TouchEvent& e) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+  [[nodiscard]] int pending_scroll_px() const { return pending_scroll_px_; }
+
+ private:
+  void paint_feed_band(gfx::Canvas& canvas, int y0, int y1);
+  void paint_banner(gfx::Canvas& canvas, std::uint32_t seed);
+
+  SceneSpec spec_;
+  gfx::Size size_;
+  sim::Rng rng_;
+  gfx::Rect header_{};
+  gfx::Rect feed_{};
+  gfx::Rect banner_{};
+  std::int64_t last_idle_version_ = -1;
+  int scroll_offset_px_ = 0;       ///< virtual feed position
+  int pending_scroll_px_ = 0;      ///< queued by touch, consumed by renders
+  sim::Time last_touch_{};
+  bool touching_ = false;
+};
+
+}  // namespace ccdem::apps

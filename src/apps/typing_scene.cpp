@@ -1,0 +1,157 @@
+#include "apps/typing_scene.h"
+
+#include <algorithm>
+
+namespace ccdem::apps {
+
+namespace {
+constexpr int kInputBarHeight = 90;
+constexpr int kKeyboardHeight = 380;
+constexpr int kBubbleHeight = 110;
+constexpr int kKeyColumns = 10;
+constexpr int kKeyRows = 4;
+const gfx::Rgb888 kBgColor{235, 240, 245};
+const gfx::Rgb888 kKeyboardColor{210, 214, 220};
+const gfx::Rgb888 kKeyColor{250, 250, 252};
+const gfx::Rgb888 kKeyHighlight{160, 190, 250};
+const gfx::Rgb888 kInputColor{255, 255, 255};
+}  // namespace
+
+TypingScene::TypingScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng)
+    : spec_(spec), size_(size), rng_(rng) {
+  keyboard_ = {0, size.height - kKeyboardHeight, size.width,
+               kKeyboardHeight};
+  input_bar_ = {0, keyboard_.y - kInputBarHeight, size.width,
+                kInputBarHeight};
+  conversation_ = {0, 0, size.width, input_bar_.y};
+}
+
+gfx::Rect TypingScene::cursor_rect() const {
+  const int x = 16 + typed_chars_ * 11;
+  return gfx::Rect{std::min(x, input_bar_.right() - 24), input_bar_.y + 20,
+                   3, kInputBarHeight - 40};
+}
+
+void TypingScene::paint_bubble(gfx::Canvas& canvas, std::uint32_t seed,
+                               bool incoming) {
+  // Scroll the conversation up and draw the new bubble at the bottom.
+  canvas.scroll_up(conversation_, kBubbleHeight);
+  const int w = conversation_.width * 3 / 5;
+  const gfx::Rect band{conversation_.x,
+                       conversation_.bottom() - kBubbleHeight,
+                       conversation_.width, kBubbleHeight};
+  canvas.fill_rect(band, kBgColor);
+  const gfx::Rect bubble{incoming ? 12 : conversation_.width - w - 12,
+                         band.y + 8, w, kBubbleHeight - 16};
+  const gfx::Rgb888 color =
+      incoming ? gfx::Rgb888{255, 255, 255} : gfx::Rgb888{255, 235, 59};
+  canvas.fill_rect(bubble, color);
+  canvas.draw_text_block(
+      gfx::Rect{bubble.x + 10, bubble.y + 10, bubble.width - 20,
+                bubble.height - 20},
+      gfx::colors::kDarkGray, color, seed);
+}
+
+void TypingScene::paint_input_text(gfx::Canvas& canvas) {
+  canvas.fill_rect(input_bar_, kInputColor);
+  canvas.draw_text_block(
+      gfx::Rect{12, input_bar_.y + 24,
+                std::min(16 + typed_chars_ * 11, input_bar_.width - 24),
+                kInputBarHeight - 48},
+      gfx::colors::kDarkGray, kInputColor,
+      static_cast<std::uint32_t>(typed_chars_));
+}
+
+void TypingScene::init(gfx::Canvas& canvas) {
+  canvas.fill_rect(conversation_, kBgColor);
+  // Seed the conversation with a few bubbles.
+  for (int i = 0; i < 4; ++i) {
+    paint_bubble(canvas, static_cast<std::uint32_t>(i), i % 2 == 0);
+  }
+  paint_input_text(canvas);
+  canvas.fill_rect(keyboard_, kKeyboardColor);
+  const int kw = keyboard_.width / kKeyColumns;
+  const int kh = keyboard_.height / kKeyRows;
+  for (int r = 0; r < kKeyRows; ++r) {
+    for (int c = 0; c < kKeyColumns; ++c) {
+      canvas.fill_rect(gfx::Rect{c * kw + 3, keyboard_.y + r * kh + 3,
+                                 kw - 6, kh - 6},
+                       kKeyColor);
+    }
+  }
+}
+
+void TypingScene::on_touch(const input::TouchEvent& e) {
+  if (e.action == input::TouchEvent::Action::kDown) {
+    ++pending_keystrokes_;
+  }
+}
+
+bool TypingScene::render(gfx::Canvas& canvas, sim::Time t) {
+  bool changed = false;
+
+  // Cursor blink.
+  if (spec_.cursor_blink_fps > 0.0) {
+    const auto blink =
+        static_cast<std::int64_t>(t.seconds() * spec_.cursor_blink_fps);
+    if (blink != last_blink_version_) {
+      last_blink_version_ = blink;
+      cursor_on_ = !cursor_on_;
+      canvas.fill_rect(cursor_rect(),
+                       cursor_on_ ? gfx::colors::kDarkGray : kInputColor);
+      changed = true;
+    }
+  }
+
+  // Un-highlight the previously pressed key, then process one keystroke.
+  const int kw = keyboard_.width / kKeyColumns;
+  const int kh = keyboard_.height / kKeyRows;
+  if (highlighted_key_ >= 0) {
+    const int r = highlighted_key_ / kKeyColumns;
+    const int c = highlighted_key_ % kKeyColumns;
+    canvas.fill_rect(gfx::Rect{c * kw + 3, keyboard_.y + r * kh + 3, kw - 6,
+                               kh - 6},
+                     kKeyColor);
+    highlighted_key_ = -1;
+    changed = true;
+  }
+  if (pending_keystrokes_ > 0) {
+    --pending_keystrokes_;
+    highlighted_key_ =
+        static_cast<int>(rng_.uniform_int(0, kKeyColumns * kKeyRows - 1));
+    const int r = highlighted_key_ / kKeyColumns;
+    const int c = highlighted_key_ % kKeyColumns;
+    canvas.fill_rect(gfx::Rect{c * kw + 3, keyboard_.y + r * kh + 3, kw - 6,
+                               kh - 6},
+                     kKeyHighlight);
+    ++typed_chars_;
+    if (typed_chars_ * 11 > input_bar_.width - 60) {
+      // "Send": the typed text becomes an outgoing bubble.
+      typed_chars_ = 0;
+      paint_bubble(canvas, ++bubble_seed_, /*incoming=*/false);
+    }
+    paint_input_text(canvas);
+    changed = true;
+  }
+
+  // Incoming messages.
+  if (spec_.incoming_msg_period_s > 0.0) {
+    const auto version = static_cast<std::int64_t>(
+        t.seconds() / spec_.incoming_msg_period_s);
+    if (version != last_message_version_) {
+      last_message_version_ = version;
+      paint_bubble(canvas, 1000u + static_cast<std::uint32_t>(version),
+                   /*incoming=*/true);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+double TypingScene::nominal_content_fps(sim::Time) const {
+  double fps = spec_.cursor_blink_fps;
+  if (pending_keystrokes_ > 0 || highlighted_key_ >= 0) fps = 30.0;
+  return fps;
+}
+
+}  // namespace ccdem::apps

@@ -1,0 +1,48 @@
+// TypingScene: a messenger conversation (KakaoTalk class).
+//
+// Content sources, smallest to largest:
+//  * a cursor blinking at ~2 Hz in the input bar (tiny change -- with the
+//    wallpaper dots, a second adversarial case for sparse metering grids),
+//  * keystrokes while the user touches (key highlight + text growth),
+//  * incoming message bubbles every several seconds (conversation scrolls).
+//
+// The idle content rate is therefore ~2 fps with bursts during typing --
+// the general-app profile of Fig. 3 with realistic pixel behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class TypingScene final : public Scene {
+ public:
+  TypingScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  void on_touch(const input::TouchEvent& e) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+ private:
+  void paint_bubble(gfx::Canvas& canvas, std::uint32_t seed, bool incoming);
+  void paint_input_text(gfx::Canvas& canvas);
+  [[nodiscard]] gfx::Rect cursor_rect() const;
+
+  SceneSpec spec_;
+  gfx::Size size_;
+  sim::Rng rng_;
+  gfx::Rect conversation_{};
+  gfx::Rect input_bar_{};
+  gfx::Rect keyboard_{};
+  std::int64_t last_blink_version_ = 0;
+  std::int64_t last_message_version_ = 0;
+  bool cursor_on_ = false;
+  int pending_keystrokes_ = 0;
+  int typed_chars_ = 0;
+  std::uint32_t bubble_seed_ = 0;
+  int highlighted_key_ = -1;  ///< key index to un-highlight next render
+};
+
+}  // namespace ccdem::apps

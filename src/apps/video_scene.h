@@ -1,0 +1,38 @@
+// VideoScene: a media player (MX Player class).
+//
+// A letterboxed video region updates at the encoded frame rate regardless of
+// interaction; the chrome (controls, seek bar) changes only on touch.  The
+// content rate is therefore pinned near `video_fps` -- the case where the
+// section controller locks the refresh rate to the lowest level above the
+// video cadence and saves power with no quality impact.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class VideoScene final : public Scene {
+ public:
+  VideoScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  void on_touch(const input::TouchEvent& e) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+ private:
+  void paint_video_frame(gfx::Canvas& canvas, std::int64_t version);
+
+  SceneSpec spec_;
+  gfx::Size size_;
+  sim::Rng rng_;
+  gfx::Rect video_{};
+  gfx::Rect controls_{};
+  std::int64_t last_version_ = -1;
+  bool controls_dirty_ = false;
+  std::uint32_t controls_seed_ = 0;
+};
+
+}  // namespace ccdem::apps

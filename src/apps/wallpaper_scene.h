@@ -1,0 +1,43 @@
+// WallpaperScene: a live wallpaper making *small* changes each frame.
+//
+// Models the Nexus Revampled wallpaper the paper uses as the adversarial
+// accuracy workload in section 4.1: a handful of tiny dots drifting across
+// the screen.  A dot can move entirely between the sample points of a coarse
+// grid, making the frame look redundant to the meter -- the source of the
+// error rates at 2K/4K pixels in Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class WallpaperScene final : public Scene {
+ public:
+  WallpaperScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+ private:
+  struct Dot {
+    double x = 0, y = 0;    ///< position
+    double vx = 0, vy = 0;  ///< velocity in px per logic tick
+    gfx::Rgb888 color{};
+  };
+
+  void draw_dot(gfx::Canvas& canvas, const Dot& d);
+  void erase_dot(gfx::Canvas& canvas, const Dot& d);
+
+  SceneSpec spec_;
+  gfx::Size size_;
+  sim::Rng rng_;
+  std::vector<Dot> dots_;
+  gfx::Rgb888 bg_{8, 8, 16};
+  std::int64_t last_version_ = -1;
+};
+
+}  // namespace ccdem::apps

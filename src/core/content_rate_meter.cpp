@@ -1,0 +1,122 @@
+#include "core/content_rate_meter.h"
+
+#include <cassert>
+
+namespace ccdem::core {
+
+ContentRateMeter::ContentRateMeter(gfx::Size screen, GridSpec grid,
+                                   sim::Duration window, MeterMode mode)
+    : sampler_(screen, grid), window_(window), mode_(mode) {
+  assert(window.ticks > 0);
+  if (mode_ == MeterMode::kFullFrame) {
+    frames_ = gfx::DoubleBuffer<gfx::Framebuffer>(gfx::Framebuffer(screen),
+                                                  gfx::Framebuffer(screen));
+  }
+}
+
+const gfx::Framebuffer& ContentRateMeter::previous_frame() const {
+  assert(mode_ == MeterMode::kFullFrame);
+  return frames_.back();
+}
+
+bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb) {
+  // Capture the current frame's samples into the front buffer, classify
+  // against the back buffer (previous frame), then swap -- the double
+  // buffering of section 3.1: capture and comparison alternate between the
+  // two buffers so no copy of the previous frame is ever made.
+  sampler_.sample(fb, samples_.front());
+  bool meaningful = false;
+  const auto& prev = samples_.back();
+  const auto& cur = samples_.front();
+  if (prev.size() == cur.size()) {
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (cur[i] != prev[i]) {
+        meaningful = true;
+        break;
+      }
+    }
+  } else {
+    meaningful = true;  // priming capture: no previous snapshot yet
+  }
+  samples_.swap();
+  return meaningful;
+}
+
+bool ContentRateMeter::classify_full_frame(const gfx::Framebuffer& fb) {
+  // Compare the current framebuffer's grid points against the retained
+  // previous frame, then store a copy of the current frame into the spare
+  // buffer and swap roles.
+  const gfx::Framebuffer& prev = frames_.back();
+  bool meaningful = false;
+  for (const gfx::Point& p : sampler_.points()) {
+    if (fb.at(p.x, p.y) != prev.at(p.x, p.y)) {
+      meaningful = true;
+      break;
+    }
+  }
+  frames_.front().blit(fb, fb.bounds(), gfx::Point{0, 0});
+  frames_.swap();
+  return meaningful;
+}
+
+void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
+                                const gfx::Framebuffer& fb) {
+  bool meaningful;
+  if (have_prev_) {
+    meaningful = mode_ == MeterMode::kFullFrame ? classify_full_frame(fb)
+                                                : classify_sampled(fb);
+  } else {
+    // The very first composed frame necessarily shows new content.  Still
+    // run the capture path so the retained state is primed.
+    if (mode_ == MeterMode::kFullFrame) {
+      (void)classify_full_frame(fb);
+    } else {
+      (void)classify_sampled(fb);
+    }
+    meaningful = true;
+  }
+  have_prev_ = true;
+
+  ++total_frames_;
+  if (meaningful) ++meaningful_frames_;
+  if (meaningful != info.content_changed && total_frames_ > 1) {
+    ++misclassified_;
+  }
+  total_compare_ms_ += compare_cost_per_frame_ms();
+
+  window_obs_.push_back({info.composed_at, meaningful});
+  expire(info.composed_at);
+}
+
+void ContentRateMeter::expire(sim::Time now) {
+  const sim::Time cutoff = now - window_;
+  while (!window_obs_.empty() && window_obs_.front().t <= cutoff) {
+    window_obs_.pop_front();
+  }
+}
+
+double ContentRateMeter::content_rate(sim::Time now) const {
+  const sim::Time cutoff = now - window_;
+  std::uint64_t n = 0;
+  for (auto it = window_obs_.rbegin(); it != window_obs_.rend(); ++it) {
+    if (it->t <= cutoff) break;
+    if (it->meaningful) ++n;
+  }
+  return static_cast<double>(n) / window_.seconds();
+}
+
+double ContentRateMeter::frame_rate(sim::Time now) const {
+  const sim::Time cutoff = now - window_;
+  std::uint64_t n = 0;
+  for (auto it = window_obs_.rbegin(); it != window_obs_.rend(); ++it) {
+    if (it->t <= cutoff) break;
+    ++n;
+  }
+  return static_cast<double>(n) / window_.seconds();
+}
+
+double ContentRateMeter::redundant_rate(sim::Time now) const {
+  return frame_rate(now) - content_rate(now);
+}
+
+}  // namespace ccdem::core

@@ -1,0 +1,86 @@
+#include "core/display_power_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ccdem::core {
+
+DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
+                                         display::DisplayPanel& panel,
+                                         gfx::SurfaceFlinger& flinger,
+                                         std::unique_ptr<RefreshPolicy> policy,
+                                         power::DevicePowerModel* power,
+                                         DpmConfig config)
+    : sim_(sim),
+      panel_(panel),
+      policy_(std::move(policy)),
+      power_(power),
+      config_(config),
+      meter_(flinger.screen_size(), config.grid, config.meter_window),
+      booster_(config.boost_hold) {
+  assert(policy_ != nullptr);
+  flinger.add_listener(this);
+  refresh_rate_trace_.record(sim_.now(),
+                             static_cast<double>(panel_.refresh_hz()));
+  sim_.every(config_.eval_period, [this](sim::Time t) {
+    if (!running_) return false;
+    evaluate(t);
+    return true;
+  });
+}
+
+int DisplayPowerManager::boost_target_hz() const {
+  if (config_.boost_hz > 0 && panel_.rates().supports(config_.boost_hz)) {
+    return config_.boost_hz;
+  }
+  return panel_.rates().max_hz();
+}
+
+void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
+  booster_.on_touch(e);
+  if (!config_.touch_boost) return;
+  // Boost immediately: waiting for the next evaluation tick would reopen the
+  // reaction-lag hole the booster exists to close.
+  const int hz = boost_target_hz();
+  if (panel_.set_refresh_rate(hz)) {
+    refresh_rate_trace_.record(e.t, static_cast<double>(hz));
+  }
+}
+
+void DisplayPowerManager::on_frame(const gfx::FrameInfo& info,
+                                   const gfx::Framebuffer& fb) {
+  meter_.on_frame(info, fb);
+  if (power_ != nullptr && config_.charge_meter_cost) {
+    power_->add_energy_mj(
+        info.composed_at,
+        meter_.cost_model().energy_mj(
+            static_cast<std::int64_t>(meter_.sampler().sample_count()),
+            config_.meter_cpu_mw),
+        power::EnergyTag::kMeter);
+  }
+}
+
+void DisplayPowerManager::evaluate(sim::Time t) {
+  const double content_fps = meter_.content_rate(t);
+  content_rate_trace_.record(t, content_fps);
+
+  int target;
+  if (config_.touch_boost && booster_.active(t)) {
+    // While boosted, never go below the policy's own choice (a game whose
+    // content warrants more than the boost cap keeps its higher rate).
+    target = std::max(boost_target_hz(),
+                      policy_->decide(t, content_fps, panel_.refresh_hz()));
+  } else {
+    target = policy_->decide(t, content_fps, panel_.refresh_hz());
+  }
+  if (config_.min_hz > 0 && target < config_.min_hz &&
+      panel_.rates().supports(config_.min_hz)) {
+    target = config_.min_hz;
+  }
+  if (panel_.set_refresh_rate(target)) {
+    refresh_rate_trace_.record(t, static_cast<double>(target));
+  }
+}
+
+}  // namespace ccdem::core

@@ -1,0 +1,102 @@
+// DisplayPowerManager: the proposed system, assembled.
+//
+// Wires the content-rate meter to the compositor, evaluates the refresh
+// policy on a fixed cadence, applies touch boosting, pushes rate decisions
+// to the panel, charges the metering CPU cost to the device power model, and
+// records the content-rate / refresh-rate traces the evaluation figures use.
+#pragma once
+
+#include <memory>
+
+#include "core/content_rate_meter.h"
+#include "core/refresh_policy.h"
+#include "core/touch_booster.h"
+#include "display/display_panel.h"
+#include "gfx/surface_flinger.h"
+#include "input/touch_event.h"
+#include "power/device_power_model.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace ccdem::core {
+
+struct DpmConfig {
+  GridSpec grid = GridSpec::grid_9k();
+  sim::Duration meter_window = sim::seconds(1);
+  sim::Duration eval_period = sim::milliseconds(100);
+  bool touch_boost = true;
+  /// How long the boost pins the maximum rate after the last touch event.
+  /// Android-era input boosts hold a few hundred ms; by then the meter has
+  /// seen the interaction burst and the section table takes over.
+  sim::Duration boost_hold = sim::milliseconds(500);
+  /// Rate the booster targets; 0 = the panel's maximum.  On tall ladders
+  /// (120 Hz LTPO) boosting all the way to the top wastes power on content
+  /// that cannot exceed 60 fps -- cap it at the app-relevant maximum.
+  int boost_hz = 0;
+  /// Floor below which the controller never parks the panel; 0 = the
+  /// ladder's minimum.  Deep floors (1 Hz) amplify any metering miss --
+  /// content the sparse grid cannot see (a 3 px cursor) freezes at 1 fps --
+  /// so conservative deployments pin a safety floor, as Android's
+  /// "minimum refresh rate" setting later did.
+  int min_hz = 0;
+  /// Threshold placement for the section table (0.5 = paper's Equation (1)).
+  double section_alpha = 0.5;
+  /// Charge the metering comparison's CPU energy to the power model.  The
+  /// comparison is memory-bound and runs on whatever core is already awake
+  /// for composition, so the *incremental* power while comparing is well
+  /// below a core's peak (the paper calls the cost "almost no overhead").
+  bool charge_meter_cost = true;
+  double meter_cpu_mw = 100.0;
+};
+
+class DisplayPowerManager final : public input::TouchListener,
+                                  public gfx::FrameListener {
+ public:
+  /// `power` may be null (no energy accounting, e.g. in unit tests).
+  DisplayPowerManager(sim::Simulator& sim, display::DisplayPanel& panel,
+                      gfx::SurfaceFlinger& flinger,
+                      std::unique_ptr<RefreshPolicy> policy,
+                      power::DevicePowerModel* power, DpmConfig config = {});
+
+  DisplayPowerManager(const DisplayPowerManager&) = delete;
+  DisplayPowerManager& operator=(const DisplayPowerManager&) = delete;
+
+  /// TouchListener: feeds the booster and reacts immediately (the boost does
+  /// not wait for the next evaluation tick).
+  void on_touch(const input::TouchEvent& e) override;
+
+  /// FrameListener: forwards to the meter and charges metering energy.
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const ContentRateMeter& meter() const { return meter_; }
+  [[nodiscard]] const RefreshPolicy& policy() const { return *policy_; }
+  [[nodiscard]] const TouchBooster& booster() const { return booster_; }
+
+  /// Content rate sampled at each evaluation tick (fps).
+  [[nodiscard]] const sim::Trace& content_rate_trace() const {
+    return content_rate_trace_;
+  }
+  /// Refresh rate actually requested over time (Hz; step signal).
+  [[nodiscard]] const sim::Trace& refresh_rate_trace() const {
+    return refresh_rate_trace_;
+  }
+
+ private:
+  void evaluate(sim::Time t);
+  [[nodiscard]] int boost_target_hz() const;
+
+  sim::Simulator& sim_;
+  display::DisplayPanel& panel_;
+  std::unique_ptr<RefreshPolicy> policy_;
+  power::DevicePowerModel* power_;
+  DpmConfig config_;
+  ContentRateMeter meter_;
+  TouchBooster booster_;
+  sim::Trace content_rate_trace_{"content_rate_fps"};
+  sim::Trace refresh_rate_trace_{"refresh_hz"};
+  bool running_ = true;
+};
+
+}  // namespace ccdem::core

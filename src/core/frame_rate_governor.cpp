@@ -1,0 +1,66 @@
+#include "core/frame_rate_governor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ccdem::core {
+
+FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
+                                     gfx::SurfaceFlinger& flinger,
+                                     std::function<void(double)> set_cap,
+                                     power::DevicePowerModel* power,
+                                     Config config)
+    : set_cap_(std::move(set_cap)),
+      power_(power),
+      config_(config),
+      meter_(flinger.screen_size(), config.grid, config.meter_window) {
+  assert(set_cap_);
+  flinger.add_listener(this);
+  cap_trace_.record(sim.now(), 0.0);
+  sim.every(config_.eval_period, [this](sim::Time t) {
+    if (!running_) return false;
+    evaluate(t);
+    return true;
+  });
+}
+
+void FrameRateGovernor::on_frame(const gfx::FrameInfo& info,
+                                 const gfx::Framebuffer& fb) {
+  meter_.on_frame(info, fb);
+  if (power_ != nullptr && config_.charge_meter_cost) {
+    power_->add_energy_mj(
+        info.composed_at,
+        meter_.cost_model().energy_mj(
+            static_cast<std::int64_t>(meter_.sampler().sample_count()),
+            config_.meter_cpu_mw),
+        power::EnergyTag::kMeter);
+  }
+}
+
+void FrameRateGovernor::on_touch(const input::TouchEvent& e) {
+  last_touch_ = e.t;
+  if (current_cap_ != 0.0) {
+    // Release immediately: interaction must not wait for the next tick.
+    current_cap_ = 0.0;
+    set_cap_(0.0);
+    cap_trace_.record(e.t, 0.0);
+  }
+}
+
+void FrameRateGovernor::evaluate(sim::Time t) {
+  double cap;
+  if (t <= last_touch_ + config_.interact_hold) {
+    cap = 0.0;  // interacting: uncapped
+  } else {
+    cap = std::max(config_.min_cap_fps,
+                   meter_.content_rate(t) * config_.headroom);
+  }
+  if (cap != current_cap_) {
+    current_cap_ = cap;
+    set_cap_(cap);
+    cap_trace_.record(t, cap);
+  }
+}
+
+}  // namespace ccdem::core

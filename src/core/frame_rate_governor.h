@@ -1,0 +1,77 @@
+// FrameRateGovernor: an E3-style comparison baseline (Han et al., SenSys'13,
+// the paper's reference [16]).
+//
+// Instead of lowering the panel's refresh rate, this family of schemes
+// throttles the *application's* frame rate to what the content needs, while
+// the display keeps refreshing at 60 Hz.  It saves the render/composition
+// energy of redundant frames but none of the refresh-proportional panel
+// power -- the component the paper's controller additionally harvests.
+// bench_baseline_e3 quantifies that gap.
+//
+// The governor reuses the same content-rate meter as the proposed system
+// and releases the cap while the user interacts (the E3 paper's
+// scroll-responsiveness, mapped onto our touch events).
+#pragma once
+
+#include <functional>
+
+#include "core/content_rate_meter.h"
+#include "gfx/surface_flinger.h"
+#include "input/touch_event.h"
+#include "power/device_power_model.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace ccdem::core {
+
+struct GovernorConfig {
+  GridSpec grid = GridSpec::grid_9k();
+  sim::Duration meter_window = sim::seconds(1);
+  sim::Duration eval_period = sim::milliseconds(100);
+  /// Cap = content rate x headroom (the content rate must be able to
+  /// grow so the governor can observe demand increases).
+  double headroom = 1.5;
+  double min_cap_fps = 10.0;
+  /// Cap released for this long after the last touch event.
+  sim::Duration interact_hold = sim::milliseconds(500);
+  bool charge_meter_cost = true;
+  double meter_cpu_mw = 100.0;
+};
+
+class FrameRateGovernor final : public gfx::FrameListener,
+                                public input::TouchListener {
+ public:
+  using Config = GovernorConfig;
+
+  /// `set_cap(fps)` throttles the governed app; 0 lifts the cap.
+  /// `power` may be null.
+  FrameRateGovernor(sim::Simulator& sim, gfx::SurfaceFlinger& flinger,
+                    std::function<void(double)> set_cap,
+                    power::DevicePowerModel* power, Config config = {});
+
+  FrameRateGovernor(const FrameRateGovernor&) = delete;
+  FrameRateGovernor& operator=(const FrameRateGovernor&) = delete;
+
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
+  void on_touch(const input::TouchEvent& e) override;
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const ContentRateMeter& meter() const { return meter_; }
+  /// Applied cap over time (0 = uncapped); step signal.
+  [[nodiscard]] const sim::Trace& cap_trace() const { return cap_trace_; }
+
+ private:
+  void evaluate(sim::Time t);
+
+  std::function<void(double)> set_cap_;
+  power::DevicePowerModel* power_;
+  Config config_;
+  ContentRateMeter meter_;
+  sim::Time last_touch_{sim::Time{} - sim::seconds(3600)};
+  double current_cap_ = 0.0;
+  sim::Trace cap_trace_{"request_cap_fps"};
+  bool running_ = true;
+};
+
+}  // namespace ccdem::core

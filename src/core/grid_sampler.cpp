@@ -1,0 +1,69 @@
+#include "core/grid_sampler.h"
+
+#include <cassert>
+
+namespace ccdem::core {
+
+std::string GridSpec::label() const {
+  const std::int64_t n = sample_count();
+  if (n >= 1000) {
+    return std::to_string(n / 1000) + "K (" + std::to_string(cols) + "x" +
+           std::to_string(rows) + ")";
+  }
+  return std::to_string(n) + " (" + std::to_string(cols) + "x" +
+         std::to_string(rows) + ")";
+}
+
+std::vector<GridSpec> GridSpec::figure6_sweep() {
+  return {grid_2k(), grid_4k(), grid_9k(), grid_36k(), full_720p()};
+}
+
+GridSampler::GridSampler(gfx::Size screen, GridSpec grid)
+    : screen_(screen), grid_(grid) {
+  assert(!screen.empty());
+  assert(grid.cols > 0 && grid.rows > 0);
+  assert(grid.cols <= screen.width && grid.rows <= screen.height);
+  points_.reserve(static_cast<std::size_t>(grid.cols) * grid.rows);
+  flat_index_.reserve(points_.capacity());
+  // Centre pixel of each grid cell.  Cell (i, j) spans
+  // [i*W/cols, (i+1)*W/cols) x [j*H/rows, (j+1)*H/rows); we take the middle.
+  for (int j = 0; j < grid.rows; ++j) {
+    const int y0 = static_cast<int>(
+        static_cast<std::int64_t>(j) * screen.height / grid.rows);
+    const int y1 = static_cast<int>(
+        static_cast<std::int64_t>(j + 1) * screen.height / grid.rows);
+    const int y = (y0 + y1) / 2;
+    for (int i = 0; i < grid.cols; ++i) {
+      const int x0 = static_cast<int>(
+          static_cast<std::int64_t>(i) * screen.width / grid.cols);
+      const int x1 = static_cast<int>(
+          static_cast<std::int64_t>(i + 1) * screen.width / grid.cols);
+      const int x = (x0 + x1) / 2;
+      points_.push_back({x, y});
+      flat_index_.push_back(static_cast<std::size_t>(y) * screen.width + x);
+    }
+  }
+}
+
+void GridSampler::sample(const gfx::Framebuffer& fb,
+                         std::vector<gfx::Rgb888>& out) const {
+  assert(fb.size() == screen_);
+  out.resize(flat_index_.size());
+  const auto px = fb.pixels();
+  for (std::size_t k = 0; k < flat_index_.size(); ++k) {
+    out[k] = px[flat_index_[k]];
+  }
+}
+
+bool GridSampler::differs(const gfx::Framebuffer& fb,
+                          const std::vector<gfx::Rgb888>& prev) const {
+  assert(fb.size() == screen_);
+  assert(prev.size() == flat_index_.size());
+  const auto px = fb.pixels();
+  for (std::size_t k = 0; k < flat_index_.size(); ++k) {
+    if (px[flat_index_[k]] != prev[k]) return true;
+  }
+  return false;
+}
+
+}  // namespace ccdem::core

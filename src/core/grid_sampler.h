@@ -1,0 +1,70 @@
+// Grid-based framebuffer sampling (paper section 3.1).
+//
+// Comparing full 720x1280 framebuffers every frame is too slow for the 60 Hz
+// budget (Fig. 6: > 40 ms on the device), so the meter samples a sparse grid
+// where "the RGB data of the grid are regarded as the center pixel of each
+// grid".  A GridSampler precomputes the centre-pixel offsets for a given
+// screen/grid geometry and extracts those samples from a framebuffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gfx/framebuffer.h"
+#include "gfx/geometry.h"
+#include "gfx/pixel.h"
+
+namespace ccdem::core {
+
+/// A named grid geometry.  The paper's sweep on the 720x1280 panel:
+/// 2K (36x64), 4K (48x85), 9K (72x128), 36K (144x256), 921K (720x1280).
+struct GridSpec {
+  int cols = 72;
+  int rows = 128;
+
+  [[nodiscard]] std::int64_t sample_count() const {
+    return static_cast<std::int64_t>(cols) * rows;
+  }
+  [[nodiscard]] std::string label() const;
+
+  static GridSpec grid_2k() { return {36, 64}; }
+  static GridSpec grid_4k() { return {48, 85}; }
+  static GridSpec grid_9k() { return {72, 128}; }
+  static GridSpec grid_36k() { return {144, 256}; }
+  static GridSpec full_720p() { return {720, 1280}; }
+
+  /// The five configurations of Fig. 6, coarsest first.
+  static std::vector<GridSpec> figure6_sweep();
+};
+
+class GridSampler {
+ public:
+  GridSampler(gfx::Size screen, GridSpec grid);
+
+  [[nodiscard]] gfx::Size screen() const { return screen_; }
+  [[nodiscard]] GridSpec grid() const { return grid_; }
+  [[nodiscard]] std::size_t sample_count() const { return points_.size(); }
+  [[nodiscard]] const std::vector<gfx::Point>& points() const {
+    return points_;
+  }
+
+  /// Extracts the grid samples from `fb` into `out` (resized as needed).
+  /// `fb` must match the screen size the sampler was built for.
+  void sample(const gfx::Framebuffer& fb, std::vector<gfx::Rgb888>& out) const;
+
+  /// Compares `fb`'s current grid samples against `prev` without extracting.
+  /// Returns true on the first differing sample (early exit -- the common
+  /// fast path for meaningful frames).  `prev.size()` must equal
+  /// sample_count().
+  [[nodiscard]] bool differs(const gfx::Framebuffer& fb,
+                             const std::vector<gfx::Rgb888>& prev) const;
+
+ private:
+  gfx::Size screen_;
+  GridSpec grid_;
+  std::vector<gfx::Point> points_;       // centre pixel of each grid cell
+  std::vector<std::size_t> flat_index_;  // same points as linear fb offsets
+};
+
+}  // namespace ccdem::core

@@ -1,0 +1,53 @@
+// HysteresisPolicy: an extension over the paper's section-based control.
+//
+// The section table is memoryless: a content rate hovering around a
+// threshold (e.g. an app oscillating near 10 fps on the Galaxy S3 table)
+// makes the panel flip between rates every evaluation, and every rate
+// switch costs a panel-timing reprogram and a visible cadence change.  This
+// wrapper applies classic asymmetric hysteresis: increases pass through
+// immediately (quality first -- the same reasoning as touch boosting), but a
+// decrease is applied only after the inner policy has asked for a rate at or
+// below it for `down_confirmations` consecutive decisions.
+//
+// The paper does not evaluate this; bench_ablation_hysteresis quantifies the
+// switch-count reduction and the (small) power give-back.
+#pragma once
+
+#include <memory>
+
+#include "core/refresh_policy.h"
+
+namespace ccdem::core {
+
+class HysteresisPolicy final : public RefreshPolicy {
+ public:
+  HysteresisPolicy(std::unique_ptr<RefreshPolicy> inner,
+                   int down_confirmations = 3)
+      : inner_(std::move(inner)),
+        down_confirmations_(down_confirmations) {}
+
+  [[nodiscard]] int decide(sim::Time now, double content_fps,
+                           int current_hz) override {
+    const int want = inner_->decide(now, content_fps, current_hz);
+    if (want >= current_hz) {
+      pending_down_ = 0;
+      return want;  // increases (and holds) apply immediately
+    }
+    if (++pending_down_ >= down_confirmations_) {
+      pending_down_ = 0;
+      return want;
+    }
+    return current_hz;  // not yet confirmed; hold the current rate
+  }
+
+  [[nodiscard]] const char* name() const override { return "hysteresis"; }
+  [[nodiscard]] const RefreshPolicy& inner() const { return *inner_; }
+  [[nodiscard]] int down_confirmations() const { return down_confirmations_; }
+
+ private:
+  std::unique_ptr<RefreshPolicy> inner_;
+  int down_confirmations_;
+  int pending_down_ = 0;
+};
+
+}  // namespace ccdem::core

@@ -1,0 +1,65 @@
+#include "core/metering_cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ccdem::core {
+
+MeteringCostModel::MeteringCostModel()
+    : MeteringCostModel({{2'304, 0.5},     // 2K (36x64)
+                         {4'080, 0.8},     // 4K (48x85)
+                         {9'216, 5.0},     // 9K (72x128)
+                         {36'864, 9.0},    // 36K (144x256)
+                         {921'600, 42.0}}) // full 720x1280
+{}
+
+MeteringCostModel::MeteringCostModel(
+    std::vector<std::pair<std::int64_t, double>> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                        }));
+}
+
+double MeteringCostModel::duration_ms(std::int64_t sample_count) const {
+  assert(sample_count > 0);
+  const double n = static_cast<double>(sample_count);
+  // Clamp to the calibrated range's end slopes rather than extrapolating.
+  if (sample_count <= points_.front().first) {
+    return points_.front().second *
+           (n / static_cast<double>(points_.front().first));
+  }
+  if (sample_count >= points_.back().first) {
+    return points_.back().second *
+           (n / static_cast<double>(points_.back().first));
+  }
+  // Log-log linear interpolation between bracketing calibration points.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (sample_count <= points_[i].first) {
+      const double x0 = std::log(static_cast<double>(points_[i - 1].first));
+      const double x1 = std::log(static_cast<double>(points_[i].first));
+      const double y0 = std::log(points_[i - 1].second);
+      const double y1 = std::log(points_[i].second);
+      const double t = (std::log(n) - x0) / (x1 - x0);
+      return std::exp(y0 + t * (y1 - y0));
+    }
+  }
+  return points_.back().second;  // unreachable
+}
+
+bool MeteringCostModel::fits_frame_budget(std::int64_t sample_count,
+                                          int refresh_hz) const {
+  assert(refresh_hz > 0);
+  const double budget_ms = 1000.0 / static_cast<double>(refresh_hz);
+  return duration_ms(sample_count) < budget_ms;
+}
+
+double MeteringCostModel::energy_mj(std::int64_t sample_count,
+                                    double cpu_active_mw) const {
+  return duration_ms(sample_count) / 1000.0 * cpu_active_mw;
+}
+
+}  // namespace ccdem::core

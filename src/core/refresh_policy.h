@@ -1,0 +1,74 @@
+// Refresh-rate decision policies.
+//
+// The policy sees the measured content rate and returns a target refresh
+// rate.  Three implementations cover the paper's design space:
+//  * SectionPolicy -- the contribution (section table of Equation (1)),
+//  * NaivePolicy   -- the paper's failed first attempt ("adjust the refresh
+//    rate to the current content rate"), kept as an ablation: under V-Sync
+//    the measured content rate can never exceed the refresh rate, so this
+//    policy ratchets down and sticks at a low rate,
+//  * FixedPolicy   -- stock Android behaviour (the 60 Hz baseline).
+#pragma once
+
+#include <memory>
+
+#include "core/section_table.h"
+#include "display/refresh_rate.h"
+#include "sim/time.h"
+
+namespace ccdem::core {
+
+class RefreshPolicy {
+ public:
+  virtual ~RefreshPolicy() = default;
+  /// Decides the target refresh rate given the content rate measured over
+  /// the meter window ending at `now`.
+  [[nodiscard]] virtual int decide(sim::Time now, double content_fps,
+                                   int current_hz) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class SectionPolicy final : public RefreshPolicy {
+ public:
+  SectionPolicy(const display::RefreshRateSet& rates, double alpha = 0.5)
+      : table_(SectionTable::build(rates, alpha)) {}
+  explicit SectionPolicy(SectionTable table) : table_(std::move(table)) {}
+
+  [[nodiscard]] int decide(sim::Time, double content_fps, int) override {
+    return table_.rate_for(content_fps);
+  }
+  [[nodiscard]] const char* name() const override { return "section"; }
+  [[nodiscard]] const SectionTable& table() const { return table_; }
+
+ private:
+  SectionTable table_;
+};
+
+class NaivePolicy final : public RefreshPolicy {
+ public:
+  explicit NaivePolicy(display::RefreshRateSet rates)
+      : rates_(std::move(rates)) {}
+
+  [[nodiscard]] int decide(sim::Time, double content_fps, int) override {
+    // Smallest supported rate >= the measured content rate: looks correct
+    // but is blind to content the current (low) refresh rate hides.
+    return rates_.ceil_rate(content_fps);
+  }
+  [[nodiscard]] const char* name() const override { return "naive"; }
+
+ private:
+  display::RefreshRateSet rates_;
+};
+
+class FixedPolicy final : public RefreshPolicy {
+ public:
+  explicit FixedPolicy(int hz) : hz_(hz) {}
+
+  [[nodiscard]] int decide(sim::Time, double, int) override { return hz_; }
+  [[nodiscard]] const char* name() const override { return "fixed"; }
+
+ private:
+  int hz_;
+};
+
+}  // namespace ccdem::core

@@ -1,0 +1,54 @@
+#include "core/section_table.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ccdem::core {
+
+SectionTable SectionTable::build(const display::RefreshRateSet& rates,
+                                 double alpha) {
+  assert(!rates.empty());
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  SectionTable table;
+  double lo = 0.0;
+  for (std::size_t i = 0; i < rates.count(); ++i) {
+    const double r_prev = i == 0 ? 0.0 : static_cast<double>(rates.at(i - 1));
+    const double r_i = static_cast<double>(rates.at(i));
+    // Threshold splitting section i-1 from section i (Equation (1) with the
+    // generalised split position alpha; 0.5 reproduces the paper's median).
+    const double hi =
+        i + 1 < rates.count()
+            ? r_prev + alpha * (r_i - r_prev)
+            : std::numeric_limits<double>::infinity();
+    table.sections_.push_back({lo, hi, rates.at(i)});
+    lo = hi;
+  }
+  return table;
+}
+
+int SectionTable::rate_for(double content_fps) const {
+  assert(!sections_.empty());
+  const double c = std::max(content_fps, 0.0);
+  for (const Section& s : sections_) {
+    if (c < s.hi_fps) return s.refresh_hz;
+  }
+  return sections_.back().refresh_hz;
+}
+
+std::string SectionTable::to_string() const {
+  std::ostringstream os;
+  for (const Section& s : sections_) {
+    os << "[" << s.lo_fps << ", ";
+    if (std::isinf(s.hi_fps)) {
+      os << "inf";
+    } else {
+      os << s.hi_fps;
+    }
+    os << ") fps -> " << s.refresh_hz << " Hz\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccdem::core

@@ -1,0 +1,60 @@
+// SectionTable: the predefined content-rate -> refresh-rate mapping
+// (paper section 3.2, Equation (1) and Figure 5).
+//
+// The controller must keep the refresh rate *above* the content rate:
+// because of V-Sync the content rate can never be observed above the current
+// refresh rate, so a mapping that ratchets down to the measured rate gets
+// trapped (the paper's failed first attempt, kept here as NaiveController).
+// Equation (1) therefore splits the content-rate axis at the medians between
+// adjacent refresh rates, shifted one section up.  For the Galaxy S3 levels
+// {20, 24, 30, 40, 60} this reproduces the paper's Figure 5 table exactly:
+//
+//     content rate        refresh rate
+//     [ 0, 10) fps   ->   20 Hz        (10 = median(0, 20))
+//     [10, 22) fps   ->   24 Hz        (22 = median(20, 24))
+//     [22, 27) fps   ->   30 Hz        (27 = median(24, 30))
+//     [27, 35) fps   ->   40 Hz        (35 = median(30, 40))
+//     [35, .. ) fps  ->   60 Hz
+//
+// i.e. rate(c) is the lowest rate r_i whose *lower-neighbour median*
+// (r_{i-1} + r_i)/2 exceeds c, with r_{-1} = 0.  The `alpha` knob
+// generalises the split point to r_{i-1} + alpha * (r_i - r_{i-1}) for the
+// threshold-placement ablation (paper = 0.5; 1.0 = tight/minimal-sufficient,
+// 0.0 = loose/maximal headroom).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "display/refresh_rate.h"
+
+namespace ccdem::core {
+
+class SectionTable {
+ public:
+  struct Section {
+    double lo_fps = 0.0;  ///< inclusive
+    double hi_fps = 0.0;  ///< exclusive; infinity for the top section
+    int refresh_hz = 0;
+  };
+
+  /// Builds the table for a rate set.  `alpha` in [0, 1] places each
+  /// threshold between the adjacent rates (0.5 = paper's median rule).
+  static SectionTable build(const display::RefreshRateSet& rates,
+                            double alpha = 0.5);
+
+  /// Refresh rate for a measured content rate.
+  [[nodiscard]] int rate_for(double content_fps) const;
+
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+
+  /// Human-readable rendering of the table (Figure 5 style).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Section> sections_;  // ascending in lo_fps
+};
+
+}  // namespace ccdem::core

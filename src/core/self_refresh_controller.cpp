@@ -1,0 +1,52 @@
+#include "core/self_refresh_controller.h"
+
+namespace ccdem::core {
+
+SelfRefreshController::SelfRefreshController(sim::Simulator& sim,
+                                             gfx::SurfaceFlinger& flinger,
+                                             power::DevicePowerModel& power,
+                                             SelfRefreshConfig config)
+    : power_(power), config_(config), last_frame_(sim.now()) {
+  flinger.add_listener(this);
+  sim.every(config_.eval_period, [this](sim::Time t) {
+    if (!running_) return false;
+    evaluate(t);
+    return true;
+  });
+}
+
+void SelfRefreshController::on_frame(const gfx::FrameInfo& info,
+                                     const gfx::Framebuffer&) {
+  last_frame_ = info.composed_at;
+  if (in_self_refresh_) exit(info.composed_at);
+}
+
+void SelfRefreshController::evaluate(sim::Time t) {
+  if (!in_self_refresh_ && t - last_frame_ >= config_.enter_after) {
+    enter(t);
+  }
+}
+
+void SelfRefreshController::enter(sim::Time t) {
+  in_self_refresh_ = true;
+  entered_at_ = t;
+  ++entries_;
+  power_.add_energy_mj(t, config_.transition_mj, power::EnergyTag::kRateSwitch);
+  power_.set_link_active(t, false);
+}
+
+void SelfRefreshController::exit(sim::Time t) {
+  in_self_refresh_ = false;
+  accumulated_ = accumulated_ + (t - entered_at_);
+  power_.add_energy_mj(t, config_.transition_mj, power::EnergyTag::kRateSwitch);
+  power_.set_link_active(t, true);
+}
+
+sim::Duration SelfRefreshController::time_in_self_refresh(
+    sim::Time now) const {
+  sim::Duration total = accumulated_;
+  if (in_self_refresh_) total = total + (now - entered_at_);
+  return total;
+}
+
+}  // namespace ccdem::core

@@ -1,0 +1,64 @@
+// Panel self-refresh (PSR) controller -- an extension beyond the paper.
+//
+// The section table bottoms out at the panel's lowest rate (20 Hz on the
+// Galaxy S3) even when the content rate is exactly zero.  Panels with
+// self-refresh RAM can go further: when no frame has been composed for a
+// while, the panel refreshes itself from its local buffer and the SoC's
+// display pipeline and link power down entirely.  This controller watches
+// compositions and toggles the power model's link accordingly; the very
+// next composed frame re-activates the link (entering/exiting costs an
+// impulse energy, so flapping is penalised).
+#pragma once
+
+#include <cstdint>
+
+#include "gfx/surface_flinger.h"
+#include "power/device_power_model.h"
+#include "sim/simulator.h"
+
+namespace ccdem::core {
+
+struct SelfRefreshConfig {
+  /// Idle time (no compositions) before entering self-refresh.
+  sim::Duration enter_after = sim::seconds(2);
+  sim::Duration eval_period = sim::milliseconds(250);
+  /// Link power-down / power-up transition cost.
+  double transition_mj = 1.5;
+};
+
+class SelfRefreshController final : public gfx::FrameListener {
+ public:
+  SelfRefreshController(sim::Simulator& sim, gfx::SurfaceFlinger& flinger,
+                        power::DevicePowerModel& power,
+                        SelfRefreshConfig config = {});
+
+  SelfRefreshController(const SelfRefreshController&) = delete;
+  SelfRefreshController& operator=(const SelfRefreshController&) = delete;
+
+  /// FrameListener: any composition exits self-refresh immediately (the
+  /// frame must reach the panel) and resets the idle timer.
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer&) override;
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] bool in_self_refresh() const { return in_self_refresh_; }
+  [[nodiscard]] std::uint64_t entries() const { return entries_; }
+  /// Total time spent in self-refresh so far.
+  [[nodiscard]] sim::Duration time_in_self_refresh(sim::Time now) const;
+
+ private:
+  void evaluate(sim::Time t);
+  void enter(sim::Time t);
+  void exit(sim::Time t);
+
+  power::DevicePowerModel& power_;
+  SelfRefreshConfig config_;
+  sim::Time last_frame_{};
+  bool in_self_refresh_ = false;
+  sim::Time entered_at_{};
+  sim::Duration accumulated_{};
+  std::uint64_t entries_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace ccdem::core

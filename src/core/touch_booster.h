@@ -1,0 +1,45 @@
+// TouchBooster (paper section 3.2).
+//
+// Section-based control reacts only as fast as the content rate can climb,
+// and V-Sync caps that climb at the current refresh rate -- so a sudden
+// interaction burst would drop frames while the controller ramps through the
+// sections.  The booster forces the maximum refresh rate the moment a touch
+// event arrives, regardless of the measured content rate, and holds it for a
+// configurable time after the last event.
+#pragma once
+
+#include <cstdint>
+
+#include "input/touch_event.h"
+#include "sim/time.h"
+
+namespace ccdem::core {
+
+class TouchBooster final : public input::TouchListener {
+ public:
+  explicit TouchBooster(sim::Duration hold = sim::seconds(1))
+      : hold_(hold) {}
+
+  void on_touch(const input::TouchEvent& e) override {
+    last_touch_ = e.t;
+    touched_ = true;
+    ++touch_events_;
+  }
+
+  /// True while the boost window after the last touch is open.
+  [[nodiscard]] bool active(sim::Time now) const {
+    return touched_ && now <= last_touch_ + hold_;
+  }
+
+  [[nodiscard]] sim::Duration hold() const { return hold_; }
+  void set_hold(sim::Duration hold) { hold_ = hold; }
+  [[nodiscard]] std::uint64_t touch_events() const { return touch_events_; }
+
+ private:
+  sim::Duration hold_;
+  sim::Time last_touch_{};
+  bool touched_ = false;
+  std::uint64_t touch_events_ = 0;
+};
+
+}  // namespace ccdem::core

@@ -1,0 +1,66 @@
+#include "display/display_panel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ccdem::display {
+
+DisplayPanel::DisplayPanel(sim::Simulator& sim, RefreshRateSet rates,
+                           int initial_hz)
+    : sim_(sim),
+      rates_(std::move(rates)),
+      refresh_hz_(initial_hz),
+      pending_hz_(initial_hz) {
+  assert(rates_.supports(initial_hz));
+  sim_.at(sim_.now(), [this](sim::Time t) { tick(t); });
+}
+
+void DisplayPanel::add_observer(VsyncPhase phase, VsyncObserver* obs) {
+  assert(obs != nullptr);
+  observers_[static_cast<int>(phase)].push_back(obs);
+}
+
+void DisplayPanel::add_rate_listener(
+    std::function<void(sim::Time, int)> cb) {
+  rate_listeners_.push_back(std::move(cb));
+}
+
+bool DisplayPanel::set_refresh_rate(int hz) {
+  assert(rates_.supports(hz));
+  if (hz == pending_hz_) return false;
+  pending_hz_ = hz;
+  if (fast_rate_up_ && hz > refresh_hz_ && running_ && vsync_count_ > 0) {
+    // Fast exit: do not wait out the remaining (long) old period -- retime
+    // the next tick to one new-rate period after the last tick, clamped to
+    // "not in the past".
+    const sim::Time earlier =
+        std::max(last_tick_ + sim::period_of_hz(hz), sim_.now());
+    sim_.cancel(next_tick_);
+    next_tick_ = sim_.at(earlier, [this](sim::Time t) { tick(t); });
+  }
+  return true;
+}
+
+void DisplayPanel::stop() { running_ = false; }
+
+void DisplayPanel::tick(sim::Time t) {
+  if (!running_) return;
+
+  // Apply a pending rate change at the period boundary.
+  if (pending_hz_ != refresh_hz_) {
+    refresh_hz_ = pending_hz_;
+    for (const auto& cb : rate_listeners_) cb(t, refresh_hz_);
+  }
+
+  ++vsync_count_;
+  last_tick_ = t;
+  for (const auto& phase : observers_) {
+    for (VsyncObserver* obs : phase) obs->on_vsync(t, refresh_hz_);
+  }
+
+  next_tick_ = sim_.at(t + sim::period_of_hz(refresh_hz_),
+                       [this](sim::Time next) { tick(next); });
+}
+
+}  // namespace ccdem::display

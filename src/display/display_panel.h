@@ -1,0 +1,84 @@
+// DisplayPanel: the V-Sync source and scan-out model.
+//
+// The panel ticks at its current refresh rate; each tick is a V-Sync that
+// drives, in phase order, (1) application rendering, (2) composition, and
+// (3) scan-out observers (power model, trace recorders).  Runtime refresh
+// rate changes -- the capability the paper obtained via a kernel patch --
+// take effect from the next V-Sync boundary, which matches how a panel's
+// timing generator reprograms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "display/refresh_rate.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccdem::display {
+
+/// V-Sync delivery phases; lower phases run first within one vsync tick.
+enum class VsyncPhase {
+  kApp = 0,       ///< choreographer callbacks: apps render + post
+  kComposer = 1,  ///< SurfaceFlinger latches and composes
+  kScanout = 2,   ///< panel consumes the framebuffer; metrics and power
+};
+
+class VsyncObserver {
+ public:
+  virtual ~VsyncObserver() = default;
+  virtual void on_vsync(sim::Time t, int refresh_hz) = 0;
+};
+
+class DisplayPanel {
+ public:
+  /// Starts ticking immediately: the first V-Sync fires at sim.now().
+  DisplayPanel(sim::Simulator& sim, RefreshRateSet rates, int initial_hz);
+
+  DisplayPanel(const DisplayPanel&) = delete;
+  DisplayPanel& operator=(const DisplayPanel&) = delete;
+
+  [[nodiscard]] const RefreshRateSet& rates() const { return rates_; }
+  [[nodiscard]] int refresh_hz() const { return refresh_hz_; }
+  [[nodiscard]] std::uint64_t vsync_count() const { return vsync_count_; }
+
+  void add_observer(VsyncPhase phase, VsyncObserver* obs);
+
+  /// Callback invoked whenever the effective refresh rate changes; receives
+  /// the change time and the new rate.  Used by the power model and traces.
+  void add_rate_listener(std::function<void(sim::Time, int)> cb);
+
+  /// Requests a refresh rate change; `hz` must be a supported level.
+  /// Takes effect at the next V-Sync boundary.  Returns true if the target
+  /// differs from the current pending rate.
+  bool set_refresh_rate(int hz);
+
+  /// Fast rate-up ("fast exit"): when enabled, an *increase* reschedules the
+  /// next V-Sync to one new-rate period after the last tick instead of
+  /// waiting out the old (long) period.  The Galaxy S3's kernel-patched
+  /// panel switches only on boundaries (the default); LTPO-class panels
+  /// exit low-rate states early, which matters when the floor is 1-10 Hz.
+  void set_fast_rate_up(bool on) { fast_rate_up_ = on; }
+  [[nodiscard]] bool fast_rate_up() const { return fast_rate_up_; }
+
+  /// Stops the vsync series (used when tearing down an experiment early).
+  void stop();
+
+ private:
+  void tick(sim::Time t);
+
+  sim::Simulator& sim_;
+  RefreshRateSet rates_;
+  int refresh_hz_;          // rate in effect for the current period
+  int pending_hz_;          // rate requested for the next period
+  bool running_ = true;
+  bool fast_rate_up_ = false;
+  sim::EventHandle next_tick_;
+  sim::Time last_tick_{};
+  std::uint64_t vsync_count_ = 0;
+  std::vector<VsyncObserver*> observers_[3];
+  std::vector<std::function<void(sim::Time, int)>> rate_listeners_;
+};
+
+}  // namespace ccdem::display

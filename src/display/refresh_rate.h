@@ -1,0 +1,72 @@
+// The set of refresh rates a panel supports.
+//
+// The Galaxy S3 LTE (SHV-E210S) used in the paper exposes five levels:
+// 60, 40, 30, 24 and 20 Hz.  The section-based controller is built over an
+// arbitrary sorted rate set so other panels (and the ablation benches) can
+// plug in different level sets.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <initializer_list>
+#include <vector>
+
+namespace ccdem::display {
+
+class RefreshRateSet {
+ public:
+  RefreshRateSet() = default;
+  RefreshRateSet(std::initializer_list<int> rates_hz)
+      : rates_(rates_hz) {
+    normalize();
+  }
+  explicit RefreshRateSet(std::vector<int> rates_hz)
+      : rates_(std::move(rates_hz)) {
+    normalize();
+  }
+
+  /// The panel in the paper: 20/24/30/40/60 Hz.
+  static RefreshRateSet galaxy_s3() { return RefreshRateSet{20, 24, 30, 40, 60}; }
+  /// A modern LTPO-style panel for extension experiments: 1..120 Hz levels.
+  static RefreshRateSet ltpo_120() {
+    return RefreshRateSet{1, 10, 24, 30, 40, 60, 90, 120};
+  }
+
+  [[nodiscard]] bool empty() const { return rates_.empty(); }
+  [[nodiscard]] std::size_t count() const { return rates_.size(); }
+  [[nodiscard]] int min_hz() const { return rates_.front(); }
+  [[nodiscard]] int max_hz() const { return rates_.back(); }
+  [[nodiscard]] int at(std::size_t i) const { return rates_[i]; }
+  [[nodiscard]] const std::vector<int>& rates() const { return rates_; }
+
+  [[nodiscard]] bool supports(int hz) const {
+    return std::binary_search(rates_.begin(), rates_.end(), hz);
+  }
+
+  /// Smallest supported rate >= hz; max rate if hz exceeds all levels.
+  [[nodiscard]] int ceil_rate(double hz) const {
+    assert(!rates_.empty());
+    for (int r : rates_) {
+      if (static_cast<double>(r) >= hz) return r;
+    }
+    return rates_.back();
+  }
+
+  /// Index of a supported rate.  Requires supports(hz).
+  [[nodiscard]] std::size_t index_of(int hz) const {
+    const auto it = std::lower_bound(rates_.begin(), rates_.end(), hz);
+    assert(it != rates_.end() && *it == hz);
+    return static_cast<std::size_t>(it - rates_.begin());
+  }
+
+ private:
+  void normalize() {
+    std::sort(rates_.begin(), rates_.end());
+    rates_.erase(std::unique(rates_.begin(), rates_.end()), rates_.end());
+    assert(rates_.empty() || rates_.front() > 0);
+  }
+
+  std::vector<int> rates_;  // ascending, unique, positive
+};
+
+}  // namespace ccdem::display

@@ -1,0 +1,106 @@
+#include "gfx/canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdem::gfx {
+
+void Canvas::fill(Rgb888 c) {
+  fb_->fill(c);
+  mark(fb_->bounds());
+}
+
+void Canvas::fill_rect(Rect r, Rgb888 c) {
+  fb_->fill_rect(r, c);
+  mark(r);
+}
+
+void Canvas::draw_circle(Point center, int radius, Rgb888 c) {
+  if (radius <= 0) return;
+  const Rect box{center.x - radius, center.y - radius, 2 * radius + 1,
+                 2 * radius + 1};
+  const Rect clipped = box.intersect(fb_->bounds());
+  if (clipped.empty()) return;
+  const int r2 = radius * radius;
+  for (int y = clipped.y; y < clipped.bottom(); ++y) {
+    const int dy = y - center.y;
+    for (int x = clipped.x; x < clipped.right(); ++x) {
+      const int dx = x - center.x;
+      if (dx * dx + dy * dy <= r2) fb_->set(x, y, c);
+    }
+  }
+  mark(clipped);
+}
+
+void Canvas::fill_gradient(Rect r, Rgb888 top, Rgb888 bottom) {
+  const Rect c = r.intersect(fb_->bounds());
+  if (c.empty()) return;
+  for (int y = c.y; y < c.bottom(); ++y) {
+    const double t =
+        r.height <= 1 ? 0.0 : static_cast<double>(y - r.y) / (r.height - 1);
+    const Rgb888 col{
+        static_cast<std::uint8_t>(top.r + t * (bottom.r - top.r)),
+        static_cast<std::uint8_t>(top.g + t * (bottom.g - top.g)),
+        static_cast<std::uint8_t>(top.b + t * (bottom.b - top.b))};
+    auto row = fb_->row(y);
+    std::fill(row.begin() + c.x, row.begin() + c.right(), col);
+  }
+  mark(c);
+}
+
+void Canvas::draw_text_block(Rect r, Rgb888 fg, Rgb888 bg,
+                             std::uint32_t seed) {
+  const Rect c = r.intersect(fb_->bounds());
+  if (c.empty()) return;
+  fb_->fill_rect(c, bg);
+  // Simulate lines of text as short fg runs; a simple LCG keyed by `seed`
+  // varies run lengths so distinct strings yield distinct pixels.
+  std::uint32_t state = seed * 2654435761u + 12345u;
+  const int line_height = 14;
+  const int glyph_height = 9;
+  for (int ly = c.y + 3; ly + glyph_height <= c.bottom(); ly += line_height) {
+    int x = c.x + 4;
+    while (x < c.right() - 4) {
+      state = state * 1664525u + 1013904223u;
+      const int run = 3 + static_cast<int>(state % 23);   // word width
+      const int gap = 3 + static_cast<int>((state >> 8) % 6);
+      const int end = std::min(x + run, c.right() - 4);
+      fb_->fill_rect(Rect{x, ly, end - x, glyph_height}, fg);
+      x = end + gap;
+    }
+  }
+  mark(c);
+}
+
+void Canvas::draw_hline(int x0, int x1, int y, Rgb888 c) {
+  fill_rect(Rect{std::min(x0, x1), y, std::abs(x1 - x0) + 1, 1}, c);
+}
+
+void Canvas::draw_vline(int x, int y0, int y1, Rgb888 c) {
+  fill_rect(Rect{x, std::min(y0, y1), 1, std::abs(y1 - y0) + 1}, c);
+}
+
+void Canvas::draw_frame(Rect r, int thickness, Rgb888 c) {
+  if (r.empty() || thickness <= 0) return;
+  fill_rect(Rect{r.x, r.y, r.width, thickness}, c);
+  fill_rect(Rect{r.x, r.bottom() - thickness, r.width, thickness}, c);
+  fill_rect(Rect{r.x, r.y, thickness, r.height}, c);
+  fill_rect(Rect{r.right() - thickness, r.y, thickness, r.height}, c);
+}
+
+void Canvas::blit(const Framebuffer& src, Rect src_rect, Point dst) {
+  fb_->blit(src, src_rect, dst);
+  mark(Rect{dst.x, dst.y, src_rect.width, src_rect.height});
+}
+
+void Canvas::scroll_up(Rect region, int dy) {
+  fb_->scroll_up(region, dy);
+  mark(region);
+}
+
+void Canvas::shift(Rect region, int dx, int dy) {
+  fb_->shift(region, dx, dy);
+  mark(region);
+}
+
+}  // namespace ccdem::gfx

@@ -1,0 +1,63 @@
+// Canvas: drawing operations over a framebuffer with dirty-region tracking.
+//
+// Scene renderers paint through a Canvas so every mutation is recorded as a
+// dirty rectangle.  The compositor uses the accumulated dirty region to copy
+// only changed pixels, and experiment harnesses use "dirty region empty" as
+// cheap ground truth for "this frame is redundant".
+#pragma once
+
+#include "gfx/framebuffer.h"
+#include "gfx/geometry.h"
+#include "gfx/pixel.h"
+#include "gfx/region.h"
+
+namespace ccdem::gfx {
+
+class Canvas {
+ public:
+  explicit Canvas(Framebuffer& fb) : fb_(&fb) {}
+
+  [[nodiscard]] Framebuffer& framebuffer() { return *fb_; }
+  [[nodiscard]] const Framebuffer& framebuffer() const { return *fb_; }
+  [[nodiscard]] Size size() const { return fb_->size(); }
+
+  /// Bounding box of everything drawn since the last take; the precise
+  /// multi-rect set is `dirty_region()`.
+  [[nodiscard]] Rect dirty() const { return dirty_.bounds(); }
+  [[nodiscard]] const Region& dirty_region() const { return dirty_; }
+  Rect take_dirty() { return take_dirty_region().bounds(); }
+  Region take_dirty_region() {
+    Region d = std::move(dirty_);
+    dirty_.clear();
+    return d;
+  }
+
+  void fill(Rgb888 c);
+  void fill_rect(Rect r, Rgb888 c);
+  void draw_circle(Point center, int radius, Rgb888 c);
+  /// Vertical linear gradient across `r` from `top` to `bottom` colour.
+  void fill_gradient(Rect r, Rgb888 top, Rgb888 bottom);
+  /// A block of fake text: alternating glyph-ish runs on a background.
+  /// `seed` varies the run pattern so different "strings" look different.
+  void draw_text_block(Rect r, Rgb888 fg, Rgb888 bg, std::uint32_t seed);
+  void draw_hline(int x0, int x1, int y, Rgb888 c);
+  void draw_vline(int x, int y0, int y1, Rgb888 c);
+  void draw_frame(Rect r, int thickness, Rgb888 c);
+  void blit(const Framebuffer& src, Rect src_rect, Point dst);
+  void scroll_up(Rect region, int dy);
+  /// 2-D in-place shift (see Framebuffer::shift); marks the region dirty.
+  void shift(Rect region, int dx, int dy);
+
+  /// Marks `r` dirty without drawing.  For renderers that write through
+  /// framebuffer() directly (per-pixel procedural fills) -- they remain
+  /// responsible for marking everything they touch.
+  void mark_dirty(Rect r) { mark(r); }
+
+ private:
+  void mark(Rect r) { dirty_.add(r.intersect(fb_->bounds())); }
+
+  Framebuffer* fb_;
+  Region dirty_;
+};
+
+}  // namespace ccdem::gfx

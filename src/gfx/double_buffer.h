@@ -1,0 +1,36 @@
+// Generic double buffer (front/back pair with swap).
+//
+// The paper's meter keeps the previous frame in an extra buffer and swaps
+// roles each update so comparison and capture proceed without copying
+// ("double buffering ... improves the performance of measuring by allowing a
+// continuous operation").  We use the same structure for the meter's sample
+// snapshots and, in full-frame mode, for whole framebuffers.
+#pragma once
+
+#include <utility>
+
+namespace ccdem::gfx {
+
+template <typename T>
+class DoubleBuffer {
+ public:
+  DoubleBuffer() = default;
+  DoubleBuffer(T front, T back)
+      : buffers_{std::move(front), std::move(back)} {}
+
+  [[nodiscard]] T& front() { return buffers_[front_index_]; }
+  [[nodiscard]] const T& front() const { return buffers_[front_index_]; }
+  [[nodiscard]] T& back() { return buffers_[1 - front_index_]; }
+  [[nodiscard]] const T& back() const { return buffers_[1 - front_index_]; }
+
+  /// Exchanges the roles of the two buffers in O(1); no data moves.
+  void swap() { front_index_ = 1 - front_index_; }
+
+  [[nodiscard]] int front_index() const { return front_index_; }
+
+ private:
+  T buffers_[2]{};
+  int front_index_ = 0;
+};
+
+}  // namespace ccdem::gfx

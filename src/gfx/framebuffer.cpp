@@ -1,0 +1,120 @@
+#include "gfx/framebuffer.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ccdem::gfx {
+
+Framebuffer::Framebuffer(int width, int height, Rgb888 fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+Rgb888 Framebuffer::at_clamped(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return colors::kBlack;
+  return at(x, y);
+}
+
+void Framebuffer::fill(Rgb888 c) {
+  std::fill(pixels_.begin(), pixels_.end(), c);
+}
+
+void Framebuffer::fill_rect(Rect r, Rgb888 c) {
+  const Rect clipped = r.intersect(bounds());
+  if (clipped.empty()) return;
+  for (int y = clipped.y; y < clipped.bottom(); ++y) {
+    Rgb888* p = pixels_.data() + static_cast<std::size_t>(y) * width_;
+    std::fill(p + clipped.x, p + clipped.right(), c);
+  }
+}
+
+void Framebuffer::blit(const Framebuffer& src, Rect src_rect, Point dst) {
+  Rect s = src_rect.intersect(src.bounds());
+  if (s.empty()) return;
+  // Clip against this buffer's bounds, adjusting the source window to match.
+  Rect d{dst.x, dst.y, s.width, s.height};
+  const Rect dc = d.intersect(bounds());
+  if (dc.empty()) return;
+  s.x += dc.x - d.x;
+  s.y += dc.y - d.y;
+  s.width = dc.width;
+  s.height = dc.height;
+  for (int row_i = 0; row_i < s.height; ++row_i) {
+    const Rgb888* from =
+        src.pixels_.data() +
+        static_cast<std::size_t>(s.y + row_i) * src.width_ + s.x;
+    Rgb888* to = pixels_.data() +
+                 static_cast<std::size_t>(dc.y + row_i) * width_ + dc.x;
+    std::memcpy(to, from, static_cast<std::size_t>(s.width) * sizeof(Rgb888));
+  }
+}
+
+void Framebuffer::scroll_up(Rect region, int dy) {
+  const Rect r = region.intersect(bounds());
+  if (r.empty() || dy <= 0) return;
+  if (dy >= r.height) return;  // everything scrolled away; nothing to move
+  for (int y = r.y; y < r.bottom() - dy; ++y) {
+    const Rgb888* from =
+        pixels_.data() + static_cast<std::size_t>(y + dy) * width_ + r.x;
+    Rgb888* to = pixels_.data() + static_cast<std::size_t>(y) * width_ + r.x;
+    std::memmove(to, from, static_cast<std::size_t>(r.width) * sizeof(Rgb888));
+  }
+}
+
+void Framebuffer::shift(Rect region, int dx, int dy) {
+  const Rect r = region.intersect(bounds());
+  if (r.empty() || (dx == 0 && dy == 0)) return;
+  if (std::abs(dx) >= r.width || std::abs(dy) >= r.height) return;
+
+  // Destination row y takes source row y - dy; iterate so sources are read
+  // before being overwritten (top-down when content moves down, bottom-up
+  // when it moves up).  Within a row memmove handles the horizontal overlap.
+  const int copy_w = r.width - std::abs(dx);
+  const int src_x = dx >= 0 ? r.x : r.x - dx;
+  const int dst_x = dx >= 0 ? r.x + dx : r.x;
+  const int y_begin = dy >= 0 ? r.bottom() - 1 : r.y;
+  const int y_end = dy >= 0 ? r.y + dy - 1 : r.bottom() + dy;
+  const int step = dy >= 0 ? -1 : 1;
+  for (int y = y_begin; y != y_end; y += step) {
+    const Rgb888* from =
+        pixels_.data() + static_cast<std::size_t>(y - dy) * width_ + src_x;
+    Rgb888* to = pixels_.data() + static_cast<std::size_t>(y) * width_ + dst_x;
+    std::memmove(to, from, static_cast<std::size_t>(copy_w) * sizeof(Rgb888));
+  }
+}
+
+bool Framebuffer::equals(const Framebuffer& other) const {
+  if (width_ != other.width_ || height_ != other.height_) return false;
+  return std::memcmp(pixels_.data(), other.pixels_.data(),
+                     pixels_.size() * sizeof(Rgb888)) == 0;
+}
+
+bool Framebuffer::region_equals(const Framebuffer& other, Rect r) const {
+  if (width_ != other.width_ || height_ != other.height_) return false;
+  const Rect c = r.intersect(bounds());
+  for (int y = c.y; y < c.bottom(); ++y) {
+    const Rgb888* a = pixels_.data() + static_cast<std::size_t>(y) * width_;
+    const Rgb888* b =
+        other.pixels_.data() + static_cast<std::size_t>(y) * width_;
+    if (std::memcmp(a + c.x, b + c.x,
+                    static_cast<std::size_t>(c.width) * sizeof(Rgb888)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Framebuffer::content_hash() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto* bytes = reinterpret_cast<const unsigned char*>(pixels_.data());
+  const std::size_t n = pixels_.size() * sizeof(Rgb888);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace ccdem::gfx

@@ -1,0 +1,82 @@
+// Integer screen-space geometry: points, sizes, and axis-aligned rectangles.
+//
+// Rectangles are half-open: [x, x+w) x [y, y+h).  An empty rect has zero
+// width or height; unions and intersections normalise to the canonical empty
+// rect {0,0,0,0} where possible.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+
+namespace ccdem::gfx {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+  constexpr auto operator<=>(const Point&) const = default;
+};
+
+struct Size {
+  int width = 0;
+  int height = 0;
+  constexpr auto operator<=>(const Size&) const = default;
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] constexpr bool empty() const {
+    return width <= 0 || height <= 0;
+  }
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  constexpr auto operator<=>(const Rect&) const = default;
+
+  [[nodiscard]] constexpr bool empty() const {
+    return width <= 0 || height <= 0;
+  }
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return empty() ? 0 : static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] constexpr int right() const { return x + width; }
+  [[nodiscard]] constexpr int bottom() const { return y + height; }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  [[nodiscard]] constexpr Rect intersect(const Rect& o) const {
+    const int nx = std::max(x, o.x);
+    const int ny = std::max(y, o.y);
+    const int nr = std::min(right(), o.right());
+    const int nb = std::min(bottom(), o.bottom());
+    if (nr <= nx || nb <= ny) return Rect{};
+    return Rect{nx, ny, nr - nx, nb - ny};
+  }
+
+  /// Smallest rect containing both (bounding union).
+  [[nodiscard]] constexpr Rect join(const Rect& o) const {
+    if (empty()) return o.empty() ? Rect{} : o;
+    if (o.empty()) return *this;
+    const int nx = std::min(x, o.x);
+    const int ny = std::min(y, o.y);
+    const int nr = std::max(right(), o.right());
+    const int nb = std::max(bottom(), o.bottom());
+    return Rect{nx, ny, nr - nx, nb - ny};
+  }
+
+  [[nodiscard]] constexpr Rect translated(int dx, int dy) const {
+    return Rect{x + dx, y + dy, width, height};
+  }
+
+  [[nodiscard]] static constexpr Rect of(Size s) {
+    return Rect{0, 0, s.width, s.height};
+  }
+};
+
+}  // namespace ccdem::gfx

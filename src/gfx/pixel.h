@@ -1,0 +1,49 @@
+// RGB888 pixel type used by framebuffers and surfaces.
+//
+// The Galaxy S3 panel the paper instruments is RGB; alpha is irrelevant to
+// content-change detection, so we model 24-bit colour exactly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ccdem::gfx {
+
+struct Rgb888 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  constexpr auto operator<=>(const Rgb888&) const = default;
+
+  [[nodiscard]] constexpr std::uint32_t packed() const {
+    return (static_cast<std::uint32_t>(r) << 16) |
+           (static_cast<std::uint32_t>(g) << 8) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  static constexpr Rgb888 from_packed(std::uint32_t v) {
+    return Rgb888{static_cast<std::uint8_t>((v >> 16) & 0xff),
+                  static_cast<std::uint8_t>((v >> 8) & 0xff),
+                  static_cast<std::uint8_t>(v & 0xff)};
+  }
+
+  /// Perceptual-ish luma in [0, 255] (integer Rec.601 weights).
+  [[nodiscard]] constexpr int luma() const {
+    return (299 * r + 587 * g + 114 * b) / 1000;
+  }
+};
+
+namespace colors {
+inline constexpr Rgb888 kBlack{0, 0, 0};
+inline constexpr Rgb888 kWhite{255, 255, 255};
+inline constexpr Rgb888 kRed{220, 40, 40};
+inline constexpr Rgb888 kGreen{40, 200, 80};
+inline constexpr Rgb888 kBlue{40, 80, 220};
+inline constexpr Rgb888 kGray{128, 128, 128};
+inline constexpr Rgb888 kDarkGray{40, 40, 40};
+inline constexpr Rgb888 kLightGray{210, 210, 210};
+inline constexpr Rgb888 kYellow{240, 210, 40};
+}  // namespace colors
+
+}  // namespace ccdem::gfx

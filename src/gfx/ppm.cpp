@@ -1,0 +1,47 @@
+#include "gfx/ppm.h"
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccdem::gfx {
+
+static_assert(sizeof(Rgb888) == 3, "PPM I/O relies on packed RGB triples");
+
+void write_ppm(std::ostream& os, const Framebuffer& fb) {
+  os << "P6\n" << fb.width() << " " << fb.height() << "\n255\n";
+  // Rgb888 is three tightly packed bytes; write row by row.
+  for (int y = 0; y < fb.height(); ++y) {
+    const auto row = fb.row(y);
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size() * sizeof(Rgb888)));
+  }
+}
+
+bool write_ppm_file(const std::string& path, const Framebuffer& fb) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_ppm(os, fb);
+  return static_cast<bool>(os);
+}
+
+Framebuffer read_ppm(std::istream& is) {
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  is >> magic >> width >> height >> maxval;
+  if (magic != "P6" || width <= 0 || height <= 0 || maxval != 255) {
+    return Framebuffer{};
+  }
+  is.get();  // single whitespace after the header
+  Framebuffer fb(width, height);
+  for (int y = 0; y < height; ++y) {
+    auto row = fb.row(y);
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(Rgb888)));
+  }
+  if (!is) return Framebuffer{};
+  return fb;
+}
+
+}  // namespace ccdem::gfx

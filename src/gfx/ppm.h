@@ -1,0 +1,24 @@
+// PPM (P6) framebuffer dump -- the simulator's screenshot facility.
+//
+// Useful for eyeballing what a scene actually renders and for documenting
+// workloads; every image viewer and test harness can read binary PPM.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gfx/framebuffer.h"
+
+namespace ccdem::gfx {
+
+/// Writes `fb` as a binary PPM (P6) image.
+void write_ppm(std::ostream& os, const Framebuffer& fb);
+
+/// Writes to a file; returns false if the file could not be opened.
+bool write_ppm_file(const std::string& path, const Framebuffer& fb);
+
+/// Reads a binary PPM (P6) image previously written by write_ppm.
+/// Returns an empty framebuffer on malformed input.
+[[nodiscard]] Framebuffer read_ppm(std::istream& is);
+
+}  // namespace ccdem::gfx

@@ -1,0 +1,64 @@
+// Region: a set of non-overlapping rectangles.
+//
+// Dirty tracking with a single bounding box overcounts badly when a frame
+// touches scattered areas (a game erasing and redrawing sprites across the
+// screen dirties the whole box between them).  SurfaceFlinger composes and
+// accounts per-Region, so composition cost tracks the pixels actually
+// touched -- the quantity the power model charges for.
+//
+// The representation keeps at most `kMaxRects` rectangles; adding beyond
+// that coalesces the closest pair (by joined-area waste), so the region
+// degrades gracefully toward a bounding box instead of growing unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gfx/geometry.h"
+
+namespace ccdem::gfx {
+
+class Region {
+ public:
+  static constexpr std::size_t kMaxRects = 16;
+
+  Region() = default;
+  explicit Region(Rect r) { add(r); }
+
+  [[nodiscard]] bool empty() const { return rects_.empty(); }
+  [[nodiscard]] const std::vector<Rect>& rects() const { return rects_; }
+
+  /// Total covered area (rects are disjoint, so this is exact).
+  [[nodiscard]] std::int64_t area() const;
+
+  /// Bounding box of the whole region (empty rect if empty).
+  [[nodiscard]] Rect bounds() const;
+
+  /// Adds a rectangle.  Overlapping parts are not double-counted: the new
+  /// rect is split against existing rects so the set stays disjoint.
+  void add(Rect r);
+
+  /// Adds every rect of another region.
+  void add(const Region& other);
+
+  /// Restricts the region to `clip`.
+  void clip(Rect clip_rect);
+
+  /// Translates every rect.
+  void translate(int dx, int dy);
+
+  [[nodiscard]] bool contains(Point p) const;
+
+  /// True if `r` overlaps any rect of the region.
+  [[nodiscard]] bool intersects(Rect r) const;
+
+  void clear() { rects_.clear(); }
+
+ private:
+  /// Merges the pair of rects whose bounding join wastes the least area.
+  void coalesce_one();
+
+  std::vector<Rect> rects_;  // pairwise disjoint
+};
+
+}  // namespace ccdem::gfx

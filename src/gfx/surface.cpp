@@ -1,0 +1,42 @@
+#include "gfx/surface.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ccdem::gfx {
+
+Surface::Surface(std::string name, Rect screen_rect, int z_order)
+    : name_(std::move(name)),
+      screen_rect_(screen_rect),
+      z_order_(z_order),
+      buffer_(screen_rect.width, screen_rect.height),
+      canvas_(buffer_) {
+  assert(!screen_rect.empty());
+}
+
+Canvas& Surface::begin_frame() {
+  in_frame_ = true;
+  return canvas_;
+}
+
+Rect Surface::post_frame() {
+  assert(in_frame_ && "post_frame() without begin_frame()");
+  in_frame_ = false;
+  Region dirty = canvas_.take_dirty_region();
+  const Rect bounds = dirty.bounds();
+  // Consecutive posts before a composition latch merge their dirty regions.
+  if (pending_) {
+    pending_dirty_.add(dirty);
+  } else {
+    pending_dirty_ = std::move(dirty);
+  }
+  pending_ = true;
+  return bounds;
+}
+
+void Surface::acquire_frame() {
+  pending_ = false;
+  pending_dirty_.clear();
+}
+
+}  // namespace ccdem::gfx

@@ -1,0 +1,62 @@
+// Surface: a per-application render target managed by the SurfaceFlinger.
+//
+// Mirrors the Android model the paper describes: applications render partial
+// images ("surfaces") which Surface Manager combines into the framebuffer.
+// An app paints through `begin_frame()` / `post_frame()`: posting with an
+// empty dirty region models a redundant frame request (the app asked for a
+// frame but drew nothing new), which is exactly the waste the paper targets.
+#pragma once
+
+#include <string>
+
+#include "gfx/canvas.h"
+#include "gfx/framebuffer.h"
+#include "gfx/geometry.h"
+
+namespace ccdem::gfx {
+
+class Surface {
+ public:
+  Surface(std::string name, Rect screen_rect, int z_order);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Rect screen_rect() const { return screen_rect_; }
+  [[nodiscard]] int z_order() const { return z_order_; }
+  [[nodiscard]] bool visible() const { return visible_; }
+  void set_visible(bool v) { visible_ = v; }
+
+  /// The surface's own pixel buffer (size == screen_rect size).
+  [[nodiscard]] const Framebuffer& buffer() const { return buffer_; }
+
+  /// Starts a frame; returns a canvas over the surface buffer.  Drawing is
+  /// optional -- an app posting without drawing submits a redundant frame.
+  Canvas& begin_frame();
+
+  /// Queues the frame for the next composition.  Returns the dirty bounds
+  /// (in surface-local coordinates) accumulated since begin_frame().
+  Rect post_frame();
+
+  /// Composition-side API -----------------------------------------------
+  [[nodiscard]] bool has_pending_frame() const { return pending_; }
+  /// Bounding box of the pending dirty region (surface-local).
+  [[nodiscard]] Rect pending_dirty() const { return pending_dirty_.bounds(); }
+  /// The precise multi-rect dirty set (surface-local).
+  [[nodiscard]] const Region& pending_dirty_region() const {
+    return pending_dirty_;
+  }
+  /// Consumes the pending frame (called by the compositor after latching).
+  void acquire_frame();
+
+ private:
+  std::string name_;
+  Rect screen_rect_;
+  int z_order_;
+  bool visible_ = true;
+  Framebuffer buffer_;
+  Canvas canvas_;
+  bool in_frame_ = false;
+  bool pending_ = false;
+  Region pending_dirty_;
+};
+
+}  // namespace ccdem::gfx

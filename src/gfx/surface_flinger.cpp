@@ -1,0 +1,103 @@
+#include "gfx/surface_flinger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccdem::gfx {
+
+SurfaceFlinger::SurfaceFlinger(Size screen)
+    : screen_(screen), chain_(screen) {
+  assert(!screen.empty());
+}
+
+Surface* SurfaceFlinger::create_surface(std::string name, Rect screen_rect,
+                                        int z_order) {
+  auto s = std::make_unique<Surface>(std::move(name), screen_rect, z_order);
+  Surface* raw = s.get();
+  surfaces_.push_back(std::move(s));
+  std::stable_sort(surfaces_.begin(), surfaces_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->z_order() < b->z_order();
+                   });
+  return raw;
+}
+
+void SurfaceFlinger::remove_surface(Surface* s) {
+  std::erase_if(surfaces_, [s](const auto& p) { return p.get() == s; });
+}
+
+bool SurfaceFlinger::region_differs(const Surface& s, Rect dirty) const {
+  // `dirty` is surface-local; translate into screen space and compare the
+  // surface's pixels with what is currently on screen (the front buffer).
+  const Framebuffer& displayed = chain_.front();
+  const Rect screen_rect = dirty.translated(s.screen_rect().x,
+                                            s.screen_rect().y)
+                               .intersect(Rect::of(screen_));
+  for (int y = screen_rect.y; y < screen_rect.bottom(); ++y) {
+    const int sy = y - s.screen_rect().y;
+    for (int x = screen_rect.x; x < screen_rect.right(); ++x) {
+      const int sx = x - s.screen_rect().x;
+      if (displayed.at(x, y) != s.buffer().at(sx, sy)) return true;
+    }
+  }
+  return false;
+}
+
+bool SurfaceFlinger::on_vsync(sim::Time t) {
+  bool any_pending = false;
+  for (const auto& s : surfaces_) {
+    if (s->visible() && s->has_pending_frame()) {
+      any_pending = true;
+      break;
+    }
+  }
+  if (!any_pending) return false;
+
+  FrameInfo info;
+  info.seq = ++frame_seq_;
+  info.composed_at = t;
+
+  // Render into the swapchain's back buffer (reconciled to the previous
+  // frame by begin_frame); the front buffer keeps displaying frame N-1 and
+  // doubles as the comparison reference.
+  Framebuffer& target = chain_.begin_frame();
+  info.reconciled_pixels = chain_.last_reconciled_pixels();
+
+  Region damage;
+  for (const auto& s : surfaces_) {
+    if (!s->visible() || !s->has_pending_frame()) continue;
+    ++info.surfaces_latched;
+    const Region local_dirty = s->pending_dirty_region();
+    s->acquire_frame();
+    if (local_dirty.empty()) continue;  // redundant frame: nothing to copy
+
+    // Compose rect by rect so only pixels actually drawn are copied and
+    // charged -- scattered sprite updates do not pay for the area between
+    // them.
+    for (const Rect& local_rect : local_dirty.rects()) {
+      if (exact_change_ && !info.content_changed) {
+        if (region_differs(*s, local_rect)) info.content_changed = true;
+      } else if (!exact_change_) {
+        info.content_changed = true;
+      }
+
+      const Point dst{s->screen_rect().x + local_rect.x,
+                      s->screen_rect().y + local_rect.y};
+      target.blit(s->buffer(), local_rect, dst);
+      const Rect screen_rect =
+          local_rect.translated(s->screen_rect().x, s->screen_rect().y)
+              .intersect(Rect::of(screen_));
+      info.dirty = info.dirty.join(screen_rect);
+      info.composed_pixels += screen_rect.area();
+      damage.add(screen_rect);
+    }
+  }
+  chain_.present(damage);
+
+  if (info.content_changed) ++content_frames_;
+
+  for (FrameListener* l : listeners_) l->on_frame(info, chain_.front());
+  return true;
+}
+
+}  // namespace ccdem::gfx

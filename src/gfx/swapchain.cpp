@@ -1,0 +1,29 @@
+#include "gfx/swapchain.h"
+
+#include <cassert>
+
+namespace ccdem::gfx {
+
+Framebuffer& Swapchain::begin_frame() {
+  assert(!in_frame_ && "begin_frame() twice without present()");
+  in_frame_ = true;
+  // Reconcile: the back buffer misses exactly the damage of the frame now
+  // in front (the back buffer *is* frame N-2 plus nothing since).
+  Framebuffer& target = buffers_.back();
+  last_reconciled_pixels_ = 0;
+  for (const Rect& r : last_damage_.rects()) {
+    target.blit(buffers_.front(), r, Point{r.x, r.y});
+    last_reconciled_pixels_ += r.area();
+  }
+  return target;
+}
+
+void Swapchain::present(const Region& damage) {
+  assert(in_frame_ && "present() without begin_frame()");
+  in_frame_ = false;
+  last_damage_ = damage;
+  buffers_.swap();
+  ++presents_;
+}
+
+}  // namespace ccdem::gfx

@@ -1,0 +1,58 @@
+// Swapchain: a double-buffered framebuffer with damage reconciliation.
+//
+// Real compositors render frame N into the back buffer while frame N-1
+// scans out from the front, then flip.  Because the back buffer holds frame
+// N-2, the renderer must first reconcile it: re-copy the region frame N-1
+// changed (EGL_EXT_buffer_age semantics with age = 2).  The swapchain
+// tracks that damage so SurfaceFlinger can compose incrementally and the
+// content-rate meter can compare against the genuinely displayed previous
+// frame -- which, after a flip, is simply the other buffer (the "extra
+// buffer" of the paper's section 3.1, for free).
+#pragma once
+
+#include "gfx/double_buffer.h"
+#include "gfx/framebuffer.h"
+#include "gfx/region.h"
+
+namespace ccdem::gfx {
+
+class Swapchain {
+ public:
+  explicit Swapchain(Size size)
+      : buffers_(Framebuffer(size), Framebuffer(size)) {}
+
+  /// The buffer currently on screen (scan-out source, meter input).
+  [[nodiscard]] const Framebuffer& front() const { return buffers_.front(); }
+
+  /// Begins rendering the next frame: reconciles the back buffer (copies
+  /// the previous frame's damage from the front so the back is up to date)
+  /// and returns it for composition.
+  Framebuffer& begin_frame();
+
+  /// Finishes the frame: records its damage and flips.  After this call
+  /// front() shows the new frame and the *other* buffer holds the previous
+  /// frame's pixels.
+  void present(const Region& damage);
+
+  /// The previous frame (valid after the first present; before that it is
+  /// the initial blank buffer).
+  [[nodiscard]] const Framebuffer& previous() const {
+    return buffers_.back();
+  }
+
+  [[nodiscard]] std::uint64_t presents() const { return presents_; }
+
+  /// Pixels copied by the most recent begin_frame()'s reconciliation.
+  [[nodiscard]] std::int64_t last_reconciled_pixels() const {
+    return last_reconciled_pixels_;
+  }
+
+ private:
+  DoubleBuffer<Framebuffer> buffers_;
+  Region last_damage_;  ///< damage of the frame currently in front()
+  bool in_frame_ = false;
+  std::uint64_t presents_ = 0;
+  std::int64_t last_reconciled_pixels_ = 0;
+};
+
+}  // namespace ccdem::gfx

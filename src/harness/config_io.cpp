@@ -1,0 +1,161 @@
+#include "harness/config_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ccdem::harness {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::optional<ControlMode> parse_mode(const std::string& v) {
+  if (v == "baseline") return ControlMode::kBaseline60;
+  if (v == "section") return ControlMode::kSection;
+  if (v == "section+boost") return ControlMode::kSectionWithBoost;
+  if (v == "naive") return ControlMode::kNaive;
+  if (v == "hysteresis") return ControlMode::kSectionHysteresis;
+  if (v == "e3") return ControlMode::kE3FrameRate;
+  return std::nullopt;
+}
+
+const char* mode_keyword(ControlMode m) {
+  switch (m) {
+    case ControlMode::kBaseline60: return "baseline";
+    case ControlMode::kSection: return "section";
+    case ControlMode::kSectionWithBoost: return "section+boost";
+    case ControlMode::kNaive: return "naive";
+    case ControlMode::kSectionHysteresis: return "hysteresis";
+    case ControlMode::kE3FrameRate: return "e3";
+  }
+  return "baseline";
+}
+
+std::optional<core::GridSpec> parse_grid(const std::string& v) {
+  if (v == "2k") return core::GridSpec::grid_2k();
+  if (v == "4k") return core::GridSpec::grid_4k();
+  if (v == "9k") return core::GridSpec::grid_9k();
+  if (v == "36k") return core::GridSpec::grid_36k();
+  if (v == "full") return core::GridSpec::full_720p();
+  return std::nullopt;
+}
+
+std::string grid_keyword(const core::GridSpec& g) {
+  const auto n = g.sample_count();
+  if (n == core::GridSpec::grid_2k().sample_count()) return "2k";
+  if (n == core::GridSpec::grid_4k().sample_count()) return "4k";
+  if (n == core::GridSpec::grid_9k().sample_count()) return "9k";
+  if (n == core::GridSpec::grid_36k().sample_count()) return "36k";
+  return "full";
+}
+
+}  // namespace
+
+std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
+                                                        std::string* error) {
+  ExperimentConfig config;
+  bool have_app = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      set_error(error, "line " + std::to_string(line_no) + ": expected '='");
+      return std::nullopt;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto bad_value = [&] {
+      set_error(error, "line " + std::to_string(line_no) + ": bad value '" +
+                           value + "' for key '" + key + "'");
+      return std::nullopt;
+    };
+
+    if (key == "app") {
+      bool found = false;
+      for (const auto& spec : apps::all_apps()) {
+        if (spec.name == value) {
+          config.app = spec;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return bad_value();
+      have_app = true;
+    } else if (key == "mode") {
+      const auto m = parse_mode(value);
+      if (!m) return bad_value();
+      config.mode = *m;
+    } else if (key == "seconds") {
+      const int s = std::atoi(value.c_str());
+      if (s <= 0) return bad_value();
+      config.duration = sim::seconds(s);
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "grid") {
+      const auto g = parse_grid(value);
+      if (!g) return bad_value();
+      config.dpm.grid = *g;
+    } else if (key == "eval_ms") {
+      const int ms = std::atoi(value.c_str());
+      if (ms <= 0) return bad_value();
+      config.dpm.eval_period = sim::milliseconds(ms);
+    } else if (key == "boost_hold_ms") {
+      const int ms = std::atoi(value.c_str());
+      if (ms < 0) return bad_value();
+      config.dpm.boost_hold = sim::milliseconds(ms);
+    } else if (key == "alpha") {
+      const double a = std::atof(value.c_str());
+      if (a < 0.0 || a > 1.0) return bad_value();
+      config.dpm.section_alpha = a;
+    } else {
+      set_error(error, "line " + std::to_string(line_no) +
+                           ": unknown key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_app) {
+    set_error(error, "missing required key 'app'");
+    return std::nullopt;
+  }
+  return config;
+}
+
+std::optional<ExperimentConfig> parse_experiment_config_string(
+    const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  return parse_experiment_config(is, error);
+}
+
+std::string experiment_config_to_string(const ExperimentConfig& config) {
+  std::ostringstream os;
+  os << "app = " << config.app.name << "\n";
+  os << "mode = " << mode_keyword(config.mode) << "\n";
+  os << "seconds = " << config.duration.ticks / sim::kTicksPerSecond << "\n";
+  os << "seed = " << config.seed << "\n";
+  os << "grid = " << grid_keyword(config.dpm.grid) << "\n";
+  os << "eval_ms = "
+     << config.dpm.eval_period.ticks / sim::kTicksPerMillisecond << "\n";
+  os << "boost_hold_ms = "
+     << config.dpm.boost_hold.ticks / sim::kTicksPerMillisecond << "\n";
+  os << "alpha = " << config.dpm.section_alpha << "\n";
+  return os.str();
+}
+
+}  // namespace ccdem::harness

@@ -1,0 +1,39 @@
+// Experiment configuration files.
+//
+// A small key = value format so experiments can be described, versioned and
+// replayed without recompiling:
+//
+//     # jelly.conf
+//     app          = Jelly Splash
+//     mode         = section+boost     # baseline | section | section+boost |
+//                                      # naive | hysteresis | e3
+//     seconds      = 30
+//     seed         = 7
+//     grid         = 9k                # 2k | 4k | 9k | 36k | full
+//     eval_ms      = 100
+//     boost_hold_ms= 500
+//     alpha        = 0.5
+//
+// Unknown keys are rejected (typos must not silently become defaults).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace ccdem::harness {
+
+/// Parses a config; std::nullopt on error with a message in `error`.
+[[nodiscard]] std::optional<ExperimentConfig> parse_experiment_config(
+    std::istream& is, std::string* error = nullptr);
+
+[[nodiscard]] std::optional<ExperimentConfig> parse_experiment_config_string(
+    const std::string& text, std::string* error = nullptr);
+
+/// Renders a config back to the same format (round-trippable).
+[[nodiscard]] std::string experiment_config_to_string(
+    const ExperimentConfig& config);
+
+}  // namespace ccdem::harness

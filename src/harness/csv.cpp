@@ -1,0 +1,45 @@
+#include "harness/csv.h"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ccdem::harness {
+
+void write_traces_csv(std::ostream& os,
+                      const std::vector<const sim::Trace*>& traces,
+                      sim::Duration interval, sim::Time begin,
+                      sim::Time end) {
+  assert(!traces.empty());
+  std::vector<sim::Trace> resampled;
+  resampled.reserve(traces.size());
+  os << "time_s";
+  for (const sim::Trace* t : traces) {
+    assert(t != nullptr);
+    os << "," << (t->name().empty() ? "value" : t->name());
+    resampled.push_back(t->resample(interval, begin, end));
+  }
+  os << "\n";
+
+  const std::size_t rows = resampled.front().size();
+  os << std::fixed << std::setprecision(6);
+  for (std::size_t i = 0; i < rows; ++i) {
+    os << resampled.front().points()[i].t.seconds();
+    for (const sim::Trace& t : resampled) {
+      assert(t.size() == rows);
+      os << "," << t.points()[i].value;
+    }
+    os << "\n";
+  }
+}
+
+std::string traces_to_csv(const std::vector<const sim::Trace*>& traces,
+                          sim::Duration interval, sim::Time begin,
+                          sim::Time end) {
+  std::ostringstream os;
+  write_traces_csv(os, traces, interval, begin, end);
+  return os.str();
+}
+
+}  // namespace ccdem::harness

@@ -1,0 +1,26 @@
+// CSV export of traces, for plotting the regenerated figures with external
+// tools (gnuplot, pandas, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace ccdem::harness {
+
+/// Writes `traces` as columns on a common time grid:
+///   time_s,<name0>,<name1>,...
+/// Each trace is resampled to `interval` buckets over [begin, end) with
+/// step-hold semantics (see sim::Trace::resample).
+void write_traces_csv(std::ostream& os,
+                      const std::vector<const sim::Trace*>& traces,
+                      sim::Duration interval, sim::Time begin, sim::Time end);
+
+/// Convenience: renders to a string (used by tests and small tools).
+[[nodiscard]] std::string traces_to_csv(
+    const std::vector<const sim::Trace*>& traces, sim::Duration interval,
+    sim::Time begin, sim::Time end);
+
+}  // namespace ccdem::harness

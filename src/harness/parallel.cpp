@@ -1,0 +1,36 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace ccdem::harness {
+
+std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentConfig>& configs, unsigned max_threads) {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  unsigned threads = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(configs.size())));
+
+  // Work stealing via a shared index; each experiment is independent.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      results[i] = run_experiment(configs[i]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace ccdem::harness

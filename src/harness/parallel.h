@@ -1,0 +1,22 @@
+// Parallel experiment execution.
+//
+// Experiments are pure functions of their config (every stochastic source
+// is seeded), so a fleet of them -- the 30-app sweeps behind Figs. 9-11 and
+// Table 1 -- can run on all cores with bit-identical results to a serial
+// run.  Each worker thread owns a complete simulated device; nothing is
+// shared.
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace ccdem::harness {
+
+/// Runs every config and returns results in input order.  `max_threads`
+/// 0 = one thread per hardware core.  Results are bit-identical to calling
+/// run_experiment sequentially.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentConfig>& configs, unsigned max_threads = 0);
+
+}  // namespace ccdem::harness

@@ -1,0 +1,91 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ccdem::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << " |\n";
+  };
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(widths[c] + 1, '-');
+    }
+    os << "-+\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pm(double mean, int precision, double std) {
+  return fmt(mean, precision) + " (+-" + fmt(std, precision) + ")";
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const sim::Trace& trace, sim::Duration interval,
+                  sim::Time begin, sim::Time end) {
+  os << "# " << title << "\n";
+  const sim::Trace rs = trace.resample(interval, begin, end);
+  for (const auto& p : rs.points()) {
+    os << "t=" << fmt(p.t.seconds(), 1) << "s\t" << fmt(p.value, 2) << "\n";
+  }
+}
+
+void print_ascii_chart(std::ostream& os, const std::string& title,
+                       const sim::Trace& trace, sim::Duration interval,
+                       sim::Time begin, sim::Time end, double max_value,
+                       int width) {
+  os << "# " << title << " (scale: 0.." << fmt(max_value, 0) << ")\n";
+  const sim::Trace rs = trace.resample(interval, begin, end);
+  for (const auto& p : rs.points()) {
+    const double clamped = std::clamp(p.value, 0.0, max_value);
+    const int bar = max_value <= 0.0
+                        ? 0
+                        : static_cast<int>(clamped / max_value * width + 0.5);
+    os << std::right << std::setw(7) << fmt(p.t.seconds(), 1) << "s |"
+       << std::string(static_cast<std::size_t>(bar), '#')
+       << std::string(static_cast<std::size_t>(width - bar), ' ') << "| "
+       << fmt(p.value, 1) << "\n";
+  }
+}
+
+}  // namespace ccdem::harness

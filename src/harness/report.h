@@ -1,0 +1,48 @@
+// Plain-text reporting: fixed-width tables and trace series for the bench
+// binaries that regenerate the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace ccdem::harness {
+
+/// A fixed-width text table.  Columns size themselves to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double v, int precision = 1);
+/// "12.3 (+-4.5)" -- the paper's mean (±std) notation.
+[[nodiscard]] std::string fmt_pm(double mean, int precision = 1,
+                                 double std = 0.0);
+
+/// Prints a trace as "t=...s v=..." rows, resampled to `interval` buckets --
+/// the textual stand-in for the paper's time-series figures.
+void print_series(std::ostream& os, const std::string& title,
+                  const sim::Trace& trace, sim::Duration interval,
+                  sim::Time begin, sim::Time end);
+
+/// Renders a trace as a one-line-per-bucket ASCII bar chart (value scaled to
+/// `max_value` over `width` characters).
+void print_ascii_chart(std::ostream& os, const std::string& title,
+                       const sim::Trace& trace, sim::Duration interval,
+                       sim::Time begin, sim::Time end, double max_value,
+                       int width = 60);
+
+}  // namespace ccdem::harness

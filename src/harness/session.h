@@ -1,0 +1,72 @@
+// Usage sessions: multi-app day-in-the-life composites.
+//
+// The paper evaluates apps in isolation; what a battery feels is a mix.  A
+// session is an ordered list of (app, duration) segments -- e.g. an hour of
+// social feed, twenty minutes of games, a video -- each replayed with its
+// own deterministic Monkey script.  The runner executes every segment under
+// a given control mode and aggregates energy, which the extension bench
+// turns into screen-on-time numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace ccdem::harness {
+
+struct SessionSegment {
+  apps::AppSpec app;
+  sim::Duration duration{};
+};
+
+struct SessionConfig {
+  std::vector<SessionSegment> segments;
+  std::uint64_t seed = 1;
+  ControlMode mode = ControlMode::kBaseline60;
+  /// Applied to every segment's experiment.
+  core::DpmConfig dpm{};
+};
+
+struct SessionResult {
+  /// Per-segment results, in order.
+  std::vector<ExperimentResult> segments;
+  sim::Duration total_duration{};
+  double total_energy_mj = 0.0;
+  double mean_power_mw = 0.0;
+};
+
+/// Runs every segment and aggregates.  Segment i uses seed `seed + i` so
+/// the same session config replays identically across control modes.
+/// Each segment gets a fresh device (cold-start semantics).
+[[nodiscard]] SessionResult run_session(const SessionConfig& config);
+
+/// Aggregate view of a switching session (one continuous device).
+struct SwitchingSessionResult {
+  sim::Duration total_duration{};
+  double mean_power_mw = 0.0;
+  double total_energy_mj = 0.0;
+  /// Mean power per segment, in order (from the continuous power trace).
+  std::vector<double> segment_power_mw;
+  sim::Trace power{"power_mw"};
+  sim::Trace refresh_rate{"refresh_hz"};
+  std::uint64_t frames_composed = 0;
+  std::uint64_t content_frames = 0;
+};
+
+/// Runs all segments on ONE continuous simulated device: apps switch
+/// foreground at segment boundaries (background apps stop rendering and
+/// the incoming app repaints its window), the controller and power
+/// integration run uninterrupted across switches.  More faithful than
+/// run_session's cold-start-per-segment semantics; use it to study
+/// transition behaviour.
+[[nodiscard]] SwitchingSessionResult run_switching_session(
+    const SessionConfig& config);
+
+/// A plausible mixed-usage hour scaled down to `scale` of its duration
+/// (scale = 1.0 -> 60 min of simulated time; tests and benches use smaller
+/// scales).  Mix: social/browse 45 %, games 30 %, video 20 %, idle-static 5 %.
+[[nodiscard]] SessionConfig typical_hour(double scale, ControlMode mode,
+                                         std::uint64_t seed = 1);
+
+}  // namespace ccdem::harness

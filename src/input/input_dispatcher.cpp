@@ -1,0 +1,54 @@
+#include "input/input_dispatcher.h"
+
+#include <cassert>
+
+namespace ccdem::input {
+
+InputDispatcher::InputDispatcher(sim::Simulator& sim, double sample_rate_hz)
+    : sim_(sim), sample_period_(sim::period_of_hz(sample_rate_hz)) {
+  assert(sample_rate_hz > 0.0);
+}
+
+void InputDispatcher::add_listener(TouchListener* l) {
+  assert(l != nullptr);
+  listeners_.push_back(l);
+}
+
+void InputDispatcher::deliver(const TouchEvent& e) {
+  ++delivered_;
+  for (TouchListener* l : listeners_) l->on_touch(e);
+}
+
+void InputDispatcher::schedule_script(
+    const std::vector<TouchGesture>& script) {
+  const sim::Time base = sim_.now();
+  for (const TouchGesture& g : script) {
+    const sim::Time start{base.ticks + g.start.ticks};
+    const sim::Time end = start + g.duration;
+
+    sim_.at(start, [this, g](sim::Time t) {
+      deliver(TouchEvent{t, g.from, TouchEvent::Action::kDown});
+    });
+
+    if (g.kind == TouchGesture::Kind::kSwipe) {
+      const double total_s = g.duration.seconds();
+      for (sim::Time mt = start + sample_period_; mt < end;
+           mt += sample_period_) {
+        const double progress =
+            total_s <= 0.0 ? 1.0 : (mt - start).seconds() / total_s;
+        const gfx::Point pos{
+            g.from.x + static_cast<int>(progress * (g.to.x - g.from.x)),
+            g.from.y + static_cast<int>(progress * (g.to.y - g.from.y))};
+        sim_.at(mt, [this, pos](sim::Time t) {
+          deliver(TouchEvent{t, pos, TouchEvent::Action::kMove});
+        });
+      }
+    }
+
+    sim_.at(end, [this, g](sim::Time t) {
+      deliver(TouchEvent{t, g.to, TouchEvent::Action::kUp});
+    });
+  }
+}
+
+}  // namespace ccdem::input

@@ -1,0 +1,44 @@
+// InputDispatcher: expands gestures into touch event trains and delivers
+// them to listeners at simulated time.
+//
+// Listeners are called in registration order; the harness registers the
+// touch-boost policy before the application so the refresh rate is already
+// boosted when the app starts its interaction burst (mirrors Android, where
+// the input pipeline's boost fires before app-side handling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "input/touch_event.h"
+#include "sim/simulator.h"
+
+namespace ccdem::input {
+
+class InputDispatcher {
+ public:
+  /// `sample_rate_hz`: touch controller report rate for move events during
+  /// swipes (typical capacitive panels report at 60-120 Hz).
+  explicit InputDispatcher(sim::Simulator& sim, double sample_rate_hz = 60.0);
+
+  InputDispatcher(const InputDispatcher&) = delete;
+  InputDispatcher& operator=(const InputDispatcher&) = delete;
+
+  void add_listener(TouchListener* l);
+
+  /// Schedules the delivery of every event of every gesture.  Gesture times
+  /// are relative to the current simulation time.
+  void schedule_script(const std::vector<TouchGesture>& script);
+
+  [[nodiscard]] std::uint64_t events_delivered() const { return delivered_; }
+
+ private:
+  void deliver(const TouchEvent& e);
+
+  sim::Simulator& sim_;
+  sim::Duration sample_period_;
+  std::vector<TouchListener*> listeners_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace ccdem::input

@@ -1,0 +1,48 @@
+#include "input/monkey.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccdem::input {
+
+std::vector<TouchGesture> generate_monkey_script(sim::Rng& rng,
+                                                 const MonkeyProfile& profile,
+                                                 sim::Duration run_length,
+                                                 gfx::Size screen) {
+  assert(!screen.empty());
+  std::vector<TouchGesture> script;
+  sim::Time t{};
+  for (;;) {
+    const double gap_s =
+        std::max(profile.min_gap_s, rng.exponential(profile.mean_gap_s));
+    t += sim::seconds_f(gap_s);
+    if (t.ticks >= run_length.ticks) break;
+
+    TouchGesture g;
+    g.start = t;
+    g.from = gfx::Point{
+        static_cast<int>(rng.uniform_int(0, screen.width - 1)),
+        static_cast<int>(rng.uniform_int(0, screen.height - 1))};
+    if (rng.chance(profile.swipe_probability)) {
+      g.kind = TouchGesture::Kind::kSwipe;
+      g.duration = sim::seconds_f(rng.uniform(profile.swipe_duration_min_s,
+                                              profile.swipe_duration_max_s));
+      // Mostly-vertical swipes: scrolling dominates mobile interaction.
+      const int dx = static_cast<int>(rng.uniform_int(-80, 80));
+      const int dy = static_cast<int>(rng.uniform_int(200, 700)) *
+                     (rng.chance(0.5) ? 1 : -1);
+      g.to = gfx::Point{std::clamp(g.from.x + dx, 0, screen.width - 1),
+                        std::clamp(g.from.y + dy, 0, screen.height - 1)};
+      t += g.duration;
+    } else {
+      g.kind = TouchGesture::Kind::kTap;
+      g.duration = sim::milliseconds(60);
+      g.to = g.from;
+      t += g.duration;
+    }
+    if (g.start.ticks < run_length.ticks) script.push_back(g);
+  }
+  return script;
+}
+
+}  // namespace ccdem::input

@@ -1,0 +1,97 @@
+#include "input/script_io.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ccdem::input {
+
+void write_script(std::ostream& os, const std::vector<TouchGesture>& script) {
+  os << "# ccdem monkey script: " << script.size() << " gestures\n";
+  for (const TouchGesture& g : script) {
+    if (g.kind == TouchGesture::Kind::kTap) {
+      os << "tap " << g.start.ticks << " " << g.from.x << " " << g.from.y
+         << "\n";
+    } else {
+      os << "swipe " << g.start.ticks << " " << g.duration.ticks << " "
+         << g.from.x << " " << g.from.y << " " << g.to.x << " " << g.to.y
+         << "\n";
+    }
+  }
+}
+
+std::string script_to_string(const std::vector<TouchGesture>& script) {
+  std::ostringstream os;
+  write_script(os, script);
+  return os.str();
+}
+
+namespace {
+bool fail(std::string* error, int line_no, const std::string& line) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": '" + line + "'";
+  }
+  return false;
+}
+}  // namespace
+
+std::optional<std::vector<TouchGesture>> read_script(std::istream& is,
+                                                     std::string* error) {
+  std::vector<TouchGesture> script;
+  std::string line;
+  int line_no = 0;
+  bool ok = true;
+  while (ok && std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+
+    TouchGesture g;
+    if (kind == "tap") {
+      sim::Tick start = 0;
+      if (!(ls >> start >> g.from.x >> g.from.y)) {
+        ok = fail(error, line_no, line);
+        break;
+      }
+      g.kind = TouchGesture::Kind::kTap;
+      g.start = sim::Time{start};
+      g.duration = sim::milliseconds(60);
+      g.to = g.from;
+    } else if (kind == "swipe") {
+      sim::Tick start = 0, duration = 0;
+      if (!(ls >> start >> duration >> g.from.x >> g.from.y >> g.to.x >>
+            g.to.y)) {
+        ok = fail(error, line_no, line);
+        break;
+      }
+      if (duration < 0) {
+        ok = fail(error, line_no, line);
+        break;
+      }
+      g.kind = TouchGesture::Kind::kSwipe;
+      g.start = sim::Time{start};
+      g.duration = sim::Duration{duration};
+    } else {
+      ok = fail(error, line_no, line);
+      break;
+    }
+    if (!script.empty() && g.start < script.back().start) {
+      ok = fail(error, line_no, line);
+      break;
+    }
+    script.push_back(g);
+  }
+  if (!ok) return std::nullopt;
+  return script;
+}
+
+std::optional<std::vector<TouchGesture>> script_from_string(
+    const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  return read_script(is, error);
+}
+
+}  // namespace ccdem::input

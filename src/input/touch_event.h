@@ -1,0 +1,38 @@
+// Touch input types.
+//
+// Gestures (taps, swipes) are the unit the Monkey script generator emits;
+// the dispatcher expands each gesture into a down / move... / up event train
+// sampled at the touch controller rate, since both the touch-boost policy
+// and application burst behaviour react to individual events.
+#pragma once
+
+#include "gfx/geometry.h"
+#include "sim/time.h"
+
+namespace ccdem::input {
+
+struct TouchEvent {
+  enum class Action { kDown, kMove, kUp };
+
+  sim::Time t{};
+  gfx::Point pos{};
+  Action action = Action::kDown;
+};
+
+struct TouchGesture {
+  enum class Kind { kTap, kSwipe };
+
+  sim::Time start{};
+  sim::Duration duration{};  ///< zero for taps
+  Kind kind = Kind::kTap;
+  gfx::Point from{};
+  gfx::Point to{};           ///< equals `from` for taps
+};
+
+class TouchListener {
+ public:
+  virtual ~TouchListener() = default;
+  virtual void on_touch(const TouchEvent& e) = 0;
+};
+
+}  // namespace ccdem::input

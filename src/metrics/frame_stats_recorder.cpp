@@ -1,0 +1,56 @@
+#include "metrics/frame_stats_recorder.h"
+
+#include <cassert>
+
+namespace ccdem::metrics {
+
+FrameStatsRecorder::FrameStatsRecorder(sim::Duration bucket)
+    : bucket_(bucket) {
+  assert(bucket.ticks > 0);
+}
+
+void FrameStatsRecorder::roll_to(sim::Time t) {
+  if (first_) {
+    bucket_start_ = sim::Time{(t.ticks / bucket_.ticks) * bucket_.ticks};
+    first_ = false;
+    return;
+  }
+  while (t >= bucket_start_ + bucket_) {
+    const double scale = 1.0 / bucket_.seconds();
+    frame_rate_.record(bucket_start_,
+                       static_cast<double>(bucket_frames_) * scale);
+    content_rate_.record(bucket_start_,
+                         static_cast<double>(bucket_content_) * scale);
+    bucket_frames_ = 0;
+    bucket_content_ = 0;
+    bucket_start_ += bucket_;
+  }
+}
+
+void FrameStatsRecorder::on_frame(const gfx::FrameInfo& info,
+                                  const gfx::Framebuffer&) {
+  roll_to(info.composed_at);
+  ++bucket_frames_;
+  ++total_frames_;
+  if (info.content_changed) {
+    ++bucket_content_;
+    ++total_content_;
+  }
+}
+
+void FrameStatsRecorder::finish(sim::Time end) {
+  if (first_) return;
+  roll_to(end);
+  // Flush the final partial bucket, scaled to a rate over its actual span.
+  const double span_s = (end - bucket_start_).seconds();
+  if (span_s > 0.05) {  // ignore slivers that would produce noisy rates
+    frame_rate_.record(bucket_start_,
+                       static_cast<double>(bucket_frames_) / span_s);
+    content_rate_.record(bucket_start_,
+                         static_cast<double>(bucket_content_) / span_s);
+  }
+  bucket_frames_ = 0;
+  bucket_content_ = 0;
+}
+
+}  // namespace ccdem::metrics

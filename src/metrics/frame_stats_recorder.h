@@ -1,0 +1,57 @@
+// FrameStatsRecorder: the harness's ground-truth observer.
+//
+// Listens to compositions and builds per-second frame-rate and content-rate
+// traces from the compositor's exact changed-pixel flag.  In the 60 Hz
+// baseline run this yields the *actual* content rate the paper compares
+// against (section 4.4: "we compared the content rate of the proposed
+// system with the actual content rate"); in a controlled run it yields the
+// *delivered* content rate.
+#pragma once
+
+#include <cstdint>
+
+#include "gfx/surface_flinger.h"
+#include "sim/trace.h"
+
+namespace ccdem::metrics {
+
+class FrameStatsRecorder final : public gfx::FrameListener {
+ public:
+  explicit FrameStatsRecorder(sim::Duration bucket = sim::seconds(1));
+
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer&) override;
+
+  /// Closes the current bucket; call once at the end of the run so the last
+  /// partial second is flushed (scaled to a rate).
+  void finish(sim::Time end);
+
+  /// Frames composed per second over time.
+  [[nodiscard]] const sim::Trace& frame_rate() const { return frame_rate_; }
+  /// Content (meaningful) frames per second over time.
+  [[nodiscard]] const sim::Trace& content_rate() const {
+    return content_rate_;
+  }
+
+  [[nodiscard]] std::uint64_t total_frames() const { return total_frames_; }
+  [[nodiscard]] std::uint64_t total_content_frames() const {
+    return total_content_;
+  }
+  [[nodiscard]] std::uint64_t total_redundant_frames() const {
+    return total_frames_ - total_content_;
+  }
+
+ private:
+  void roll_to(sim::Time t);
+
+  sim::Duration bucket_;
+  sim::Time bucket_start_{};
+  bool first_ = true;
+  std::uint64_t bucket_frames_ = 0;
+  std::uint64_t bucket_content_ = 0;
+  std::uint64_t total_frames_ = 0;
+  std::uint64_t total_content_ = 0;
+  sim::Trace frame_rate_{"frame_rate_fps"};
+  sim::Trace content_rate_{"content_rate_fps"};
+};
+
+}  // namespace ccdem::metrics

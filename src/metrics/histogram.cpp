@@ -1,0 +1,61 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace ccdem::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), counts_(bucket_count, 0) {
+  assert(hi > lo);
+  assert(bucket_count >= 1);
+}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::int64_t>((value - lo_) / span *
+                                       static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(
+      idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket + 1);
+}
+
+double Histogram::fraction_below(double value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bucket_hi(b) <= value) below += counts_[b];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * width);
+    os << "[" << std::setw(8) << bucket_lo(b) << ", " << std::setw(8)
+       << bucket_hi(b) << ") |"
+       << std::string(static_cast<std::size_t>(bar), '#')
+       << std::string(static_cast<std::size_t>(width - bar), ' ') << "| "
+       << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccdem::metrics

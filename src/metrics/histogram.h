@@ -1,0 +1,42 @@
+// Fixed-bucket histogram with ASCII rendering.
+//
+// Used by the evaluation benches to show distributions (per-app savings,
+// dropped-frame rates) the way the paper's bar charts do, without plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccdem::metrics {
+
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) uniformly; values outside clamp into the first /
+  /// last bucket.  Requires hi > lo and bucket_count >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const {
+    return counts_[bucket];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of samples in buckets whose upper edge is <= value.
+  [[nodiscard]] double fraction_below(double value) const;
+
+  /// Multi-line ASCII bar rendering, one line per bucket.
+  [[nodiscard]] std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ccdem::metrics

@@ -1,0 +1,44 @@
+#include "metrics/quality.h"
+
+#include <algorithm>
+
+namespace ccdem::metrics {
+
+QualityReport compare_quality(const sim::Trace& actual,
+                              const sim::Trace& delivered) {
+  QualityReport r;
+  if (actual.empty() || delivered.empty()) return r;
+
+  const sim::Time begin{
+      std::max(actual.points().front().t.ticks,
+               delivered.points().front().t.ticks)};
+  const sim::Time end{std::min(actual.points().back().t.ticks,
+                               delivered.points().back().t.ticks) +
+                      sim::kTicksPerSecond};
+  if (end <= begin) return r;
+
+  const sim::Trace a = actual.resample(sim::seconds(1), begin, end);
+  const sim::Trace d = delivered.resample(sim::seconds(1), begin, end);
+
+  double sum_a = 0.0, sum_d = 0.0, sum_drop = 0.0;
+  const std::size_t n = std::min(a.size(), d.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = a.points()[i].value;
+    const double dv = d.points()[i].value;
+    sum_a += av;
+    sum_d += dv;
+    sum_drop += std::max(0.0, av - dv);
+  }
+  if (n == 0) return r;
+  r.actual_content_fps = sum_a / static_cast<double>(n);
+  r.delivered_content_fps = sum_d / static_cast<double>(n);
+  r.dropped_fps = sum_drop / static_cast<double>(n);
+  r.display_quality_pct =
+      r.actual_content_fps <= 0.0
+          ? 100.0
+          : std::min(100.0, r.delivered_content_fps / r.actual_content_fps *
+                                100.0);
+  return r;
+}
+
+}  // namespace ccdem::metrics

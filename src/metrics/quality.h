@@ -1,0 +1,29 @@
+// Display-quality metrics (paper section 4.4).
+//
+// With refresh-rate control, quality degrades when the system delivers
+// fewer meaningful frames than the app would have shown at a fixed 60 Hz.
+// The paper quantifies this two ways:
+//  * dropped frames per second: actual content rate minus delivered content
+//    rate (clamped at zero), averaged over the run (Fig. 10's discussion),
+//  * display quality: delivered content rate divided by actual content
+//    rate, as a percentage (Fig. 11, Table 1).
+#pragma once
+
+#include "sim/trace.h"
+
+namespace ccdem::metrics {
+
+struct QualityReport {
+  double actual_content_fps = 0.0;     ///< mean, 60 Hz baseline run
+  double delivered_content_fps = 0.0;  ///< mean, controlled run
+  double dropped_fps = 0.0;            ///< mean of per-second shortfall
+  double display_quality_pct = 0.0;    ///< delivered / actual * 100, capped
+};
+
+/// Compares per-second content-rate traces of a baseline and a controlled
+/// run.  The traces are aligned by resampling both onto a 1 s grid spanning
+/// the overlap of their domains.
+[[nodiscard]] QualityReport compare_quality(const sim::Trace& actual,
+                                            const sim::Trace& delivered);
+
+}  // namespace ccdem::metrics

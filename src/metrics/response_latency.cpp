@@ -1,0 +1,48 @@
+#include "metrics/response_latency.h"
+
+#include <algorithm>
+
+#include "metrics/stats.h"
+
+namespace ccdem::metrics {
+
+ResponseLatencyRecorder::ResponseLatencyRecorder(sim::Duration ignore_window)
+    : ignore_window_(ignore_window) {}
+
+void ResponseLatencyRecorder::on_touch(const input::TouchEvent& e) {
+  if (e.action != input::TouchEvent::Action::kDown) return;
+  if (e.t <= last_down_ + ignore_window_) {
+    last_down_ = e.t;
+    return;  // same interaction burst
+  }
+  last_down_ = e.t;
+  ++interactions_;
+  pending_touch_ = e.t;
+}
+
+void ResponseLatencyRecorder::on_frame(const gfx::FrameInfo& info,
+                                       const gfx::Framebuffer&) {
+  if (!pending_touch_.has_value() || !info.content_changed) return;
+  if (info.composed_at < *pending_touch_) return;
+  latencies_ms_.push_back((info.composed_at - *pending_touch_).milliseconds());
+  pending_touch_.reset();
+}
+
+double ResponseLatencyRecorder::mean_ms() const {
+  if (latencies_ms_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : latencies_ms_) sum += v;
+  return sum / static_cast<double>(latencies_ms_.size());
+}
+
+double ResponseLatencyRecorder::max_ms() const {
+  double m = 0.0;
+  for (double v : latencies_ms_) m = std::max(m, v);
+  return m;
+}
+
+double ResponseLatencyRecorder::percentile_ms(double p) const {
+  return percentile(latencies_ms_, p);
+}
+
+}  // namespace ccdem::metrics

@@ -1,0 +1,50 @@
+// Touch-response latency: how long after a touch the first *content* frame
+// reaches the screen.
+//
+// The paper argues touch boosting protects quality via dropped-frame counts
+// and the content-rate ratio; response latency is the complementary UX
+// metric -- a panel parked at 20 Hz adds up to 50 ms before the first
+// reaction frame can even scan out, which users feel as sluggishness.  The
+// recorder pairs every touch-down with the next content frame and reports
+// the latency distribution.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gfx/surface_flinger.h"
+#include "input/touch_event.h"
+#include "sim/time.h"
+
+namespace ccdem::metrics {
+
+class ResponseLatencyRecorder final : public gfx::FrameListener,
+                                      public input::TouchListener {
+ public:
+  /// Touches within `ignore_window` of a previous one are treated as part
+  /// of the same interaction (only the first down of a burst is paired).
+  explicit ResponseLatencyRecorder(
+      sim::Duration ignore_window = sim::milliseconds(300));
+
+  void on_touch(const input::TouchEvent& e) override;
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer&) override;
+
+  /// Latencies of every paired interaction, in milliseconds.
+  [[nodiscard]] const std::vector<double>& latencies_ms() const {
+    return latencies_ms_;
+  }
+  [[nodiscard]] std::size_t interactions() const { return interactions_; }
+  [[nodiscard]] double mean_ms() const;
+  [[nodiscard]] double max_ms() const;
+  /// p in [0, 100].
+  [[nodiscard]] double percentile_ms(double p) const;
+
+ private:
+  sim::Duration ignore_window_;
+  std::optional<sim::Time> pending_touch_;
+  sim::Time last_down_{sim::Time{} - sim::seconds(3600)};
+  std::vector<double> latencies_ms_;
+  std::size_t interactions_ = 0;
+};
+
+}  // namespace ccdem::metrics

@@ -1,0 +1,41 @@
+// Streaming and batch statistics used by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ccdem::metrics {
+
+/// Welford's online mean/variance accumulator.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 with fewer than 2 points.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return n_ == 0 ? 0.0 : mean_ * n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0, 100]) by linear interpolation between order
+/// statistics.  Returns 0 for an empty input.  Copies and sorts.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// The paper's "for 80 % of applications, X is at least/at most V" style
+/// statement: the value V such that 80 % of inputs are <= V (the 80th
+/// percentile) -- used by Figs. 9-11.
+[[nodiscard]] inline double value_at_80th(std::vector<double> values) {
+  return percentile(std::move(values), 80.0);
+}
+
+}  // namespace ccdem::metrics

@@ -1,0 +1,28 @@
+#include "power/battery.h"
+
+#include <cassert>
+
+namespace ccdem::power {
+
+double Battery::capacity_mj() const {
+  // mAh -> mA*s is *3600; times volts gives mJ (mA * V * s = mW * s = mJ).
+  return spec_.capacity_mah * 3600.0 * spec_.nominal_voltage_v;
+}
+
+double Battery::hours_at_mw(double drain_mw) const {
+  assert(drain_mw > 0.0);
+  const double seconds = capacity_mj() / drain_mw;
+  return seconds / 3600.0;
+}
+
+double Battery::hours_gained(double baseline_mw, double saved_mw) const {
+  assert(baseline_mw > saved_mw);
+  return hours_at_mw(baseline_mw - saved_mw) - hours_at_mw(baseline_mw);
+}
+
+double Battery::relative_gain(double baseline_mw, double saved_mw) const {
+  assert(baseline_mw > saved_mw);
+  return hours_at_mw(baseline_mw - saved_mw) / hours_at_mw(baseline_mw) - 1.0;
+}
+
+}  // namespace ccdem::power

@@ -1,0 +1,44 @@
+// Battery model: converts power savings into the quantity users feel --
+// screen-on time.
+//
+// The paper reports milliwatts; a Galaxy S3-class phone carries a 2100 mAh
+// / 3.8 V pack, so a ~230 mW average reduction is directly a screen-on-time
+// extension.  Used by the battery_life example and extension benches.
+#pragma once
+
+namespace ccdem::power {
+
+struct BatterySpec {
+  double capacity_mah = 2100.0;
+  double nominal_voltage_v = 3.8;
+
+  /// The pack of the paper's test device (Galaxy S3 LTE).
+  static BatterySpec galaxy_s3() { return BatterySpec{}; }
+};
+
+class Battery {
+ public:
+  explicit Battery(BatterySpec spec) : spec_(spec) {}
+
+  [[nodiscard]] const BatterySpec& spec() const { return spec_; }
+
+  /// Total energy content in millijoules.
+  [[nodiscard]] double capacity_mj() const;
+
+  /// Runtime in hours at a constant drain (mW).  Drain must be positive.
+  [[nodiscard]] double hours_at_mw(double drain_mw) const;
+
+  /// Additional runtime (hours) gained by reducing the drain from
+  /// `baseline_mw` to `baseline_mw - saved_mw`.
+  [[nodiscard]] double hours_gained(double baseline_mw,
+                                    double saved_mw) const;
+
+  /// Relative runtime extension (e.g. 0.18 = 18 % longer).
+  [[nodiscard]] double relative_gain(double baseline_mw,
+                                     double saved_mw) const;
+
+ private:
+  BatterySpec spec_;
+};
+
+}  // namespace ccdem::power

@@ -1,0 +1,90 @@
+#include "power/device_power_model.h"
+
+#include <cassert>
+
+namespace ccdem::power {
+
+DevicePowerModel::DevicePowerModel(const DevicePowerParams& params,
+                                   int initial_refresh_hz)
+    : params_(params), refresh_hz_(initial_refresh_hz) {}
+
+double DevicePowerModel::continuous_power_mw(int refresh_hz) const {
+  const double panel_static =
+      params_.panel_static_mw *
+      (params_.brightness_floor + params_.brightness_slope * brightness_);
+  return params_.soc_base_mw + panel_static + auxiliary_mw_ +
+         (link_active_ ? params_.link_active_mw : 0.0) +
+         params_.panel_per_hz_mw * static_cast<double>(refresh_hz);
+}
+
+void DevicePowerModel::set_auxiliary_power_mw(sim::Time t, double mw) {
+  advance_to(t);
+  auxiliary_mw_ = mw;
+}
+
+void DevicePowerModel::set_link_active(sim::Time t, bool active) {
+  advance_to(t);
+  link_active_ = active;
+}
+
+void DevicePowerModel::set_brightness(sim::Time t, double brightness) {
+  assert(brightness >= 0.0 && brightness <= 1.0);
+  advance_to(t);
+  brightness_ = brightness;
+}
+
+void DevicePowerModel::advance_to(sim::Time t) {
+  assert(t >= last_update_);
+  const double dt_s = (t - last_update_).seconds();
+  accumulated_mj_ += continuous_power_mw(refresh_hz_) * dt_s;
+  breakdown_.soc_base_mj += params_.soc_base_mw * dt_s;
+  breakdown_.panel_static_mj +=
+      params_.panel_static_mw *
+      (params_.brightness_floor + params_.brightness_slope * brightness_) *
+      dt_s;
+  breakdown_.refresh_mj +=
+      params_.panel_per_hz_mw * static_cast<double>(refresh_hz_) * dt_s;
+  if (link_active_) breakdown_.link_mj += params_.link_active_mw * dt_s;
+  breakdown_.auxiliary_mj += auxiliary_mw_ * dt_s;
+  last_update_ = t;
+}
+
+void DevicePowerModel::on_rate_change(sim::Time t, int refresh_hz) {
+  advance_to(t);
+  if (refresh_hz != refresh_hz_) {
+    accumulated_mj_ += params_.rate_switch_mj;
+    breakdown_.rate_switch_mj += params_.rate_switch_mj;
+  }
+  refresh_hz_ = refresh_hz;
+}
+
+void DevicePowerModel::on_frame(const gfx::FrameInfo& info,
+                                const gfx::Framebuffer&) {
+  const double mpixels =
+      static_cast<double>(info.composed_pixels) / 1'000'000.0;
+  add_energy_mj(info.composed_at,
+                params_.composition_base_mj +
+                    params_.composition_mj_per_mpixel * mpixels,
+                EnergyTag::kComposition);
+}
+
+void DevicePowerModel::add_energy_mj(sim::Time t, double mj, EnergyTag tag) {
+  advance_to(t);
+  accumulated_mj_ += mj;
+  switch (tag) {
+    case EnergyTag::kComposition: breakdown_.composition_mj += mj; break;
+    case EnergyTag::kRender: breakdown_.render_mj += mj; break;
+    case EnergyTag::kTouch: breakdown_.touch_mj += mj; break;
+    case EnergyTag::kMeter: breakdown_.meter_mj += mj; break;
+    case EnergyTag::kRateSwitch: breakdown_.rate_switch_mj += mj; break;
+    case EnergyTag::kOther: breakdown_.other_mj += mj; break;
+  }
+}
+
+double DevicePowerModel::energy_mj_at(sim::Time t) const {
+  assert(t >= last_update_);
+  const double dt_s = (t - last_update_).seconds();
+  return accumulated_mj_ + continuous_power_mw(refresh_hz_) * dt_s;
+}
+
+}  // namespace ccdem::power

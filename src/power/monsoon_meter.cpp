@@ -1,0 +1,34 @@
+#include "power/monsoon_meter.h"
+
+#include <cassert>
+
+namespace ccdem::power {
+
+MonsoonMeter::MonsoonMeter(sim::Simulator& sim, const DevicePowerModel& model,
+                           sim::Duration interval)
+    : model_(model), interval_(interval) {
+  assert(interval.ticks > 0);
+  start_ = sim.now();
+  last_sample_ = start_;
+  first_energy_mj_ = model_.energy_mj_at(start_);
+  last_energy_mj_ = first_energy_mj_;
+  sim.every(interval_, [this](sim::Time t) {
+    if (!running_) return false;
+    const double e = model_.energy_mj_at(t);
+    const double dt_s = (t - last_sample_).seconds();
+    if (dt_s > 0.0) {
+      trace_.record(t, (e - last_energy_mj_) / dt_s);
+    }
+    last_energy_mj_ = e;
+    last_sample_ = t;
+    return true;
+  });
+}
+
+double MonsoonMeter::mean_power_mw() const {
+  const double span_s = (last_sample_ - start_).seconds();
+  if (span_s <= 0.0) return 0.0;
+  return (last_energy_mj_ - first_energy_mj_) / span_s;
+}
+
+}  // namespace ccdem::power

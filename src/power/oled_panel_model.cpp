@@ -1,0 +1,40 @@
+#include "power/oled_panel_model.h"
+
+#include <cassert>
+
+namespace ccdem::power {
+
+OledPanelModel::OledPanelModel(DevicePowerModel& power, OledParams params)
+    : power_(power), params_(params) {
+  assert(params_.sample_stride > 0);
+  assert(params_.full_white_mw >= params_.black_mw);
+}
+
+double OledPanelModel::emission_power_mw(double luma) const {
+  return params_.black_mw +
+         (params_.full_white_mw - params_.black_mw) * luma;
+}
+
+void OledPanelModel::on_frame(const gfx::FrameInfo& info,
+                              const gfx::Framebuffer& fb) {
+  // Unchanged content keeps the previous emission estimate; sampling only
+  // on content frames keeps the model's own cost negligible.
+  if (initialized_ && !info.content_changed) return;
+  initialized_ = true;
+
+  std::int64_t sum = 0;
+  std::int64_t n = 0;
+  for (int y = params_.sample_stride / 2; y < fb.height();
+       y += params_.sample_stride) {
+    const auto row = fb.row(y);
+    for (int x = params_.sample_stride / 2; x < fb.width();
+         x += params_.sample_stride) {
+      sum += row[static_cast<std::size_t>(x)].luma();
+      ++n;
+    }
+  }
+  luma_ = n == 0 ? 0.0 : static_cast<double>(sum) / (255.0 * n);
+  power_.set_auxiliary_power_mw(info.composed_at, emission_power_mw(luma_));
+}
+
+}  // namespace ccdem::power

@@ -1,0 +1,55 @@
+// OLED emission model: content-dependent panel power.
+//
+// The Galaxy S3's panel is an AMOLED: emission power scales with what is on
+// screen (the premise of Chameleon and FOCUS in the paper's related work,
+// refs [5]-[7]).  This extension samples the composed framebuffer's
+// luminance and feeds a luma-proportional component into the device power
+// model, so experiments can separate the *refresh-rate* savings (the
+// paper's contribution, orthogonal to content colour) from content-colour
+// effects.
+//
+// Sampling uses a pixel stride rather than the metering grid so the model
+// stays independent of the core library's sampler.
+#pragma once
+
+#include "gfx/surface_flinger.h"
+#include "power/device_power_model.h"
+
+namespace ccdem::power {
+
+struct OledParams {
+  /// Emission power with a full white screen at the experiment brightness.
+  double full_white_mw = 480.0;
+  /// Emission power with a black screen (driver quiescent).
+  double black_mw = 40.0;
+  /// Every `stride`-th pixel in x and y contributes to the luma estimate.
+  int sample_stride = 16;
+
+  /// Calibrated to Galaxy S3-class AMOLED measurements at 50 % brightness.
+  static OledParams galaxy_s3_amoled() { return OledParams{}; }
+};
+
+class OledPanelModel final : public gfx::FrameListener {
+ public:
+  /// When attaching this model, configure the DevicePowerParams with
+  /// `panel_static_mw = 0` -- the luma-dependent emission replaces the
+  /// constant backlight term of the LCD-style default.
+  OledPanelModel(DevicePowerModel& power, OledParams params);
+
+  /// FrameListener: re-estimates the frame luma and updates the auxiliary
+  /// power.  Only runs when the frame actually changed content.
+  void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
+
+  /// Mean luma in [0, 1] of the most recent estimate.
+  [[nodiscard]] double current_luma() const { return luma_; }
+  [[nodiscard]] double emission_power_mw(double luma) const;
+  [[nodiscard]] const OledParams& params() const { return params_; }
+
+ private:
+  DevicePowerModel& power_;
+  OledParams params_;
+  double luma_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace ccdem::power

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ccdem::sim {
+
+EventHandle EventQueue::schedule_at(Time at, Callback cb) {
+  assert(cb);
+  const Time when = std::max(at, last_popped_);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_.insert(id);
+  return EventHandle(id);
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Ids are unique and never reused, so erasing from `pending_` is the whole
+  // cancellation; the heap entry is lazily dropped when it surfaces.
+  return pending_.erase(h.id_) > 0;
+}
+
+Time EventQueue::next_time() const {
+  skip_dead();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+Time EventQueue::run_next() {
+  skip_dead();
+  assert(!heap_.empty());
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(e.id);
+  last_popped_ = e.at;
+  e.cb(e.at);
+  return e.at;
+}
+
+void EventQueue::skip_dead() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() &&
+         self->pending_.find(self->heap_.top().id) == self->pending_.end()) {
+    self->heap_.pop();
+  }
+}
+
+}  // namespace ccdem::sim

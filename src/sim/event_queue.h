@@ -1,0 +1,76 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion sequence number so that two events scheduled
+// for the same tick fire in the order they were scheduled -- this keeps the
+// vsync -> compose -> meter -> control pipeline deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccdem::sim {
+
+/// Handle used to cancel a scheduled event.  Default-constructed handles are
+/// invalid and cancelling them is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Time)>;
+
+  /// Schedules `cb` to run at absolute time `at`.  Events in the past
+  /// (relative to the last popped event) are clamped to "now".
+  EventHandle schedule_at(Time at, Callback cb);
+
+  /// Cancels a scheduled event.  Returns true if the event was still pending.
+  /// Cancelling a fired or already-cancelled event is a harmless no-op.
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event.  Requires !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and runs the earliest pending event.  Requires !empty().
+  /// Returns the time at which the event ran.
+  Time run_next();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t id;  // doubles as the FIFO tiebreaker: ids are monotonic
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled entries from the head of the heap.
+  void skip_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // scheduled, not fired/cancelled
+  std::uint64_t next_id_ = 1;
+  Time last_popped_{};
+};
+
+}  // namespace ccdem::sim

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace ccdem::sim {
+
+void Simulator::every(Duration period, std::function<bool(Time)> cb) {
+  assert(period.ticks > 0);
+  // Self-rescheduling wrapper.  Holds the user callback by shared_ptr so the
+  // lambda stays copyable for std::function.
+  auto fn = std::make_shared<std::function<bool(Time)>>(std::move(cb));
+  struct Repeater {
+    Simulator* sim;
+    Duration period;
+    std::shared_ptr<std::function<bool(Time)>> fn;
+    void operator()(Time t) const {
+      if ((*fn)(t)) {
+        sim->at(t + period, Repeater{sim, period, fn});
+      }
+    }
+  };
+  at(now_ + period, Repeater{this, period, std::move(fn)});
+}
+
+void Simulator::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    // Advance "now" before dispatch so callbacks observe the event time.
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+}  // namespace ccdem::sim

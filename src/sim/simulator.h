@@ -1,0 +1,56 @@
+// The simulation loop: owns the event queue and the notion of "now".
+//
+// Components hold a reference to the Simulator and schedule their own
+// callbacks (vsync ticks, controller evaluations, input events, meter
+// samples).  `run_until` drains events in time order up to a horizon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ccdem::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` at an absolute time.
+  EventHandle at(Time t, EventQueue::Callback cb) {
+    return queue_.schedule_at(t, std::move(cb));
+  }
+
+  /// Schedules `cb` after a relative delay from now.
+  EventHandle after(Duration d, EventQueue::Callback cb) {
+    return queue_.schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Schedules `cb` every `period`, starting one period from now.  The
+  /// callback may cancel the series via the returned handle of the *next*
+  /// occurrence; more simply, return false from `cb` to stop.
+  void every(Duration period, std::function<bool(Time)> cb);
+
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  /// Runs all events with time <= horizon.  Events scheduled during the run
+  /// are processed if they also fall within the horizon.  Advances now() to
+  /// the horizon even if the queue drains early.
+  void run_until(Time horizon);
+
+  /// Convenience: runs for a span from the current time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_{};
+};
+
+}  // namespace ccdem::sim

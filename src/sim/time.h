@@ -1,0 +1,100 @@
+// Simulation time: a fixed-point microsecond tick counter.
+//
+// All components of the simulated device (display panel, compositor, input
+// pipeline, power meter) share one clock domain.  Using integral microseconds
+// instead of floating-point seconds keeps V-Sync cadences exact: a 60 Hz
+// period is 16'666 us + a correction scheme (see display::DisplayPanel), and
+// event ordering is total and reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace ccdem::sim {
+
+/// One tick is one simulated microsecond.
+using Tick = std::int64_t;
+
+constexpr Tick kTicksPerMicrosecond = 1;
+constexpr Tick kTicksPerMillisecond = 1'000;
+constexpr Tick kTicksPerSecond = 1'000'000;
+
+/// A point in simulated time, measured in ticks since simulation start.
+struct Time {
+  Tick ticks = 0;
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ticks) / static_cast<double>(kTicksPerSecond);
+  }
+  [[nodiscard]] constexpr double milliseconds() const {
+    return static_cast<double>(ticks) /
+           static_cast<double>(kTicksPerMillisecond);
+  }
+};
+
+/// A span of simulated time.
+struct Duration {
+  Tick ticks = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ticks) / static_cast<double>(kTicksPerSecond);
+  }
+  [[nodiscard]] constexpr double milliseconds() const {
+    return static_cast<double>(ticks) /
+           static_cast<double>(kTicksPerMillisecond);
+  }
+};
+
+constexpr Duration microseconds(std::int64_t us) { return Duration{us}; }
+constexpr Duration milliseconds(std::int64_t ms) {
+  return Duration{ms * kTicksPerMillisecond};
+}
+constexpr Duration seconds(std::int64_t s) {
+  return Duration{s * kTicksPerSecond};
+}
+/// Converts a (possibly fractional) second count; rounds to nearest tick.
+constexpr Duration seconds_f(double s) {
+  return Duration{static_cast<Tick>(s * static_cast<double>(kTicksPerSecond) +
+                                    (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// The absolute time `s` (possibly fractional) seconds after simulation
+/// start; rounds to the nearest tick.
+constexpr Time at_seconds(double s) {
+  return Time{seconds_f(s).ticks};
+}
+
+/// Period of an event that repeats `hz` times per second, rounded to the
+/// nearest tick.  hz must be positive.
+constexpr Duration period_of_hz(double hz) {
+  return Duration{
+      static_cast<Tick>(static_cast<double>(kTicksPerSecond) / hz + 0.5)};
+}
+
+constexpr Time operator+(Time t, Duration d) { return Time{t.ticks + d.ticks}; }
+constexpr Time operator-(Time t, Duration d) { return Time{t.ticks - d.ticks}; }
+constexpr Duration operator-(Time a, Time b) {
+  return Duration{a.ticks - b.ticks};
+}
+constexpr Duration operator+(Duration a, Duration b) {
+  return Duration{a.ticks + b.ticks};
+}
+constexpr Duration operator-(Duration a, Duration b) {
+  return Duration{a.ticks - b.ticks};
+}
+constexpr Duration operator*(Duration d, std::int64_t k) {
+  return Duration{d.ticks * k};
+}
+constexpr Duration operator/(Duration d, std::int64_t k) {
+  return Duration{d.ticks / k};
+}
+constexpr Time& operator+=(Time& t, Duration d) {
+  t.ticks += d.ticks;
+  return t;
+}
+
+}  // namespace ccdem::sim

@@ -1,0 +1,125 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ccdem::sim {
+
+void Trace::record(Time t, double value) {
+  assert(points_.empty() || points_.back().t <= t);
+  points_.push_back({t, value});
+}
+
+double Trace::mean() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points_) sum += p.value;
+  return sum / static_cast<double>(points_.size());
+}
+
+double Trace::stddev() const {
+  if (points_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const auto& p : points_) acc += (p.value - m) * (p.value - m);
+  return std::sqrt(acc / static_cast<double>(points_.size() - 1));
+}
+
+double Trace::min() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) v = std::min(v, p.value);
+  return points_.empty() ? 0.0 : v;
+}
+
+double Trace::max() const {
+  double v = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) v = std::max(v, p.value);
+  return points_.empty() ? 0.0 : v;
+}
+
+double Trace::mean_between(Time begin, Time end) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= begin && p.t < end) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Trace::value_at(Time t, double fallback) const {
+  // Points are time-ordered; find the last one at or before t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Time lhs, const TracePoint& rhs) { return lhs < rhs.t; });
+  if (it == points_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+double Trace::time_weighted_mean(Time begin, Time end) const {
+  if (points_.empty() || end <= begin) return 0.0;
+  double weighted = 0.0;
+  Time cursor = begin;
+  double current = points_.front().value;
+  for (const auto& p : points_) {
+    if (p.t <= cursor) {
+      current = p.value;
+      continue;
+    }
+    const Time upto = std::min(p.t, end);
+    if (upto > cursor) {
+      weighted += current * (upto - cursor).seconds();
+      cursor = upto;
+    }
+    if (p.t >= end) break;
+    current = p.value;
+  }
+  if (cursor < end) weighted += current * (end - cursor).seconds();
+  return weighted / (end - begin).seconds();
+}
+
+Trace Trace::resample(Duration interval, Time begin, Time end) const {
+  assert(interval.ticks > 0);
+  Trace out(name_);
+  double held = 0.0;
+  bool have_held = false;
+  auto it = points_.begin();
+  // Skip points before the window but remember the last one for step-hold.
+  while (it != points_.end() && it->t < begin) {
+    held = it->value;
+    have_held = true;
+    ++it;
+  }
+  for (Time bucket = begin; bucket < end; bucket += interval) {
+    const Time bucket_end = bucket + interval;
+    double sum = 0.0;
+    std::size_t n = 0;
+    while (it != points_.end() && it->t < bucket_end) {
+      sum += it->value;
+      ++n;
+      ++it;
+    }
+    if (n > 0) {
+      held = sum / static_cast<double>(n);
+      have_held = true;
+    }
+    out.record(bucket, have_held ? held : 0.0);
+  }
+  return out;
+}
+
+Trace Trace::difference(const Trace& a, const Trace& b, std::string name) {
+  assert(a.size() == b.size());
+  Trace out(std::move(name));
+  for (std::size_t i = 0; i < a.points_.size(); ++i) {
+    assert(a.points_[i].t == b.points_[i].t);
+    out.record(a.points_[i].t, a.points_[i].value - b.points_[i].value);
+  }
+  return out;
+}
+
+}  // namespace ccdem::sim

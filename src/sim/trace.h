@@ -1,0 +1,71 @@
+// Time-series trace recording.
+//
+// Experiments record sampled signals (frame rate, content rate, refresh
+// rate, power) as (time, value) pairs.  Trace supports the reductions the
+// paper's figures need: per-second resampling, means over windows, and
+// elementwise differences between two traces (e.g. "saved power" in Fig. 8
+// is baseline-power minus proposed-power at matching timestamps).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccdem::sim {
+
+struct TracePoint {
+  Time t;
+  double value = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void record(Time t, double value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<TracePoint>& points() const {
+    return points_;
+  }
+
+  /// Mean of all recorded values (0 if empty).
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (0 if fewer than two points).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Mean over points with begin <= t < end.
+  [[nodiscard]] double mean_between(Time begin, Time end) const;
+
+  /// Value of the last point at or before `t`; `fallback` if none.
+  /// Suits step signals such as the refresh rate.
+  [[nodiscard]] double value_at(Time t, double fallback = 0.0) const;
+
+  /// Interprets the trace as a step signal (each point holds until the next)
+  /// and returns its time-weighted mean over [begin, end).  Time before the
+  /// first point is weighted with the first point's value.
+  [[nodiscard]] double time_weighted_mean(Time begin, Time end) const;
+
+  /// Resamples to a fixed-interval series: the mean of all points in each
+  /// [k*interval, (k+1)*interval) bucket.  Empty buckets carry the previous
+  /// bucket's value (step-hold) so traces of different cadences align.
+  [[nodiscard]] Trace resample(Duration interval, Time begin, Time end) const;
+
+  /// Pointwise a - b over two traces already on a common grid (same size,
+  /// matching timestamps).  Aborts in debug builds on a mismatch.
+  [[nodiscard]] static Trace difference(const Trace& a, const Trace& b,
+                                        std::string name = "diff");
+
+ private:
+  std::string name_;
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace ccdem::sim

@@ -1,0 +1,115 @@
+#include "apps/app_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ccdem::apps {
+namespace {
+
+TEST(AppProfiles, FifteenGeneralAndFifteenGames) {
+  EXPECT_EQ(general_apps().size(), 15u);
+  EXPECT_EQ(game_apps().size(), 15u);
+  EXPECT_EQ(all_apps().size(), 30u);
+}
+
+TEST(AppProfiles, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& s : all_apps()) names.insert(s.name);
+  EXPECT_EQ(names.size(), 30u);
+}
+
+TEST(AppProfiles, CategoriesMatchLists) {
+  for (const auto& s : general_apps()) {
+    EXPECT_EQ(s.category, AppSpec::Category::kGeneral) << s.name;
+  }
+  for (const auto& s : game_apps()) {
+    EXPECT_EQ(s.category, AppSpec::Category::kGame) << s.name;
+  }
+}
+
+TEST(AppProfiles, GamesAllRequestAboveThirtyFps) {
+  // Fig. 3: "all the game applications update the display at more than
+  // 30 fps".
+  for (const auto& s : game_apps()) {
+    EXPECT_GT(s.idle_request_fps, 30.0) << s.name;
+  }
+}
+
+TEST(AppProfiles, MostGamesPostTwentyRedundantFps) {
+  // Fig. 3(d): 80 % of games have more than 20 redundant frames per second.
+  int heavy = 0;
+  for (const auto& s : game_apps()) {
+    const double redundant = s.idle_request_fps - s.scene.game_content_fps;
+    if (redundant > 20.0) ++heavy;
+  }
+  EXPECT_GE(heavy, 12);  // >= 80 % of 15
+}
+
+TEST(AppProfiles, SomeGeneralAppsPostManyRedundantFrames) {
+  // Fig. 3(d): ~40 % of general apps show ~20 redundant fps.
+  int heavy = 0;
+  for (const auto& s : general_apps()) {
+    double content = s.scene.idle_content_fps;
+    if (s.scene.type == SceneSpec::Type::kVideo) content = s.scene.video_fps;
+    if (s.idle_request_fps - content >= 14.0) ++heavy;
+  }
+  EXPECT_GE(heavy, 4);
+  EXPECT_LE(heavy, 8);
+}
+
+TEST(AppProfiles, MostGeneralAppsRequestUnderThirtyFps) {
+  int low = 0;
+  for (const auto& s : general_apps()) {
+    if (s.idle_request_fps < 30.0) ++low;
+  }
+  EXPECT_EQ(low, 15);
+}
+
+TEST(AppProfiles, LookupByName) {
+  const AppSpec fb = app_by_name("Facebook");
+  EXPECT_EQ(fb.name, "Facebook");
+  EXPECT_EQ(fb.category, AppSpec::Category::kGeneral);
+  const AppSpec js = app_by_name("Jelly Splash");
+  EXPECT_EQ(js.category, AppSpec::Category::kGame);
+  // Jelly Splash requests ~60 fps but its content is an order of magnitude
+  // slower (Fig. 2).
+  EXPECT_GE(js.idle_request_fps, 55.0);
+  EXPECT_LE(js.scene.game_content_fps, 15.0);
+}
+
+TEST(AppProfiles, PaperAppNamesPresent) {
+  for (const char* name :
+       {"Facebook", "KakaoTalk", "MX Player", "Daum Maps", "Cash Slide",
+        "Tiny Flashlight", "Jelly Splash", "TempleRun", "Asphalt 8",
+        "Cookie Run"}) {
+    EXPECT_NO_FATAL_FAILURE(app_by_name(name));
+  }
+}
+
+TEST(AppProfiles, WallpaperProfileForAccuracyStudy) {
+  const AppSpec w = nexus_revampled_wallpaper();
+  EXPECT_EQ(w.scene.type, SceneSpec::Type::kWallpaper);
+  // Section 4.1: frame rate below 25 fps; small dots (tiny relative to the
+  // 921K-pixel screen, sized to straddle the 9K grid stride).
+  EXPECT_LT(w.idle_request_fps, 25.0);
+  EXPECT_LE(w.scene.dot_radius, 8);
+  EXPECT_LE(w.scene.dot_count, 6);
+}
+
+TEST(AppProfiles, RenderEnergyGamesAboveGeneral) {
+  double game_sum = 0.0, general_sum = 0.0;
+  for (const auto& s : game_apps()) game_sum += s.render_mj_per_frame;
+  for (const auto& s : general_apps()) general_sum += s.render_mj_per_frame;
+  EXPECT_GT(game_sum / 15.0, general_sum / 15.0);
+}
+
+TEST(AppProfiles, MonkeyProfilesMatchCategory) {
+  const double general_gap = input::MonkeyProfile::general_app().mean_gap_s;
+  for (const auto& s : game_apps()) {
+    EXPECT_LT(s.monkey.mean_gap_s, general_gap) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace ccdem::apps

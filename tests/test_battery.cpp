@@ -1,0 +1,43 @@
+#include "power/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::power {
+namespace {
+
+TEST(Battery, GalaxyS3Capacity) {
+  const Battery b(BatterySpec::galaxy_s3());
+  // 2100 mAh * 3600 s/h * 3.8 V = 28.728 MJ (in mJ units).
+  EXPECT_NEAR(b.capacity_mj(), 28'728'000.0, 1.0);
+}
+
+TEST(Battery, HoursAtConstantDrain) {
+  const Battery b(BatterySpec{1000.0, 3.6});
+  // 1000 mAh at 3.6 V = 12.96 MJ; at 3600 mW -> 3600 s = 1 h.
+  EXPECT_NEAR(b.hours_at_mw(3600.0), 1.0, 1e-9);
+  EXPECT_NEAR(b.hours_at_mw(1800.0), 2.0, 1e-9);
+}
+
+TEST(Battery, HoursGained) {
+  const Battery b(BatterySpec{1000.0, 3.6});
+  // 3600 mW -> 1 h; 1800 mW -> 2 h: saving half the drain gains 1 h.
+  EXPECT_NEAR(b.hours_gained(3600.0, 1800.0), 1.0, 1e-9);
+}
+
+TEST(Battery, RelativeGainMatchesDrainRatio) {
+  const Battery b(BatterySpec::galaxy_s3());
+  // Runtime scales as 1/power: gain = P/(P-S) - 1.
+  EXPECT_NEAR(b.relative_gain(1000.0, 200.0), 0.25, 1e-9);
+}
+
+TEST(Battery, PaperScaleSaving) {
+  // The paper's ~230 mW average saving on a ~1.2 W screen-on load extends a
+  // Galaxy S3's screen-on time by roughly a quarter.
+  const Battery b(BatterySpec::galaxy_s3());
+  const double gain = b.relative_gain(1200.0, 230.0);
+  EXPECT_GT(gain, 0.20);
+  EXPECT_LT(gain, 0.30);
+}
+
+}  // namespace
+}  // namespace ccdem::power

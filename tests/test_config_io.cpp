@@ -1,0 +1,121 @@
+#include "harness/config_io.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::harness {
+namespace {
+
+TEST(ConfigIo, ParsesFullConfig) {
+  const std::string text =
+      "# demo config\n"
+      "app = Jelly Splash\n"
+      "mode = section+boost\n"
+      "seconds = 42\n"
+      "seed = 99\n"
+      "grid = 36k\n"
+      "eval_ms = 250\n"
+      "boost_hold_ms = 750\n"
+      "alpha = 0.75\n";
+  std::string error;
+  const auto config = parse_experiment_config_string(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->app.name, "Jelly Splash");
+  EXPECT_EQ(config->mode, ControlMode::kSectionWithBoost);
+  EXPECT_EQ(config->duration, sim::seconds(42));
+  EXPECT_EQ(config->seed, 99u);
+  EXPECT_EQ(config->dpm.grid.sample_count(),
+            core::GridSpec::grid_36k().sample_count());
+  EXPECT_EQ(config->dpm.eval_period, sim::milliseconds(250));
+  EXPECT_EQ(config->dpm.boost_hold, sim::milliseconds(750));
+  EXPECT_DOUBLE_EQ(config->dpm.section_alpha, 0.75);
+}
+
+TEST(ConfigIo, DefaultsApplyForOmittedKeys) {
+  const auto config = parse_experiment_config_string("app = Facebook\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->mode, ControlMode::kBaseline60);
+  EXPECT_EQ(config->duration, sim::seconds(60));
+}
+
+TEST(ConfigIo, AllModesParse) {
+  for (const char* mode :
+       {"baseline", "section", "section+boost", "naive", "hysteresis",
+        "e3"}) {
+    const auto config = parse_experiment_config_string(
+        std::string("app = Facebook\nmode = ") + mode + "\n");
+    EXPECT_TRUE(config.has_value()) << mode;
+  }
+}
+
+TEST(ConfigIo, RejectsUnknownApp) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_experiment_config_string("app = Nonexistent\n", &error));
+  EXPECT_NE(error.find("Nonexistent"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsUnknownKey) {
+  std::string error;
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nbrightnes = 50\n", &error));
+  EXPECT_NE(error.find("brightnes"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsMissingApp) {
+  std::string error;
+  EXPECT_FALSE(parse_experiment_config_string("mode = section\n", &error));
+  EXPECT_NE(error.find("app"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsMalformedLine) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_experiment_config_string("app = Facebook\nnonsense\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsBadValues) {
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nseconds = -3\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nalpha = 1.5\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\ngrid = 17k\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nmode = turbo\n"));
+}
+
+TEST(ConfigIo, RoundTrips) {
+  ExperimentConfig config;
+  config.app = apps::app_by_name("Daum Maps");
+  config.mode = ControlMode::kSectionHysteresis;
+  config.duration = sim::seconds(17);
+  config.seed = 1234;
+  config.dpm.grid = core::GridSpec::grid_2k();
+  config.dpm.eval_period = sim::milliseconds(150);
+  config.dpm.boost_hold = sim::milliseconds(400);
+  config.dpm.section_alpha = 0.25;
+
+  const auto back =
+      parse_experiment_config_string(experiment_config_to_string(config));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->app.name, config.app.name);
+  EXPECT_EQ(back->mode, config.mode);
+  EXPECT_EQ(back->duration, config.duration);
+  EXPECT_EQ(back->seed, config.seed);
+  EXPECT_EQ(back->dpm.grid.sample_count(),
+            config.dpm.grid.sample_count());
+  EXPECT_EQ(back->dpm.eval_period, config.dpm.eval_period);
+  EXPECT_EQ(back->dpm.boost_hold, config.dpm.boost_hold);
+  EXPECT_DOUBLE_EQ(back->dpm.section_alpha, config.dpm.section_alpha);
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  const auto config = parse_experiment_config_string(
+      "\n# leading comment\napp = Naver   # trailing comment\n\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->app.name, "Naver");
+}
+
+}  // namespace
+}  // namespace ccdem::harness

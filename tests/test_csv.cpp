@@ -1,0 +1,77 @@
+#include "harness/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccdem::harness {
+namespace {
+
+sim::Trace per_second(const std::string& name,
+                      std::initializer_list<double> values) {
+  sim::Trace t(name);
+  sim::Tick tick = 0;
+  for (double v : values) {
+    t.record(sim::Time{tick}, v);
+    tick += sim::kTicksPerSecond;
+  }
+  return t;
+}
+
+TEST(Csv, HeaderUsesTraceNames) {
+  const sim::Trace a = per_second("power_mw", {1, 2});
+  const sim::Trace b = per_second("refresh_hz", {60, 20});
+  const std::string csv =
+      traces_to_csv({&a, &b}, sim::seconds(1), sim::Time{},
+                    sim::Time{2 * sim::kTicksPerSecond});
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "time_s,power_mw,refresh_hz");
+}
+
+TEST(Csv, RowCountMatchesGrid) {
+  const sim::Trace a = per_second("a", {1, 2, 3});
+  std::istringstream is(traces_to_csv({&a}, sim::seconds(1), sim::Time{},
+                                      sim::Time{3 * sim::kTicksPerSecond}));
+  std::string line;
+  int rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // header + 3 buckets
+}
+
+TEST(Csv, ValuesAreAligned) {
+  const sim::Trace a = per_second("a", {1, 2});
+  const sim::Trace b = per_second("b", {10, 20});
+  std::istringstream is(traces_to_csv({&a, &b}, sim::seconds(1), sim::Time{},
+                                      sim::Time{2 * sim::kTicksPerSecond}));
+  std::string header, row0, row1;
+  std::getline(is, header);
+  std::getline(is, row0);
+  std::getline(is, row1);
+  EXPECT_EQ(row0, "0.000000,1.000000,10.000000");
+  EXPECT_EQ(row1, "1.000000,2.000000,20.000000");
+}
+
+TEST(Csv, StepHoldFillsGaps) {
+  sim::Trace a("a");
+  a.record(sim::Time{0}, 5.0);
+  std::istringstream is(traces_to_csv({&a}, sim::seconds(1), sim::Time{},
+                                      sim::Time{3 * sim::kTicksPerSecond}));
+  std::string line;
+  std::getline(is, line);  // header
+  int count = 0;
+  while (std::getline(is, line)) {
+    EXPECT_NE(line.find(",5.000000"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Csv, UnnamedTraceGetsPlaceholder) {
+  sim::Trace a;
+  a.record(sim::Time{0}, 1.0);
+  const std::string csv = traces_to_csv(
+      {&a}, sim::seconds(1), sim::Time{}, sim::Time{sim::kTicksPerSecond});
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "time_s,value");
+}
+
+}  // namespace
+}  // namespace ccdem::harness

@@ -1,0 +1,170 @@
+#include "display/display_panel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ccdem::display {
+namespace {
+
+class RecordingObserver final : public VsyncObserver {
+ public:
+  void on_vsync(sim::Time t, int hz) override {
+    times.push_back(t);
+    rates.push_back(hz);
+  }
+  std::vector<sim::Time> times;
+  std::vector<int> rates;
+};
+
+TEST(DisplayPanel, TicksAtRefreshRate) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_for(sim::seconds(1));
+  // 60 Hz for one second: the tick at t=0 plus ~59 more.
+  EXPECT_NEAR(static_cast<double>(obs.times.size()), 60.0, 1.0);
+}
+
+TEST(DisplayPanel, TwentyHzTicksFewer) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 20);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_for(sim::seconds(2));
+  EXPECT_NEAR(static_cast<double>(obs.times.size()), 40.0, 1.0);
+}
+
+TEST(DisplayPanel, PhasesRunInOrderWithinTick) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  std::vector<int> order;
+  struct PhaseObs final : VsyncObserver {
+    std::vector<int>* order;
+    int id;
+    PhaseObs(std::vector<int>* o, int i) : order(o), id(i) {}
+    void on_vsync(sim::Time, int) override { order->push_back(id); }
+  };
+  PhaseObs scan(&order, 2), comp(&order, 1), app(&order, 0);
+  // Register in reverse to prove phase order is not registration order.
+  panel.add_observer(VsyncPhase::kScanout, &scan);
+  panel.add_observer(VsyncPhase::kComposer, &comp);
+  panel.add_observer(VsyncPhase::kApp, &app);
+  sim.run_until(sim::Time{0});
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DisplayPanel, RateChangeTakesEffectNextTick) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_until(sim::Time{1'000});  // first tick done at 60 Hz
+  EXPECT_TRUE(panel.set_refresh_rate(20));
+  EXPECT_EQ(panel.refresh_hz(), 60);  // not yet applied
+  sim.run_for(sim::seconds(1));
+  EXPECT_EQ(panel.refresh_hz(), 20);
+  // After the switch the cadence is 50 ms.
+  const auto n = obs.times.size();
+  ASSERT_GE(n, 3u);
+  EXPECT_EQ((obs.times[n - 1] - obs.times[n - 2]).ticks, 50'000);
+}
+
+TEST(DisplayPanel, SetSameRateReturnsFalse) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  EXPECT_FALSE(panel.set_refresh_rate(60));
+  EXPECT_TRUE(panel.set_refresh_rate(30));
+  EXPECT_FALSE(panel.set_refresh_rate(30));  // already pending
+}
+
+TEST(DisplayPanel, RateListenerSeesChange) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  std::vector<int> seen;
+  panel.add_rate_listener([&](sim::Time, int hz) { seen.push_back(hz); });
+  panel.set_refresh_rate(24);
+  sim.run_for(sim::seconds(1));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 24);
+}
+
+TEST(DisplayPanel, ObserverSeesEffectiveRate) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 40);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_for(sim::milliseconds(100));
+  ASSERT_FALSE(obs.rates.empty());
+  EXPECT_EQ(obs.rates.front(), 40);
+}
+
+TEST(DisplayPanel, StopHaltsTicks) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_for(sim::milliseconds(100));
+  const auto count = obs.times.size();
+  panel.stop();
+  sim.run_for(sim::seconds(1));
+  EXPECT_LE(obs.times.size(), count + 1);  // at most one in-flight tick
+}
+
+TEST(DisplayPanel, FastRateUpRetimesNextTick) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet{1, 60}, 1);
+  panel.set_fast_rate_up(true);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_until(sim::Time{10'000});  // first tick at t=0, next due t=1s
+  ASSERT_EQ(obs.times.size(), 1u);
+  panel.set_refresh_rate(60);
+  // Without fast exit the next tick would wait until t=1s; with it the
+  // tick lands one 60 Hz period after the last tick.
+  sim.run_until(sim::Time{40'000});
+  ASSERT_GE(obs.times.size(), 2u);
+  EXPECT_EQ(obs.times[1].ticks, 16'667);
+  EXPECT_EQ(obs.rates[1], 60);
+}
+
+TEST(DisplayPanel, FastRateUpNeverFiresInThePast) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet{1, 60}, 1);
+  panel.set_fast_rate_up(true);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_until(sim::Time{900'000});  // deep into the 1 Hz period
+  panel.set_refresh_rate(60);
+  sim.run_until(sim::Time{950'000});
+  ASSERT_GE(obs.times.size(), 2u);
+  EXPECT_GE(obs.times[1].ticks, 900'000);  // clamped to "now"
+}
+
+TEST(DisplayPanel, FastRateUpOffWaitsForBoundary) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet{1, 60}, 1);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kApp, &obs);
+  sim.run_until(sim::Time{10'000});
+  panel.set_refresh_rate(60);
+  sim.run_until(sim::Time{500'000});
+  EXPECT_EQ(obs.times.size(), 1u);  // still waiting for the 1 Hz boundary
+  sim.run_until(sim::Time{1'100'000});
+  EXPECT_GT(obs.times.size(), 2u);  // switched at t=1s, now at 60 Hz
+}
+
+TEST(DisplayPanel, VsyncCountMatchesObserver) {
+  sim::Simulator sim;
+  DisplayPanel panel(sim, RefreshRateSet::galaxy_s3(), 60);
+  RecordingObserver obs;
+  panel.add_observer(VsyncPhase::kScanout, &obs);
+  sim.run_for(sim::milliseconds(500));
+  EXPECT_EQ(panel.vsync_count(), obs.times.size());
+}
+
+}  // namespace
+}  // namespace ccdem::display

@@ -1,0 +1,217 @@
+#include "core/display_power_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "display/display_panel.h"
+#include "gfx/surface_flinger.h"
+#include "sim/simulator.h"
+
+namespace ccdem::core {
+namespace {
+
+constexpr gfx::Size kScreen{100, 100};
+
+/// A vsync-driven pixel toggler: posts a frame on every vsync and changes a
+/// sampled pixel at `content_fps`.
+class TogglerApp final : public display::VsyncObserver {
+ public:
+  TogglerApp(gfx::Surface* s, double content_fps)
+      : surface_(s), content_fps_(content_fps) {}
+
+  void on_vsync(sim::Time t, int) override {
+    gfx::Canvas& c = surface_->begin_frame();
+    const auto version = static_cast<std::int64_t>(t.seconds() * content_fps_);
+    if (version != last_version_) {
+      last_version_ = version;
+      toggle_ = !toggle_;
+      c.fill_rect(gfx::Rect{0, 0, 20, 20},
+                  toggle_ ? gfx::colors::kRed : gfx::colors::kBlue);
+    }
+    surface_->post_frame();
+  }
+
+  void set_content_fps(double fps) { content_fps_ = fps; }
+
+ private:
+  gfx::Surface* surface_;
+  double content_fps_;
+  std::int64_t last_version_ = -1;
+  bool toggle_ = false;
+};
+
+class ComposerHook final : public display::VsyncObserver {
+ public:
+  explicit ComposerHook(gfx::SurfaceFlinger& f) : f_(f) {}
+  void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
+
+ private:
+  gfx::SurfaceFlinger& f_;
+};
+
+struct Rig {
+  sim::Simulator sim;
+  gfx::SurfaceFlinger flinger{kScreen};
+  display::DisplayPanel panel{sim, display::RefreshRateSet::galaxy_s3(), 60};
+  gfx::Surface* surface =
+      flinger.create_surface("app", gfx::Rect::of(kScreen), 0);
+  std::unique_ptr<TogglerApp> app;
+  std::unique_ptr<ComposerHook> composer;
+  std::unique_ptr<DisplayPowerManager> dpm;
+
+  explicit Rig(double content_fps, DpmConfig config = {}) {
+    config.grid = GridSpec{10, 10};
+    app = std::make_unique<TogglerApp>(surface, content_fps);
+    composer = std::make_unique<ComposerHook>(flinger);
+    panel.add_observer(display::VsyncPhase::kApp, app.get());
+    panel.add_observer(display::VsyncPhase::kComposer, composer.get());
+    dpm = std::make_unique<DisplayPowerManager>(
+        sim, panel, flinger, std::make_unique<SectionPolicy>(panel.rates()),
+        nullptr, config);
+  }
+};
+
+TEST(DisplayPowerManager, LowContentDropsRefreshToMinimum) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+}
+
+TEST(DisplayPowerManager, HighContentKeepsMaximum) {
+  Rig rig(/*content_fps=*/55.0);
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+}
+
+TEST(DisplayPowerManager, MidContentPicksMatchingSection) {
+  Rig rig(/*content_fps=*/15.0);
+  rig.sim.run_for(sim::seconds(3));
+  // 15 fps falls in [10, 22) -> 24 Hz.
+  EXPECT_EQ(rig.panel.refresh_hz(), 24);
+}
+
+TEST(DisplayPowerManager, RampsBackUpWhenContentRises) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 20);
+  rig.app->set_content_fps(55.0);
+  rig.sim.run_for(sim::seconds(4));
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+}
+
+TEST(DisplayPowerManager, TouchBoostForcesMaxImmediately) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 20);
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  // The very next vsync applies the boost (<= one 20 Hz period away).
+  rig.sim.run_for(sim::milliseconds(60));
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+}
+
+TEST(DisplayPowerManager, BoostDecaysAfterHold) {
+  DpmConfig config;
+  config.boost_hold = sim::milliseconds(500);
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.sim.run_for(sim::seconds(3));
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  rig.sim.run_for(sim::milliseconds(100));
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);  // back to the content-rate section
+}
+
+TEST(DisplayPowerManager, BoostDisabledIgnoresTouch) {
+  DpmConfig config;
+  config.touch_boost = false;
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.sim.run_for(sim::seconds(3));
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  rig.sim.run_for(sim::milliseconds(300));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+}
+
+TEST(DisplayPowerManager, RecordsTraces) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(2));
+  EXPECT_FALSE(rig.dpm->content_rate_trace().empty());
+  EXPECT_FALSE(rig.dpm->refresh_rate_trace().empty());
+  // The refresh trace starts at the initial rate and ends at 20 Hz.
+  EXPECT_DOUBLE_EQ(rig.dpm->refresh_rate_trace().points().front().value, 60.0);
+  EXPECT_DOUBLE_EQ(rig.dpm->refresh_rate_trace().points().back().value, 20.0);
+}
+
+TEST(DisplayPowerManager, MeterSeesCappedContentRate) {
+  // With the panel at 20 Hz, a 30 fps content source is observed at ~20 fps
+  // (the V-Sync cap) -- but the section for 20 fps is 24 Hz, so the
+  // controller climbs instead of sticking (unlike the naive policy).
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 20);
+  rig.app->set_content_fps(30.0);
+  rig.sim.run_for(sim::seconds(5));
+  EXPECT_EQ(rig.panel.refresh_hz(), 40);  // 30 fps -> [27, 35) -> 40 Hz
+}
+
+TEST(DisplayPowerManager, MinHzFloorsTheController) {
+  DpmConfig config;
+  config.min_hz = 30;
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.sim.run_for(sim::seconds(3));
+  // 5 fps content maps to 20 Hz, but the floor holds at 30 Hz.
+  EXPECT_EQ(rig.panel.refresh_hz(), 30);
+}
+
+TEST(DisplayPowerManager, MinHzIgnoredWhenUnsupported) {
+  DpmConfig config;
+  config.min_hz = 25;  // not a Galaxy S3 level
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+}
+
+TEST(DisplayPowerManager, BoostHzCapsTheBoost) {
+  DpmConfig config;
+  config.boost_hz = 30;
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 20);
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  rig.sim.run_for(sim::milliseconds(120));
+  EXPECT_EQ(rig.panel.refresh_hz(), 30);  // capped, not 60
+}
+
+TEST(DisplayPowerManager, BoostNeverLowersThePolicyChoice) {
+  DpmConfig config;
+  config.boost_hz = 24;
+  Rig rig(/*content_fps=*/55.0, config);  // policy wants 60 Hz
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 60);
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  rig.sim.run_for(sim::milliseconds(400));
+  // The evaluation keeps max(boost cap, policy) = 60.
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+}
+
+TEST(DisplayPowerManager, StopFreezesEvaluation) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  rig.dpm->stop();
+  const auto n = rig.dpm->content_rate_trace().size();
+  rig.sim.run_for(sim::seconds(1));
+  EXPECT_EQ(rig.dpm->content_rate_trace().size(), n);
+}
+
+}  // namespace
+}  // namespace ccdem::core

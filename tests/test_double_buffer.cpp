@@ -1,0 +1,76 @@
+#include "gfx/double_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gfx/framebuffer.h"
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(DoubleBuffer, DefaultConstructed) {
+  DoubleBuffer<int> db;
+  EXPECT_EQ(db.front(), 0);
+  EXPECT_EQ(db.back(), 0);
+  EXPECT_EQ(db.front_index(), 0);
+}
+
+TEST(DoubleBuffer, InitialFrontBack) {
+  DoubleBuffer<std::string> db("front", "back");
+  EXPECT_EQ(db.front(), "front");
+  EXPECT_EQ(db.back(), "back");
+}
+
+TEST(DoubleBuffer, SwapExchangesRoles) {
+  DoubleBuffer<int> db(1, 2);
+  db.swap();
+  EXPECT_EQ(db.front(), 2);
+  EXPECT_EQ(db.back(), 1);
+  db.swap();
+  EXPECT_EQ(db.front(), 1);
+  EXPECT_EQ(db.back(), 2);
+}
+
+TEST(DoubleBuffer, SwapIsConstantTimeNoDataMove) {
+  // Swapping must not move buffer contents: pointers stay stable.
+  DoubleBuffer<std::vector<int>> db(std::vector<int>(1000, 1),
+                                    std::vector<int>(1000, 2));
+  const int* front_data = db.front().data();
+  const int* back_data = db.back().data();
+  db.swap();
+  EXPECT_EQ(db.front().data(), back_data);
+  EXPECT_EQ(db.back().data(), front_data);
+}
+
+TEST(DoubleBuffer, MutationsSurviveSwap) {
+  DoubleBuffer<int> db(0, 0);
+  db.front() = 42;
+  db.swap();
+  EXPECT_EQ(db.back(), 42);
+}
+
+TEST(DoubleBuffer, MeterUsagePattern) {
+  // The content-rate meter's cycle: capture into front, compare against
+  // back, swap -- after the swap the fresh capture has become "previous".
+  DoubleBuffer<std::vector<gfx::Rgb888>> db;
+  db.front() = {colors::kRed};
+  db.swap();
+  db.front() = {colors::kBlue};
+  EXPECT_EQ(db.back()[0], colors::kRed);   // previous frame
+  EXPECT_EQ(db.front()[0], colors::kBlue); // current frame
+  db.swap();
+  EXPECT_EQ(db.back()[0], colors::kBlue);
+}
+
+TEST(DoubleBuffer, WorksWithFramebuffers) {
+  DoubleBuffer<Framebuffer> db(Framebuffer(4, 4, colors::kRed),
+                               Framebuffer(4, 4, colors::kBlue));
+  EXPECT_EQ(db.front().at(0, 0), colors::kRed);
+  db.swap();
+  EXPECT_EQ(db.front().at(0, 0), colors::kBlue);
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

@@ -1,0 +1,129 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccdem::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Time{30}, [&](Time) { order.push_back(3); });
+  q.schedule_at(Time{10}, [&](Time) { order.push_back(1); });
+  q.schedule_at(Time{20}, [&](Time) { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Time{5}, [&](Time) { order.push_back(1); });
+  q.schedule_at(Time{5}, [&](Time) { order.push_back(2); });
+  q.schedule_at(Time{5}, [&](Time) { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.schedule_at(Time{42}, [](Time) {});
+  EXPECT_EQ(q.next_time(), Time{42});
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule_at(Time{17}, [](Time) {});
+  EXPECT_EQ(q.run_next(), Time{17});
+}
+
+TEST(EventQueue, CallbackReceivesEventTime) {
+  EventQueue q;
+  Time seen{};
+  q.schedule_at(Time{99}, [&](Time t) { seen = t; });
+  q.run_next();
+  EXPECT_EQ(seen, Time{99});
+}
+
+TEST(EventQueue, PastEventsClampToLastPopped) {
+  EventQueue q;
+  std::vector<Tick> times;
+  q.schedule_at(Time{100}, [&](Time t) {
+    times.push_back(t.ticks);
+    // Scheduling in the past must clamp to "now", not run before it.
+    q.schedule_at(Time{50}, [&](Time t2) { times.push_back(t2.ticks); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(times, (std::vector<Tick>{100, 100}));
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventHandle h = q.schedule_at(Time{10}, [&](Time) { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventHandle h = q.schedule_at(Time{10}, [](Time) {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventHandle h = q.schedule_at(Time{10}, [](Time) {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelDefaultHandleIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Time{10}, [&](Time) { order.push_back(1); });
+  const EventHandle h =
+      q.schedule_at(Time{20}, [&](Time) { order.push_back(2); });
+  q.schedule_at(Time{30}, [&](Time) { order.push_back(3); });
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventHandle h = q.schedule_at(Time{10}, [](Time) {});
+  q.schedule_at(Time{20}, [](Time) {});
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), Time{20});
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreProcessed) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(Time{10}, [&](Time t) {
+    ++count;
+    q.schedule_at(t + Duration{5}, [&](Time) { ++count; });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace ccdem::sim

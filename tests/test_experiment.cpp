@@ -1,0 +1,142 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profiles.h"
+
+namespace ccdem::harness {
+namespace {
+
+ExperimentConfig quick_config(const std::string& app, ControlMode mode,
+                              int seconds = 10) {
+  ExperimentConfig c;
+  c.app = apps::app_by_name(app);
+  c.duration = sim::seconds(seconds);
+  c.seed = 42;
+  c.mode = mode;
+  return c;
+}
+
+TEST(Experiment, BaselineStaysAtSixtyHz) {
+  const ExperimentResult r =
+      run_experiment(quick_config("Facebook", ControlMode::kBaseline60));
+  EXPECT_DOUBLE_EQ(r.mean_refresh_hz, 60.0);
+  EXPECT_EQ(r.refresh_rate.size(), 1u);
+  EXPECT_GT(r.mean_power_mw, 500.0);
+}
+
+TEST(Experiment, SectionControlLowersMeanRefresh) {
+  const ExperimentResult base =
+      run_experiment(quick_config("Jelly Splash", ControlMode::kBaseline60));
+  const ExperimentResult ctl =
+      run_experiment(quick_config("Jelly Splash", ControlMode::kSection));
+  EXPECT_LT(ctl.mean_refresh_hz, 45.0);
+  EXPECT_LT(ctl.mean_power_mw, base.mean_power_mw);
+}
+
+TEST(Experiment, SameSeedSameScript) {
+  const auto a = run_experiment(quick_config("Facebook",
+                                             ControlMode::kBaseline60));
+  const auto b = run_experiment(quick_config("Facebook",
+                                             ControlMode::kBaseline60));
+  EXPECT_EQ(a.touch_events, b.touch_events);
+  EXPECT_EQ(a.frames_composed, b.frames_composed);
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+}
+
+TEST(Experiment, DifferentSeedDifferentScript) {
+  auto c1 = quick_config("Facebook", ControlMode::kBaseline60);
+  auto c2 = c1;
+  c2.seed = 43;
+  const auto a = run_experiment(c1);
+  const auto b = run_experiment(c2);
+  EXPECT_NE(a.touch_events, b.touch_events);
+}
+
+TEST(Experiment, ResultCarriesTraces) {
+  const auto r =
+      run_experiment(quick_config("Jelly Splash", ControlMode::kSection));
+  EXPECT_FALSE(r.power.empty());
+  EXPECT_FALSE(r.frame_rate.empty());
+  EXPECT_FALSE(r.content_rate.empty());
+  EXPECT_FALSE(r.measured_content_rate.empty());
+  EXPECT_FALSE(r.refresh_rate.empty());
+  EXPECT_EQ(r.app_name, "Jelly Splash");
+  EXPECT_EQ(r.mode, ControlMode::kSection);
+}
+
+TEST(Experiment, BaselineRunsNoMeterTrace) {
+  const auto r =
+      run_experiment(quick_config("Facebook", ControlMode::kBaseline60));
+  EXPECT_TRUE(r.measured_content_rate.empty());
+}
+
+TEST(Experiment, AbSavesPowerOnRedundantApp) {
+  const AbResult ab =
+      run_ab(quick_config("Jelly Splash", ControlMode::kSection, 15));
+  EXPECT_GT(ab.saved_power_mw, 100.0);
+  EXPECT_GT(ab.saved_power_pct, 5.0);
+  EXPECT_GT(ab.quality.display_quality_pct, 50.0);
+}
+
+TEST(Experiment, BoostCostsPowerButImprovesQuality) {
+  const AbResult section =
+      run_ab(quick_config("Jelly Splash", ControlMode::kSection, 20));
+  const AbResult boost = run_ab(
+      quick_config("Jelly Splash", ControlMode::kSectionWithBoost, 20));
+  EXPECT_GE(boost.quality.display_quality_pct,
+            section.quality.display_quality_pct);
+  EXPECT_LE(boost.saved_power_mw, section.saved_power_mw + 10.0);
+}
+
+TEST(Experiment, NaiveModeRuns) {
+  const auto r =
+      run_experiment(quick_config("Jelly Splash", ControlMode::kNaive));
+  // The naive controller ratchets down and sticks near the minimum rate.
+  EXPECT_LT(r.mean_refresh_hz, 30.0);
+}
+
+TEST(Experiment, HysteresisModeRunsAndSwitchesLess) {
+  const auto plain = run_experiment(
+      quick_config("Jelly Splash", ControlMode::kSectionWithBoost, 15));
+  const auto hyst = run_experiment(
+      quick_config("Jelly Splash", ControlMode::kSectionHysteresis, 15));
+  EXPECT_LE(hyst.rate_switches, plain.rate_switches);
+  EXPECT_GT(hyst.rate_switches, 0u);
+}
+
+TEST(Experiment, E3ModeCapsAppNotPanel) {
+  const auto r = run_experiment(
+      quick_config("Jelly Splash", ControlMode::kE3FrameRate, 15));
+  // Panel pinned at 60 Hz; the app's frame rate throttled well below it.
+  EXPECT_DOUBLE_EQ(r.mean_refresh_hz, 60.0);
+  const double fps =
+      static_cast<double>(r.frames_composed) / r.duration.seconds();
+  EXPECT_LT(fps, 40.0);
+}
+
+TEST(Experiment, E3ModeSavesLessThanRefreshControl) {
+  const AbResult e3 =
+      run_ab(quick_config("Jelly Splash", ControlMode::kE3FrameRate, 15));
+  const AbResult ours = run_ab(
+      quick_config("Jelly Splash", ControlMode::kSectionWithBoost, 15));
+  EXPECT_GT(e3.saved_power_mw, 0.0);
+  EXPECT_GT(ours.saved_power_mw, e3.saved_power_mw);
+}
+
+TEST(Experiment, RateSwitchCountConsistentWithTrace) {
+  const auto r = run_experiment(
+      quick_config("Jelly Splash", ControlMode::kSectionWithBoost, 10));
+  EXPECT_EQ(r.rate_switches + 1, r.refresh_rate.size());
+}
+
+TEST(Experiment, ControlModeNames) {
+  EXPECT_STREQ(control_mode_name(ControlMode::kBaseline60), "baseline-60Hz");
+  EXPECT_STREQ(control_mode_name(ControlMode::kSection), "section");
+  EXPECT_STREQ(control_mode_name(ControlMode::kSectionWithBoost),
+               "section+boost");
+  EXPECT_STREQ(control_mode_name(ControlMode::kNaive), "naive");
+}
+
+}  // namespace
+}  // namespace ccdem::harness

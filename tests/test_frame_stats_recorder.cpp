@@ -1,0 +1,87 @@
+#include "metrics/frame_stats_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::metrics {
+namespace {
+
+gfx::FrameInfo frame_at(sim::Tick t, bool content) {
+  gfx::FrameInfo info;
+  info.composed_at = sim::Time{t};
+  info.content_changed = content;
+  return info;
+}
+
+TEST(FrameStatsRecorder, CountsTotals) {
+  FrameStatsRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  r.on_frame(frame_at(0, true), fb);
+  r.on_frame(frame_at(10'000, false), fb);
+  r.on_frame(frame_at(20'000, true), fb);
+  EXPECT_EQ(r.total_frames(), 3u);
+  EXPECT_EQ(r.total_content_frames(), 2u);
+  EXPECT_EQ(r.total_redundant_frames(), 1u);
+}
+
+TEST(FrameStatsRecorder, PerSecondRates) {
+  FrameStatsRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  // 30 frames in second 0 (10 with content), 10 frames in second 1.
+  for (int i = 0; i < 30; ++i) {
+    r.on_frame(frame_at(i * 33'000, i % 3 == 0), fb);
+  }
+  for (int i = 0; i < 10; ++i) {
+    r.on_frame(frame_at(1'000'000 + i * 100'000, true), fb);
+  }
+  r.finish(sim::Time{2'000'000});
+  ASSERT_EQ(r.frame_rate().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[0].value, 30.0);
+  EXPECT_DOUBLE_EQ(r.content_rate().points()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(r.content_rate().points()[1].value, 10.0);
+}
+
+TEST(FrameStatsRecorder, SilentSecondsAreZero) {
+  FrameStatsRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  r.on_frame(frame_at(100'000, true), fb);
+  // Next frame three seconds later.
+  r.on_frame(frame_at(3'100'000, true), fb);
+  r.finish(sim::Time{4'000'000});
+  ASSERT_GE(r.frame_rate().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[2].value, 0.0);
+}
+
+TEST(FrameStatsRecorder, FinishScalesPartialBucket) {
+  FrameStatsRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  // 5 frames within the first 500 ms, run ends at 500 ms -> 10 fps.
+  for (int i = 0; i < 5; ++i) {
+    r.on_frame(frame_at(i * 100'000, true), fb);
+  }
+  r.finish(sim::Time{500'000});
+  ASSERT_EQ(r.frame_rate().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[0].value, 10.0);
+}
+
+TEST(FrameStatsRecorder, EmptyRunProducesNoTrace) {
+  FrameStatsRecorder r;
+  r.finish(sim::Time{5'000'000});
+  EXPECT_TRUE(r.frame_rate().empty());
+}
+
+TEST(FrameStatsRecorder, CustomBucketSize) {
+  FrameStatsRecorder r(sim::milliseconds(500));
+  gfx::Framebuffer fb(1, 1);
+  for (int i = 0; i < 10; ++i) {
+    r.on_frame(frame_at(i * 100'000, true), fb);  // 10 fps for 1 s
+  }
+  r.finish(sim::Time{1'000'000});
+  ASSERT_EQ(r.frame_rate().size(), 2u);
+  // 5 frames per 0.5 s bucket -> 10 fps.
+  EXPECT_DOUBLE_EQ(r.frame_rate().points()[0].value, 10.0);
+}
+
+}  // namespace
+}  // namespace ccdem::metrics

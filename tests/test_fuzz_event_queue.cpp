@@ -1,0 +1,92 @@
+// Randomized differential test: EventQueue against a trivially correct
+// reference (sorted vector scan).  Random interleavings of schedule, cancel
+// and run must produce identical execution orders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace ccdem::sim {
+namespace {
+
+/// Reference model: ids with (time, seq); runnable = min (time, seq).
+class ReferenceQueue {
+ public:
+  int schedule(Tick at, Tick now) {
+    const int id = next_id_++;
+    pending_[id] = {std::max(at, now), id};
+    return id;
+  }
+  bool cancel(int id) { return pending_.erase(id) > 0; }
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  /// Pops the (time, seq)-minimal entry; returns its id.
+  int run_next(Tick* time_out) {
+    auto best = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second < best->second) best = it;
+    }
+    const int id = best->first;
+    *time_out = best->second.first;
+    pending_.erase(best);
+    return id;
+  }
+
+ private:
+  std::map<int, std::pair<Tick, int>> pending_;
+  int next_id_ = 0;
+};
+
+TEST(EventQueueFuzz, MatchesReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue queue;
+    ReferenceQueue ref;
+    std::vector<int> executed;            // ids in real execution order
+    std::vector<int> ref_executed;        // ids in reference order
+    std::map<int, EventHandle> handles;   // ref id -> real handle
+    std::vector<int> live_ids;
+    Tick now = 0;
+
+    for (int step = 0; step < 2'000; ++step) {
+      const auto action = rng.uniform_int(0, 9);
+      if (action <= 5) {
+        // Schedule at a random (possibly past) time.
+        const Tick at = now + rng.uniform_int(-50, 500);
+        const int id = ref.schedule(at, now);
+        handles[id] = queue.schedule_at(
+            Time{at}, [id, &executed](Time) { executed.push_back(id); });
+        live_ids.push_back(id);
+      } else if (action <= 7 && !live_ids.empty()) {
+        // Cancel a random known id (may already have run).
+        const auto k = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live_ids.size()) - 1));
+        const int id = live_ids[k];
+        const bool ref_cancelled = ref.cancel(id);
+        const bool real_cancelled = queue.cancel(handles[id]);
+        ASSERT_EQ(real_cancelled, ref_cancelled) << "id " << id;
+      } else if (!queue.empty()) {
+        ASSERT_FALSE(ref.empty());
+        Tick ref_time = 0;
+        ref_executed.push_back(ref.run_next(&ref_time));
+        const Time t = queue.run_next();
+        ASSERT_EQ(t.ticks, std::max(ref_time, now));
+        now = t.ticks;
+      }
+    }
+    // Drain.
+    while (!queue.empty()) {
+      Tick ref_time = 0;
+      ref_executed.push_back(ref.run_next(&ref_time));
+      queue.run_next();
+    }
+    ASSERT_TRUE(ref.empty());
+    EXPECT_EQ(executed, ref_executed) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ccdem::sim

@@ -1,0 +1,117 @@
+// Randomized differential test: Region against a brute-force bitmap on a
+// small canvas.  The region's area must never undercount coverage (it may
+// overcount only after coalescing, which joins rects), and every covered
+// point must be contained.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bitset>
+
+#include "gfx/region.h"
+#include "sim/rng.h"
+
+namespace ccdem::gfx {
+namespace {
+
+constexpr int kSide = 64;
+
+class Bitmap {
+ public:
+  void add(Rect r) {
+    const Rect c = r.intersect(Rect{0, 0, kSide, kSide});
+    for (int y = c.y; y < c.bottom(); ++y) {
+      for (int x = c.x; x < c.right(); ++x) {
+        bits_.set(static_cast<std::size_t>(y * kSide + x));
+      }
+    }
+  }
+  [[nodiscard]] bool test(int x, int y) const {
+    return bits_.test(static_cast<std::size_t>(y * kSide + x));
+  }
+  [[nodiscard]] std::int64_t count() const {
+    return static_cast<std::int64_t>(bits_.count());
+  }
+
+ private:
+  std::bitset<kSide * kSide> bits_;
+};
+
+TEST(RegionFuzz, CoverageMatchesBitmapBeforeCoalescing) {
+  // With few rects the region never coalesces, so area must be EXACT.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::Rng rng(seed);
+    Region region;
+    Bitmap bitmap;
+    for (int i = 0; i < 6; ++i) {  // stays below kMaxRects worst case
+      const int x = static_cast<int>(rng.uniform_int(0, kSide - 2));
+      const int y = static_cast<int>(rng.uniform_int(0, kSide - 2));
+      const Rect r{x, y,
+                   static_cast<int>(rng.uniform_int(1, std::min(20, kSide - x))),
+                   static_cast<int>(rng.uniform_int(1, std::min(20, kSide - y)))};
+      region.add(r);
+      bitmap.add(r);
+    }
+    if (region.rects().size() < Region::kMaxRects) {
+      EXPECT_EQ(region.area(), bitmap.count()) << "seed " << seed;
+    }
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        if (bitmap.test(x, y)) {
+          ASSERT_TRUE(region.contains({x, y}))
+              << "seed " << seed << " point " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(RegionFuzz, NeverUndercoversUnderCoalescing) {
+  // Many rects force coalescing: containment of every covered point must
+  // still hold, and area must be >= the true coverage.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng(seed * 977);
+    Region region;
+    Bitmap bitmap;
+    for (int i = 0; i < 60; ++i) {
+      const int x = static_cast<int>(rng.uniform_int(0, kSide - 9));
+      const int y = static_cast<int>(rng.uniform_int(0, kSide - 9));
+      const Rect r{x, y, static_cast<int>(rng.uniform_int(1, 8)),
+                   static_cast<int>(rng.uniform_int(1, 8))};
+      region.add(r);
+      bitmap.add(r);
+    }
+    EXPECT_GE(region.area(), bitmap.count()) << "seed " << seed;
+    EXPECT_LE(region.rects().size(), Region::kMaxRects);
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        if (bitmap.test(x, y)) {
+          ASSERT_TRUE(region.contains({x, y}))
+              << "seed " << seed << " point " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(RegionFuzz, DisjointInvariantHolds) {
+  for (std::uint64_t seed = 100; seed <= 104; ++seed) {
+    sim::Rng rng(seed);
+    Region region;
+    for (int i = 0; i < 100; ++i) {
+      region.add(Rect{static_cast<int>(rng.uniform_int(0, kSide - 2)),
+                      static_cast<int>(rng.uniform_int(0, kSide - 2)),
+                      static_cast<int>(rng.uniform_int(1, 30)),
+                      static_cast<int>(rng.uniform_int(1, 30))});
+      const auto& rects = region.rects();
+      for (std::size_t a = 0; a < rects.size(); ++a) {
+        for (std::size_t b = a + 1; b < rects.size(); ++b) {
+          ASSERT_TRUE(rects[a].intersect(rects[b]).empty())
+              << "seed " << seed << " add " << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

@@ -1,0 +1,84 @@
+#include "gfx/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(Rect, EmptyAndArea) {
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_TRUE((Rect{0, 0, 0, 5}).empty());
+  EXPECT_TRUE((Rect{0, 0, 5, 0}).empty());
+  EXPECT_FALSE((Rect{0, 0, 1, 1}).empty());
+  EXPECT_EQ((Rect{0, 0, 3, 4}).area(), 12);
+  EXPECT_EQ((Rect{0, 0, -3, 4}).area(), 0);
+}
+
+TEST(Rect, Edges) {
+  const Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.right(), 40);
+  EXPECT_EQ(r.bottom(), 60);
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({9, 9}));
+  EXPECT_FALSE(r.contains({10, 9}));
+  EXPECT_FALSE(r.contains({9, 10}));
+  EXPECT_FALSE(r.contains({-1, 5}));
+}
+
+TEST(Rect, IntersectOverlapping) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 10, 10};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 5, 5}));
+}
+
+TEST(Rect, IntersectDisjointIsEmpty) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{20, 20, 5, 5};
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Rect, IntersectTouchingEdgesIsEmpty) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{10, 0, 10, 10};
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Rect, IntersectContained) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{2, 2, 3, 3};
+  EXPECT_EQ(a.intersect(b), b);
+}
+
+TEST(Rect, JoinBounds) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{8, 8, 2, 2};
+  EXPECT_EQ(a.join(b), (Rect{0, 0, 10, 10}));
+}
+
+TEST(Rect, JoinWithEmptyReturnsOther) {
+  const Rect a{3, 4, 5, 6};
+  EXPECT_EQ(a.join(Rect{}), a);
+  EXPECT_EQ(Rect{}.join(a), a);
+  EXPECT_TRUE(Rect{}.join(Rect{}).empty());
+}
+
+TEST(Rect, Translated) {
+  EXPECT_EQ((Rect{1, 2, 3, 4}).translated(10, 20), (Rect{11, 22, 3, 4}));
+}
+
+TEST(Rect, OfSize) {
+  EXPECT_EQ(Rect::of(Size{7, 8}), (Rect{0, 0, 7, 8}));
+}
+
+TEST(Size, AreaAndEmpty) {
+  EXPECT_EQ((Size{720, 1280}).area(), 921'600);
+  EXPECT_TRUE((Size{0, 5}).empty());
+  EXPECT_FALSE((Size{1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

@@ -1,0 +1,71 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::metrics {
+namespace {
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_EQ(h.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 75.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 100.0);
+}
+
+TEST(Histogram, CountsIntoCorrectBuckets) {
+  Histogram h(0.0, 100.0, 4);
+  h.add(10.0);
+  h.add(30.0);
+  h.add(30.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BoundaryValueGoesToUpperBucket) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(5.0);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, FractionBelow) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 8; ++i) h.add(5.0);   // bucket [0,10)
+  for (int i = 0; i < 2; ++i) h.add(95.0);  // bucket [90,100)
+  EXPECT_DOUBLE_EQ(h.fraction_below(10.0), 0.8);
+  EXPECT_DOUBLE_EQ(h.fraction_below(90.0), 0.8);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+}
+
+TEST(Histogram, FractionBelowEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1.0), 0.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(s.find("#####"), std::string::npos);       // half bucket
+  EXPECT_NE(s.find("| 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccdem::metrics

@@ -1,0 +1,88 @@
+#include "core/hysteresis_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ccdem::core {
+namespace {
+
+const display::RefreshRateSet kS3 = display::RefreshRateSet::galaxy_s3();
+
+HysteresisPolicy make(int confirmations = 3) {
+  return HysteresisPolicy(std::make_unique<SectionPolicy>(kS3, 0.5),
+                          confirmations);
+}
+
+TEST(HysteresisPolicy, IncreasesApplyImmediately) {
+  auto p = make();
+  EXPECT_EQ(p.decide(sim::Time{}, 50.0, 20), 60);
+}
+
+TEST(HysteresisPolicy, HoldsSameRate) {
+  auto p = make();
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 20), 20);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 20), 20);
+}
+
+TEST(HysteresisPolicy, DecreaseNeedsConfirmations) {
+  auto p = make(3);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);  // 1st ask: held
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);  // 2nd ask: held
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 20);  // 3rd ask: applied
+}
+
+TEST(HysteresisPolicy, IncreaseResetsDownCounter) {
+  auto p = make(2);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);   // pending down = 1
+  EXPECT_EQ(p.decide(sim::Time{}, 55.0, 60), 60);  // hold/up: counter resets
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);   // pending down = 1 again
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 20);   // confirmed
+}
+
+TEST(HysteresisPolicy, CounterResetsAfterApplying) {
+  auto p = make(2);
+  (void)p.decide(sim::Time{}, 5.0, 60);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 20);
+  // Now at 20 Hz; a fresh decrease opportunity needs confirmations again.
+  EXPECT_EQ(p.decide(sim::Time{}, 15.0, 30), 30);
+  EXPECT_EQ(p.decide(sim::Time{}, 15.0, 30), 24);
+}
+
+TEST(HysteresisPolicy, SingleConfirmationBehavesLikeInner) {
+  auto p = make(1);
+  SectionPolicy inner(kS3, 0.5);
+  for (double c : {5.0, 15.0, 25.0, 33.0, 50.0}) {
+    EXPECT_EQ(p.decide(sim::Time{}, c, 60),
+              inner.decide(sim::Time{}, c, 60));
+  }
+}
+
+TEST(HysteresisPolicy, ExposesInnerAndName) {
+  auto p = make();
+  EXPECT_STREQ(p.name(), "hysteresis");
+  EXPECT_STREQ(p.inner().name(), "section");
+  EXPECT_EQ(p.down_confirmations(), 3);
+}
+
+TEST(HysteresisPolicy, OscillatingInputProducesFewerSwitches) {
+  // Content rate flapping across the 10 fps threshold: the raw section
+  // policy flips 24<->20 every step; hysteresis holds the higher rate.
+  auto hyst = make(3);
+  SectionPolicy raw(kS3, 0.5);
+  int hyst_hz = 60, raw_hz = 60;
+  int hyst_switches = 0, raw_switches = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double c = (i % 2 == 0) ? 9.0 : 11.0;
+    const int h = hyst.decide(sim::Time{}, c, hyst_hz);
+    if (h != hyst_hz) ++hyst_switches;
+    hyst_hz = h;
+    const int r = raw.decide(sim::Time{}, c, raw_hz);
+    if (r != raw_hz) ++raw_switches;
+    raw_hz = r;
+  }
+  EXPECT_LT(hyst_switches, raw_switches / 4);
+}
+
+}  // namespace
+}  // namespace ccdem::core

@@ -1,0 +1,130 @@
+#include "input/input_dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ccdem::input {
+namespace {
+
+class Recorder final : public TouchListener {
+ public:
+  void on_touch(const TouchEvent& e) override { events.push_back(e); }
+  std::vector<TouchEvent> events;
+};
+
+TouchGesture tap(sim::Tick at, gfx::Point p) {
+  TouchGesture g;
+  g.start = sim::Time{at};
+  g.duration = sim::milliseconds(60);
+  g.kind = TouchGesture::Kind::kTap;
+  g.from = g.to = p;
+  return g;
+}
+
+TouchGesture swipe(sim::Tick at, gfx::Point from, gfx::Point to,
+                   sim::Duration dur) {
+  TouchGesture g;
+  g.start = sim::Time{at};
+  g.duration = dur;
+  g.kind = TouchGesture::Kind::kSwipe;
+  g.from = from;
+  g.to = to;
+  return g;
+}
+
+TEST(InputDispatcher, TapDeliversDownAndUp) {
+  sim::Simulator sim;
+  InputDispatcher d(sim);
+  Recorder rec;
+  d.add_listener(&rec);
+  d.schedule_script({tap(100'000, {10, 20})});
+  sim.run_for(sim::seconds(1));
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[0].action, TouchEvent::Action::kDown);
+  EXPECT_EQ(rec.events[0].t, sim::Time{100'000});
+  EXPECT_EQ(rec.events[0].pos, (gfx::Point{10, 20}));
+  EXPECT_EQ(rec.events[1].action, TouchEvent::Action::kUp);
+  EXPECT_EQ(rec.events[1].t, sim::Time{160'000});
+}
+
+TEST(InputDispatcher, SwipeEmitsMoveTrain) {
+  sim::Simulator sim;
+  InputDispatcher d(sim, /*sample_rate_hz=*/100.0);
+  Recorder rec;
+  d.add_listener(&rec);
+  d.schedule_script(
+      {swipe(0, {0, 0}, {100, 200}, sim::milliseconds(100))});
+  sim.run_for(sim::seconds(1));
+  // down + 9 moves (10 ms apart, strictly inside (0, 100 ms)) + up.
+  ASSERT_EQ(rec.events.size(), 11u);
+  EXPECT_EQ(rec.events.front().action, TouchEvent::Action::kDown);
+  EXPECT_EQ(rec.events.back().action, TouchEvent::Action::kUp);
+  for (std::size_t i = 1; i + 1 < rec.events.size(); ++i) {
+    EXPECT_EQ(rec.events[i].action, TouchEvent::Action::kMove);
+  }
+}
+
+TEST(InputDispatcher, MovePositionsInterpolate) {
+  sim::Simulator sim;
+  InputDispatcher d(sim, 100.0);
+  Recorder rec;
+  d.add_listener(&rec);
+  d.schedule_script({swipe(0, {0, 0}, {100, 100}, sim::milliseconds(100))});
+  sim.run_for(sim::seconds(1));
+  // The move at t = 50 ms sits halfway.
+  bool found = false;
+  for (const auto& e : rec.events) {
+    if (e.action == TouchEvent::Action::kMove && e.t == sim::Time{50'000}) {
+      EXPECT_EQ(e.pos, (gfx::Point{50, 50}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(rec.events.back().pos, (gfx::Point{100, 100}));
+}
+
+TEST(InputDispatcher, ListenersCalledInRegistrationOrder) {
+  sim::Simulator sim;
+  InputDispatcher d(sim);
+  std::vector<int> order;
+  struct Probe final : TouchListener {
+    std::vector<int>* order;
+    int id;
+    Probe(std::vector<int>* o, int i) : order(o), id(i) {}
+    void on_touch(const TouchEvent&) override { order->push_back(id); }
+  };
+  Probe a(&order, 1), b(&order, 2);
+  d.add_listener(&a);
+  d.add_listener(&b);
+  d.schedule_script({tap(0, {1, 1})});
+  sim.run_until(sim::Time{0});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // the down event
+}
+
+TEST(InputDispatcher, ScriptIsRelativeToNow) {
+  sim::Simulator sim;
+  sim.run_until(sim::Time{500'000});
+  InputDispatcher d(sim);
+  Recorder rec;
+  d.add_listener(&rec);
+  d.schedule_script({tap(100'000, {0, 0})});
+  sim.run_for(sim::seconds(1));
+  ASSERT_FALSE(rec.events.empty());
+  EXPECT_EQ(rec.events[0].t, sim::Time{600'000});
+}
+
+TEST(InputDispatcher, CountsDeliveredEvents) {
+  sim::Simulator sim;
+  InputDispatcher d(sim);
+  Recorder rec;
+  d.add_listener(&rec);
+  d.schedule_script({tap(0, {0, 0}), tap(200'000, {5, 5})});
+  sim.run_for(sim::seconds(1));
+  EXPECT_EQ(d.events_delivered(), 4u);
+}
+
+}  // namespace
+}  // namespace ccdem::input

@@ -1,0 +1,68 @@
+#include "core/metering_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/grid_sampler.h"
+
+namespace ccdem::core {
+namespace {
+
+TEST(MeteringCostModel, MatchesCalibrationPoints) {
+  const MeteringCostModel m;
+  EXPECT_NEAR(m.duration_ms(9'216), 5.0, 1e-9);
+  EXPECT_NEAR(m.duration_ms(36'864), 9.0, 1e-9);
+  EXPECT_NEAR(m.duration_ms(921'600), 42.0, 1e-9);
+}
+
+TEST(MeteringCostModel, SmallGridsUnderOneMillisecond) {
+  const MeteringCostModel m;
+  // Paper: "metering with less than 9K pixels takes less than 1 ms".
+  EXPECT_LT(m.duration_ms(GridSpec::grid_2k().sample_count()), 1.0);
+  EXPECT_LT(m.duration_ms(GridSpec::grid_4k().sample_count()), 1.0);
+}
+
+TEST(MeteringCostModel, MonotonicInSampleCount) {
+  const MeteringCostModel m;
+  double prev = 0.0;
+  for (std::int64_t n : {1'000, 2'304, 4'080, 9'216, 20'000, 36'864,
+                         100'000, 921'600, 2'000'000}) {
+    const double d = m.duration_ms(n);
+    EXPECT_GT(d, prev) << "at n=" << n;
+    prev = d;
+  }
+}
+
+TEST(MeteringCostModel, FullResolutionBreaksSixtyHzBudget) {
+  const MeteringCostModel m;
+  // Section 4.1: examining all pixels cannot finish within 1/60 s = 16.67 ms.
+  EXPECT_FALSE(m.fits_frame_budget(921'600, 60));
+  // 36K and below fit.
+  EXPECT_TRUE(m.fits_frame_budget(36'864, 60));
+  EXPECT_TRUE(m.fits_frame_budget(9'216, 60));
+}
+
+TEST(MeteringCostModel, BudgetScalesWithRefreshRate) {
+  const MeteringCostModel m;
+  // At 20 Hz the budget is 50 ms, so even the full resolution fits.
+  EXPECT_TRUE(m.fits_frame_budget(921'600, 20));
+}
+
+TEST(MeteringCostModel, EnergyProportionalToDuration) {
+  const MeteringCostModel m;
+  const double e = m.energy_mj(9'216, /*cpu_active_mw=*/200.0);
+  EXPECT_NEAR(e, 5.0 / 1000.0 * 200.0, 1e-9);
+}
+
+TEST(MeteringCostModel, CustomCalibration) {
+  const MeteringCostModel m({{100, 1.0}, {1'000, 10.0}});
+  EXPECT_NEAR(m.duration_ms(100), 1.0, 1e-9);
+  EXPECT_NEAR(m.duration_ms(1'000), 10.0, 1e-9);
+  // Log-log interpolation of a linear relationship stays linear.
+  EXPECT_NEAR(m.duration_ms(316), 3.16, 0.01);
+  // Extrapolation below/above scales linearly with count.
+  EXPECT_NEAR(m.duration_ms(50), 0.5, 1e-9);
+  EXPECT_NEAR(m.duration_ms(2'000), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccdem::core

@@ -1,0 +1,101 @@
+#include "input/monkey.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::input {
+namespace {
+
+constexpr gfx::Size kScreen{720, 1280};
+
+TEST(Monkey, DeterministicForSeed) {
+  sim::Rng r1(99), r2(99);
+  const auto a = generate_monkey_script(r1, MonkeyProfile::general_app(),
+                                        sim::seconds(60), kScreen);
+  const auto b = generate_monkey_script(r2, MonkeyProfile::general_app(),
+                                        sim::seconds(60), kScreen);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
+TEST(Monkey, GesturesWithinRunLength) {
+  sim::Rng r(5);
+  const auto script = generate_monkey_script(
+      r, MonkeyProfile::general_app(), sim::seconds(30), kScreen);
+  for (const auto& g : script) {
+    EXPECT_LT(g.start.ticks, sim::seconds(30).ticks);
+    EXPECT_GE(g.start.ticks, 0);
+  }
+}
+
+TEST(Monkey, GesturesAreTimeOrderedAndNonOverlapping) {
+  sim::Rng r(6);
+  const auto script = generate_monkey_script(
+      r, MonkeyProfile::game_app(), sim::seconds(60), kScreen);
+  for (std::size_t i = 1; i < script.size(); ++i) {
+    EXPECT_GE(script[i].start.ticks,
+              script[i - 1].start.ticks + script[i - 1].duration.ticks);
+  }
+}
+
+TEST(Monkey, PositionsWithinScreen) {
+  sim::Rng r(7);
+  const auto script = generate_monkey_script(
+      r, MonkeyProfile::game_app(), sim::seconds(60), kScreen);
+  for (const auto& g : script) {
+    EXPECT_TRUE(gfx::Rect::of(kScreen).contains(g.from));
+    EXPECT_TRUE(gfx::Rect::of(kScreen).contains(g.to));
+  }
+}
+
+TEST(Monkey, GameProfileTouchesMoreOften) {
+  sim::Rng r1(8), r2(8);
+  const auto general = generate_monkey_script(
+      r1, MonkeyProfile::general_app(), sim::seconds(120), kScreen);
+  const auto game = generate_monkey_script(
+      r2, MonkeyProfile::game_app(), sim::seconds(120), kScreen);
+  EXPECT_GT(game.size(), general.size() * 2);
+}
+
+TEST(Monkey, TapsHaveZeroDisplacement) {
+  sim::Rng r(9);
+  const auto script = generate_monkey_script(
+      r, MonkeyProfile::general_app(), sim::seconds(120), kScreen);
+  for (const auto& g : script) {
+    if (g.kind == TouchGesture::Kind::kTap) {
+      EXPECT_EQ(g.from, g.to);
+    } else {
+      EXPECT_GT(g.duration.ticks, 0);
+    }
+  }
+}
+
+TEST(Monkey, SwipeProbabilityRespected) {
+  sim::Rng r(10);
+  MonkeyProfile p = MonkeyProfile::general_app();
+  p.swipe_probability = 1.0;
+  const auto script =
+      generate_monkey_script(r, p, sim::seconds(60), kScreen);
+  for (const auto& g : script) {
+    EXPECT_EQ(g.kind, TouchGesture::Kind::kSwipe);
+  }
+}
+
+TEST(Monkey, MeanGapApproximatelyHonoured) {
+  sim::Rng r(11);
+  MonkeyProfile p = MonkeyProfile::general_app();
+  p.mean_gap_s = 2.0;
+  p.swipe_probability = 0.0;
+  const auto script =
+      generate_monkey_script(r, p, sim::seconds(600), kScreen);
+  // ~600 s / ~2.06 s per cycle (gap + tap) -> ~290 gestures.
+  EXPECT_GT(script.size(), 200u);
+  EXPECT_LT(script.size(), 400u);
+}
+
+}  // namespace
+}  // namespace ccdem::input

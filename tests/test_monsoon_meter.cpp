@@ -1,0 +1,81 @@
+#include "power/monsoon_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace ccdem::power {
+namespace {
+
+DevicePowerParams flat_params(double total_mw) {
+  DevicePowerParams p;
+  p.soc_base_mw = total_mw;
+  p.panel_static_mw = 0.0;
+  p.panel_per_hz_mw = 0.0;
+  return p;
+}
+
+TEST(MonsoonMeter, ConstantPowerSampledExactly) {
+  sim::Simulator sim;
+  DevicePowerModel model(flat_params(500.0), 60);
+  MonsoonMeter meter(sim, model, sim::milliseconds(100));
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(meter.trace().size(), 20u);
+  for (const auto& p : meter.trace().points()) {
+    EXPECT_NEAR(p.value, 500.0, 1e-9);
+  }
+  EXPECT_NEAR(meter.mean_power_mw(), 500.0, 1e-9);
+}
+
+TEST(MonsoonMeter, CapturesImpulseEnergyInInterval) {
+  sim::Simulator sim;
+  DevicePowerModel model(flat_params(100.0), 60);
+  MonsoonMeter meter(sim, model, sim::milliseconds(100));
+  // 10 mJ impulse at t = 150 ms lands in the second 100 ms sample:
+  // 100 mW + 10 mJ / 0.1 s = 200 mW.
+  sim.at(sim::Time{150'000},
+         [&](sim::Time t) { model.add_energy_mj(t, 10.0); });
+  sim.run_for(sim::seconds(1));
+  ASSERT_GE(meter.trace().size(), 2u);
+  EXPECT_NEAR(meter.trace().points()[0].value, 100.0, 1e-9);
+  EXPECT_NEAR(meter.trace().points()[1].value, 200.0, 1e-9);
+}
+
+TEST(MonsoonMeter, StepChangeReflectedInMean) {
+  sim::Simulator sim;
+  DevicePowerModel model(flat_params(0.0), 60);
+  // Use the per-Hz term to create a step: 2 mW/Hz * 60 -> 120 mW, then 20 Hz
+  // -> 40 mW.
+  DevicePowerParams p;
+  p.soc_base_mw = 0.0;
+  p.panel_static_mw = 0.0;
+  p.panel_per_hz_mw = 2.0;
+  DevicePowerModel stepped(p, 60);
+  MonsoonMeter meter(sim, stepped, sim::milliseconds(50));
+  sim.at(sim::Time{sim::kTicksPerSecond},
+         [&](sim::Time t) { stepped.on_rate_change(t, 20); });
+  sim.run_for(sim::seconds(2));
+  EXPECT_NEAR(meter.mean_power_mw(), (120.0 + 40.0) / 2.0, 1.0);
+}
+
+TEST(MonsoonMeter, StopFreezesTrace) {
+  sim::Simulator sim;
+  DevicePowerModel model(flat_params(100.0), 60);
+  MonsoonMeter meter(sim, model, sim::milliseconds(100));
+  sim.run_for(sim::milliseconds(500));
+  meter.stop();
+  const auto n = meter.trace().size();
+  sim.run_for(sim::seconds(1));
+  EXPECT_EQ(meter.trace().size(), n);
+}
+
+TEST(MonsoonMeter, TotalEnergyMatchesModel) {
+  sim::Simulator sim;
+  DevicePowerModel model(flat_params(250.0), 60);
+  MonsoonMeter meter(sim, model, sim::milliseconds(100));
+  sim.run_for(sim::seconds(4));
+  EXPECT_NEAR(meter.total_energy_mj(), 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ccdem::power

@@ -1,0 +1,135 @@
+// Integration: multiple surfaces (status bar overlay + app) composing into
+// one framebuffer, with the meter seeing the union of their content.
+//
+// Android always composes a status bar above the app; its clock tick sets a
+// floor on the device's content rate even when the app is fully static --
+// a realistic detail that bounds how low the controller can park the panel.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/display_power_manager.h"
+#include "display/display_panel.h"
+#include "gfx/surface_flinger.h"
+#include "sim/simulator.h"
+
+namespace ccdem {
+namespace {
+
+constexpr gfx::Size kScreen{720, 1280};
+constexpr int kBarHeight = 50;
+
+/// A status bar that repaints its clock area once per second.
+class StatusBar final : public display::VsyncObserver {
+ public:
+  explicit StatusBar(gfx::Surface* s) : surface_(s) {}
+
+  void on_vsync(sim::Time t, int) override {
+    const auto minute_tick = static_cast<std::int64_t>(t.seconds());
+    if (minute_tick == last_tick_) return;
+    last_tick_ = minute_tick;
+    gfx::Canvas& c = surface_->begin_frame();
+    if (first_) {
+      c.fill(gfx::colors::kDarkGray);
+      first_ = false;
+    }
+    c.draw_text_block(gfx::Rect{8, 8, 200, kBarHeight - 16},
+                      gfx::colors::kWhite, gfx::colors::kDarkGray,
+                      static_cast<std::uint32_t>(minute_tick));
+    surface_->post_frame();
+  }
+
+ private:
+  gfx::Surface* surface_;
+  std::int64_t last_tick_ = -1;
+  bool first_ = true;
+};
+
+/// A fully static app that never posts after its first frame.
+class StaticApp final : public display::VsyncObserver {
+ public:
+  explicit StaticApp(gfx::Surface* s) : surface_(s) {}
+
+  void on_vsync(sim::Time, int) override {
+    if (posted_) return;
+    posted_ = true;
+    gfx::Canvas& c = surface_->begin_frame();
+    c.fill(gfx::Rgb888{200, 220, 240});
+    surface_->post_frame();
+  }
+
+ private:
+  gfx::Surface* surface_;
+  bool posted_ = false;
+};
+
+struct Rig {
+  sim::Simulator sim;
+  gfx::SurfaceFlinger flinger{kScreen};
+  display::DisplayPanel panel{sim, display::RefreshRateSet::galaxy_s3(), 60};
+  gfx::Surface* app_surface = flinger.create_surface(
+      "app", gfx::Rect{0, kBarHeight, kScreen.width,
+                       kScreen.height - kBarHeight}, 0);
+  gfx::Surface* bar_surface = flinger.create_surface(
+      "statusbar", gfx::Rect{0, 0, kScreen.width, kBarHeight}, 10);
+  StaticApp app{app_surface};
+  StatusBar bar{bar_surface};
+
+  struct Composer final : display::VsyncObserver {
+    explicit Composer(gfx::SurfaceFlinger& f) : f_(f) {}
+    void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
+    gfx::SurfaceFlinger& f_;
+  } composer{flinger};
+
+  Rig() {
+    panel.add_observer(display::VsyncPhase::kApp, &app);
+    panel.add_observer(display::VsyncPhase::kApp, &bar);
+    panel.add_observer(display::VsyncPhase::kComposer, &composer);
+  }
+};
+
+TEST(MultiSurface, StatusBarSetsContentFloor) {
+  Rig rig;
+  rig.sim.run_for(sim::seconds(10));
+  // The app posts once; the bar posts ~once per second afterwards.
+  EXPECT_GE(rig.flinger.content_frames(), 9u);
+  EXPECT_LE(rig.flinger.content_frames(), 12u);
+}
+
+TEST(MultiSurface, BarPixelsLandAboveApp) {
+  Rig rig;
+  rig.sim.run_for(sim::seconds(2));
+  // Status bar region shows bar background, not app colour.
+  EXPECT_EQ(rig.flinger.framebuffer().at(400, 10), gfx::colors::kDarkGray);
+  // App region shows app colour.
+  EXPECT_EQ(rig.flinger.framebuffer().at(400, 600),
+            (gfx::Rgb888{200, 220, 240}));
+}
+
+TEST(MultiSurface, ControllerParksAtMinimumDespiteBarTicks) {
+  Rig rig;
+  core::DpmConfig config;
+  config.grid = core::GridSpec::grid_9k();
+  core::DisplayPowerManager dpm(
+      rig.sim, rig.panel, rig.flinger,
+      std::make_unique<core::SectionPolicy>(rig.panel.rates()), nullptr,
+      config);
+  rig.sim.run_for(sim::seconds(5));
+  // ~1 fps of bar content keeps the device in the lowest section.
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+}
+
+TEST(MultiSurface, MeterCountsBarContent) {
+  Rig rig;
+  core::ContentRateMeter meter(kScreen, core::GridSpec::grid_36k());
+  rig.flinger.add_listener(&meter);
+  rig.sim.run_for(sim::seconds(10));
+  const double rate = meter.content_rate(rig.sim.now());
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 3.0);
+  // Over the run, roughly one meaningful frame per second.
+  EXPECT_NEAR(static_cast<double>(meter.meaningful_frames()), 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace ccdem

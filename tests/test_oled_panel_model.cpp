@@ -1,0 +1,105 @@
+#include "power/oled_panel_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::power {
+namespace {
+
+DevicePowerParams oled_base_params() {
+  DevicePowerParams p = DevicePowerParams::galaxy_s3();
+  p.panel_static_mw = 0.0;  // emission replaces the constant backlight term
+  return p;
+}
+
+gfx::FrameInfo content_frame(sim::Tick t) {
+  gfx::FrameInfo info;
+  info.composed_at = sim::Time{t};
+  info.content_changed = true;
+  return info;
+}
+
+TEST(OledPanelModel, BlackScreenDrawsQuiescentPower) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledPanelModel oled(power, OledParams::galaxy_s3_amoled());
+  gfx::Framebuffer fb(720, 1280, gfx::colors::kBlack);
+  oled.on_frame(content_frame(0), fb);
+  EXPECT_DOUBLE_EQ(oled.current_luma(), 0.0);
+  EXPECT_DOUBLE_EQ(power.auxiliary_power_mw(),
+                   OledParams::galaxy_s3_amoled().black_mw);
+}
+
+TEST(OledPanelModel, WhiteScreenDrawsFullEmission) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledPanelModel oled(power, OledParams::galaxy_s3_amoled());
+  gfx::Framebuffer fb(720, 1280, gfx::colors::kWhite);
+  oled.on_frame(content_frame(0), fb);
+  EXPECT_DOUBLE_EQ(oled.current_luma(), 1.0);
+  EXPECT_DOUBLE_EQ(power.auxiliary_power_mw(),
+                   OledParams::galaxy_s3_amoled().full_white_mw);
+}
+
+TEST(OledPanelModel, GrayIsBetweenBlackAndWhite) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledPanelModel oled(power, OledParams::galaxy_s3_amoled());
+  gfx::Framebuffer fb(720, 1280, gfx::colors::kGray);
+  oled.on_frame(content_frame(0), fb);
+  EXPECT_GT(oled.current_luma(), 0.4);
+  EXPECT_LT(oled.current_luma(), 0.6);
+  const double mw = power.auxiliary_power_mw();
+  EXPECT_GT(mw, OledParams::galaxy_s3_amoled().black_mw);
+  EXPECT_LT(mw, OledParams::galaxy_s3_amoled().full_white_mw);
+}
+
+TEST(OledPanelModel, RedundantFramesSkipResampling) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledPanelModel oled(power, OledParams::galaxy_s3_amoled());
+  gfx::Framebuffer fb(720, 1280, gfx::colors::kWhite);
+  oled.on_frame(content_frame(0), fb);
+  // Screen mutated but frame flagged redundant: estimate must not move.
+  fb.fill(gfx::colors::kBlack);
+  gfx::FrameInfo redundant;
+  redundant.composed_at = sim::Time{1000};
+  redundant.content_changed = false;
+  oled.on_frame(redundant, fb);
+  EXPECT_DOUBLE_EQ(oled.current_luma(), 1.0);
+}
+
+TEST(OledPanelModel, EnergyIntegratesLumaSteps) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledParams params;
+  params.full_white_mw = 400.0;
+  params.black_mw = 0.0;
+  OledPanelModel oled(power, params);
+  gfx::Framebuffer fb(720, 1280, gfx::colors::kWhite);
+  oled.on_frame(content_frame(0), fb);
+  // One second of white adds 400 mJ over the LCD-free base.
+  const double base = power.continuous_power_mw(60) - 400.0;
+  const double e = power.energy_mj_at(sim::Time{sim::kTicksPerSecond});
+  EXPECT_NEAR(e, base + 400.0, 1e-6);
+}
+
+TEST(OledPanelModel, EmissionPowerFormula) {
+  DevicePowerModel power(oled_base_params(), 60);
+  OledParams params;
+  params.black_mw = 50.0;
+  params.full_white_mw = 450.0;
+  OledPanelModel oled(power, params);
+  EXPECT_DOUBLE_EQ(oled.emission_power_mw(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(oled.emission_power_mw(0.5), 250.0);
+  EXPECT_DOUBLE_EQ(oled.emission_power_mw(1.0), 450.0);
+}
+
+TEST(DevicePowerModel, AuxiliaryPowerIntegratesFromSetTime) {
+  DevicePowerParams p;
+  p.soc_base_mw = 100.0;
+  p.panel_static_mw = 0.0;
+  p.panel_per_hz_mw = 0.0;
+  DevicePowerModel m(p, 60);
+  m.set_auxiliary_power_mw(sim::Time{sim::kTicksPerSecond}, 50.0);
+  // 1 s at 100 mW + 1 s at 150 mW.
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{2 * sim::kTicksPerSecond}),
+                   250.0);
+}
+
+}  // namespace
+}  // namespace ccdem::power

@@ -1,0 +1,73 @@
+#include "harness/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profiles.h"
+
+namespace ccdem::harness {
+namespace {
+
+ExperimentConfig cfg(const char* app, ControlMode mode, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.app = apps::app_by_name(app);
+  c.duration = sim::seconds(5);
+  c.seed = seed;
+  c.mode = mode;
+  return c;
+}
+
+TEST(Parallel, EmptyInput) {
+  EXPECT_TRUE(run_experiments_parallel({}).empty());
+}
+
+TEST(Parallel, SingleConfig) {
+  const auto results = run_experiments_parallel(
+      {cfg("Facebook", ControlMode::kBaseline60, 1)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].app_name, "Facebook");
+}
+
+TEST(Parallel, ResultsMatchSerialExactly) {
+  std::vector<ExperimentConfig> configs = {
+      cfg("Facebook", ControlMode::kBaseline60, 1),
+      cfg("Facebook", ControlMode::kSectionWithBoost, 1),
+      cfg("Jelly Splash", ControlMode::kSection, 2),
+      cfg("MX Player", ControlMode::kSectionWithBoost, 3),
+      cfg("Tiny Flashlight", ControlMode::kNaive, 4),
+      cfg("Cookie Run", ControlMode::kSectionWithBoost, 5),
+  };
+  const auto parallel = run_experiments_parallel(configs, 4);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto serial = run_experiment(configs[i]);
+    EXPECT_EQ(parallel[i].app_name, serial.app_name);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_power_mw, serial.mean_power_mw);
+    EXPECT_EQ(parallel[i].frames_composed, serial.frames_composed);
+    EXPECT_EQ(parallel[i].content_frames, serial.content_frames);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_refresh_hz, serial.mean_refresh_hz);
+  }
+}
+
+TEST(Parallel, ResultsKeepInputOrder) {
+  std::vector<ExperimentConfig> configs;
+  const char* names[] = {"Facebook", "Jelly Splash", "MX Player", "Naver"};
+  for (const char* n : names) {
+    configs.push_back(cfg(n, ControlMode::kBaseline60, 7));
+  }
+  const auto results = run_experiments_parallel(configs, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].app_name, names[i]);
+  }
+}
+
+TEST(Parallel, SingleThreadWorks) {
+  const auto results = run_experiments_parallel(
+      {cfg("Facebook", ControlMode::kSection, 1),
+       cfg("Naver", ControlMode::kSection, 2)},
+      1);
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_GT(results[1].mean_power_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace ccdem::harness

@@ -1,0 +1,116 @@
+// Parameterized property tests for grid sampling across every grid
+// configuration of Fig. 6 and several screen geometries.
+#include "core/grid_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metering_cost_model.h"
+
+#include <set>
+#include <tuple>
+
+#include "sim/rng.h"
+
+namespace ccdem::core {
+namespace {
+
+using Param = std::tuple<int /*sweep index*/>;
+
+class GridProperty : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] GridSpec grid() const {
+    return GridSpec::figure6_sweep()[static_cast<std::size_t>(GetParam())];
+  }
+  static constexpr gfx::Size kScreen{720, 1280};
+};
+
+TEST_P(GridProperty, SampleCountMatchesSpec) {
+  const GridSampler s(kScreen, grid());
+  EXPECT_EQ(static_cast<std::int64_t>(s.sample_count()),
+            grid().sample_count());
+}
+
+TEST_P(GridProperty, PointsAreUniqueAndInBounds) {
+  const GridSampler s(kScreen, grid());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& p : s.points()) {
+    EXPECT_TRUE(gfx::Rect::of(kScreen).contains(p));
+    EXPECT_TRUE(seen.insert({p.x, p.y}).second) << "duplicate sample point";
+  }
+}
+
+TEST_P(GridProperty, SelfComparisonNeverDiffers) {
+  const GridSampler s(kScreen, grid());
+  gfx::Framebuffer fb(kScreen);
+  sim::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    fb.set(static_cast<int>(rng.uniform_int(0, kScreen.width - 1)),
+           static_cast<int>(rng.uniform_int(0, kScreen.height - 1)),
+           gfx::Rgb888::from_packed(static_cast<std::uint32_t>(rng.next_u64())));
+  }
+  std::vector<gfx::Rgb888> snap;
+  s.sample(fb, snap);
+  EXPECT_FALSE(s.differs(fb, snap));
+}
+
+TEST_P(GridProperty, EverySampledPixelChangeIsDetected) {
+  const GridSampler s(kScreen, grid());
+  gfx::Framebuffer fb(kScreen);
+  std::vector<gfx::Rgb888> snap;
+  s.sample(fb, snap);
+  sim::Rng rng(4);
+  // Flip 32 randomly chosen sample points, one at a time.
+  for (int i = 0; i < 32; ++i) {
+    const auto k = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(s.sample_count()) - 1));
+    const gfx::Point p = s.points()[k];
+    const gfx::Rgb888 old = fb.at(p.x, p.y);
+    fb.set(p.x, p.y, gfx::Rgb888{static_cast<std::uint8_t>(old.r + 1),
+                                 old.g, old.b});
+    EXPECT_TRUE(s.differs(fb, snap)) << "sample " << k;
+    fb.set(p.x, p.y, old);
+    EXPECT_FALSE(s.differs(fb, snap));
+  }
+}
+
+TEST_P(GridProperty, SampleExtractionRoundTrips) {
+  const GridSampler s(kScreen, grid());
+  gfx::Framebuffer fb(kScreen);
+  sim::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    fb.set(static_cast<int>(rng.uniform_int(0, kScreen.width - 1)),
+           static_cast<int>(rng.uniform_int(0, kScreen.height - 1)),
+           gfx::colors::kRed);
+  }
+  std::vector<gfx::Rgb888> snap;
+  s.sample(fb, snap);
+  ASSERT_EQ(snap.size(), s.sample_count());
+  for (std::size_t k = 0; k < snap.size(); ++k) {
+    const gfx::Point p = s.points()[k];
+    EXPECT_EQ(snap[k], fb.at(p.x, p.y));
+  }
+}
+
+TEST_P(GridProperty, CostIsMonotoneAcrossSweep) {
+  const MeteringCostModel cost;
+  const auto sweep = GridSpec::figure6_sweep();
+  const int i = GetParam();
+  if (i == 0) return;
+  EXPECT_GT(cost.duration_ms(sweep[static_cast<std::size_t>(i)].sample_count()),
+            cost.duration_ms(
+                sweep[static_cast<std::size_t>(i - 1)].sample_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure6Sweep, GridProperty, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0: return std::string("grid2K");
+                             case 1: return std::string("grid4K");
+                             case 2: return std::string("grid9K");
+                             case 3: return std::string("grid36K");
+                             default: return std::string("full921K");
+                           }
+                         });
+
+}  // namespace
+}  // namespace ccdem::core

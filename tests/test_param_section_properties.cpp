@@ -1,0 +1,111 @@
+// Parameterized property tests for the section table (Equation (1)) across
+// panels and threshold placements.
+#include "core/section_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ccdem::core {
+namespace {
+
+struct PanelCase {
+  std::string name;
+  display::RefreshRateSet rates;
+};
+
+std::vector<PanelCase> panels() {
+  return {
+      {"galaxy_s3", display::RefreshRateSet::galaxy_s3()},
+      {"ltpo", display::RefreshRateSet::ltpo_120()},
+      {"three_level", display::RefreshRateSet{30, 48, 60}},
+      {"two_level", display::RefreshRateSet{30, 60}},
+      {"single", display::RefreshRateSet{60}},
+      {"dense", display::RefreshRateSet{10, 20, 30, 40, 50, 60, 70, 80, 90}},
+  };
+}
+
+using Param = std::tuple<int /*panel index*/, double /*alpha*/>;
+
+class SectionTableProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] const PanelCase& panel() const {
+    static const std::vector<PanelCase> all = panels();
+    return all[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  [[nodiscard]] double alpha() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SectionTableProperty, SectionsPartitionTheAxis) {
+  const SectionTable t = SectionTable::build(panel().rates, alpha());
+  ASSERT_EQ(t.sections().size(), panel().rates.count());
+  double prev_hi = 0.0;
+  for (const auto& s : t.sections()) {
+    EXPECT_DOUBLE_EQ(s.lo_fps, prev_hi);
+    EXPECT_GE(s.hi_fps, s.lo_fps);
+    prev_hi = s.hi_fps;
+  }
+  EXPECT_TRUE(std::isinf(t.sections().back().hi_fps));
+}
+
+TEST_P(SectionTableProperty, ChosenRateIsAlwaysSupported) {
+  const SectionTable t = SectionTable::build(panel().rates, alpha());
+  for (double c = 0.0; c <= 130.0; c += 0.7) {
+    EXPECT_TRUE(panel().rates.supports(t.rate_for(c)))
+        << "content " << c << " alpha " << alpha();
+  }
+}
+
+TEST_P(SectionTableProperty, RateIsMonotoneInContentRate) {
+  const SectionTable t = SectionTable::build(panel().rates, alpha());
+  int prev = 0;
+  for (double c = 0.0; c <= 130.0; c += 0.25) {
+    const int r = t.rate_for(c);
+    EXPECT_GE(r, prev) << "content " << c;
+    prev = r;
+  }
+}
+
+TEST_P(SectionTableProperty, TopSectionIsMaxRate) {
+  const SectionTable t = SectionTable::build(panel().rates, alpha());
+  EXPECT_EQ(t.rate_for(1e9), panel().rates.max_hz());
+}
+
+TEST_P(SectionTableProperty, HeadroomInvariantBelowMaxRate) {
+  // For alpha <= 0.5 (median or looser) the chosen rate strictly exceeds
+  // the content rate whenever a higher level exists -- the property that
+  // makes the controller escape the V-Sync trap.
+  if (alpha() > 0.5) GTEST_SKIP() << "tight placements trade headroom away";
+  const SectionTable t = SectionTable::build(panel().rates, alpha());
+  const double top = static_cast<double>(panel().rates.max_hz());
+  for (double c = 0.0; c < top - 1.0; c += 0.5) {
+    EXPECT_GT(static_cast<double>(t.rate_for(c)), c) << "content " << c;
+  }
+}
+
+TEST_P(SectionTableProperty, LargerAlphaNeverPicksHigherRate) {
+  const SectionTable loose = SectionTable::build(panel().rates, alpha());
+  const SectionTable tight =
+      SectionTable::build(panel().rates, std::min(1.0, alpha() + 0.25));
+  for (double c = 0.0; c <= 130.0; c += 1.1) {
+    EXPECT_LE(tight.rate_for(c), loose.rate_for(c)) << "content " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelsAndAlphas, SectionTableProperty,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      const PanelCase p = panels()[static_cast<std::size_t>(
+          std::get<0>(info.param))];
+      const int alpha_pct =
+          static_cast<int>(std::get<1>(info.param) * 100.0);
+      return p.name + "_alpha" + std::to_string(alpha_pct);
+    });
+
+}  // namespace
+}  // namespace ccdem::core

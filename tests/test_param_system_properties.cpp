@@ -1,0 +1,122 @@
+// Parameterized end-to-end properties: for a sweep of (app, control mode,
+// seed), the assembled system must uphold the invariants the paper's design
+// arguments rest on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/app_profiles.h"
+#include "harness/experiment.h"
+
+namespace ccdem::harness {
+namespace {
+
+using Param = std::tuple<std::string, ControlMode, std::uint64_t>;
+
+class SystemProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] ExperimentConfig config() const {
+    ExperimentConfig c;
+    c.app = apps::app_by_name(std::get<0>(GetParam()));
+    c.duration = sim::seconds(8);
+    c.seed = std::get<2>(GetParam());
+    c.mode = std::get<1>(GetParam());
+    return c;
+  }
+};
+
+TEST_P(SystemProperty, RefreshRateStaysWithinPanelLevels) {
+  const auto r = run_experiment(config());
+  const auto rates = display::RefreshRateSet::galaxy_s3();
+  for (const auto& p : r.refresh_rate.points()) {
+    EXPECT_TRUE(rates.supports(static_cast<int>(p.value)));
+  }
+  EXPECT_GE(r.mean_refresh_hz, rates.min_hz());
+  EXPECT_LE(r.mean_refresh_hz, rates.max_hz());
+}
+
+TEST_P(SystemProperty, ContentNeverExceedsFrameRate) {
+  const auto r = run_experiment(config());
+  EXPECT_LE(r.content_frames, r.frames_composed);
+  const sim::Time end{r.duration.ticks};
+  const auto f = r.frame_rate.resample(sim::seconds(1), sim::Time{}, end);
+  const auto c = r.content_rate.resample(sim::seconds(1), sim::Time{}, end);
+  for (std::size_t i = 0; i < std::min(f.size(), c.size()); ++i) {
+    EXPECT_LE(c.points()[i].value, f.points()[i].value + 1e-9);
+  }
+}
+
+TEST_P(SystemProperty, FrameRateNeverExceedsRefreshRate) {
+  // V-Sync: the composed frame rate in any second is bounded by the refresh
+  // rate in effect (+1 frame of boundary slack at rate switches).
+  const auto r = run_experiment(config());
+  for (const auto& p : r.frame_rate.points()) {
+    // Bound: the highest refresh rate in effect at any moment of the
+    // bucket (the rate at bucket start plus any switch inside it).
+    double bound = r.refresh_rate.value_at(p.t, 60.0);
+    for (const auto& sw : r.refresh_rate.points()) {
+      if (sw.t >= p.t && sw.t < p.t + sim::seconds(1)) {
+        bound = std::max(bound, sw.value);
+      }
+    }
+    EXPECT_LE(p.value, bound + 1.0) << "at t=" << p.t.seconds();
+  }
+}
+
+TEST_P(SystemProperty, DeterministicAcrossReruns) {
+  const auto a = run_experiment(config());
+  const auto b = run_experiment(config());
+  EXPECT_EQ(a.frames_composed, b.frames_composed);
+  EXPECT_EQ(a.content_frames, b.content_frames);
+  EXPECT_EQ(a.touch_events, b.touch_events);
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_DOUBLE_EQ(a.mean_refresh_hz, b.mean_refresh_hz);
+}
+
+TEST_P(SystemProperty, PowerIsPositiveAndBounded) {
+  const auto r = run_experiment(config());
+  EXPECT_GT(r.mean_power_mw, 400.0);   // SoC + panel floor
+  EXPECT_LT(r.mean_power_mw, 3000.0);  // sane phone-class ceiling
+  for (const auto& p : r.power.points()) {
+    EXPECT_GT(p.value, 0.0);
+  }
+}
+
+TEST_P(SystemProperty, ControlledPowerNeverFarAboveBaseline) {
+  if (std::get<1>(GetParam()) == ControlMode::kBaseline60) GTEST_SKIP();
+  ExperimentConfig c = config();
+  const auto controlled = run_experiment(c);
+  c.mode = ControlMode::kBaseline60;
+  const auto baseline = run_experiment(c);
+  // Metering overhead is the only possible regression; it must stay small.
+  EXPECT_LT(controlled.mean_power_mw,
+            baseline.mean_power_mw + 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsModesSeeds, SystemProperty,
+    ::testing::Combine(
+        ::testing::Values("Facebook", "Jelly Splash", "MX Player",
+                          "Tiny Flashlight", "Cookie Run"),
+        ::testing::Values(ControlMode::kBaseline60, ControlMode::kSection,
+                          ControlMode::kSectionWithBoost,
+                          ControlMode::kNaive,
+                          ControlMode::kSectionHysteresis,
+                          ControlMode::kE3FrameRate),
+        ::testing::Values<std::uint64_t>(1, 99)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string app = std::get<0>(info.param);
+      for (char& ch : app) {
+        if (ch == ' ') ch = '_';
+      }
+      std::string mode = control_mode_name(std::get<1>(info.param));
+      for (char& ch : mode) {
+        if (ch == '-' || ch == '+') ch = '_';
+      }
+      return app + "_" + mode + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ccdem::harness

@@ -1,0 +1,152 @@
+#include "power/device_power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::power {
+namespace {
+
+DevicePowerParams simple_params() {
+  DevicePowerParams p;
+  p.soc_base_mw = 100.0;
+  p.panel_static_mw = 50.0;
+  p.panel_per_hz_mw = 2.0;
+  p.composition_base_mj = 1.0;
+  p.composition_mj_per_mpixel = 10.0;
+  p.touch_event_mj = 3.0;
+  p.rate_switch_mj = 0.0;  // most tests want clean integration arithmetic
+  return p;
+}
+
+TEST(DevicePowerModel, ContinuousPowerComposition) {
+  DevicePowerModel m(simple_params(), 60);
+  EXPECT_DOUBLE_EQ(m.continuous_power_mw(60), 100.0 + 50.0 + 120.0);
+  EXPECT_DOUBLE_EQ(m.continuous_power_mw(20), 100.0 + 50.0 + 40.0);
+}
+
+TEST(DevicePowerModel, IntegratesContinuousPower) {
+  DevicePowerModel m(simple_params(), 60);
+  // 270 mW for 2 s = 540 mJ.
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{2 * sim::kTicksPerSecond}), 540.0);
+}
+
+TEST(DevicePowerModel, RateChangeSplitsIntegration) {
+  DevicePowerModel m(simple_params(), 60);
+  m.on_rate_change(sim::Time{sim::kTicksPerSecond}, 20);
+  // 1 s at 270 mW + 1 s at 190 mW.
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{2 * sim::kTicksPerSecond}),
+                   270.0 + 190.0);
+  EXPECT_EQ(m.refresh_hz(), 20);
+}
+
+TEST(DevicePowerModel, ImpulseEnergyAdds) {
+  DevicePowerModel m(simple_params(), 60);
+  m.add_energy_mj(sim::Time{}, 5.0);
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{}), 5.0);
+}
+
+TEST(DevicePowerModel, FrameCompositionCharged) {
+  DevicePowerModel m(simple_params(), 60);
+  gfx::FrameInfo info;
+  info.composed_at = sim::Time{};
+  info.composed_pixels = 500'000;  // half a megapixel
+  gfx::Framebuffer fb(1, 1);
+  m.on_frame(info, fb);
+  // base 1.0 + 10.0 * 0.5 = 6.0 mJ.
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{}), 6.0);
+}
+
+TEST(DevicePowerModel, TouchCharged) {
+  DevicePowerModel m(simple_params(), 60);
+  m.on_touch(sim::Time{});
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{}), 3.0);
+}
+
+TEST(DevicePowerModel, EnergyQueryDoesNotMutate) {
+  DevicePowerModel m(simple_params(), 60);
+  const double e1 = m.energy_mj_at(sim::Time{sim::kTicksPerSecond});
+  const double e2 = m.energy_mj_at(sim::Time{sim::kTicksPerSecond});
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(DevicePowerModel, RateSwitchPenaltyCharged) {
+  DevicePowerParams p = simple_params();
+  p.rate_switch_mj = 2.0;
+  DevicePowerModel m(p, 60);
+  m.on_rate_change(sim::Time{}, 20);
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{}), 2.0);
+  // Re-announcing the same rate is free.
+  m.on_rate_change(sim::Time{}, 20);
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{}), 2.0);
+}
+
+TEST(DevicePowerModel, BrightnessScalesPanelStatic) {
+  DevicePowerParams p = simple_params();  // static 50 mW at 50 %
+  DevicePowerModel m(p, 60);
+  const double at_half = m.continuous_power_mw(60);
+  m.set_brightness(sim::Time{}, 1.0);
+  // floor 0.3 + slope 1.4: full brightness = 1.7x the static term.
+  EXPECT_DOUBLE_EQ(m.continuous_power_mw(60), at_half + 50.0 * 0.7);
+  m.set_brightness(sim::Time{}, 0.0);
+  EXPECT_DOUBLE_EQ(m.continuous_power_mw(60), at_half - 50.0 * 0.7);
+}
+
+TEST(DevicePowerModel, BrightnessAtCalibrationPointIsNeutral) {
+  DevicePowerModel m(simple_params(), 60);
+  const double before = m.continuous_power_mw(60);
+  m.set_brightness(sim::Time{}, 0.5);
+  EXPECT_DOUBLE_EQ(m.continuous_power_mw(60), before);
+}
+
+TEST(DevicePowerModel, BrightnessChangeSplitsIntegration) {
+  DevicePowerParams p = simple_params();
+  DevicePowerModel m(p, 60);  // 270 mW at 50 %
+  m.set_brightness(sim::Time{sim::kTicksPerSecond}, 1.0);  // +35 mW
+  EXPECT_DOUBLE_EQ(m.energy_mj_at(sim::Time{2 * sim::kTicksPerSecond}),
+                   270.0 + 305.0);
+}
+
+TEST(DevicePowerModel, BreakdownSumsToTotal) {
+  DevicePowerParams p = simple_params();
+  p.rate_switch_mj = 1.0;
+  DevicePowerModel m(p, 60);
+  m.add_energy_mj(sim::Time{500'000}, 5.0, EnergyTag::kRender);
+  m.on_rate_change(sim::Time{sim::kTicksPerSecond}, 20);
+  m.on_touch(sim::Time{1'500'000});
+  m.add_energy_mj(sim::Time{2 * sim::kTicksPerSecond}, 2.0,
+                  EnergyTag::kMeter);
+  const double total = m.energy_mj_at(sim::Time{2 * sim::kTicksPerSecond});
+  EXPECT_NEAR(m.breakdown().total_mj(), total, 1e-9);
+  EXPECT_DOUBLE_EQ(m.breakdown().render_mj, 5.0);
+  EXPECT_DOUBLE_EQ(m.breakdown().touch_mj, 3.0);
+  EXPECT_DOUBLE_EQ(m.breakdown().meter_mj, 2.0);
+  EXPECT_DOUBLE_EQ(m.breakdown().rate_switch_mj, 1.0);
+  // 1 s at 120 mW of per-Hz power (60 Hz x 2 mW) + 1 s at 40 mW.
+  EXPECT_DOUBLE_EQ(m.breakdown().refresh_mj, 160.0);
+  EXPECT_DOUBLE_EQ(m.breakdown().soc_base_mj, 200.0);
+}
+
+TEST(DevicePowerModel, CompositionTagFromFrames) {
+  DevicePowerModel m(simple_params(), 60);
+  gfx::FrameInfo info;
+  info.composed_at = sim::Time{};
+  info.composed_pixels = 1'000'000;
+  gfx::Framebuffer fb(1, 1);
+  m.on_frame(info, fb);
+  EXPECT_DOUBLE_EQ(m.breakdown().composition_mj, 11.0);
+}
+
+TEST(DevicePowerModel, GalaxyS3DefaultsAreReasonable) {
+  const DevicePowerParams p = DevicePowerParams::galaxy_s3();
+  DevicePowerModel m(p, 60);
+  // A phone at 50 % brightness idling at 60 Hz: several hundred mW, < 2 W.
+  const double idle = m.continuous_power_mw(60);
+  EXPECT_GT(idle, 500.0);
+  EXPECT_LT(idle, 2000.0);
+  // Dropping 60 -> 20 Hz must save a three-digit mW figure (Fig. 8/9 scale).
+  const double saved = idle - m.continuous_power_mw(20);
+  EXPECT_GT(saved, 100.0);
+  EXPECT_LT(saved, 400.0);
+}
+
+}  // namespace
+}  // namespace ccdem::power

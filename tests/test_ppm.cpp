@@ -1,0 +1,55 @@
+#include "gfx/ppm.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(Ppm, HeaderFormat) {
+  Framebuffer fb(4, 2);
+  std::ostringstream os;
+  write_ppm(os, fb);
+  const std::string s = os.str();
+  EXPECT_EQ(s.substr(0, 11), "P6\n4 2\n255\n");
+  // 11-byte header + 4*2*3 payload bytes.
+  EXPECT_EQ(s.size(), 11u + 24u);
+}
+
+TEST(Ppm, RoundTrip) {
+  Framebuffer fb(8, 8);
+  fb.fill_rect(Rect{0, 0, 4, 8}, colors::kRed);
+  fb.set(7, 7, colors::kBlue);
+  std::stringstream ss;
+  write_ppm(ss, fb);
+  const Framebuffer back = read_ppm(ss);
+  ASSERT_EQ(back.size(), fb.size());
+  EXPECT_TRUE(back.equals(fb));
+}
+
+TEST(Ppm, RejectsWrongMagic) {
+  std::istringstream is("P3\n2 2\n255\n");
+  EXPECT_TRUE(read_ppm(is).size().empty());
+}
+
+TEST(Ppm, RejectsTruncatedPayload) {
+  std::stringstream ss;
+  ss << "P6\n4 4\n255\n";
+  ss << "short";
+  EXPECT_TRUE(read_ppm(ss).size().empty());
+}
+
+TEST(Ppm, PixelOrderIsRowMajorRgb) {
+  Framebuffer fb(2, 1);
+  fb.set(0, 0, Rgb888{1, 2, 3});
+  fb.set(1, 0, Rgb888{4, 5, 6});
+  std::ostringstream os;
+  write_ppm(os, fb);
+  const std::string s = os.str();
+  const std::string payload = s.substr(s.size() - 6);
+  EXPECT_EQ(payload, std::string("\x01\x02\x03\x04\x05\x06", 6));
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

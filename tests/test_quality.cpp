@@ -1,0 +1,72 @@
+#include "metrics/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::metrics {
+namespace {
+
+sim::Trace per_second(std::initializer_list<double> values) {
+  sim::Trace t("content");
+  sim::Tick tick = 0;
+  for (double v : values) {
+    t.record(sim::Time{tick}, v);
+    tick += sim::kTicksPerSecond;
+  }
+  return t;
+}
+
+TEST(Quality, PerfectDeliveryIsHundredPercent) {
+  const auto actual = per_second({10, 10, 10, 10});
+  const QualityReport r = compare_quality(actual, actual);
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.dropped_fps, 0.0);
+  EXPECT_DOUBLE_EQ(r.actual_content_fps, 10.0);
+}
+
+TEST(Quality, HalfDeliveryIsFiftyPercent) {
+  const QualityReport r = compare_quality(per_second({10, 10, 10, 10}),
+                                          per_second({5, 5, 5, 5}));
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 50.0);
+  EXPECT_DOUBLE_EQ(r.dropped_fps, 5.0);
+}
+
+TEST(Quality, OverDeliveryCapsAtHundred) {
+  const QualityReport r = compare_quality(per_second({10, 10}),
+                                          per_second({12, 12}));
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.dropped_fps, 0.0);
+}
+
+TEST(Quality, DropsOnlyCountShortfallSeconds) {
+  // Second 1 over-delivers, second 2 under-delivers; drops do not cancel.
+  const QualityReport r = compare_quality(per_second({10, 10}),
+                                          per_second({14, 6}));
+  EXPECT_DOUBLE_EQ(r.dropped_fps, 2.0);
+}
+
+TEST(Quality, EmptyTracesGiveZeroReport) {
+  const QualityReport r = compare_quality(sim::Trace{}, per_second({1}));
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 0.0);
+}
+
+TEST(Quality, ZeroActualContentIsPerfectQuality) {
+  // A fully static app loses nothing under rate control.
+  const QualityReport r = compare_quality(per_second({0, 0, 0}),
+                                          per_second({0, 0, 0}));
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 100.0);
+}
+
+TEST(Quality, MisalignedTracesUseOverlap) {
+  sim::Trace actual("a");
+  actual.record(sim::Time{0}, 10.0);
+  actual.record(sim::Time{sim::kTicksPerSecond}, 10.0);
+  actual.record(sim::Time{2 * sim::kTicksPerSecond}, 10.0);
+  sim::Trace delivered("d");
+  delivered.record(sim::Time{sim::kTicksPerSecond}, 5.0);
+  delivered.record(sim::Time{2 * sim::kTicksPerSecond}, 5.0);
+  const QualityReport r = compare_quality(actual, delivered);
+  EXPECT_DOUBLE_EQ(r.display_quality_pct, 50.0);
+}
+
+}  // namespace
+}  // namespace ccdem::metrics

@@ -1,0 +1,74 @@
+#include "core/refresh_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ccdem::core {
+namespace {
+
+const display::RefreshRateSet kS3 = display::RefreshRateSet::galaxy_s3();
+
+TEST(SectionPolicy, FollowsSectionTable) {
+  SectionPolicy p(kS3, 0.5);
+  EXPECT_EQ(p.decide(sim::Time{}, 8.0, 60), 20);
+  EXPECT_EQ(p.decide(sim::Time{}, 33.0, 20), 40);
+  EXPECT_EQ(p.decide(sim::Time{}, 50.0, 20), 60);
+  EXPECT_STREQ(p.name(), "section");
+}
+
+TEST(SectionPolicy, AlwaysAboveContentRate) {
+  SectionPolicy p(kS3, 0.5);
+  for (double c = 0.0; c < 59.0; c += 0.5) {
+    EXPECT_GT(p.decide(sim::Time{}, c, 60), c);
+  }
+}
+
+TEST(NaivePolicy, MapsToCeilRate) {
+  NaivePolicy p(kS3);
+  EXPECT_EQ(p.decide(sim::Time{}, 8.0, 60), 20);
+  EXPECT_EQ(p.decide(sim::Time{}, 21.0, 60), 24);
+  EXPECT_EQ(p.decide(sim::Time{}, 59.0, 60), 60);
+  EXPECT_STREQ(p.name(), "naive");
+}
+
+TEST(NaivePolicy, ExhibitsVsyncTrap) {
+  // The paper's failed first attempt: once at 20 Hz, the measured content
+  // rate can never exceed 20 fps (V-Sync caps it), so the decision never
+  // leaves 20 Hz even though the app wants 60 fps of content.
+  NaivePolicy p(kS3);
+  int hz = 60;
+  // Content rate the meter *observes* is min(true content, refresh).
+  const double true_content = 45.0;
+  hz = p.decide(sim::Time{}, std::min(true_content, 8.0), hz);  // idle dip
+  EXPECT_EQ(hz, 20);
+  for (int step = 0; step < 10; ++step) {
+    const double observed = std::min(true_content, static_cast<double>(hz));
+    hz = p.decide(sim::Time{}, observed, hz);
+  }
+  EXPECT_EQ(hz, 20) << "naive control escaped the trap it is known for";
+}
+
+TEST(SectionPolicy, EscapesVsyncTrap) {
+  // Same scenario: the section table keeps headroom above the observed
+  // rate, so the observation can climb and the controller ramps up.
+  SectionPolicy p(kS3, 0.5);
+  int hz = p.decide(sim::Time{}, 8.0, 60);
+  EXPECT_EQ(hz, 20);
+  const double true_content = 45.0;
+  for (int step = 0; step < 10; ++step) {
+    const double observed = std::min(true_content, static_cast<double>(hz));
+    hz = p.decide(sim::Time{}, observed, hz);
+  }
+  EXPECT_EQ(hz, 60);
+}
+
+TEST(FixedPolicy, AlwaysReturnsConfiguredRate) {
+  FixedPolicy p(60);
+  EXPECT_EQ(p.decide(sim::Time{}, 0.0, 20), 60);
+  EXPECT_EQ(p.decide(sim::Time{}, 59.0, 20), 60);
+  EXPECT_STREQ(p.name(), "fixed");
+}
+
+}  // namespace
+}  // namespace ccdem::core

@@ -1,0 +1,52 @@
+#include "display/refresh_rate.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::display {
+namespace {
+
+TEST(RefreshRateSet, GalaxyS3Levels) {
+  const RefreshRateSet r = RefreshRateSet::galaxy_s3();
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_EQ(r.min_hz(), 20);
+  EXPECT_EQ(r.max_hz(), 60);
+  EXPECT_EQ(r.rates(), (std::vector<int>{20, 24, 30, 40, 60}));
+}
+
+TEST(RefreshRateSet, NormalizesOrderAndDuplicates) {
+  const RefreshRateSet r{60, 20, 40, 20, 30};
+  EXPECT_EQ(r.rates(), (std::vector<int>{20, 30, 40, 60}));
+}
+
+TEST(RefreshRateSet, Supports) {
+  const RefreshRateSet r = RefreshRateSet::galaxy_s3();
+  EXPECT_TRUE(r.supports(24));
+  EXPECT_FALSE(r.supports(25));
+  EXPECT_FALSE(r.supports(0));
+}
+
+TEST(RefreshRateSet, CeilRate) {
+  const RefreshRateSet r = RefreshRateSet::galaxy_s3();
+  EXPECT_EQ(r.ceil_rate(0.0), 20);
+  EXPECT_EQ(r.ceil_rate(20.0), 20);
+  EXPECT_EQ(r.ceil_rate(20.1), 24);
+  EXPECT_EQ(r.ceil_rate(29.9), 30);
+  EXPECT_EQ(r.ceil_rate(45.0), 60);
+  EXPECT_EQ(r.ceil_rate(100.0), 60);  // clamps to max
+}
+
+TEST(RefreshRateSet, IndexOf) {
+  const RefreshRateSet r = RefreshRateSet::galaxy_s3();
+  EXPECT_EQ(r.index_of(20), 0u);
+  EXPECT_EQ(r.index_of(60), 4u);
+}
+
+TEST(RefreshRateSet, Ltpo120Preset) {
+  const RefreshRateSet r = RefreshRateSet::ltpo_120();
+  EXPECT_EQ(r.min_hz(), 1);
+  EXPECT_EQ(r.max_hz(), 120);
+  EXPECT_TRUE(r.supports(90));
+}
+
+}  // namespace
+}  // namespace ccdem::display

@@ -1,0 +1,149 @@
+#include "gfx/region.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(Region, StartsEmpty) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_TRUE(r.bounds().empty());
+}
+
+TEST(Region, SingleRect) {
+  Region r(Rect{1, 2, 3, 4});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.area(), 12);
+  EXPECT_EQ(r.bounds(), (Rect{1, 2, 3, 4}));
+}
+
+TEST(Region, EmptyRectIgnored) {
+  Region r;
+  r.add(Rect{0, 0, 0, 5});
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Region, DisjointRectsAreExact) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{100, 100, 10, 10});
+  EXPECT_EQ(r.area(), 200);
+  // The bounding box is much larger than the actual covered area -- the
+  // whole point of multi-rect tracking.
+  EXPECT_EQ(r.bounds().area(), 110 * 110);
+}
+
+TEST(Region, OverlapNotDoubleCounted) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{5, 5, 10, 10});
+  EXPECT_EQ(r.area(), 100 + 100 - 25);
+}
+
+TEST(Region, FullyContainedAddIsNoop) {
+  Region r;
+  r.add(Rect{0, 0, 20, 20});
+  r.add(Rect{5, 5, 5, 5});
+  EXPECT_EQ(r.area(), 400);
+}
+
+TEST(Region, IdenticalAddIsIdempotent) {
+  Region r;
+  r.add(Rect{3, 3, 7, 7});
+  r.add(Rect{3, 3, 7, 7});
+  EXPECT_EQ(r.area(), 49);
+}
+
+TEST(Region, ContainsPoints) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{20, 20, 10, 10});
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({25, 25}));
+  EXPECT_FALSE(r.contains({15, 15}));  // in bounds gap
+}
+
+TEST(Region, Intersects) {
+  Region r(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(r.intersects(Rect{5, 5, 10, 10}));
+  EXPECT_FALSE(r.intersects(Rect{20, 20, 5, 5}));
+}
+
+TEST(Region, ClipRestricts) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{20, 0, 10, 10});
+  r.clip(Rect{0, 0, 15, 15});
+  EXPECT_EQ(r.area(), 100);
+  EXPECT_FALSE(r.contains({22, 2}));
+}
+
+TEST(Region, Translate) {
+  Region r(Rect{0, 0, 5, 5});
+  r.translate(10, 20);
+  EXPECT_TRUE(r.contains({12, 22}));
+  EXPECT_FALSE(r.contains({2, 2}));
+}
+
+TEST(Region, AddRegionMerges) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b;
+  b.add(Rect{5, 0, 10, 10});
+  b.add(Rect{30, 30, 2, 2});
+  a.add(b);
+  EXPECT_EQ(a.area(), 150 + 4);
+}
+
+TEST(Region, CoalescesBeyondMaxRects) {
+  Region r;
+  // 4 * kMaxRects disjoint unit rects along a diagonal.
+  for (int i = 0; i < static_cast<int>(Region::kMaxRects) * 4; ++i) {
+    r.add(Rect{i * 3, i * 3, 1, 1});
+  }
+  EXPECT_LE(r.rects().size(), Region::kMaxRects);
+  // Coverage may grow (coalescing joins) but never shrinks below the input.
+  EXPECT_GE(r.area(), static_cast<std::int64_t>(Region::kMaxRects) * 4);
+  // Every original point is still covered.
+  for (int i = 0; i < static_cast<int>(Region::kMaxRects) * 4; ++i) {
+    EXPECT_TRUE(r.contains({i * 3, i * 3}));
+  }
+}
+
+TEST(Region, RectsStayDisjointUnderRandomAdds) {
+  sim::Rng rng(21);
+  Region r;
+  for (int i = 0; i < 200; ++i) {
+    r.add(Rect{static_cast<int>(rng.uniform_int(0, 90)),
+               static_cast<int>(rng.uniform_int(0, 90)),
+               static_cast<int>(rng.uniform_int(1, 20)),
+               static_cast<int>(rng.uniform_int(1, 20))});
+  }
+  const auto& rects = r.rects();
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_TRUE(rects[i].intersect(rects[j]).empty())
+          << "rects " << i << " and " << j << " overlap";
+    }
+  }
+  EXPECT_LE(r.area(), r.bounds().area());
+}
+
+TEST(Region, AreaNeverExceedsBoundsUnderCoalescing) {
+  sim::Rng rng(22);
+  Region r;
+  for (int i = 0; i < 100; ++i) {
+    r.add(Rect{static_cast<int>(rng.uniform_int(0, 700)),
+               static_cast<int>(rng.uniform_int(0, 1200)),
+               static_cast<int>(rng.uniform_int(1, 60)),
+               static_cast<int>(rng.uniform_int(1, 60))});
+    EXPECT_LE(r.area(), r.bounds().area());
+    EXPECT_LE(r.rects().size(), Region::kMaxRects);
+  }
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

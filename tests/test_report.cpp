@@ -1,0 +1,83 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccdem::harness {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"App", "Saved (mW)"});
+  t.add_row({"Facebook", "150.0"});
+  t.add_row({"Jelly Splash", "480.2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("App"), std::string::npos);
+  EXPECT_NE(s.find("Jelly Splash"), std::string::npos);
+  EXPECT_NE(s.find("480.2"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"A", "B"});
+  t.add_row({"x", "y"});
+  t.add_row({"longer", "z"});
+  std::istringstream is(t.to_string());
+  std::string line;
+  std::size_t width = 0;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      width = line.size();
+      first = false;
+    } else {
+      EXPECT_EQ(line.size(), width);
+    }
+  }
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.25, 1), "-1.2");
+}
+
+TEST(Fmt, PlusMinusNotation) {
+  EXPECT_EQ(fmt_pm(18.6, 2, 8.93), "18.60 (+-8.93)");
+}
+
+TEST(PrintSeries, EmitsResampledRows) {
+  sim::Trace t("x");
+  t.record(sim::Time{0}, 1.0);
+  t.record(sim::Time{sim::kTicksPerSecond}, 2.0);
+  std::ostringstream os;
+  print_series(os, "demo", t, sim::seconds(1), sim::Time{},
+               sim::Time{2 * sim::kTicksPerSecond});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# demo"), std::string::npos);
+  EXPECT_NE(s.find("t=0.0s"), std::string::npos);
+  EXPECT_NE(s.find("t=1.0s"), std::string::npos);
+}
+
+TEST(PrintAsciiChart, BarsScaleToMax) {
+  sim::Trace t("x");
+  t.record(sim::Time{0}, 30.0);
+  t.record(sim::Time{sim::kTicksPerSecond}, 60.0);
+  std::ostringstream os;
+  print_ascii_chart(os, "chart", t, sim::seconds(1), sim::Time{},
+                    sim::Time{2 * sim::kTicksPerSecond}, 60.0, 10);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("#####"), std::string::npos);      // half bar
+  EXPECT_NE(s.find("##########"), std::string::npos); // full bar
+}
+
+TEST(PrintAsciiChart, ClampsAboveMax) {
+  sim::Trace t("x");
+  t.record(sim::Time{0}, 1000.0);
+  std::ostringstream os;
+  print_ascii_chart(os, "chart", t, sim::seconds(1), sim::Time{},
+                    sim::Time{sim::kTicksPerSecond}, 10.0, 5);
+  EXPECT_NE(os.str().find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccdem::harness

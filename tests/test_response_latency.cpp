@@ -1,0 +1,95 @@
+#include "metrics/response_latency.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::metrics {
+namespace {
+
+input::TouchEvent down_at(sim::Tick t) {
+  return {sim::Time{t}, {0, 0}, input::TouchEvent::Action::kDown};
+}
+
+gfx::FrameInfo frame_at(sim::Tick t, bool content) {
+  gfx::FrameInfo info;
+  info.composed_at = sim::Time{t};
+  info.content_changed = content;
+  return info;
+}
+
+TEST(ResponseLatency, PairsTouchWithNextContentFrame) {
+  ResponseLatencyRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  r.on_touch(down_at(1'000'000));
+  r.on_frame(frame_at(1'016'667, true), fb);
+  ASSERT_EQ(r.latencies_ms().size(), 1u);
+  EXPECT_NEAR(r.latencies_ms()[0], 16.667, 0.01);
+}
+
+TEST(ResponseLatency, RedundantFramesDoNotResolveTouch) {
+  ResponseLatencyRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  r.on_touch(down_at(0));
+  r.on_frame(frame_at(10'000, false), fb);
+  r.on_frame(frame_at(20'000, false), fb);
+  EXPECT_TRUE(r.latencies_ms().empty());
+  r.on_frame(frame_at(50'000, true), fb);
+  ASSERT_EQ(r.latencies_ms().size(), 1u);
+  EXPECT_NEAR(r.latencies_ms()[0], 50.0, 0.01);
+}
+
+TEST(ResponseLatency, MoveAndUpEventsIgnored) {
+  ResponseLatencyRecorder r;
+  gfx::Framebuffer fb(1, 1);
+  r.on_touch({sim::Time{0}, {0, 0}, input::TouchEvent::Action::kMove});
+  r.on_touch({sim::Time{1}, {0, 0}, input::TouchEvent::Action::kUp});
+  r.on_frame(frame_at(10'000, true), fb);
+  EXPECT_EQ(r.interactions(), 0u);
+  EXPECT_TRUE(r.latencies_ms().empty());
+}
+
+TEST(ResponseLatency, BurstCollapsesToOneInteraction) {
+  ResponseLatencyRecorder r(sim::milliseconds(300));
+  gfx::Framebuffer fb(1, 1);
+  r.on_touch(down_at(0));
+  r.on_touch(down_at(100'000));  // within the ignore window
+  r.on_touch(down_at(250'000));  // chained: still the same burst
+  EXPECT_EQ(r.interactions(), 1u);
+  r.on_frame(frame_at(300'000, true), fb);
+  ASSERT_EQ(r.latencies_ms().size(), 1u);
+  EXPECT_NEAR(r.latencies_ms()[0], 300.0, 0.01);  // from the first down
+}
+
+TEST(ResponseLatency, SeparateInteractionsBothMeasured) {
+  ResponseLatencyRecorder r(sim::milliseconds(300));
+  gfx::Framebuffer fb(1, 1);
+  r.on_touch(down_at(0));
+  r.on_frame(frame_at(20'000, true), fb);
+  r.on_touch(down_at(2'000'000));
+  r.on_frame(frame_at(2'050'000, true), fb);
+  EXPECT_EQ(r.interactions(), 2u);
+  ASSERT_EQ(r.latencies_ms().size(), 2u);
+  EXPECT_NEAR(r.latencies_ms()[1], 50.0, 0.01);
+}
+
+TEST(ResponseLatency, Statistics) {
+  ResponseLatencyRecorder r(sim::milliseconds(1));
+  gfx::Framebuffer fb(1, 1);
+  const sim::Tick second = sim::kTicksPerSecond;
+  for (int i = 0; i < 10; ++i) {
+    r.on_touch(down_at(i * second));
+    r.on_frame(frame_at(i * second + (i + 1) * 1'000, true), fb);  // 1..10 ms
+  }
+  EXPECT_NEAR(r.mean_ms(), 5.5, 0.01);
+  EXPECT_NEAR(r.max_ms(), 10.0, 0.01);
+  EXPECT_NEAR(r.percentile_ms(50.0), 5.5, 0.01);
+}
+
+TEST(ResponseLatency, EmptyStatsAreZero) {
+  ResponseLatencyRecorder r;
+  EXPECT_DOUBLE_EQ(r.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(95.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ccdem::metrics

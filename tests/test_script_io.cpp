@@ -1,0 +1,79 @@
+#include "input/script_io.h"
+
+#include <gtest/gtest.h>
+
+#include "input/monkey.h"
+
+namespace ccdem::input {
+namespace {
+
+TEST(ScriptIo, RoundTripsGeneratedScript) {
+  sim::Rng rng(31);
+  const auto script = generate_monkey_script(
+      rng, MonkeyProfile::game_app(), sim::seconds(60), {720, 1280});
+  ASSERT_FALSE(script.empty());
+  const auto parsed = script_from_string(script_to_string(script));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].start, script[i].start);
+    EXPECT_EQ((*parsed)[i].kind, script[i].kind);
+    EXPECT_EQ((*parsed)[i].from, script[i].from);
+    EXPECT_EQ((*parsed)[i].to, script[i].to);
+    if (script[i].kind == TouchGesture::Kind::kSwipe) {
+      EXPECT_EQ((*parsed)[i].duration, script[i].duration);
+    }
+  }
+}
+
+TEST(ScriptIo, ParsesHandWrittenScript) {
+  const std::string text =
+      "# my script\n"
+      "tap 1000000 100 200\n"
+      "\n"
+      "swipe 2000000 300000 50 900 60 300   # scroll up\n";
+  const auto parsed = script_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].kind, TouchGesture::Kind::kTap);
+  EXPECT_EQ((*parsed)[0].start, sim::Time{1'000'000});
+  EXPECT_EQ((*parsed)[0].from, (gfx::Point{100, 200}));
+  EXPECT_EQ((*parsed)[1].kind, TouchGesture::Kind::kSwipe);
+  EXPECT_EQ((*parsed)[1].duration, sim::Duration{300'000});
+  EXPECT_EQ((*parsed)[1].to, (gfx::Point{60, 300}));
+}
+
+TEST(ScriptIo, RejectsUnknownGestureKind) {
+  std::string error;
+  EXPECT_FALSE(script_from_string("pinch 0 1 2\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(ScriptIo, RejectsTruncatedFields) {
+  std::string error;
+  EXPECT_FALSE(script_from_string("tap 100\n", &error).has_value());
+  EXPECT_FALSE(script_from_string("swipe 100 200 1 2 3\n").has_value());
+}
+
+TEST(ScriptIo, RejectsNegativeDuration) {
+  EXPECT_FALSE(
+      script_from_string("swipe 100 -5 1 2 3 4\n").has_value());
+}
+
+TEST(ScriptIo, RejectsOutOfOrderGestures) {
+  const std::string text =
+      "tap 2000000 1 1\n"
+      "tap 1000000 2 2\n";
+  std::string error;
+  EXPECT_FALSE(script_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ScriptIo, EmptyInputIsEmptyScript) {
+  const auto parsed = script_from_string("# nothing here\n\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace ccdem::input

@@ -1,0 +1,123 @@
+#include "core/section_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccdem::core {
+namespace {
+
+const display::RefreshRateSet kS3 = display::RefreshRateSet::galaxy_s3();
+
+TEST(SectionTable, ReproducesPaperFigure5) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  // The paper's table for the Galaxy S3:
+  //   0~10 -> 20 Hz, 10~22 -> 24 Hz, 22~27 -> 30 Hz, 27~35 -> 40 Hz,
+  //   35~60 -> 60 Hz.
+  ASSERT_EQ(t.sections().size(), 5u);
+  EXPECT_DOUBLE_EQ(t.sections()[0].lo_fps, 0.0);
+  EXPECT_DOUBLE_EQ(t.sections()[0].hi_fps, 10.0);
+  EXPECT_EQ(t.sections()[0].refresh_hz, 20);
+  EXPECT_DOUBLE_EQ(t.sections()[1].hi_fps, 22.0);
+  EXPECT_EQ(t.sections()[1].refresh_hz, 24);
+  EXPECT_DOUBLE_EQ(t.sections()[2].hi_fps, 27.0);
+  EXPECT_EQ(t.sections()[2].refresh_hz, 30);
+  EXPECT_DOUBLE_EQ(t.sections()[3].hi_fps, 35.0);
+  EXPECT_EQ(t.sections()[3].refresh_hz, 40);
+  EXPECT_TRUE(std::isinf(t.sections()[4].hi_fps));
+  EXPECT_EQ(t.sections()[4].refresh_hz, 60);
+}
+
+TEST(SectionTable, PaperExampleLookups) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  // Figure 5's worked example: 8 fps -> 20 Hz, 33 fps -> 40 Hz.
+  EXPECT_EQ(t.rate_for(8.0), 20);
+  EXPECT_EQ(t.rate_for(33.0), 40);
+  // Section 3.2's text: "if the content rate exceeds 20 fps, the system
+  // increases the refresh rate" -- 21 fps must not stay at 20 Hz.
+  EXPECT_GT(t.rate_for(21.0), 20);
+}
+
+TEST(SectionTable, BoundaryValues) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  EXPECT_EQ(t.rate_for(0.0), 20);
+  EXPECT_EQ(t.rate_for(9.999), 20);
+  EXPECT_EQ(t.rate_for(10.0), 24);
+  EXPECT_EQ(t.rate_for(22.0), 30);
+  EXPECT_EQ(t.rate_for(27.0), 40);
+  EXPECT_EQ(t.rate_for(35.0), 60);
+  EXPECT_EQ(t.rate_for(60.0), 60);
+  EXPECT_EQ(t.rate_for(1000.0), 60);
+}
+
+TEST(SectionTable, NegativeContentRateClampsToLowest) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  EXPECT_EQ(t.rate_for(-5.0), 20);
+}
+
+TEST(SectionTable, RefreshAlwaysExceedsContentRate) {
+  // The control-correctness invariant: the chosen rate must be strictly
+  // above the content rate (else V-Sync would hide content growth).
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  for (double c = 0.0; c < 59.0; c += 0.25) {
+    EXPECT_GT(t.rate_for(c), c) << "content rate " << c;
+  }
+}
+
+TEST(SectionTable, AlphaOneIsMinimalSufficientRate) {
+  const SectionTable t = SectionTable::build(kS3, 1.0);
+  EXPECT_EQ(t.rate_for(19.0), 20);
+  EXPECT_EQ(t.rate_for(21.0), 24);
+  EXPECT_EQ(t.rate_for(39.0), 40);
+  EXPECT_EQ(t.rate_for(41.0), 60);
+}
+
+TEST(SectionTable, AlphaZeroIsMostConservative) {
+  const SectionTable t = SectionTable::build(kS3, 0.0);
+  // All thresholds collapse to the lower neighbour rate: any content rate
+  // above the previous level forces the next rate up, and the lowest
+  // section degenerates to empty (the panel never drops to 20 Hz).
+  EXPECT_EQ(t.rate_for(0.0), 24);
+  EXPECT_EQ(t.rate_for(5.0), 24);
+  EXPECT_EQ(t.rate_for(21.0), 30);
+  EXPECT_EQ(t.rate_for(31.0), 60);
+}
+
+TEST(SectionTable, SectionsArePartition) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  double prev_hi = 0.0;
+  for (const auto& s : t.sections()) {
+    EXPECT_DOUBLE_EQ(s.lo_fps, prev_hi);
+    prev_hi = s.hi_fps;
+  }
+}
+
+TEST(SectionTable, SingleRateSet) {
+  const SectionTable t =
+      SectionTable::build(display::RefreshRateSet{60}, 0.5);
+  ASSERT_EQ(t.sections().size(), 1u);
+  EXPECT_EQ(t.rate_for(0.0), 60);
+  EXPECT_EQ(t.rate_for(100.0), 60);
+}
+
+TEST(SectionTable, RebuildsForDifferentPanel) {
+  // "the thresholds should be redefined when the available refresh rates
+  // are changed" -- an LTPO panel gets a very different table.
+  const SectionTable t =
+      SectionTable::build(display::RefreshRateSet::ltpo_120(), 0.5);
+  EXPECT_EQ(t.rate_for(0.2), 1);
+  EXPECT_EQ(t.rate_for(3.0), 10);
+  EXPECT_EQ(t.rate_for(70.0), 90);   // 70 < median(60, 90) = 75
+  EXPECT_EQ(t.rate_for(80.0), 120);
+}
+
+TEST(SectionTable, ToStringListsAllSections) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("20 Hz"), std::string::npos);
+  EXPECT_NE(s.find("60 Hz"), std::string::npos);
+  EXPECT_NE(s.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccdem::core

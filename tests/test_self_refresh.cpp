@@ -1,0 +1,126 @@
+#include "core/self_refresh_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "display/display_panel.h"
+#include "sim/simulator.h"
+
+namespace ccdem::core {
+namespace {
+
+constexpr gfx::Size kScreen{64, 64};
+
+struct Rig {
+  sim::Simulator sim;
+  gfx::SurfaceFlinger flinger{kScreen};
+  power::DevicePowerModel power{
+      power::DevicePowerParams::galaxy_s3_with_psr_link(), 60};
+  SelfRefreshController psr;
+  gfx::Surface* surface =
+      flinger.create_surface("app", gfx::Rect::of(kScreen), 0);
+
+  explicit Rig(SelfRefreshConfig config = {})
+      : psr(sim, flinger, power, config) {}
+
+  void compose_frame() {
+    gfx::Canvas& c = surface->begin_frame();
+    toggle_ = !toggle_;
+    c.fill_rect(gfx::Rect{0, 0, 8, 8},
+                toggle_ ? gfx::colors::kRed : gfx::colors::kBlue);
+    surface->post_frame();
+    flinger.on_vsync(sim.now());
+  }
+
+  bool toggle_ = false;
+};
+
+TEST(SelfRefresh, EntersAfterIdleThreshold) {
+  Rig rig;
+  rig.compose_frame();
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+  EXPECT_FALSE(rig.power.link_active());
+  EXPECT_EQ(rig.psr.entries(), 1u);
+}
+
+TEST(SelfRefresh, StaysActiveWhileFramesFlow) {
+  Rig rig;
+  for (int i = 0; i < 20; ++i) {
+    rig.compose_frame();
+    rig.sim.run_for(sim::milliseconds(500));
+  }
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  EXPECT_EQ(rig.psr.entries(), 0u);
+}
+
+TEST(SelfRefresh, FrameExitsImmediately) {
+  Rig rig;
+  rig.compose_frame();
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  rig.compose_frame();
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  EXPECT_TRUE(rig.power.link_active());
+}
+
+TEST(SelfRefresh, AccumulatesResidencyTime) {
+  Rig rig;
+  rig.compose_frame();
+  rig.sim.run_for(sim::seconds(10));
+  const double resident =
+      rig.psr.time_in_self_refresh(rig.sim.now()).seconds();
+  // Enters ~2 s after the frame; ~8 s resident by t = 10 s.
+  EXPECT_NEAR(resident, 8.0, 0.5);
+}
+
+TEST(SelfRefresh, LinkPowerActuallyDrops) {
+  Rig rig;
+  rig.compose_frame();
+  const double active = rig.power.continuous_power_mw(60);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  EXPECT_NEAR(active - rig.power.continuous_power_mw(60), 60.0, 1e-9);
+}
+
+TEST(SelfRefresh, TransitionsCostEnergy) {
+  SelfRefreshConfig config;
+  config.transition_mj = 5.0;
+  Rig rig(config);
+  rig.compose_frame();
+  rig.sim.run_for(sim::seconds(3));   // enter: +5 mJ
+  rig.compose_frame();                 // exit: +5 mJ
+  // Verify by comparing against a pure continuous integration: hard to do
+  // exactly (composition energy also lands), so assert entries counted.
+  EXPECT_EQ(rig.psr.entries(), 1u);
+}
+
+TEST(SelfRefresh, ConfigurableThreshold) {
+  SelfRefreshConfig config;
+  config.enter_after = sim::milliseconds(500);
+  Rig rig(config);
+  rig.compose_frame();
+  rig.sim.run_for(sim::seconds(1));
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+}
+
+TEST(SelfRefresh, StopFreezesController) {
+  Rig rig;
+  rig.compose_frame();
+  rig.psr.stop();
+  rig.sim.run_for(sim::seconds(5));
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+}
+
+TEST(SelfRefresh, PsrLinkParamsPreserveTotalIdlePower) {
+  // Splitting the link out of the SoC base must not change the calibrated
+  // total while the link is active.
+  power::DevicePowerModel base(power::DevicePowerParams::galaxy_s3(), 60);
+  power::DevicePowerModel split(
+      power::DevicePowerParams::galaxy_s3_with_psr_link(), 60);
+  EXPECT_DOUBLE_EQ(base.continuous_power_mw(60),
+                   split.continuous_power_mw(60));
+}
+
+}  // namespace
+}  // namespace ccdem::core

@@ -1,0 +1,74 @@
+#include "harness/session.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::harness {
+namespace {
+
+SessionConfig tiny_session(ControlMode mode) {
+  SessionConfig c;
+  c.mode = mode;
+  c.seed = 5;
+  c.segments = {
+      {apps::app_by_name("Facebook"), sim::seconds(5)},
+      {apps::app_by_name("Jelly Splash"), sim::seconds(5)},
+  };
+  return c;
+}
+
+TEST(Session, RunsAllSegments) {
+  const SessionResult r = run_session(tiny_session(ControlMode::kBaseline60));
+  ASSERT_EQ(r.segments.size(), 2u);
+  EXPECT_EQ(r.segments[0].app_name, "Facebook");
+  EXPECT_EQ(r.segments[1].app_name, "Jelly Splash");
+  EXPECT_EQ(r.total_duration, sim::seconds(10));
+}
+
+TEST(Session, EnergyIsSumOfSegments) {
+  const SessionResult r = run_session(tiny_session(ControlMode::kBaseline60));
+  const double expected = r.segments[0].mean_power_mw * 5.0 +
+                          r.segments[1].mean_power_mw * 5.0;
+  EXPECT_NEAR(r.total_energy_mj, expected, 1e-6);
+  EXPECT_NEAR(r.mean_power_mw, expected / 10.0, 1e-6);
+}
+
+TEST(Session, ControlledSessionUsesLessEnergy) {
+  const SessionResult base =
+      run_session(tiny_session(ControlMode::kBaseline60));
+  const SessionResult ctl =
+      run_session(tiny_session(ControlMode::kSectionWithBoost));
+  EXPECT_LT(ctl.total_energy_mj, base.total_energy_mj);
+}
+
+TEST(Session, DeterministicAcrossModesPerSegmentScripts) {
+  // Same seed => same scripts: the baseline and controlled arms see the
+  // same touch event counts segment by segment.
+  const SessionResult a =
+      run_session(tiny_session(ControlMode::kBaseline60));
+  const SessionResult b =
+      run_session(tiny_session(ControlMode::kSectionWithBoost));
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].touch_events, b.segments[i].touch_events);
+  }
+}
+
+TEST(Session, TypicalHourComposition) {
+  const SessionConfig c = typical_hour(0.01, ControlMode::kBaseline60);
+  ASSERT_GE(c.segments.size(), 5u);
+  sim::Duration total{};
+  for (const auto& s : c.segments) total = total + s.duration;
+  // 60 minutes scaled by 0.01 = 36 s.
+  EXPECT_NEAR(total.seconds(), 36.0, 0.5);
+}
+
+TEST(Session, TypicalHourRuns) {
+  const SessionResult r =
+      run_session(typical_hour(0.005, ControlMode::kSectionWithBoost));
+  EXPECT_GT(r.mean_power_mw, 400.0);
+  EXPECT_EQ(r.segments.size(),
+            typical_hour(0.005, ControlMode::kSectionWithBoost)
+                .segments.size());
+}
+
+}  // namespace
+}  // namespace ccdem::harness

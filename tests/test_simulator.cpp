@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccdem::sim {
+namespace {
+
+TEST(Simulator, NowStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), Time{});
+}
+
+TEST(Simulator, RunUntilAdvancesNowToHorizon) {
+  Simulator s;
+  s.run_until(Time{1'000});
+  EXPECT_EQ(s.now(), Time{1'000});
+}
+
+TEST(Simulator, AtSchedulesAbsolute) {
+  Simulator s;
+  Time seen{};
+  s.at(Time{500}, [&](Time t) { seen = t; });
+  s.run_until(Time{1'000});
+  EXPECT_EQ(seen, Time{500});
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  s.run_until(Time{100});
+  Time seen{};
+  s.after(Duration{50}, [&](Time t) { seen = t; });
+  s.run_until(Time{1'000});
+  EXPECT_EQ(seen, Time{150});
+}
+
+TEST(Simulator, EventsBeyondHorizonDoNotRun) {
+  Simulator s;
+  bool ran = false;
+  s.at(Time{2'000}, [&](Time) { ran = true; });
+  s.run_until(Time{1'000});
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(Time{3'000});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventExactlyAtHorizonRuns) {
+  Simulator s;
+  bool ran = false;
+  s.at(Time{1'000}, [&](Time) { ran = true; });
+  s.run_until(Time{1'000});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EveryRepeatsUntilCallbackStops) {
+  Simulator s;
+  std::vector<Tick> fires;
+  s.every(Duration{100}, [&](Time t) {
+    fires.push_back(t.ticks);
+    return fires.size() < 3;
+  });
+  s.run_until(Time{10'000});
+  EXPECT_EQ(fires, (std::vector<Tick>{100, 200, 300}));
+}
+
+TEST(Simulator, EveryRunsForever) {
+  Simulator s;
+  int count = 0;
+  s.every(Duration{100}, [&](Time) {
+    ++count;
+    return true;
+  });
+  s.run_until(Time{1'000});
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, CancelStopsScheduledEvent) {
+  Simulator s;
+  bool ran = false;
+  const EventHandle h = s.at(Time{100}, [&](Time) { ran = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run_until(Time{1'000});
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator s;
+  s.run_until(Time{250});
+  s.run_for(Duration{250});
+  EXPECT_EQ(s.now(), Time{500});
+}
+
+TEST(Simulator, NowTracksLastEventDuringRun) {
+  Simulator s;
+  Time observed{};
+  s.at(Time{100}, [&](Time) { observed = s.now(); });
+  s.run_until(Time{1'000});
+  EXPECT_EQ(observed, Time{100});
+}
+
+}  // namespace
+}  // namespace ccdem::sim

@@ -1,0 +1,78 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::metrics {
+namespace {
+
+TEST(StreamingStats, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, MeanAndStddev) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, NegativeValues) {
+  StreamingStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, ExtremesClampToMinMax) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 150.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, -10.0), 1.0);
+}
+
+TEST(Percentile, EightiethOfTenValues) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_NEAR(value_at_80th(v), 8.2, 1e-9);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 2.0, 7.0, 4.0, 1.0}, 50.0), 4.0);
+}
+
+}  // namespace
+}  // namespace ccdem::metrics

@@ -1,0 +1,63 @@
+#include "gfx/surface.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(Surface, ConstructedFromRect) {
+  Surface s("app", Rect{0, 0, 16, 32}, 1);
+  EXPECT_EQ(s.name(), "app");
+  EXPECT_EQ(s.screen_rect(), (Rect{0, 0, 16, 32}));
+  EXPECT_EQ(s.z_order(), 1);
+  EXPECT_TRUE(s.visible());
+  EXPECT_EQ(s.buffer().size(), (Size{16, 32}));
+  EXPECT_FALSE(s.has_pending_frame());
+}
+
+TEST(Surface, PostFrameReportsDirty) {
+  Surface s("app", Rect{0, 0, 16, 16}, 0);
+  Canvas& c = s.begin_frame();
+  c.fill_rect(Rect{2, 2, 4, 4}, colors::kRed);
+  const Rect dirty = s.post_frame();
+  EXPECT_EQ(dirty, (Rect{2, 2, 4, 4}));
+  EXPECT_TRUE(s.has_pending_frame());
+  EXPECT_EQ(s.pending_dirty(), dirty);
+}
+
+TEST(Surface, RedundantPostHasEmptyDirty) {
+  Surface s("app", Rect{0, 0, 16, 16}, 0);
+  s.begin_frame();
+  const Rect dirty = s.post_frame();
+  EXPECT_TRUE(dirty.empty());
+  EXPECT_TRUE(s.has_pending_frame());  // still a frame request
+}
+
+TEST(Surface, AcquireConsumesPendingFrame) {
+  Surface s("app", Rect{0, 0, 16, 16}, 0);
+  s.begin_frame();
+  s.post_frame();
+  s.acquire_frame();
+  EXPECT_FALSE(s.has_pending_frame());
+  EXPECT_TRUE(s.pending_dirty().empty());
+}
+
+TEST(Surface, ConsecutivePostsMergeDirty) {
+  Surface s("app", Rect{0, 0, 16, 16}, 0);
+  Canvas& c1 = s.begin_frame();
+  c1.fill_rect(Rect{0, 0, 2, 2}, colors::kRed);
+  s.post_frame();
+  Canvas& c2 = s.begin_frame();
+  c2.fill_rect(Rect{10, 10, 2, 2}, colors::kBlue);
+  s.post_frame();
+  EXPECT_EQ(s.pending_dirty(), (Rect{0, 0, 12, 12}));
+}
+
+TEST(Surface, VisibilityToggle) {
+  Surface s("app", Rect{0, 0, 8, 8}, 0);
+  s.set_visible(false);
+  EXPECT_FALSE(s.visible());
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

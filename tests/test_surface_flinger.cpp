@@ -1,0 +1,191 @@
+#include "gfx/surface_flinger.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccdem::gfx {
+namespace {
+
+class RecordingListener final : public FrameListener {
+ public:
+  void on_frame(const FrameInfo& info, const Framebuffer&) override {
+    frames.push_back(info);
+  }
+  std::vector<FrameInfo> frames;
+};
+
+class FlingerTest : public ::testing::Test {
+ protected:
+  FlingerTest() : flinger_({64, 64}) { flinger_.add_listener(&listener_); }
+
+  SurfaceFlinger flinger_;
+  RecordingListener listener_;
+};
+
+TEST_F(FlingerTest, NoPendingFrameNoComposition) {
+  flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  EXPECT_FALSE(flinger_.on_vsync(sim::Time{}));
+  EXPECT_TRUE(listener_.frames.empty());
+  EXPECT_EQ(flinger_.frames_composed(), 0u);
+}
+
+TEST_F(FlingerTest, ComposesPostedSurface) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  Canvas& c = s->begin_frame();
+  c.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  EXPECT_TRUE(flinger_.on_vsync(sim::Time{1'000}));
+  ASSERT_EQ(listener_.frames.size(), 1u);
+  EXPECT_EQ(listener_.frames[0].seq, 1u);
+  EXPECT_EQ(listener_.frames[0].composed_at, sim::Time{1'000});
+  EXPECT_TRUE(listener_.frames[0].content_changed);
+  EXPECT_EQ(listener_.frames[0].dirty, (Rect{0, 0, 8, 8}));
+  EXPECT_EQ(listener_.frames[0].composed_pixels, 64);
+  EXPECT_EQ(flinger_.framebuffer().at(4, 4), colors::kRed);
+}
+
+TEST_F(FlingerTest, RedundantPostComposesWithoutContentChange) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  s->begin_frame();
+  s->post_frame();  // nothing drawn
+  EXPECT_TRUE(flinger_.on_vsync(sim::Time{}));
+  ASSERT_EQ(listener_.frames.size(), 1u);
+  EXPECT_FALSE(listener_.frames[0].content_changed);
+  EXPECT_EQ(listener_.frames[0].composed_pixels, 0);
+  EXPECT_EQ(flinger_.content_frames(), 0u);
+  EXPECT_EQ(flinger_.frames_composed(), 1u);
+}
+
+TEST_F(FlingerTest, RedrawingIdenticalPixelsIsNotAContentChange) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  // First frame paints.
+  Canvas& c1 = s->begin_frame();
+  c1.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  // Second frame redraws the same pixels with the same colour: the dirty
+  // rect is non-empty but nothing actually changes on screen.
+  Canvas& c2 = s->begin_frame();
+  c2.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{1});
+  ASSERT_EQ(listener_.frames.size(), 2u);
+  EXPECT_TRUE(listener_.frames[0].content_changed);
+  EXPECT_FALSE(listener_.frames[1].content_changed);
+}
+
+TEST_F(FlingerTest, OptimisticModeTrustsDirtyRect) {
+  flinger_.set_exact_change_detection(false);
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  Canvas& c1 = s->begin_frame();
+  c1.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  Canvas& c2 = s->begin_frame();
+  c2.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);  // identical pixels
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{1});
+  // Optimistic mode cannot tell: it reports a change because dirty != empty.
+  EXPECT_TRUE(listener_.frames[1].content_changed);
+}
+
+TEST_F(FlingerTest, SurfacePositionOffsetsComposition) {
+  Surface* s = flinger_.create_surface("a", Rect{10, 20, 16, 16}, 0);
+  Canvas& c = s->begin_frame();
+  c.fill_rect(Rect{0, 0, 4, 4}, colors::kGreen);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  EXPECT_EQ(flinger_.framebuffer().at(10, 20), colors::kGreen);
+  EXPECT_EQ(flinger_.framebuffer().at(9, 19), colors::kBlack);
+  EXPECT_EQ(listener_.frames[0].dirty, (Rect{10, 20, 4, 4}));
+}
+
+TEST_F(FlingerTest, ZOrderDeterminesStacking) {
+  Surface* below = flinger_.create_surface("below", Rect{0, 0, 64, 64}, 0);
+  Surface* above = flinger_.create_surface("above", Rect{0, 0, 64, 64}, 1);
+  Canvas& cb = below->begin_frame();
+  cb.fill_rect(Rect{0, 0, 16, 16}, colors::kRed);
+  below->post_frame();
+  Canvas& ca = above->begin_frame();
+  ca.fill_rect(Rect{0, 0, 8, 8}, colors::kBlue);
+  above->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  EXPECT_EQ(flinger_.framebuffer().at(2, 2), colors::kBlue);    // above wins
+  EXPECT_EQ(flinger_.framebuffer().at(12, 12), colors::kRed);   // below shows
+}
+
+TEST_F(FlingerTest, InvisibleSurfaceIgnored) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  s->set_visible(false);
+  Canvas& c = s->begin_frame();
+  c.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  EXPECT_FALSE(flinger_.on_vsync(sim::Time{}));
+}
+
+TEST_F(FlingerTest, RemoveSurfaceStopsComposition) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  s->begin_frame();
+  s->post_frame();
+  flinger_.remove_surface(s);
+  EXPECT_FALSE(flinger_.on_vsync(sim::Time{}));
+}
+
+TEST_F(FlingerTest, FrameSeqIncrements) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  for (int i = 0; i < 3; ++i) {
+    Canvas& c = s->begin_frame();
+    c.fill_rect(Rect{i * 4, 0, 4, 4}, colors::kRed);
+    s->post_frame();
+    flinger_.on_vsync(sim::Time{i});
+  }
+  ASSERT_EQ(listener_.frames.size(), 3u);
+  EXPECT_EQ(listener_.frames[2].seq, 3u);
+  EXPECT_EQ(flinger_.content_frames(), 3u);
+}
+
+TEST_F(FlingerTest, PreviousFrameHoldsLastDisplayedPixels) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  Canvas& c1 = s->begin_frame();
+  c1.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  Canvas& c2 = s->begin_frame();
+  c2.fill_rect(Rect{0, 0, 8, 8}, colors::kBlue);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{1});
+  EXPECT_EQ(flinger_.framebuffer().at(2, 2), colors::kBlue);
+  EXPECT_EQ(flinger_.previous_frame().at(2, 2), colors::kRed);
+}
+
+TEST_F(FlingerTest, ReconciledPixelsReported) {
+  Surface* s = flinger_.create_surface("a", Rect{0, 0, 64, 64}, 0);
+  Canvas& c1 = s->begin_frame();
+  c1.fill_rect(Rect{0, 0, 8, 8}, colors::kRed);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  ASSERT_EQ(listener_.frames.size(), 1u);
+  EXPECT_EQ(listener_.frames[0].reconciled_pixels, 0);  // first frame
+  Canvas& c2 = s->begin_frame();
+  c2.fill_rect(Rect{20, 20, 4, 4}, colors::kBlue);
+  s->post_frame();
+  flinger_.on_vsync(sim::Time{1});
+  // The back buffer needed frame 1's 8x8 damage recopied.
+  EXPECT_EQ(listener_.frames[1].reconciled_pixels, 64);
+}
+
+TEST_F(FlingerTest, CountsSurfacesLatched) {
+  Surface* a = flinger_.create_surface("a", Rect{0, 0, 32, 32}, 0);
+  Surface* b = flinger_.create_surface("b", Rect{32, 32, 32, 32}, 1);
+  a->begin_frame();
+  a->post_frame();
+  b->begin_frame();
+  b->post_frame();
+  flinger_.on_vsync(sim::Time{});
+  ASSERT_EQ(listener_.frames.size(), 1u);
+  EXPECT_EQ(listener_.frames[0].surfaces_latched, 2);
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

@@ -1,0 +1,95 @@
+#include "gfx/swapchain.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace ccdem::gfx {
+namespace {
+
+TEST(Swapchain, StartsBlank) {
+  Swapchain chain({8, 8});
+  EXPECT_EQ(chain.front().at(0, 0), colors::kBlack);
+  EXPECT_EQ(chain.presents(), 0u);
+}
+
+TEST(Swapchain, PresentFlipsNewFrameToFront) {
+  Swapchain chain({8, 8});
+  Framebuffer& target = chain.begin_frame();
+  target.fill_rect(Rect{0, 0, 4, 4}, colors::kRed);
+  chain.present(Region(Rect{0, 0, 4, 4}));
+  EXPECT_EQ(chain.front().at(2, 2), colors::kRed);
+  EXPECT_EQ(chain.previous().at(2, 2), colors::kBlack);
+  EXPECT_EQ(chain.presents(), 1u);
+}
+
+TEST(Swapchain, ReconciliationKeepsBackBufferCurrent) {
+  Swapchain chain({8, 8});
+  // Frame 1: red square top-left.
+  chain.begin_frame().fill_rect(Rect{0, 0, 4, 4}, colors::kRed);
+  chain.present(Region(Rect{0, 0, 4, 4}));
+  // Frame 2: blue square bottom-right; the back buffer (frame 0, blank)
+  // must first receive frame 1's red square via reconciliation.
+  Framebuffer& t2 = chain.begin_frame();
+  EXPECT_EQ(t2.at(2, 2), colors::kRed) << "reconciliation missing";
+  t2.fill_rect(Rect{4, 4, 4, 4}, colors::kBlue);
+  chain.present(Region(Rect{4, 4, 4, 4}));
+  // Front shows both squares.
+  EXPECT_EQ(chain.front().at(2, 2), colors::kRed);
+  EXPECT_EQ(chain.front().at(6, 6), colors::kBlue);
+  // Previous shows only frame 1.
+  EXPECT_EQ(chain.previous().at(2, 2), colors::kRed);
+  EXPECT_EQ(chain.previous().at(6, 6), colors::kBlack);
+}
+
+TEST(Swapchain, ReconciledPixelsTracked) {
+  Swapchain chain({8, 8});
+  chain.begin_frame().fill_rect(Rect{0, 0, 4, 4}, colors::kRed);
+  chain.present(Region(Rect{0, 0, 4, 4}));
+  chain.begin_frame();
+  EXPECT_EQ(chain.last_reconciled_pixels(), 16);
+  chain.present(Region{});
+  chain.begin_frame();
+  EXPECT_EQ(chain.last_reconciled_pixels(), 0);  // empty damage last frame
+  chain.present(Region{});
+}
+
+TEST(Swapchain, LongChainStaysConsistent) {
+  // Property: after any damage sequence, front() equals a single-buffer
+  // reference that applied every draw in order.
+  Swapchain chain({32, 32});
+  Framebuffer reference(32, 32);
+  sim::Rng rng(9);
+  for (int frame = 0; frame < 50; ++frame) {
+    Region damage;
+    Framebuffer& target = chain.begin_frame();
+    const auto rects = rng.uniform_int(0, 3);
+    for (int k = 0; k < rects; ++k) {
+      const Rect r{static_cast<int>(rng.uniform_int(0, 24)),
+                   static_cast<int>(rng.uniform_int(0, 24)),
+                   static_cast<int>(rng.uniform_int(1, 8)),
+                   static_cast<int>(rng.uniform_int(1, 8))};
+      const Rgb888 c = Rgb888::from_packed(
+          static_cast<std::uint32_t>(rng.next_u64()));
+      target.fill_rect(r, c);
+      reference.fill_rect(r, c);
+      damage.add(r);
+    }
+    chain.present(damage);
+    ASSERT_TRUE(chain.front().equals(reference)) << "frame " << frame;
+  }
+}
+
+TEST(Swapchain, EmptyFramePreservesDisplay) {
+  Swapchain chain({8, 8});
+  chain.begin_frame().fill_rect(Rect{0, 0, 8, 8}, colors::kGreen);
+  chain.present(Region(Rect{0, 0, 8, 8}));
+  // A frame with no drawing at all (pure redundant request).
+  chain.begin_frame();
+  chain.present(Region{});
+  EXPECT_EQ(chain.front().at(4, 4), colors::kGreen);
+  EXPECT_EQ(chain.previous().at(4, 4), colors::kGreen);
+}
+
+}  // namespace
+}  // namespace ccdem::gfx

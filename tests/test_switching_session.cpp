@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "harness/session.h"
+
+namespace ccdem::harness {
+namespace {
+
+SessionConfig two_apps(ControlMode mode) {
+  SessionConfig c;
+  c.mode = mode;
+  c.seed = 9;
+  c.segments = {
+      {apps::app_by_name("Tiny Flashlight"), sim::seconds(5)},
+      {apps::app_by_name("Jelly Splash"), sim::seconds(5)},
+  };
+  return c;
+}
+
+TEST(SwitchingSession, RunsAllSegmentsOnOneDevice) {
+  const auto r = run_switching_session(two_apps(ControlMode::kBaseline60));
+  EXPECT_EQ(r.total_duration, sim::seconds(10));
+  ASSERT_EQ(r.segment_power_mw.size(), 2u);
+  EXPECT_GT(r.frames_composed, 0u);
+}
+
+TEST(SwitchingSession, SegmentPowersReflectTheApps) {
+  const auto r = run_switching_session(two_apps(ControlMode::kBaseline60));
+  // A static flashlight draws far less than a 60 fps game.
+  EXPECT_LT(r.segment_power_mw[0], r.segment_power_mw[1] - 200.0);
+}
+
+TEST(SwitchingSession, ControlledUsesLessEnergy) {
+  const auto base = run_switching_session(two_apps(ControlMode::kBaseline60));
+  const auto ctl =
+      run_switching_session(two_apps(ControlMode::kSectionWithBoost));
+  EXPECT_LT(ctl.total_energy_mj, base.total_energy_mj);
+}
+
+TEST(SwitchingSession, AppSwitchRepaintsWindow) {
+  // The incoming app must repaint, producing a content frame right at the
+  // boundary; composition never stalls across the switch.
+  const auto r = run_switching_session(two_apps(ControlMode::kBaseline60));
+  EXPECT_GT(r.content_frames, 10u);
+  // The flashlight segment contributes almost nothing; nearly all content
+  // comes from the game segment plus the two window repaints.
+  EXPECT_GT(r.frames_composed, r.content_frames);
+}
+
+TEST(SwitchingSession, ControllerRampsAcrossSwitch) {
+  // Static app first (panel parks at 20 Hz), then a demanding game: the
+  // refresh trace must show the ramp back up after the switch.
+  const auto r =
+      run_switching_session(two_apps(ControlMode::kSectionWithBoost));
+  const double during_static =
+      r.refresh_rate.value_at(sim::at_seconds(4.5), 60.0);
+  const double during_game =
+      r.refresh_rate.value_at(sim::at_seconds(9.5), 60.0);
+  EXPECT_LT(during_static, 30.0);
+  EXPECT_GT(during_game, during_static);
+}
+
+TEST(SwitchingSession, Deterministic) {
+  const auto a = run_switching_session(two_apps(ControlMode::kSection));
+  const auto b = run_switching_session(two_apps(ControlMode::kSection));
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_EQ(a.frames_composed, b.frames_composed);
+}
+
+}  // namespace
+}  // namespace ccdem::harness

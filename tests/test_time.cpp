@@ -1,0 +1,63 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ticks, 0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_EQ(seconds(3).ticks, 3'000'000);
+  EXPECT_EQ(milliseconds(5).ticks, 5'000);
+  EXPECT_EQ(microseconds(7).ticks, 7);
+}
+
+TEST(Time, FractionalSecondsRoundToNearestTick) {
+  EXPECT_EQ(seconds_f(0.5).ticks, 500'000);
+  EXPECT_EQ(seconds_f(1.0 / 3.0).ticks, 333'333);
+  EXPECT_EQ(seconds_f(-0.5).ticks, -500'000);
+}
+
+TEST(Time, PeriodOfHz) {
+  EXPECT_EQ(period_of_hz(60.0).ticks, 16'667);
+  EXPECT_EQ(period_of_hz(20.0).ticks, 50'000);
+  EXPECT_EQ(period_of_hz(1.0).ticks, 1'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time t = Time{1'000'000} + milliseconds(500);
+  EXPECT_EQ(t.ticks, 1'500'000);
+  EXPECT_EQ((t - Time{1'000'000}).ticks, 500'000);
+  EXPECT_EQ((t - milliseconds(500)).ticks, 1'000'000);
+  EXPECT_EQ((milliseconds(3) * 4).ticks, 12'000);
+  EXPECT_EQ((milliseconds(12) / 4).ticks, 3'000);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time{1}, Time{2});
+  EXPECT_GE(Time{2}, Time{2});
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+}
+
+TEST(Time, SecondsAndMilliseconds) {
+  const Time t{2'500'000};
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(t.milliseconds(), 2500.0);
+  const Duration d{750};
+  EXPECT_DOUBLE_EQ(d.milliseconds(), 0.75);
+}
+
+TEST(Time, CompoundAssign) {
+  Time t{};
+  t += seconds(2);
+  t += milliseconds(1);
+  EXPECT_EQ(t.ticks, 2'001'000);
+}
+
+}  // namespace
+}  // namespace ccdem::sim

@@ -1,0 +1,64 @@
+#include "core/touch_booster.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::core {
+namespace {
+
+input::TouchEvent touch_at(sim::Tick t) {
+  return input::TouchEvent{sim::Time{t}, {0, 0},
+                           input::TouchEvent::Action::kDown};
+}
+
+TEST(TouchBooster, InactiveBeforeAnyTouch) {
+  TouchBooster b;
+  EXPECT_FALSE(b.active(sim::Time{}));
+  EXPECT_FALSE(b.active(sim::Time{1'000'000}));
+}
+
+TEST(TouchBooster, ActiveDuringHoldWindow) {
+  TouchBooster b(sim::seconds(1));
+  b.on_touch(touch_at(1'000'000));
+  EXPECT_TRUE(b.active(sim::Time{1'000'000}));
+  EXPECT_TRUE(b.active(sim::Time{1'500'000}));
+  EXPECT_TRUE(b.active(sim::Time{2'000'000}));   // inclusive end
+  EXPECT_FALSE(b.active(sim::Time{2'000'001}));
+}
+
+TEST(TouchBooster, RepeatedTouchesExtendHold) {
+  TouchBooster b(sim::seconds(1));
+  b.on_touch(touch_at(0));
+  b.on_touch(touch_at(900'000));
+  EXPECT_TRUE(b.active(sim::Time{1'800'000}));
+  EXPECT_FALSE(b.active(sim::Time{2'000'000}));
+}
+
+TEST(TouchBooster, CountsEvents) {
+  TouchBooster b;
+  b.on_touch(touch_at(0));
+  b.on_touch(touch_at(1));
+  b.on_touch(touch_at(2));
+  EXPECT_EQ(b.touch_events(), 3u);
+}
+
+TEST(TouchBooster, HoldIsConfigurable) {
+  TouchBooster b(sim::milliseconds(250));
+  b.on_touch(touch_at(0));
+  EXPECT_TRUE(b.active(sim::Time{250'000}));
+  EXPECT_FALSE(b.active(sim::Time{250'001}));
+  b.set_hold(sim::seconds(2));
+  EXPECT_EQ(b.hold(), sim::seconds(2));
+  b.on_touch(touch_at(300'000));
+  EXPECT_TRUE(b.active(sim::Time{2'300'000}));
+}
+
+TEST(TouchBooster, AllActionKindsBoost) {
+  TouchBooster b(sim::seconds(1));
+  input::TouchEvent move{sim::Time{0}, {5, 5},
+                         input::TouchEvent::Action::kMove};
+  b.on_touch(move);
+  EXPECT_TRUE(b.active(sim::Time{500'000}));
+}
+
+}  // namespace
+}  // namespace ccdem::core

@@ -1,0 +1,109 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdem::sim {
+namespace {
+
+Trace make_trace(std::initializer_list<std::pair<Tick, double>> pts) {
+  Trace t("test");
+  for (const auto& [tick, v] : pts) t.record(Time{tick}, v);
+  return t;
+}
+
+TEST(Trace, EmptyStats) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(t.min(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max(), 0.0);
+}
+
+TEST(Trace, MeanMinMax) {
+  const Trace t = make_trace({{0, 1.0}, {1, 2.0}, {2, 6.0}});
+  EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 6.0);
+}
+
+TEST(Trace, SampleStddev) {
+  const Trace t = make_trace({{0, 2.0}, {1, 4.0}, {2, 4.0}, {3, 4.0},
+                              {4, 5.0}, {5, 5.0}, {6, 7.0}, {7, 9.0}});
+  EXPECT_NEAR(t.stddev(), 2.138, 0.001);
+}
+
+TEST(Trace, MeanBetween) {
+  const Trace t = make_trace({{0, 1.0}, {100, 3.0}, {200, 5.0}, {300, 7.0}});
+  EXPECT_DOUBLE_EQ(t.mean_between(Time{100}, Time{300}), 4.0);
+}
+
+TEST(Trace, ValueAtStepSemantics) {
+  const Trace t = make_trace({{100, 60.0}, {200, 20.0}});
+  EXPECT_DOUBLE_EQ(t.value_at(Time{50}, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Time{100}), 60.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Time{150}), 60.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Time{200}), 20.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Time{10'000}), 20.0);
+}
+
+TEST(Trace, TimeWeightedMeanOfStepSignal) {
+  // 60 for 1 s, then 20 for 1 s -> mean 40 over [0, 2 s).
+  const Trace t = make_trace({{0, 60.0}, {kTicksPerSecond, 20.0}});
+  EXPECT_DOUBLE_EQ(
+      t.time_weighted_mean(Time{}, Time{2 * kTicksPerSecond}), 40.0);
+}
+
+TEST(Trace, TimeWeightedMeanUnevenDurations) {
+  // 60 for 3 s, then 20 for 1 s -> (180 + 20) / 4 = 50.
+  const Trace t = make_trace({{0, 60.0}, {3 * kTicksPerSecond, 20.0}});
+  EXPECT_DOUBLE_EQ(
+      t.time_weighted_mean(Time{}, Time{4 * kTicksPerSecond}), 50.0);
+}
+
+TEST(Trace, TimeWeightedMeanBeforeFirstPointUsesFirstValue) {
+  const Trace t = make_trace({{kTicksPerSecond, 40.0}});
+  EXPECT_DOUBLE_EQ(
+      t.time_weighted_mean(Time{}, Time{2 * kTicksPerSecond}), 40.0);
+}
+
+TEST(Trace, ResampleAveragesWithinBuckets) {
+  const Trace t = make_trace({{100'000, 2.0}, {200'000, 4.0}, {1'100'000, 10.0}});
+  const Trace r = t.resample(seconds(1), Time{}, Time{2 * kTicksPerSecond});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points()[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(r.points()[1].value, 10.0);
+}
+
+TEST(Trace, ResampleHoldsThroughEmptyBuckets) {
+  const Trace t = make_trace({{0, 5.0}});
+  const Trace r = t.resample(seconds(1), Time{}, Time{3 * kTicksPerSecond});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.points()[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(r.points()[2].value, 5.0);
+}
+
+TEST(Trace, ResampleUsesPriorValueBeforeWindow) {
+  const Trace t = make_trace({{0, 7.0}});
+  const Trace r = t.resample(seconds(1), Time{5 * kTicksPerSecond},
+                             Time{6 * kTicksPerSecond});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.points()[0].value, 7.0);
+}
+
+TEST(Trace, DifferenceIsPointwise) {
+  const Trace a = make_trace({{0, 10.0}, {1, 20.0}});
+  const Trace b = make_trace({{0, 4.0}, {1, 5.0}});
+  const Trace d = Trace::difference(a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.points()[0].value, 6.0);
+  EXPECT_DOUBLE_EQ(d.points()[1].value, 15.0);
+}
+
+TEST(Trace, NamePropagates) {
+  Trace t("refresh");
+  EXPECT_EQ(t.name(), "refresh");
+}
+
+}  // namespace
+}  // namespace ccdem::sim
