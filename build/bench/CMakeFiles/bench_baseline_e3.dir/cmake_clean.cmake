@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_e3.dir/bench_baseline_e3.cpp.o"
+  "CMakeFiles/bench_baseline_e3.dir/bench_baseline_e3.cpp.o.d"
+  "bench_baseline_e3"
+  "bench_baseline_e3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_e3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_breakdown.dir/bench_ext_breakdown.cpp.o"
+  "CMakeFiles/bench_ext_breakdown.dir/bench_ext_breakdown.cpp.o.d"
+  "bench_ext_breakdown"
+  "bench_ext_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_brightness.dir/bench_ext_brightness.cpp.o"
+  "CMakeFiles/bench_ext_brightness.dir/bench_ext_brightness.cpp.o.d"
+  "bench_ext_brightness"
+  "bench_ext_brightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_brightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ltpo.dir/bench_ext_ltpo.cpp.o"
+  "CMakeFiles/bench_ext_ltpo.dir/bench_ext_ltpo.cpp.o.d"
+  "bench_ext_ltpo"
+  "bench_ext_ltpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ltpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_oled.dir/bench_ext_oled.cpp.o"
+  "CMakeFiles/bench_ext_oled.dir/bench_ext_oled.cpp.o.d"
+  "bench_ext_oled"
+  "bench_ext_oled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_oled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_self_refresh.dir/bench_ext_self_refresh.cpp.o"
+  "CMakeFiles/bench_ext_self_refresh.dir/bench_ext_self_refresh.cpp.o.d"
+  "bench_ext_self_refresh"
+  "bench_ext_self_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_self_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_usage_session.dir/bench_ext_usage_session.cpp.o"
+  "CMakeFiles/bench_ext_usage_session.dir/bench_ext_usage_session.cpp.o.d"
+  "bench_ext_usage_session"
+  "bench_ext_usage_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_usage_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

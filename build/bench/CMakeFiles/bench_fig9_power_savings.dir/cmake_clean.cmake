@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_power_savings.dir/bench_fig9_power_savings.cpp.o"
+  "CMakeFiles/bench_fig9_power_savings.dir/bench_fig9_power_savings.cpp.o.d"
+  "bench_fig9_power_savings"
+  "bench_fig9_power_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_power_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

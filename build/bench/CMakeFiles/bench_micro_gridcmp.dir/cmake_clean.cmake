@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gridcmp.dir/bench_micro_gridcmp.cpp.o"
+  "CMakeFiles/bench_micro_gridcmp.dir/bench_micro_gridcmp.cpp.o.d"
+  "bench_micro_gridcmp"
+  "bench_micro_gridcmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gridcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_micro_gridcmp.
+# This may be replaced when dependencies are built.

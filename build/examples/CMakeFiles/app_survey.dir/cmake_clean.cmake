@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_survey.dir/app_survey.cpp.o"
+  "CMakeFiles/app_survey.dir/app_survey.cpp.o.d"
+  "app_survey"
+  "app_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_panel.dir/custom_panel.cpp.o"
+  "CMakeFiles/custom_panel.dir/custom_panel.cpp.o.d"
+  "custom_panel"
+  "custom_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

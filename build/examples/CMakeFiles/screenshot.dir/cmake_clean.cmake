@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screenshot.dir/screenshot.cpp.o"
+  "CMakeFiles/screenshot.dir/screenshot.cpp.o.d"
+  "screenshot"
+  "screenshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screenshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

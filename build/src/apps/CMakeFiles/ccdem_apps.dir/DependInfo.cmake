@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_model.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/app_model.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/app_model.cpp.o.d"
+  "/root/repo/src/apps/app_profiles.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/app_profiles.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/app_profiles.cpp.o.d"
+  "/root/repo/src/apps/game_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/game_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/game_scene.cpp.o.d"
+  "/root/repo/src/apps/map_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/map_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/map_scene.cpp.o.d"
+  "/root/repo/src/apps/scene_factory.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/scene_factory.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/scene_factory.cpp.o.d"
+  "/root/repo/src/apps/static_ui_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/static_ui_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/static_ui_scene.cpp.o.d"
+  "/root/repo/src/apps/typing_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/typing_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/typing_scene.cpp.o.d"
+  "/root/repo/src/apps/video_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/video_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/video_scene.cpp.o.d"
+  "/root/repo/src/apps/wallpaper_scene.cpp" "src/apps/CMakeFiles/ccdem_apps.dir/wallpaper_scene.cpp.o" "gcc" "src/apps/CMakeFiles/ccdem_apps.dir/wallpaper_scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/ccdem_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ccdem_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ccdem_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

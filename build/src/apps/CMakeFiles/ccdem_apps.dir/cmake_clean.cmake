@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_apps.dir/app_model.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/app_model.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/app_profiles.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/app_profiles.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/game_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/game_scene.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/map_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/map_scene.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/scene_factory.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/scene_factory.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/static_ui_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/static_ui_scene.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/typing_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/typing_scene.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/video_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/video_scene.cpp.o.d"
+  "CMakeFiles/ccdem_apps.dir/wallpaper_scene.cpp.o"
+  "CMakeFiles/ccdem_apps.dir/wallpaper_scene.cpp.o.d"
+  "libccdem_apps.a"
+  "libccdem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/content_rate_meter.cpp" "src/core/CMakeFiles/ccdem_core.dir/content_rate_meter.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/content_rate_meter.cpp.o.d"
+  "/root/repo/src/core/display_power_manager.cpp" "src/core/CMakeFiles/ccdem_core.dir/display_power_manager.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/display_power_manager.cpp.o.d"
+  "/root/repo/src/core/frame_rate_governor.cpp" "src/core/CMakeFiles/ccdem_core.dir/frame_rate_governor.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/frame_rate_governor.cpp.o.d"
+  "/root/repo/src/core/grid_sampler.cpp" "src/core/CMakeFiles/ccdem_core.dir/grid_sampler.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/grid_sampler.cpp.o.d"
+  "/root/repo/src/core/metering_cost_model.cpp" "src/core/CMakeFiles/ccdem_core.dir/metering_cost_model.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/metering_cost_model.cpp.o.d"
+  "/root/repo/src/core/section_table.cpp" "src/core/CMakeFiles/ccdem_core.dir/section_table.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/section_table.cpp.o.d"
+  "/root/repo/src/core/self_refresh_controller.cpp" "src/core/CMakeFiles/ccdem_core.dir/self_refresh_controller.cpp.o" "gcc" "src/core/CMakeFiles/ccdem_core.dir/self_refresh_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/ccdem_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ccdem_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ccdem_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

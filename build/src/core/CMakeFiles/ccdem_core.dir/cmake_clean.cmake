@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_core.dir/content_rate_meter.cpp.o"
+  "CMakeFiles/ccdem_core.dir/content_rate_meter.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/display_power_manager.cpp.o"
+  "CMakeFiles/ccdem_core.dir/display_power_manager.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/frame_rate_governor.cpp.o"
+  "CMakeFiles/ccdem_core.dir/frame_rate_governor.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/grid_sampler.cpp.o"
+  "CMakeFiles/ccdem_core.dir/grid_sampler.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/metering_cost_model.cpp.o"
+  "CMakeFiles/ccdem_core.dir/metering_cost_model.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/section_table.cpp.o"
+  "CMakeFiles/ccdem_core.dir/section_table.cpp.o.d"
+  "CMakeFiles/ccdem_core.dir/self_refresh_controller.cpp.o"
+  "CMakeFiles/ccdem_core.dir/self_refresh_controller.cpp.o.d"
+  "libccdem_core.a"
+  "libccdem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

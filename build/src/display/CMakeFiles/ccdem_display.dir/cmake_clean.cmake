@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_display.dir/display_panel.cpp.o"
+  "CMakeFiles/ccdem_display.dir/display_panel.cpp.o.d"
+  "libccdem_display.a"
+  "libccdem_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

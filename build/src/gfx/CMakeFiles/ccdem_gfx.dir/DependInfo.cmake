@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfx/canvas.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/canvas.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/canvas.cpp.o.d"
+  "/root/repo/src/gfx/framebuffer.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/framebuffer.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/gfx/ppm.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/ppm.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/ppm.cpp.o.d"
+  "/root/repo/src/gfx/region.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/region.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/region.cpp.o.d"
+  "/root/repo/src/gfx/surface.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/surface.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/surface.cpp.o.d"
+  "/root/repo/src/gfx/surface_flinger.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/surface_flinger.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/surface_flinger.cpp.o.d"
+  "/root/repo/src/gfx/swapchain.cpp" "src/gfx/CMakeFiles/ccdem_gfx.dir/swapchain.cpp.o" "gcc" "src/gfx/CMakeFiles/ccdem_gfx.dir/swapchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_gfx.dir/canvas.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/canvas.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/framebuffer.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/ppm.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/ppm.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/region.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/region.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/surface.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/surface.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/surface_flinger.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/surface_flinger.cpp.o.d"
+  "CMakeFiles/ccdem_gfx.dir/swapchain.cpp.o"
+  "CMakeFiles/ccdem_gfx.dir/swapchain.cpp.o.d"
+  "libccdem_gfx.a"
+  "libccdem_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

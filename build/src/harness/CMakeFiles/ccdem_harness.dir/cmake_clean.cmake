@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_harness.dir/config_io.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/config_io.cpp.o.d"
+  "CMakeFiles/ccdem_harness.dir/csv.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/csv.cpp.o.d"
+  "CMakeFiles/ccdem_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ccdem_harness.dir/parallel.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/ccdem_harness.dir/report.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/report.cpp.o.d"
+  "CMakeFiles/ccdem_harness.dir/session.cpp.o"
+  "CMakeFiles/ccdem_harness.dir/session.cpp.o.d"
+  "libccdem_harness.a"
+  "libccdem_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/input/input_dispatcher.cpp" "src/input/CMakeFiles/ccdem_input.dir/input_dispatcher.cpp.o" "gcc" "src/input/CMakeFiles/ccdem_input.dir/input_dispatcher.cpp.o.d"
+  "/root/repo/src/input/monkey.cpp" "src/input/CMakeFiles/ccdem_input.dir/monkey.cpp.o" "gcc" "src/input/CMakeFiles/ccdem_input.dir/monkey.cpp.o.d"
+  "/root/repo/src/input/script_io.cpp" "src/input/CMakeFiles/ccdem_input.dir/script_io.cpp.o" "gcc" "src/input/CMakeFiles/ccdem_input.dir/script_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

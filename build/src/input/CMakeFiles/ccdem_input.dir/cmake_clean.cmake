@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_input.dir/input_dispatcher.cpp.o"
+  "CMakeFiles/ccdem_input.dir/input_dispatcher.cpp.o.d"
+  "CMakeFiles/ccdem_input.dir/monkey.cpp.o"
+  "CMakeFiles/ccdem_input.dir/monkey.cpp.o.d"
+  "CMakeFiles/ccdem_input.dir/script_io.cpp.o"
+  "CMakeFiles/ccdem_input.dir/script_io.cpp.o.d"
+  "libccdem_input.a"
+  "libccdem_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

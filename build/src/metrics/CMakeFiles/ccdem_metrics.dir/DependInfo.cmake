@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/frame_stats_recorder.cpp" "src/metrics/CMakeFiles/ccdem_metrics.dir/frame_stats_recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/ccdem_metrics.dir/frame_stats_recorder.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/ccdem_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/ccdem_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/quality.cpp" "src/metrics/CMakeFiles/ccdem_metrics.dir/quality.cpp.o" "gcc" "src/metrics/CMakeFiles/ccdem_metrics.dir/quality.cpp.o.d"
+  "/root/repo/src/metrics/response_latency.cpp" "src/metrics/CMakeFiles/ccdem_metrics.dir/response_latency.cpp.o" "gcc" "src/metrics/CMakeFiles/ccdem_metrics.dir/response_latency.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/ccdem_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/ccdem_metrics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

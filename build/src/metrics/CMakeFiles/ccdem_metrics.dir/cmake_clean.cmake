@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_metrics.dir/frame_stats_recorder.cpp.o"
+  "CMakeFiles/ccdem_metrics.dir/frame_stats_recorder.cpp.o.d"
+  "CMakeFiles/ccdem_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/ccdem_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/ccdem_metrics.dir/quality.cpp.o"
+  "CMakeFiles/ccdem_metrics.dir/quality.cpp.o.d"
+  "CMakeFiles/ccdem_metrics.dir/response_latency.cpp.o"
+  "CMakeFiles/ccdem_metrics.dir/response_latency.cpp.o.d"
+  "CMakeFiles/ccdem_metrics.dir/stats.cpp.o"
+  "CMakeFiles/ccdem_metrics.dir/stats.cpp.o.d"
+  "libccdem_metrics.a"
+  "libccdem_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/ccdem_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/ccdem_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/device_power_model.cpp" "src/power/CMakeFiles/ccdem_power.dir/device_power_model.cpp.o" "gcc" "src/power/CMakeFiles/ccdem_power.dir/device_power_model.cpp.o.d"
+  "/root/repo/src/power/monsoon_meter.cpp" "src/power/CMakeFiles/ccdem_power.dir/monsoon_meter.cpp.o" "gcc" "src/power/CMakeFiles/ccdem_power.dir/monsoon_meter.cpp.o.d"
+  "/root/repo/src/power/oled_panel_model.cpp" "src/power/CMakeFiles/ccdem_power.dir/oled_panel_model.cpp.o" "gcc" "src/power/CMakeFiles/ccdem_power.dir/oled_panel_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_power.dir/battery.cpp.o"
+  "CMakeFiles/ccdem_power.dir/battery.cpp.o.d"
+  "CMakeFiles/ccdem_power.dir/device_power_model.cpp.o"
+  "CMakeFiles/ccdem_power.dir/device_power_model.cpp.o.d"
+  "CMakeFiles/ccdem_power.dir/monsoon_meter.cpp.o"
+  "CMakeFiles/ccdem_power.dir/monsoon_meter.cpp.o.d"
+  "CMakeFiles/ccdem_power.dir/oled_panel_model.cpp.o"
+  "CMakeFiles/ccdem_power.dir/oled_panel_model.cpp.o.d"
+  "libccdem_power.a"
+  "libccdem_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccdem_power.a"
+)

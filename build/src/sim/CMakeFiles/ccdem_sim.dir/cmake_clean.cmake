@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdem_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ccdem_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ccdem_sim.dir/rng.cpp.o"
+  "CMakeFiles/ccdem_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/ccdem_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccdem_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ccdem_sim.dir/trace.cpp.o"
+  "CMakeFiles/ccdem_sim.dir/trace.cpp.o.d"
+  "libccdem_sim.a"
+  "libccdem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

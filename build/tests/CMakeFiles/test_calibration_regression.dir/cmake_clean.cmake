@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_regression.dir/test_calibration_regression.cpp.o"
+  "CMakeFiles/test_calibration_regression.dir/test_calibration_regression.cpp.o.d"
+  "test_calibration_regression"
+  "test_calibration_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

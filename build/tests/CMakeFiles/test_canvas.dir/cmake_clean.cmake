@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canvas.dir/test_canvas.cpp.o"
+  "CMakeFiles/test_canvas.dir/test_canvas.cpp.o.d"
+  "test_canvas"
+  "test_canvas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canvas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_content_rate_meter.dir/test_content_rate_meter.cpp.o"
+  "CMakeFiles/test_content_rate_meter.dir/test_content_rate_meter.cpp.o.d"
+  "test_content_rate_meter"
+  "test_content_rate_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_content_rate_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_display_panel.dir/test_display_panel.cpp.o"
+  "CMakeFiles/test_display_panel.dir/test_display_panel.cpp.o.d"
+  "test_display_panel"
+  "test_display_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_display_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_display_power_manager.dir/test_display_power_manager.cpp.o"
+  "CMakeFiles/test_display_power_manager.dir/test_display_power_manager.cpp.o.d"
+  "test_display_power_manager"
+  "test_display_power_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_display_power_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

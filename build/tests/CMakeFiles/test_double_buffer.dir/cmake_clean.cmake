@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_buffer.dir/test_double_buffer.cpp.o"
+  "CMakeFiles/test_double_buffer.dir/test_double_buffer.cpp.o.d"
+  "test_double_buffer"
+  "test_double_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

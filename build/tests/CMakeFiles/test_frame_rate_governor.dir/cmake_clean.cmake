@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_rate_governor.dir/test_frame_rate_governor.cpp.o"
+  "CMakeFiles/test_frame_rate_governor.dir/test_frame_rate_governor.cpp.o.d"
+  "test_frame_rate_governor"
+  "test_frame_rate_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_rate_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_stats_recorder.dir/test_frame_stats_recorder.cpp.o"
+  "CMakeFiles/test_frame_stats_recorder.dir/test_frame_stats_recorder.cpp.o.d"
+  "test_frame_stats_recorder"
+  "test_frame_stats_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_stats_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framebuffer.dir/test_framebuffer.cpp.o"
+  "CMakeFiles/test_framebuffer.dir/test_framebuffer.cpp.o.d"
+  "test_framebuffer"
+  "test_framebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

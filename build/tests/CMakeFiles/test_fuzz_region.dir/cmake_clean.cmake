@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_region.dir/test_fuzz_region.cpp.o"
+  "CMakeFiles/test_fuzz_region.dir/test_fuzz_region.cpp.o.d"
+  "test_fuzz_region"
+  "test_fuzz_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

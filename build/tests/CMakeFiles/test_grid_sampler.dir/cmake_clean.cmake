@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_sampler.dir/test_grid_sampler.cpp.o"
+  "CMakeFiles/test_grid_sampler.dir/test_grid_sampler.cpp.o.d"
+  "test_grid_sampler"
+  "test_grid_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

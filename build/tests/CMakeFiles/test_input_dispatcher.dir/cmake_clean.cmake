@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_dispatcher.dir/test_input_dispatcher.cpp.o"
+  "CMakeFiles/test_input_dispatcher.dir/test_input_dispatcher.cpp.o.d"
+  "test_input_dispatcher"
+  "test_input_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

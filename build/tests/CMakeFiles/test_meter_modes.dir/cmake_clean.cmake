@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meter_modes.dir/test_meter_modes.cpp.o"
+  "CMakeFiles/test_meter_modes.dir/test_meter_modes.cpp.o.d"
+  "test_meter_modes"
+  "test_meter_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meter_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

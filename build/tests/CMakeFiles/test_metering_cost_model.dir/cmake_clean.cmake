@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metering_cost_model.dir/test_metering_cost_model.cpp.o"
+  "CMakeFiles/test_metering_cost_model.dir/test_metering_cost_model.cpp.o.d"
+  "test_metering_cost_model"
+  "test_metering_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metering_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

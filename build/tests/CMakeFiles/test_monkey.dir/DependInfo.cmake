@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_monkey.cpp" "tests/CMakeFiles/test_monkey.dir/test_monkey.cpp.o" "gcc" "tests/CMakeFiles/test_monkey.dir/test_monkey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ccdem_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccdem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ccdem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccdem_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ccdem_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ccdem_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/ccdem_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/ccdem_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccdem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

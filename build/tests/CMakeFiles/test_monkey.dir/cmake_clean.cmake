@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monkey.dir/test_monkey.cpp.o"
+  "CMakeFiles/test_monkey.dir/test_monkey.cpp.o.d"
+  "test_monkey"
+  "test_monkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monsoon_meter.dir/test_monsoon_meter.cpp.o"
+  "CMakeFiles/test_monsoon_meter.dir/test_monsoon_meter.cpp.o.d"
+  "test_monsoon_meter"
+  "test_monsoon_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monsoon_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

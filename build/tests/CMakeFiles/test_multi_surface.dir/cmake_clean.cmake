@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_surface.dir/test_multi_surface.cpp.o"
+  "CMakeFiles/test_multi_surface.dir/test_multi_surface.cpp.o.d"
+  "test_multi_surface"
+  "test_multi_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

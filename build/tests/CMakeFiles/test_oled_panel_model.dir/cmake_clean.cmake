@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oled_panel_model.dir/test_oled_panel_model.cpp.o"
+  "CMakeFiles/test_oled_panel_model.dir/test_oled_panel_model.cpp.o.d"
+  "test_oled_panel_model"
+  "test_oled_panel_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oled_panel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_grid_properties.dir/test_param_grid_properties.cpp.o"
+  "CMakeFiles/test_param_grid_properties.dir/test_param_grid_properties.cpp.o.d"
+  "test_param_grid_properties"
+  "test_param_grid_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_grid_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_panel_cadence.dir/test_param_panel_cadence.cpp.o"
+  "CMakeFiles/test_param_panel_cadence.dir/test_param_panel_cadence.cpp.o.d"
+  "test_param_panel_cadence"
+  "test_param_panel_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_panel_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

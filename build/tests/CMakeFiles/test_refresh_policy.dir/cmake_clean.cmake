@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refresh_policy.dir/test_refresh_policy.cpp.o"
+  "CMakeFiles/test_refresh_policy.dir/test_refresh_policy.cpp.o.d"
+  "test_refresh_policy"
+  "test_refresh_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refresh_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refresh_rate.dir/test_refresh_rate.cpp.o"
+  "CMakeFiles/test_refresh_rate.dir/test_refresh_rate.cpp.o.d"
+  "test_refresh_rate"
+  "test_refresh_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refresh_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

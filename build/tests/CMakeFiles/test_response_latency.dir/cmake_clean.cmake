@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_response_latency.dir/test_response_latency.cpp.o"
+  "CMakeFiles/test_response_latency.dir/test_response_latency.cpp.o.d"
+  "test_response_latency"
+  "test_response_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_response_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenes.dir/test_scenes.cpp.o"
+  "CMakeFiles/test_scenes.dir/test_scenes.cpp.o.d"
+  "test_scenes"
+  "test_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

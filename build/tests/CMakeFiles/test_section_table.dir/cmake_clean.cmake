@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_section_table.dir/test_section_table.cpp.o"
+  "CMakeFiles/test_section_table.dir/test_section_table.cpp.o.d"
+  "test_section_table"
+  "test_section_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_section_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

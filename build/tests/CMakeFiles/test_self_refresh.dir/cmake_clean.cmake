@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_refresh.dir/test_self_refresh.cpp.o"
+  "CMakeFiles/test_self_refresh.dir/test_self_refresh.cpp.o.d"
+  "test_self_refresh"
+  "test_self_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_flinger.dir/test_surface_flinger.cpp.o"
+  "CMakeFiles/test_surface_flinger.dir/test_surface_flinger.cpp.o.d"
+  "test_surface_flinger"
+  "test_surface_flinger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_flinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

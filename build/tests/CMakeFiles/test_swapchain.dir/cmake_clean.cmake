@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swapchain.dir/test_swapchain.cpp.o"
+  "CMakeFiles/test_swapchain.dir/test_swapchain.cpp.o.d"
+  "test_swapchain"
+  "test_swapchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swapchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

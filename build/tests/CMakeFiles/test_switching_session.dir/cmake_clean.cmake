@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switching_session.dir/test_switching_session.cpp.o"
+  "CMakeFiles/test_switching_session.dir/test_switching_session.cpp.o.d"
+  "test_switching_session"
+  "test_switching_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switching_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

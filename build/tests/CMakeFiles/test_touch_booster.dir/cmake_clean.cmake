@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_touch_booster.dir/test_touch_booster.cpp.o"
+  "CMakeFiles/test_touch_booster.dir/test_touch_booster.cpp.o.d"
+  "test_touch_booster"
+  "test_touch_booster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_touch_booster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
