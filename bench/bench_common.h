@@ -13,7 +13,7 @@
 
 #include "apps/app_profiles.h"
 #include "harness/experiment.h"
-#include "harness/parallel.h"
+#include "harness/fleet.h"
 #include "harness/report.h"
 #include "metrics/stats.h"
 
@@ -88,8 +88,10 @@ inline AppEval evaluate_app(const apps::AppSpec& app, int seconds,
 }
 
 /// Evaluates the full 30-app fleet (3 runs per app) on all cores; results
-/// are bit-identical to the serial evaluate_app loop.
-inline std::vector<AppEval> evaluate_all(int seconds, std::uint64_t seed = 1) {
+/// are bit-identical to the serial evaluate_app loop.  Pass `stats` to
+/// receive the fleet's run/buffer-reuse counters.
+inline std::vector<AppEval> evaluate_all(int seconds, std::uint64_t seed = 1,
+                                         harness::FleetStats* stats = nullptr) {
   const std::vector<apps::AppSpec> apps_list = apps::all_apps();
   std::vector<harness::ExperimentConfig> configs;
   configs.reserve(apps_list.size() * 3);
@@ -101,8 +103,9 @@ inline std::vector<AppEval> evaluate_all(int seconds, std::uint64_t seed = 1) {
     configs.push_back(make_config(
         app, harness::ControlMode::kSectionWithBoost, seconds, seed));
   }
-  std::vector<harness::ExperimentResult> results =
-      harness::run_experiments_parallel(configs);
+  harness::FleetRunner fleet;
+  std::vector<harness::ExperimentResult> results = fleet.run(configs);
+  if (stats != nullptr) *stats = fleet.stats();
 
   std::vector<AppEval> out;
   out.reserve(apps_list.size());

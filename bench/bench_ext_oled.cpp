@@ -8,22 +8,10 @@
 // bright workloads, because it acts on the refresh/render path, not on
 // emission.
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
+#include "device/simulated_device.h"
 #include "power/oled_panel_model.h"
-
-// Run one A/B with the OLED emission model attached to both arms.
-// The harness does not know about the OLED extension, so this bench wires
-// the experiment manually through the substrate APIs.
-#include "core/display_power_manager.h"
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "input/input_dispatcher.h"
-#include "input/monkey.h"
-#include "metrics/frame_stats_recorder.h"
-#include "power/monsoon_meter.h"
-#include "sim/simulator.h"
 
 using namespace ccdem;
 
@@ -37,59 +25,24 @@ struct OledRun {
 
 OledRun run_oled(const apps::AppSpec& app, bool controlled, int seconds,
                  std::uint64_t seed) {
-  sim::Simulator sim;
-  sim::Rng root(seed);
-  gfx::SurfaceFlinger flinger(apps::kGalaxyS3Screen);
+  device::DeviceConfig dc;
+  dc.mode = controlled ? device::ControlMode::kSectionWithBoost
+                       : device::ControlMode::kBaseline60;
+  dc.seed = seed;
+  dc.power.panel_static_mw = 0.0;  // replaced by the emission model
+  dc.oled = power::OledParams::galaxy_s3_amoled();
 
-  power::DevicePowerParams params = power::DevicePowerParams::galaxy_s3();
-  params.panel_static_mw = 0.0;  // replaced by the emission model
-  power::DevicePowerModel power(params, 60);
-  power::OledPanelModel oled(power, power::OledParams::galaxy_s3_amoled());
-  flinger.add_listener(&power);
-  flinger.add_listener(&oled);
+  device::SimulatedDevice dev;
+  dev.configure(dc);
+  dev.install_app(app);
+  dev.start_control();
+  dev.schedule_monkey_script(app.monkey, sim::seconds(seconds));
+  dev.run_for(sim::seconds(seconds));
+  dev.finish();
 
-  metrics::FrameStatsRecorder recorder;
-  flinger.add_listener(&recorder);
-
-  display::DisplayPanel panel(sim, display::RefreshRateSet::galaxy_s3(), 60);
-  panel.add_rate_listener(
-      [&power](sim::Time t, int hz) { power.on_rate_change(t, hz); });
-
-  gfx::Surface* surface = flinger.create_surface(
-      app.name, gfx::Rect::of(apps::kGalaxyS3Screen), 0);
-  apps::AppModel model(app, surface, &power, root.fork(1));
-  panel.add_observer(display::VsyncPhase::kApp, &model);
-
-  struct Composer final : display::VsyncObserver {
-    explicit Composer(gfx::SurfaceFlinger& f) : f_(f) {}
-    void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
-    gfx::SurfaceFlinger& f_;
-  } composer(flinger);
-  panel.add_observer(display::VsyncPhase::kComposer, &composer);
-
-  std::unique_ptr<core::DisplayPowerManager> dpm;
-  if (controlled) {
-    dpm = std::make_unique<core::DisplayPowerManager>(
-        sim, panel, flinger,
-        std::make_unique<core::SectionPolicy>(panel.rates()), &power);
-  }
-
-  input::InputDispatcher dispatcher(sim);
-  if (dpm) dispatcher.add_listener(dpm.get());
-  dispatcher.add_listener(&model);
-  sim::Rng monkey_rng = root.fork(2);
-  dispatcher.schedule_script(input::generate_monkey_script(
-      monkey_rng, app.monkey, sim::seconds(seconds),
-      apps::kGalaxyS3Screen));
-
-  power::MonsoonMeter meter(sim, power);
-  sim.run_for(sim::seconds(seconds));
-  panel.stop();
-  if (dpm) dpm->stop();
-  meter.stop();
-
-  return OledRun{meter.mean_power_mw(), oled.current_luma(),
-                 flinger.content_frames()};
+  return OledRun{dev.meter()->mean_power_mw(),
+                 dev.oled_model()->current_luma(),
+                 dev.flinger().content_frames()};
 }
 
 }  // namespace

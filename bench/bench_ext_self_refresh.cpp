@@ -5,17 +5,12 @@
 // bench runs static-heavy and animated workloads with the full system, with
 // and without PSR, and reports the extra saving and the self-refresh
 // residency.
+#include <cmath>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
 #include "core/self_refresh_controller.h"
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "input/input_dispatcher.h"
-#include "input/monkey.h"
-#include "power/monsoon_meter.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 using namespace ccdem;
 
@@ -29,57 +24,24 @@ struct PsrRun {
 
 PsrRun run_one(const apps::AppSpec& app, bool with_psr, int seconds,
                std::uint64_t seed) {
-  sim::Simulator sim;
-  sim::Rng root(seed);
-  gfx::SurfaceFlinger flinger(apps::kGalaxyS3Screen);
-  power::DevicePowerModel power(
-      power::DevicePowerParams::galaxy_s3_with_psr_link(), 60);
-  flinger.add_listener(&power);
+  device::DeviceConfig dc;
+  dc.mode = device::ControlMode::kSectionWithBoost;
+  dc.seed = seed;
+  dc.power = power::DevicePowerParams::galaxy_s3_with_psr_link();
+  if (with_psr) dc.self_refresh = core::SelfRefreshConfig{};
 
-  display::DisplayPanel panel(sim, display::RefreshRateSet::galaxy_s3(), 60);
-  panel.add_rate_listener(
-      [&power](sim::Time t, int hz) { power.on_rate_change(t, hz); });
-
-  gfx::Surface* surface = flinger.create_surface(
-      app.name, gfx::Rect::of(apps::kGalaxyS3Screen), 0);
-  apps::AppModel model(app, surface, &power, root.fork(1));
-  panel.add_observer(display::VsyncPhase::kApp, &model);
-
-  struct Composer final : display::VsyncObserver {
-    explicit Composer(gfx::SurfaceFlinger& f) : f_(f) {}
-    void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
-    gfx::SurfaceFlinger& f_;
-  } composer(flinger);
-  panel.add_observer(display::VsyncPhase::kComposer, &composer);
-
-  core::DisplayPowerManager dpm(
-      sim, panel, flinger,
-      std::make_unique<core::SectionPolicy>(panel.rates()), &power);
-
-  std::unique_ptr<core::SelfRefreshController> psr;
-  if (with_psr) {
-    psr = std::make_unique<core::SelfRefreshController>(sim, flinger, power);
-  }
-
-  input::InputDispatcher dispatcher(sim);
-  dispatcher.add_listener(&dpm);
-  dispatcher.add_listener(&model);
-  sim::Rng monkey_rng = root.fork(2);
-  dispatcher.schedule_script(input::generate_monkey_script(
-      monkey_rng, app.monkey, sim::seconds(seconds),
-      apps::kGalaxyS3Screen));
-
-  power::MonsoonMeter meter(sim, power);
-  sim.run_for(sim::seconds(seconds));
-  panel.stop();
-  dpm.stop();
-  if (psr) psr->stop();
-  meter.stop();
+  device::SimulatedDevice dev;
+  dev.configure(dc);
+  dev.install_app(app);
+  dev.start_control();
+  dev.schedule_monkey_script(app.monkey, sim::seconds(seconds));
+  dev.run_for(sim::seconds(seconds));
+  dev.finish();
 
   PsrRun r;
-  r.mean_power_mw = meter.mean_power_mw();
-  if (psr) {
-    r.residency_pct = psr->time_in_self_refresh(sim.now()).seconds() /
+  r.mean_power_mw = dev.meter()->mean_power_mw();
+  if (core::SelfRefreshController* psr = dev.psr()) {
+    r.residency_pct = psr->time_in_self_refresh(dev.sim().now()).seconds() /
                       static_cast<double>(seconds) * 100.0;
     r.entries = psr->entries();
   }

@@ -16,9 +16,7 @@
 
 #include "bench_common.h"
 #include "core/content_rate_meter.h"
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 using namespace ccdem;
 
@@ -28,37 +26,28 @@ int main(int argc, char** argv) {
             << seconds << " s, Nexus Revampled wallpaper) ===\n\n";
 
   // One baseline run with every grid's meter attached simultaneously, so
-  // all configurations judge the exact same frame sequence.
-  sim::Simulator sim;
-  const gfx::Size screen = apps::kGalaxyS3Screen;
-  gfx::SurfaceFlinger flinger(screen);
-  flinger.set_exact_change_detection(true);
+  // all configurations judge the exact same frame sequence.  No Monkey
+  // script: the wallpaper animates on its own.
+  device::DeviceConfig dc;
+  dc.seed = 4;
+
+  device::SimulatedDevice dev;
+  dev.configure(dc);
 
   std::vector<std::unique_ptr<core::ContentRateMeter>> meters;
   for (const core::GridSpec& grid : core::GridSpec::figure6_sweep()) {
     meters.push_back(
-        std::make_unique<core::ContentRateMeter>(screen, grid));
-    flinger.add_listener(meters.back().get());
+        std::make_unique<core::ContentRateMeter>(dc.screen, grid));
+    dev.add_frame_listener(meters.back().get());
   }
 
-  display::DisplayPanel panel(sim, display::RefreshRateSet::galaxy_s3(), 60);
-  gfx::Surface* surface =
-      flinger.create_surface("wallpaper", gfx::Rect::of(screen), 0);
-  const apps::AppSpec spec = apps::nexus_revampled_wallpaper();
-  apps::AppModel app(spec, surface, nullptr, sim::Rng(4).fork(1));
-  panel.add_observer(display::VsyncPhase::kApp, &app);
+  dev.install_app(apps::nexus_revampled_wallpaper());
+  dev.start_control();
+  dev.run_for(sim::seconds(seconds));
+  dev.finish();
 
-  struct Composer final : display::VsyncObserver {
-    explicit Composer(gfx::SurfaceFlinger& f) : f_(f) {}
-    void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
-    gfx::SurfaceFlinger& f_;
-  } composer(flinger);
-  panel.add_observer(display::VsyncPhase::kComposer, &composer);
-
-  sim.run_for(sim::seconds(seconds));
-
-  const auto actual_content = flinger.content_frames();
-  const auto total = flinger.frames_composed();
+  const auto actual_content = dev.flinger().content_frames();
+  const auto total = dev.flinger().frames_composed();
   std::cout << "composed " << total << " frames, " << actual_content
             << " with real content changes\n\n";
 

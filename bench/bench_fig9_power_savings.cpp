@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 9: per-app power savings (" << seconds
             << " s per run) ===\n\n";
 
-  const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 7);
+  harness::FleetStats fleet;
+  const std::vector<bench::AppEval> evals =
+      bench::evaluate_all(seconds, 7, &fleet);
 
   for (const bool games : {false, true}) {
     std::cout << (games ? "--- Game applications (Fig. 9b) ---\n"
@@ -70,5 +72,12 @@ int main(int argc, char** argv) {
   }
   std::cout << "[check] apps where the proposed system costs power: "
             << negative << "/30 (paper: none)\n";
+
+  std::cout << "\n[fleet] " << fleet.runs_completed << " runs on "
+            << fleet.workers << " workers, " << fleet.frames_composed
+            << " frames composed; buffer pool avoided "
+            << fleet.buffer_reuses << "/" << fleet.buffer_acquires
+            << " allocations (" << fleet.buffer_allocations
+            << " fresh)\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "apps/app_profiles.h"
+#include "device/simulated_device.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 
@@ -28,6 +29,17 @@ int main(int argc, char** argv) {
   // 2. Choose the control mode: the full proposed system is section-based
   //    refresh control plus touch boosting.
   config.mode = harness::ControlMode::kSectionWithBoost;
+
+  // The harness sits on the device layer: a DeviceConfig declares the
+  // hardware + control mode and SimulatedDevice assembles the whole stack.
+  // The same five calls drive every experiment, bench, and test rig:
+  //
+  //   device::SimulatedDevice dev;
+  //   dev.configure(config.device_config());
+  //   dev.install_app(config.app);
+  //   dev.start_control();
+  //   dev.schedule_monkey_script(config.app.monkey, config.duration);
+  //   dev.run_until(...); dev.finish();
 
   // 3. Run the A/B experiment: the same Monkey script is replayed against
   //    the stock fixed-60 Hz device and the controlled device.

@@ -5,12 +5,26 @@
 namespace ccdem::core {
 
 ContentRateMeter::ContentRateMeter(gfx::Size screen, GridSpec grid,
-                                   sim::Duration window, MeterMode mode)
-    : sampler_(screen, grid), window_(window), mode_(mode) {
+                                   sim::Duration window, MeterMode mode,
+                                   gfx::BufferPool* pool)
+    : sampler_(screen, grid), window_(window), mode_(mode), pool_(pool) {
   assert(window.ticks > 0);
   if (mode_ == MeterMode::kFullFrame) {
-    frames_ = gfx::DoubleBuffer<gfx::Framebuffer>(gfx::Framebuffer(screen),
-                                                  gfx::Framebuffer(screen));
+    frames_ = gfx::DoubleBuffer<gfx::Framebuffer>(
+        gfx::Framebuffer(screen, pool_), gfx::Framebuffer(screen, pool_));
+  } else if (pool_ != nullptr) {
+    // Pre-size the snapshot scratch from the pool; classify_sampled()'s
+    // sample() overwrites every element before any comparison reads them.
+    samples_ = gfx::DoubleBuffer<std::vector<gfx::Rgb888>>(
+        pool_->acquire_reserved(sampler_.sample_count()),
+        pool_->acquire_reserved(sampler_.sample_count()));
+  }
+}
+
+ContentRateMeter::~ContentRateMeter() {
+  if (pool_ != nullptr && mode_ != MeterMode::kFullFrame) {
+    pool_->release(std::move(samples_.front()));
+    pool_->release(std::move(samples_.back()));
   }
 }
 

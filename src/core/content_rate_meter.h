@@ -15,6 +15,7 @@
 
 #include "core/grid_sampler.h"
 #include "core/metering_cost_model.h"
+#include "gfx/buffer_pool.h"
 #include "gfx/double_buffer.h"
 #include "gfx/surface_flinger.h"
 #include "sim/time.h"
@@ -37,9 +38,13 @@ enum class MeterMode {
 
 class ContentRateMeter final : public gfx::FrameListener {
  public:
+  /// `pool` (optional) recycles the sample snapshots (and, in full-frame
+  /// mode, the retained framebuffers) across meter lifetimes.
   ContentRateMeter(gfx::Size screen, GridSpec grid,
                    sim::Duration window = sim::seconds(1),
-                   MeterMode mode = MeterMode::kSampledSnapshot);
+                   MeterMode mode = MeterMode::kSampledSnapshot,
+                   gfx::BufferPool* pool = nullptr);
+  ~ContentRateMeter() override;
 
   /// FrameListener: classifies the composed frame and updates the window.
   void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
@@ -96,6 +101,7 @@ class ContentRateMeter final : public gfx::FrameListener {
   MeteringCostModel cost_model_;
   sim::Duration window_;
   MeterMode mode_;
+  gfx::BufferPool* pool_ = nullptr;
   /// Sampled mode -- front: scratch for the current frame's samples;
   /// back: previous frame's samples.
   gfx::DoubleBuffer<std::vector<gfx::Rgb888>> samples_;

@@ -11,13 +11,15 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
                                          gfx::SurfaceFlinger& flinger,
                                          std::unique_ptr<RefreshPolicy> policy,
                                          power::DevicePowerModel* power,
-                                         DpmConfig config)
+                                         DpmConfig config,
+                                         gfx::BufferPool* pool)
     : sim_(sim),
       panel_(panel),
       policy_(std::move(policy)),
       power_(power),
       config_(config),
-      meter_(flinger.screen_size(), config.grid, config.meter_window),
+      meter_(flinger.screen_size(), config.grid, config.meter_window,
+             MeterMode::kSampledSnapshot, pool),
       booster_(config.boost_hold) {
   assert(policy_ != nullptr);
   flinger.add_listener(this);

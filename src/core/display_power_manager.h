@@ -53,10 +53,12 @@ class DisplayPowerManager final : public input::TouchListener,
                                   public gfx::FrameListener {
  public:
   /// `power` may be null (no energy accounting, e.g. in unit tests).
+  /// `pool` (optional) recycles the meter's snapshot buffers.
   DisplayPowerManager(sim::Simulator& sim, display::DisplayPanel& panel,
                       gfx::SurfaceFlinger& flinger,
                       std::unique_ptr<RefreshPolicy> policy,
-                      power::DevicePowerModel* power, DpmConfig config = {});
+                      power::DevicePowerModel* power, DpmConfig config = {},
+                      gfx::BufferPool* pool = nullptr);
 
   DisplayPowerManager(const DisplayPowerManager&) = delete;
   DisplayPowerManager& operator=(const DisplayPowerManager&) = delete;

@@ -10,11 +10,12 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
                                      gfx::SurfaceFlinger& flinger,
                                      std::function<void(double)> set_cap,
                                      power::DevicePowerModel* power,
-                                     Config config)
+                                     Config config, gfx::BufferPool* pool)
     : set_cap_(std::move(set_cap)),
       power_(power),
       config_(config),
-      meter_(flinger.screen_size(), config.grid, config.meter_window) {
+      meter_(flinger.screen_size(), config.grid, config.meter_window,
+             MeterMode::kSampledSnapshot, pool) {
   assert(set_cap_);
   flinger.add_listener(this);
   cap_trace_.record(sim.now(), 0.0);

@@ -44,10 +44,11 @@ class FrameRateGovernor final : public gfx::FrameListener,
   using Config = GovernorConfig;
 
   /// `set_cap(fps)` throttles the governed app; 0 lifts the cap.
-  /// `power` may be null.
+  /// `power` may be null.  `pool` (optional) recycles the meter's buffers.
   FrameRateGovernor(sim::Simulator& sim, gfx::SurfaceFlinger& flinger,
                     std::function<void(double)> set_cap,
-                    power::DevicePowerModel* power, Config config = {});
+                    power::DevicePowerModel* power, Config config = {},
+                    gfx::BufferPool* pool = nullptr);
 
   FrameRateGovernor(const FrameRateGovernor&) = delete;
   FrameRateGovernor& operator=(const FrameRateGovernor&) = delete;

@@ -1,0 +1,19 @@
+// Control modes: which (if any) display-energy controller a simulated
+// device runs.  Lives in the device layer so the façade, the experiment
+// harness, benches and config files all speak the same vocabulary.
+#pragma once
+
+namespace ccdem::device {
+
+enum class ControlMode {
+  kBaseline60,        ///< stock Android: fixed 60 Hz (the "without" arm)
+  kSection,           ///< section-based control only
+  kSectionWithBoost,  ///< section-based control + touch boosting (full system)
+  kNaive,             ///< ablation: the paper's failed direct mapping
+  kSectionHysteresis, ///< extension: full system + asymmetric rate hysteresis
+  kE3FrameRate,       ///< baseline: E3-style app frame-rate cap, 60 Hz panel
+};
+
+[[nodiscard]] const char* control_mode_name(ControlMode m);
+
+}  // namespace ccdem::device

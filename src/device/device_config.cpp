@@ -1,0 +1,61 @@
+#include "device/device_config.h"
+
+#include <cassert>
+
+#include "core/hysteresis_policy.h"
+
+namespace ccdem::device {
+
+const char* control_mode_name(ControlMode m) {
+  switch (m) {
+    case ControlMode::kBaseline60:
+      return "baseline-60Hz";
+    case ControlMode::kSection:
+      return "section";
+    case ControlMode::kSectionWithBoost:
+      return "section+boost";
+    case ControlMode::kNaive:
+      return "naive";
+    case ControlMode::kSectionHysteresis:
+      return "section+boost+hysteresis";
+    case ControlMode::kE3FrameRate:
+      return "e3-framerate";
+  }
+  return "?";
+}
+
+int resolved_baseline_hz(const DeviceConfig& config) {
+  const int hz =
+      config.baseline_hz > 0 ? config.baseline_hz : config.rates.max_hz();
+  assert(config.rates.supports(hz));
+  return hz;
+}
+
+int initial_refresh_hz(const DeviceConfig& config) {
+  return (config.mode == ControlMode::kBaseline60 ||
+          config.mode == ControlMode::kE3FrameRate)
+             ? resolved_baseline_hz(config)
+             : config.rates.max_hz();
+}
+
+std::unique_ptr<core::RefreshPolicy> make_refresh_policy(
+    const DeviceConfig& config) {
+  switch (config.mode) {
+    case ControlMode::kBaseline60:
+    case ControlMode::kE3FrameRate:
+      return std::make_unique<core::FixedPolicy>(resolved_baseline_hz(config));
+    case ControlMode::kSection:
+    case ControlMode::kSectionWithBoost:
+      return std::make_unique<core::SectionPolicy>(config.rates,
+                                                   config.dpm.section_alpha);
+    case ControlMode::kSectionHysteresis:
+      return std::make_unique<core::HysteresisPolicy>(
+          std::make_unique<core::SectionPolicy>(config.rates,
+                                                config.dpm.section_alpha));
+    case ControlMode::kNaive:
+      return std::make_unique<core::NaivePolicy>(config.rates);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace ccdem::device

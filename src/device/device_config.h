@@ -1,0 +1,74 @@
+// DeviceConfig: everything needed to assemble one simulated device.
+//
+// The config is pure data; SimulatedDevice::configure() turns it into a
+// fully wired panel + compositor + input + power + controller stack.  The
+// helpers below centralise the baseline-rate resolution and policy
+// selection that the experiment and session runners used to duplicate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "apps/app_profiles.h"
+#include "core/display_power_manager.h"
+#include "core/frame_rate_governor.h"
+#include "core/refresh_policy.h"
+#include "core/self_refresh_controller.h"
+#include "device/control_mode.h"
+#include "display/refresh_rate.h"
+#include "gfx/geometry.h"
+#include "power/device_power_model.h"
+#include "power/oled_panel_model.h"
+#include "sim/time.h"
+
+namespace ccdem::device {
+
+struct DeviceConfig {
+  ControlMode mode = ControlMode::kBaseline60;
+  core::DpmConfig dpm{};
+  /// Used only when `mode == kE3FrameRate`.
+  core::GovernorConfig governor{};
+  power::DevicePowerParams power = power::DevicePowerParams::galaxy_s3();
+  display::RefreshRateSet rates = display::RefreshRateSet::galaxy_s3();
+  gfx::Size screen = apps::kGalaxyS3Screen;
+  std::uint64_t seed = 1;
+  /// Monsoon meter sampling cadence.
+  sim::Duration power_sample = sim::milliseconds(50);
+  /// Exact pixel ground truth in the compositor (needed for quality and
+  /// meter-error metrics; cheap because it only scans dirty regions).
+  bool exact_change_detection = true;
+  /// Screen brightness in [0, 1]; the paper measures at 50 %.
+  double brightness = 0.5;
+  /// Fixed rate of the kBaseline60 arm; 0 = the rate set's maximum.
+  int baseline_hz = 0;
+  /// Panel "fast exit": rate increases retime the next V-Sync instead of
+  /// waiting out the old period.
+  bool fast_rate_up = false;
+  /// Attach a touch-response latency recorder (on for experiments; benches
+  /// that do not report latency can leave it on -- it is passive).
+  bool record_latency = true;
+  /// OLED extension: replace the constant panel term with a luma-tracking
+  /// emission model.  Set `power.panel_static_mw = 0` alongside this.
+  std::optional<power::OledParams> oled;
+  /// Panel self-refresh extension: link powers down on static content.
+  std::optional<core::SelfRefreshConfig> self_refresh;
+};
+
+/// The fixed rate of the stock arm: `baseline_hz`, or the ladder's maximum
+/// when unset.  Asserts the rate is supported.  (Previously duplicated
+/// between experiment.cpp and session.cpp.)
+[[nodiscard]] int resolved_baseline_hz(const DeviceConfig& config);
+
+/// The rate the panel starts at: the stock arms (kBaseline60, kE3FrameRate)
+/// hold the resolved baseline; controlled arms start from the maximum and
+/// let the policy take over.
+[[nodiscard]] int initial_refresh_hz(const DeviceConfig& config);
+
+/// Builds the refresh policy for the configured mode (nullptr only for
+/// modes that run no panel-rate policy, i.e. never -- the stock arms get a
+/// FixedPolicy so the selection logic lives in one place).
+[[nodiscard]] std::unique_ptr<core::RefreshPolicy> make_refresh_policy(
+    const DeviceConfig& config);
+
+}  // namespace ccdem::device

@@ -1,0 +1,208 @@
+#include "device/simulated_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ccdem::device {
+
+/// Bridges the panel's composer phase to the SurfaceFlinger.
+class SimulatedDevice::ComposerHook final : public display::VsyncObserver {
+ public:
+  explicit ComposerHook(gfx::SurfaceFlinger& flinger) : flinger_(flinger) {}
+  void on_vsync(sim::Time t, int) override { flinger_.on_vsync(t); }
+
+ private:
+  gfx::SurfaceFlinger& flinger_;
+};
+
+/// Charges the input pipeline's CPU cost per touch event.
+class SimulatedDevice::TouchPowerHook final : public input::TouchListener {
+ public:
+  explicit TouchPowerHook(power::DevicePowerModel& power) : power_(power) {}
+  void on_touch(const input::TouchEvent& e) override { power_.on_touch(e.t); }
+
+ private:
+  power::DevicePowerModel& power_;
+};
+
+SimulatedDevice::SimulatedDevice(bool use_buffer_pool) {
+  if (use_buffer_pool) pool_ = std::make_unique<gfx::BufferPool>();
+}
+
+SimulatedDevice::~SimulatedDevice() = default;
+
+void SimulatedDevice::configure(const DeviceConfig& config) {
+  // Tear down the previous run, dependents first.  The pool (if any) stays:
+  // every framebuffer and meter snapshot released here is recycled by the
+  // next assembly.
+  meter_.reset();
+  psr_.reset();
+  governor_.reset();
+  dpm_.reset();
+  apps_.clear();
+  pending_input_apps_.clear();
+  touch_power_.reset();
+  dispatcher_.reset();
+  composer_.reset();
+  panel_.reset();  // rate listener captures this->power_ / refresh_trace_
+  latency_.reset();
+  recorder_.reset();
+  oled_.reset();
+  power_.reset();
+  flinger_.reset();
+  sim_.reset();
+  control_started_ = false;
+  finished_ = false;
+
+  config_ = config;
+  root_ = sim::Rng(config_.seed);
+  sim_ = std::make_unique<sim::Simulator>();
+
+  // --- device substrates, in the canonical order --------------------------
+  flinger_ = std::make_unique<gfx::SurfaceFlinger>(config_.screen, pool_.get());
+  flinger_->set_exact_change_detection(config_.exact_change_detection);
+
+  const int start_hz = initial_refresh_hz(config_);
+  power_ = std::make_unique<power::DevicePowerModel>(config_.power, start_hz);
+  power_->set_brightness(sim_->now(), config_.brightness);
+  flinger_->add_listener(power_.get());
+
+  if (config_.oled) {
+    oled_ = std::make_unique<power::OledPanelModel>(*power_, *config_.oled);
+    flinger_->add_listener(oled_.get());
+  }
+
+  recorder_ = std::make_unique<metrics::FrameStatsRecorder>();
+  flinger_->add_listener(recorder_.get());
+
+  if (config_.record_latency) {
+    latency_ = std::make_unique<metrics::ResponseLatencyRecorder>();
+    flinger_->add_listener(latency_.get());
+  }
+
+  panel_ = std::make_unique<display::DisplayPanel>(*sim_, config_.rates,
+                                                   start_hz);
+  panel_->set_fast_rate_up(config_.fast_rate_up);
+  refresh_trace_ = sim::Trace("refresh_hz");
+  refresh_trace_.record(sim_->now(), static_cast<double>(start_hz));
+  panel_->add_rate_listener([this](sim::Time t, int hz) {
+    power_->on_rate_change(t, hz);
+    refresh_trace_.record(t, static_cast<double>(hz));
+  });
+
+  composer_ = std::make_unique<ComposerHook>(*flinger_);
+  panel_->add_observer(display::VsyncPhase::kComposer, composer_.get());
+
+  dispatcher_ = std::make_unique<input::InputDispatcher>(*sim_);
+  touch_power_ = std::make_unique<TouchPowerHook>(*power_);
+}
+
+apps::AppModel& SimulatedDevice::install_app(const apps::AppSpec& spec,
+                                             std::uint64_t rng_stream,
+                                             bool foreground, int z_order) {
+  assert(sim_ && "configure() the device before installing apps");
+  gfx::Surface* surface = flinger_->create_surface(
+      spec.name, gfx::Rect::of(config_.screen), z_order);
+  auto model = std::make_unique<apps::AppModel>(spec, surface, power_.get(),
+                                                root_.fork(rng_stream));
+  if (!foreground) model->set_foreground(false);
+  panel_->add_observer(display::VsyncPhase::kApp, model.get());
+  if (control_started_) {
+    dispatcher_->add_listener(model.get());
+  } else {
+    pending_input_apps_.push_back(model.get());
+  }
+  apps_.push_back(std::move(model));
+  return *apps_.back();
+}
+
+void SimulatedDevice::start_control() {
+  assert(sim_ && "configure() the device before starting control");
+  assert(!control_started_ && "start_control() is once per configure()");
+
+  if (config_.mode == ControlMode::kE3FrameRate) {
+    assert(!apps_.empty() && "the governor caps the first installed app");
+    apps::AppModel* primary = apps_.front().get();
+    governor_ = std::make_unique<core::FrameRateGovernor>(
+        *sim_, *flinger_,
+        [primary](double fps) { primary->set_request_cap(fps); },
+        power_.get(), config_.governor, pool_.get());
+  } else if (config_.mode != ControlMode::kBaseline60) {
+    core::DpmConfig dc = config_.dpm;
+    dc.touch_boost = config_.mode == ControlMode::kSectionWithBoost ||
+                     config_.mode == ControlMode::kSectionHysteresis;
+    dpm_ = std::make_unique<core::DisplayPowerManager>(
+        *sim_, *panel_, *flinger_, make_refresh_policy(config_), power_.get(),
+        dc, pool_.get());
+  }
+  if (config_.self_refresh) {
+    psr_ = std::make_unique<core::SelfRefreshController>(
+        *sim_, *flinger_, *power_, *config_.self_refresh);
+  }
+
+  // Input pipeline, canonical order: power hook, then the controller's
+  // boost (it must fire before app-side handling, as on Android), then the
+  // latency probe, then every app installed so far.
+  dispatcher_->add_listener(touch_power_.get());
+  if (dpm_) dispatcher_->add_listener(dpm_.get());
+  if (governor_) dispatcher_->add_listener(governor_.get());
+  if (latency_) dispatcher_->add_listener(latency_.get());
+  for (apps::AppModel* app : pending_input_apps_) {
+    dispatcher_->add_listener(app);
+  }
+  pending_input_apps_.clear();
+  control_started_ = true;
+}
+
+void SimulatedDevice::schedule_monkey_script(
+    const input::MonkeyProfile& profile, sim::Duration length,
+    std::uint64_t rng_stream, sim::Time offset) {
+  assert(sim_ && "configure() the device before scheduling input");
+  sim::Rng rng = root_.fork(rng_stream);
+  auto script =
+      input::generate_monkey_script(rng, profile, length, config_.screen);
+  for (auto& g : script) g.start = g.start + (offset - sim::Time{});
+  dispatcher_->schedule_script(script);
+}
+
+void SimulatedDevice::focus_app(std::size_t index) {
+  assert(index < apps_.size());
+  for (auto& m : apps_) {
+    if (m->foreground()) m->set_foreground(false);
+  }
+  apps_[index]->set_foreground(true);
+}
+
+void SimulatedDevice::ensure_meter() {
+  if (!meter_) {
+    meter_ = std::make_unique<power::MonsoonMeter>(*sim_, *power_,
+                                                   config_.power_sample);
+  }
+}
+
+void SimulatedDevice::run_for(sim::Duration d) {
+  ensure_meter();
+  sim_->run_for(d);
+}
+
+void SimulatedDevice::run_until(sim::Time t) {
+  ensure_meter();
+  sim_->run_until(t);
+}
+
+void SimulatedDevice::finish() {
+  if (finished_ || !sim_) return;
+  panel_->stop();
+  if (dpm_) dpm_->stop();
+  if (governor_) governor_->stop();
+  if (psr_) psr_->stop();
+  if (meter_) meter_->stop();
+  recorder_->finish(sim_->now());
+  finished_ = true;
+}
+
+void SimulatedDevice::add_frame_listener(gfx::FrameListener* l) {
+  flinger_->add_listener(l);
+}
+
+}  // namespace ccdem::device

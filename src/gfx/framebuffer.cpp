@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cstring>
+#include <utility>
+
+#include "gfx/buffer_pool.h"
 
 namespace ccdem::gfx {
 
@@ -10,6 +13,51 @@ Framebuffer::Framebuffer(int width, int height, Rgb888 fill)
       height_(height),
       pixels_(static_cast<std::size_t>(width) * height, fill) {
   assert(width >= 0 && height >= 0);
+}
+
+Framebuffer::Framebuffer(int width, int height, BufferPool* pool, Rgb888 fill)
+    : width_(width), height_(height), pool_(pool) {
+  assert(width >= 0 && height >= 0);
+  const std::size_t n = static_cast<std::size_t>(width) * height;
+  if (pool_ != nullptr) {
+    pixels_ = pool_->acquire(n, fill);
+  } else {
+    pixels_.assign(n, fill);
+  }
+}
+
+Framebuffer::~Framebuffer() {
+  if (pool_ != nullptr) pool_->release(std::move(pixels_));
+}
+
+Framebuffer::Framebuffer(const Framebuffer& other)
+    : width_(other.width_), height_(other.height_), pixels_(other.pixels_) {}
+
+Framebuffer& Framebuffer::operator=(const Framebuffer& other) {
+  // Keeps this buffer's own pool affiliation; only the pixels are copied.
+  width_ = other.width_;
+  height_ = other.height_;
+  pixels_ = other.pixels_;
+  return *this;
+}
+
+Framebuffer::Framebuffer(Framebuffer&& other) noexcept
+    : width_(other.width_),
+      height_(other.height_),
+      pixels_(std::move(other.pixels_)),
+      pool_(other.pool_) {
+  other.width_ = 0;
+  other.height_ = 0;
+  other.pool_ = nullptr;
+  other.pixels_.clear();
+}
+
+Framebuffer& Framebuffer::operator=(Framebuffer&& other) noexcept {
+  std::swap(width_, other.width_);
+  std::swap(height_, other.height_);
+  std::swap(pixels_, other.pixels_);
+  std::swap(pool_, other.pool_);
+  return *this;
 }
 
 Rgb888 Framebuffer::at_clamped(int x, int y) const {

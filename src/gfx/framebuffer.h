@@ -15,12 +15,30 @@
 
 namespace ccdem::gfx {
 
+class BufferPool;
+
 class Framebuffer {
  public:
   Framebuffer() = default;
   Framebuffer(int width, int height, Rgb888 fill = colors::kBlack);
   explicit Framebuffer(Size size, Rgb888 fill = colors::kBlack)
       : Framebuffer(size.width, size.height, fill) {}
+
+  /// Pool-backed variant: pixel storage is acquired from `pool` (may be
+  /// null, which degrades to a plain allocation) and returned to it on
+  /// destruction.  Contents start identical to the plain constructor's.
+  Framebuffer(int width, int height, BufferPool* pool,
+              Rgb888 fill = colors::kBlack);
+  Framebuffer(Size size, BufferPool* pool, Rgb888 fill = colors::kBlack)
+      : Framebuffer(size.width, size.height, pool, fill) {}
+
+  ~Framebuffer();
+  /// Copies are deep and never pool-backed (a copy may outlive the pool).
+  Framebuffer(const Framebuffer& other);
+  Framebuffer& operator=(const Framebuffer& other);
+  /// Moves transfer the storage together with its pool affiliation.
+  Framebuffer(Framebuffer&& other) noexcept;
+  Framebuffer& operator=(Framebuffer&& other) noexcept;
 
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
@@ -80,6 +98,7 @@ class Framebuffer {
   int width_ = 0;
   int height_ = 0;
   std::vector<Rgb888> pixels_;
+  BufferPool* pool_ = nullptr;  ///< storage owner on destruction, if any
 };
 
 }  // namespace ccdem::gfx

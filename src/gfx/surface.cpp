@@ -5,11 +5,12 @@
 
 namespace ccdem::gfx {
 
-Surface::Surface(std::string name, Rect screen_rect, int z_order)
+Surface::Surface(std::string name, Rect screen_rect, int z_order,
+                 BufferPool* pool)
     : name_(std::move(name)),
       screen_rect_(screen_rect),
       z_order_(z_order),
-      buffer_(screen_rect.width, screen_rect.height),
+      buffer_(screen_rect.width, screen_rect.height, pool),
       canvas_(buffer_) {
   assert(!screen_rect.empty());
 }

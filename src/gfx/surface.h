@@ -15,9 +15,13 @@
 
 namespace ccdem::gfx {
 
+class BufferPool;
+
 class Surface {
  public:
-  Surface(std::string name, Rect screen_rect, int z_order);
+  /// `pool` (optional) recycles the surface buffer's pixel storage.
+  Surface(std::string name, Rect screen_rect, int z_order,
+          BufferPool* pool = nullptr);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Rect screen_rect() const { return screen_rect_; }

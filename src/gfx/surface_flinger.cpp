@@ -5,14 +5,15 @@
 
 namespace ccdem::gfx {
 
-SurfaceFlinger::SurfaceFlinger(Size screen)
-    : screen_(screen), chain_(screen) {
+SurfaceFlinger::SurfaceFlinger(Size screen, BufferPool* pool)
+    : screen_(screen), pool_(pool), chain_(screen, pool) {
   assert(!screen.empty());
 }
 
 Surface* SurfaceFlinger::create_surface(std::string name, Rect screen_rect,
                                         int z_order) {
-  auto s = std::make_unique<Surface>(std::move(name), screen_rect, z_order);
+  auto s =
+      std::make_unique<Surface>(std::move(name), screen_rect, z_order, pool_);
   Surface* raw = s.get();
   surfaces_.push_back(std::move(s));
   std::stable_sort(surfaces_.begin(), surfaces_.end(),

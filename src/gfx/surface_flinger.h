@@ -44,7 +44,9 @@ class FrameListener {
 
 class SurfaceFlinger {
  public:
-  explicit SurfaceFlinger(Size screen);
+  /// `pool` (optional) recycles pixel storage for the swapchain and every
+  /// surface created through create_surface; it must outlive the flinger.
+  explicit SurfaceFlinger(Size screen, BufferPool* pool = nullptr);
 
   SurfaceFlinger(const SurfaceFlinger&) = delete;
   SurfaceFlinger& operator=(const SurfaceFlinger&) = delete;
@@ -86,6 +88,7 @@ class SurfaceFlinger {
   [[nodiscard]] bool region_differs(const Surface& s, Rect dirty) const;
 
   Size screen_;
+  BufferPool* pool_;
   Swapchain chain_;
   std::vector<std::unique_ptr<Surface>> surfaces_;  // kept sorted by z-order
   std::vector<FrameListener*> listeners_;

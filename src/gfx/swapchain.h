@@ -10,6 +10,7 @@
 // buffer" of the paper's section 3.1, for free).
 #pragma once
 
+#include "gfx/buffer_pool.h"
 #include "gfx/double_buffer.h"
 #include "gfx/framebuffer.h"
 #include "gfx/region.h"
@@ -18,8 +19,10 @@ namespace ccdem::gfx {
 
 class Swapchain {
  public:
-  explicit Swapchain(Size size)
-      : buffers_(Framebuffer(size), Framebuffer(size)) {}
+  /// `pool` (optional) recycles the two buffers' pixel storage across
+  /// swapchain lifetimes -- fleet sweeps rebuild the device per run.
+  explicit Swapchain(Size size, BufferPool* pool = nullptr)
+      : buffers_(Framebuffer(size, pool), Framebuffer(size, pool)) {}
 
   /// The buffer currently on screen (scan-out source, meter input).
   [[nodiscard]] const Framebuffer& front() const { return buffers_.front(); }

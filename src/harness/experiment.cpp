@@ -2,207 +2,76 @@
 
 #include <cassert>
 #include <cmath>
-#include <memory>
-#include <utility>
 
-#include "core/frame_rate_governor.h"
-#include "core/hysteresis_policy.h"
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "input/input_dispatcher.h"
-#include "input/monkey.h"
-#include "metrics/frame_stats_recorder.h"
-#include "metrics/response_latency.h"
-#include "power/monsoon_meter.h"
-#include "sim/rng.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 namespace ccdem::harness {
 
-namespace {
-
-/// Bridges the panel's composer phase to the SurfaceFlinger.
-class ComposerHook final : public display::VsyncObserver {
- public:
-  explicit ComposerHook(gfx::SurfaceFlinger& flinger) : flinger_(flinger) {}
-  void on_vsync(sim::Time t, int) override { flinger_.on_vsync(t); }
-
- private:
-  gfx::SurfaceFlinger& flinger_;
-};
-
-/// Charges the input pipeline's CPU cost per touch event.
-class TouchPowerHook final : public input::TouchListener {
- public:
-  explicit TouchPowerHook(power::DevicePowerModel& power) : power_(power) {}
-  void on_touch(const input::TouchEvent& e) override { power_.on_touch(e.t); }
-
- private:
-  power::DevicePowerModel& power_;
-};
-
-int baseline_rate(const ExperimentConfig& config) {
-  const int hz =
-      config.baseline_hz > 0 ? config.baseline_hz : config.rates.max_hz();
-  assert(config.rates.supports(hz));
-  return hz;
+device::DeviceConfig ExperimentConfig::device_config() const {
+  device::DeviceConfig dc;
+  dc.mode = mode;
+  dc.dpm = dpm;
+  dc.power = power;
+  dc.rates = rates;
+  dc.screen = screen;
+  dc.seed = seed;
+  dc.power_sample = power_sample;
+  dc.exact_change_detection = exact_change_detection;
+  dc.brightness = brightness;
+  dc.baseline_hz = baseline_hz;
+  dc.fast_rate_up = fast_rate_up;
+  return dc;
 }
 
-std::unique_ptr<core::RefreshPolicy> make_policy(
-    const ExperimentConfig& config) {
-  switch (config.mode) {
-    case ControlMode::kBaseline60:
-    case ControlMode::kE3FrameRate:
-      return std::make_unique<core::FixedPolicy>(baseline_rate(config));
-    case ControlMode::kSection:
-    case ControlMode::kSectionWithBoost:
-      return std::make_unique<core::SectionPolicy>(config.rates,
-                                                   config.dpm.section_alpha);
-    case ControlMode::kSectionHysteresis:
-      return std::make_unique<core::HysteresisPolicy>(
-          std::make_unique<core::SectionPolicy>(config.rates,
-                                                config.dpm.section_alpha));
-    case ControlMode::kNaive:
-      return std::make_unique<core::NaivePolicy>(config.rates);
-  }
-  return nullptr;  // unreachable
-}
-
-}  // namespace
-
-const char* control_mode_name(ControlMode m) {
-  switch (m) {
-    case ControlMode::kBaseline60:
-      return "baseline-60Hz";
-    case ControlMode::kSection:
-      return "section";
-    case ControlMode::kSectionWithBoost:
-      return "section+boost";
-    case ControlMode::kNaive:
-      return "naive";
-    case ControlMode::kSectionHysteresis:
-      return "section+boost+hysteresis";
-    case ControlMode::kE3FrameRate:
-      return "e3-framerate";
-  }
-  return "?";
-}
-
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+ExperimentResult run_experiment_on(device::SimulatedDevice& dev,
+                                   const ExperimentConfig& config) {
   assert(config.duration.ticks > 0);
-  sim::Simulator sim;
-  sim::Rng root(config.seed);
+  dev.configure(config.device_config());
+  apps::AppModel& app = dev.install_app(config.app);
+  dev.start_control();
+  dev.schedule_monkey_script(config.app.monkey, config.duration);
+  dev.run_until(sim::Time{config.duration.ticks});
+  dev.finish();
 
-  // --- device substrates -------------------------------------------------
-  gfx::SurfaceFlinger flinger(config.screen);
-  flinger.set_exact_change_detection(config.exact_change_detection);
-
-  // The stock arms (baseline and the E3 comparison) hold a fixed rate; the
-  // controlled arms start from the maximum and let the policy take over.
-  const int max_hz = (config.mode == ControlMode::kBaseline60 ||
-                      config.mode == ControlMode::kE3FrameRate)
-                         ? baseline_rate(config)
-                         : config.rates.max_hz();
-  power::DevicePowerModel power(config.power, max_hz);
-  power.set_brightness(sim.now(), config.brightness);
-  flinger.add_listener(&power);
-
-  metrics::FrameStatsRecorder recorder;
-  flinger.add_listener(&recorder);
-
-  metrics::ResponseLatencyRecorder latency;
-  flinger.add_listener(&latency);
-
-  display::DisplayPanel panel(sim, config.rates, max_hz);
-  panel.set_fast_rate_up(config.fast_rate_up);
-  sim::Trace refresh_trace("refresh_hz");
-  refresh_trace.record(sim.now(), static_cast<double>(max_hz));
-  panel.add_rate_listener([&power, &refresh_trace](sim::Time t, int hz) {
-    power.on_rate_change(t, hz);
-    refresh_trace.record(t, static_cast<double>(hz));
-  });
-
-  // --- application -------------------------------------------------------
-  gfx::Surface* surface = flinger.create_surface(
-      config.app.name, gfx::Rect::of(config.screen), /*z_order=*/0);
-  apps::AppModel app(config.app, surface, &power, root.fork(1));
-  panel.add_observer(display::VsyncPhase::kApp, &app);
-
-  ComposerHook composer(flinger);
-  panel.add_observer(display::VsyncPhase::kComposer, &composer);
-
-  // --- proposed system (skipped in the baseline arm) ----------------------
-  std::unique_ptr<core::DisplayPowerManager> dpm;
-  std::unique_ptr<core::FrameRateGovernor> governor;
-  if (config.mode == ControlMode::kE3FrameRate) {
-    governor = std::make_unique<core::FrameRateGovernor>(
-        sim, flinger, [&app](double fps) { app.set_request_cap(fps); },
-        &power);
-  } else if (config.mode != ControlMode::kBaseline60) {
-    core::DpmConfig dc = config.dpm;
-    dc.touch_boost = config.mode == ControlMode::kSectionWithBoost ||
-                     config.mode == ControlMode::kSectionHysteresis;
-    dpm = std::make_unique<core::DisplayPowerManager>(
-        sim, panel, flinger, make_policy(config), &power, dc);
-  }
-
-  // --- input -------------------------------------------------------------
-  input::InputDispatcher dispatcher(sim);
-  TouchPowerHook touch_power(power);
-  dispatcher.add_listener(&touch_power);
-  if (dpm) dispatcher.add_listener(dpm.get());  // boost fires before the app
-  if (governor) dispatcher.add_listener(governor.get());
-  dispatcher.add_listener(&latency);
-  dispatcher.add_listener(&app);
-
-  sim::Rng monkey_rng = root.fork(2);
-  const auto script = input::generate_monkey_script(
-      monkey_rng, config.app.monkey, config.duration, config.screen);
-  dispatcher.schedule_script(script);
-
-  // --- measurement ---------------------------------------------------------
-  power::MonsoonMeter meter(sim, power, config.power_sample);
-
-  // --- run -----------------------------------------------------------------
-  sim.run_until(sim::Time{config.duration.ticks});
-  panel.stop();
-  if (dpm) dpm->stop();
-  if (governor) governor->stop();
-  meter.stop();
-  recorder.finish(sim.now());
-
-  // --- collect ---------------------------------------------------------------
+  // --- collect -------------------------------------------------------------
   ExperimentResult r;
   r.app_name = config.app.name;
   r.mode = config.mode;
   r.duration = config.duration;
-  r.mean_power_mw = meter.mean_power_mw();
-  r.power = meter.trace();
-  r.frame_rate = recorder.frame_rate();
-  r.content_rate = recorder.content_rate();
-  if (dpm) {
+  r.mean_power_mw = dev.meter()->mean_power_mw();
+  r.power = dev.meter()->trace();
+  r.frame_rate = dev.recorder().frame_rate();
+  r.content_rate = dev.recorder().content_rate();
+  if (core::DisplayPowerManager* dpm = dev.dpm()) {
     r.measured_content_rate = dpm->content_rate_trace();
     r.meter_error_rate = dpm->meter().error_rate();
   }
-  if (governor) {
+  if (core::FrameRateGovernor* governor = dev.governor()) {
     r.meter_error_rate = governor->meter().error_rate();
   }
-  r.rate_switches = refresh_trace.size() - 1;
-  r.refresh_rate = refresh_trace;
+  r.rate_switches = dev.refresh_trace().size() - 1;
+  r.refresh_rate = dev.refresh_trace();
   r.mean_refresh_hz =
-      refresh_trace.time_weighted_mean(sim::Time{}, sim.now());
-  r.frames_composed = flinger.frames_composed();
-  r.content_frames = flinger.content_frames();
+      dev.refresh_trace().time_weighted_mean(sim::Time{}, dev.sim().now());
+  r.frames_composed = dev.flinger().frames_composed();
+  r.content_frames = dev.flinger().content_frames();
   r.frames_posted = app.frames_posted();
-  r.touch_events = dispatcher.events_delivered();
-  r.response_mean_ms = latency.mean_ms();
-  r.response_p95_ms = latency.percentile_ms(95.0);
-  r.response_max_ms = latency.max_ms();
-  r.response_interactions = latency.interactions();
+  r.touch_events = dev.dispatcher().events_delivered();
+  if (metrics::ResponseLatencyRecorder* latency = dev.latency()) {
+    r.response_mean_ms = latency->mean_ms();
+    r.response_p95_ms = latency->percentile_ms(95.0);
+    r.response_max_ms = latency->max_ms();
+    r.response_interactions = latency->interactions();
+  }
   // Flush the continuous integration to the end of the run, then snapshot.
-  power.add_energy_mj(sim.now(), 0.0);
-  r.energy = power.breakdown();
+  dev.power().add_energy_mj(dev.sim().now(), 0.0);
+  r.energy = dev.power().breakdown();
   return r;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  device::SimulatedDevice dev;
+  return run_experiment_on(dev, config);
 }
 
 AbResult run_ab(const ExperimentConfig& config) {

@@ -1,0 +1,55 @@
+#include "harness/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "device/simulated_device.h"
+
+namespace ccdem::harness {
+
+std::vector<ExperimentResult> FleetRunner::run(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentResult> results(configs.size());
+  stats_ = FleetStats{};
+  if (configs.empty()) return results;
+
+  unsigned threads = max_threads_ != 0 ? max_threads_
+                                       : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(configs.size())));
+  stats_.workers = threads;
+
+  // Work stealing via a shared index; each run is independent and each
+  // worker's device (and pool) is touched by that worker only.
+  std::atomic<std::size_t> next{0};
+  std::mutex stats_mu;
+  auto worker = [&] {
+    device::SimulatedDevice dev(/*use_buffer_pool=*/true);
+    std::uint64_t runs = 0;
+    std::uint64_t frames = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) break;
+      results[i] = run_experiment_on(dev, configs[i]);
+      ++runs;
+      frames += results[i].frames_composed;
+    }
+    const gfx::BufferPool& pool = *dev.buffer_pool();
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats_.runs_completed += runs;
+    stats_.frames_composed += frames;
+    stats_.buffer_acquires += pool.acquires();
+    stats_.buffer_reuses += pool.reuses();
+    stats_.buffer_allocations += pool.allocations();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace ccdem::harness

@@ -1,17 +1,9 @@
 #include "harness/session.h"
 
 #include <cassert>
-#include <memory>
+#include <utility>
 
-#include "core/hysteresis_policy.h"
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "input/input_dispatcher.h"
-#include "input/monkey.h"
-#include "metrics/frame_stats_recorder.h"
-#include "power/monsoon_meter.h"
-#include "sim/rng.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 namespace ccdem::harness {
 
@@ -38,127 +30,55 @@ SessionResult run_session(const SessionConfig& config) {
   return result;
 }
 
-namespace {
-
-/// Bridges the panel's composer phase to the SurfaceFlinger (local copy;
-/// the experiment translation unit keeps its own).
-class ComposerHook final : public display::VsyncObserver {
- public:
-  explicit ComposerHook(gfx::SurfaceFlinger& flinger) : flinger_(flinger) {}
-  void on_vsync(sim::Time t, int) override { flinger_.on_vsync(t); }
-
- private:
-  gfx::SurfaceFlinger& flinger_;
-};
-
-}  // namespace
-
 SwitchingSessionResult run_switching_session(const SessionConfig& config) {
   assert(!config.segments.empty());
   assert(config.mode != ControlMode::kE3FrameRate &&
          "per-app governors are not wired for switching sessions");
 
-  sim::Simulator sim;
-  sim::Rng root(config.seed);
-  const gfx::Size screen = apps::kGalaxyS3Screen;
-  const display::RefreshRateSet rates = display::RefreshRateSet::galaxy_s3();
+  device::DeviceConfig dc;
+  dc.mode = config.mode;
+  dc.dpm = config.dpm;
+  dc.seed = config.seed;
 
-  gfx::SurfaceFlinger flinger(screen);
-  power::DevicePowerModel power(power::DevicePowerParams::galaxy_s3(),
-                                rates.max_hz());
-  flinger.add_listener(&power);
-  metrics::FrameStatsRecorder recorder;
-  flinger.add_listener(&recorder);
+  device::SimulatedDevice dev;
+  dev.configure(dc);
+  dev.start_control();
 
-  display::DisplayPanel panel(sim, rates, rates.max_hz());
-  sim::Trace refresh_trace("refresh_hz");
-  refresh_trace.record(sim.now(), static_cast<double>(rates.max_hz()));
-  panel.add_rate_listener([&](sim::Time t, int hz) {
-    power.on_rate_change(t, hz);
-    refresh_trace.record(t, static_cast<double>(hz));
-  });
-
-  ComposerHook composer(flinger);
-
-  // Build every app up front (backgrounded), register all of them, then
-  // schedule foreground switches at the segment boundaries.
-  std::vector<std::unique_ptr<apps::AppModel>> models;
-  input::InputDispatcher dispatcher(sim);
-
-  std::unique_ptr<core::DisplayPowerManager> dpm;
-  if (config.mode != ControlMode::kBaseline60) {
-    core::DpmConfig dc = config.dpm;
-    dc.touch_boost = config.mode == ControlMode::kSectionWithBoost ||
-                     config.mode == ControlMode::kSectionHysteresis;
-    std::unique_ptr<core::RefreshPolicy> policy;
-    switch (config.mode) {
-      case ControlMode::kNaive:
-        policy = std::make_unique<core::NaivePolicy>(rates);
-        break;
-      case ControlMode::kSectionHysteresis:
-        policy = std::make_unique<core::HysteresisPolicy>(
-            std::make_unique<core::SectionPolicy>(rates, dc.section_alpha));
-        break;
-      default:
-        policy = std::make_unique<core::SectionPolicy>(rates,
-                                                       dc.section_alpha);
-        break;
-    }
-    dpm = std::make_unique<core::DisplayPowerManager>(
-        sim, panel, flinger, std::move(policy), &power, dc);
-    dispatcher.add_listener(dpm.get());
-  }
-
+  // Build every app up front (backgrounded), then schedule its segment's
+  // Monkey script and the foreground switch at the segment boundary.  Each
+  // segment forks its own app/monkey RNG streams off the session seed so a
+  // reordered session keeps per-segment behaviour.
   sim::Time cursor{};
   std::vector<std::pair<sim::Time, sim::Time>> windows;
   std::uint64_t i = 0;
   for (const SessionSegment& seg : config.segments) {
-    gfx::Surface* surface = flinger.create_surface(
-        seg.app.name, gfx::Rect::of(screen), /*z_order=*/0);
-    auto model = std::make_unique<apps::AppModel>(
-        seg.app, surface, &power, root.fork(100 + i));
-    model->set_foreground(false);
-    panel.add_observer(display::VsyncPhase::kApp, model.get());
-    dispatcher.add_listener(model.get());
-
-    // Segment-local Monkey script, offset to the segment window.
-    sim::Rng monkey_rng = root.fork(200 + i);
-    auto script = input::generate_monkey_script(
-        monkey_rng, seg.app.monkey, seg.duration, screen);
-    for (auto& g : script) g.start = g.start + (cursor - sim::Time{});
-    dispatcher.schedule_script(script);
-
-    apps::AppModel* raw = model.get();
-    sim.at(cursor, [raw, &models](sim::Time) {
-      // Background whoever is foreground, then resume this app.
-      for (auto& m : models) {
-        if (m->foreground()) m->set_foreground(false);
-      }
-      raw->set_foreground(true);
-    });
+    const std::size_t index = dev.app_count();
+    dev.install_app(seg.app, /*rng_stream=*/100 + i, /*foreground=*/false);
+    dev.schedule_monkey_script(seg.app.monkey, seg.duration,
+                               /*rng_stream=*/200 + i, /*offset=*/cursor);
+    dev.sim().at(cursor,
+                 [&dev, index](sim::Time) { dev.focus_app(index); });
     windows.emplace_back(cursor, cursor + seg.duration);
     cursor += seg.duration;
-    models.push_back(std::move(model));
     ++i;
   }
 
-  panel.add_observer(display::VsyncPhase::kComposer, &composer);
-  power::MonsoonMeter meter(sim, power);
-  sim.run_until(cursor);
-  panel.stop();
-  if (dpm) dpm->stop();
-  meter.stop();
-  recorder.finish(sim.now());
+  dev.run_until(cursor);
+  dev.finish();
 
   SwitchingSessionResult result;
   result.total_duration = cursor - sim::Time{};
-  result.mean_power_mw = meter.mean_power_mw();
+  result.mean_power_mw = dev.meter()->mean_power_mw();
   result.total_energy_mj =
       result.mean_power_mw * result.total_duration.seconds();
-  result.power = meter.trace();
-  result.refresh_rate = refresh_trace;
-  result.frames_composed = flinger.frames_composed();
-  result.content_frames = flinger.content_frames();
+  result.power = dev.meter()->trace();
+  result.refresh_rate = dev.refresh_trace();
+  result.content_rate = dev.recorder().content_rate();
+  result.frames_composed = dev.flinger().frames_composed();
+  result.content_frames = dev.flinger().content_frames();
+  for (std::size_t a = 0; a < dev.app_count(); ++a) {
+    result.app_frames_posted.push_back(dev.app(a).frames_posted());
+  }
   for (const auto& [begin, end] : windows) {
     result.segment_power_mw.push_back(
         result.power.mean_between(begin, end + sim::milliseconds(50)));

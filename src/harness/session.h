@@ -50,8 +50,14 @@ struct SwitchingSessionResult {
   std::vector<double> segment_power_mw;
   sim::Trace power{"power_mw"};
   sim::Trace refresh_rate{"refresh_hz"};
+  /// Ground-truth content rate per second across the whole session; spans
+  /// segment boundaries, so the incoming app's repaint is visible in it.
+  sim::Trace content_rate{"content_rate_fps"};
   std::uint64_t frames_composed = 0;
   std::uint64_t content_frames = 0;
+  /// Frames each segment's app posted over the whole session, in segment
+  /// order -- a backgrounded app should stop contributing.
+  std::vector<std::uint64_t> app_frames_posted;
 };
 
 /// Runs all segments on ONE continuous simulated device: apps switch

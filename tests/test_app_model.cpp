@@ -2,24 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include "display/display_panel.h"
-#include "gfx/surface_flinger.h"
-#include "metrics/frame_stats_recorder.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 namespace ccdem::apps {
 namespace {
-
-constexpr gfx::Size kScreen{720, 1280};
-
-class ComposerHook final : public display::VsyncObserver {
- public:
-  explicit ComposerHook(gfx::SurfaceFlinger& f) : f_(f) {}
-  void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
-
- private:
-  gfx::SurfaceFlinger& f_;
-};
 
 AppSpec toy_spec(double idle_fps, double content_fps) {
   AppSpec s;
@@ -32,51 +18,49 @@ AppSpec toy_spec(double idle_fps, double content_fps) {
   return s;
 }
 
+/// A full device around one toy app.  Tests drive the raw simulator
+/// (dev.sim()) so no power meter attaches.
 struct Rig {
-  sim::Simulator sim;
-  gfx::SurfaceFlinger flinger{kScreen};
-  display::DisplayPanel panel{sim, display::RefreshRateSet::galaxy_s3(), 60};
-  metrics::FrameStatsRecorder recorder;
-  gfx::Surface* surface =
-      flinger.create_surface("toy", gfx::Rect::of(kScreen), 0);
-  power::DevicePowerModel power{power::DevicePowerParams::galaxy_s3(), 60};
-  AppModel app;
-  ComposerHook composer{flinger};
+  device::SimulatedDevice dev;
+  AppModel* app = nullptr;
 
-  explicit Rig(const AppSpec& spec)
-      : app(spec, surface, &power, sim::Rng(3)) {
-    flinger.add_listener(&recorder);
-    panel.add_observer(display::VsyncPhase::kApp, &app);
-    panel.add_observer(display::VsyncPhase::kComposer, &composer);
+  explicit Rig(const AppSpec& spec) {
+    device::DeviceConfig dc;
+    dc.seed = 3;
+    dev.configure(dc);
+    app = &dev.install_app(spec);
+    dev.start_control();
   }
+
+  [[nodiscard]] sim::Simulator& sim() { return dev.sim(); }
 };
 
 TEST(AppModel, PostsAtIdleRequestRate) {
   Rig rig(toy_spec(/*idle_fps=*/10.0, /*content_fps=*/5.0));
-  rig.sim.run_for(sim::seconds(5));
+  rig.sim().run_for(sim::seconds(5));
   const double fps =
-      static_cast<double>(rig.app.frames_posted()) / 5.0;
+      static_cast<double>(rig.app->frames_posted()) / 5.0;
   EXPECT_NEAR(fps, 10.0, 1.5);
 }
 
 TEST(AppModel, RequestRateCappedByRefreshRate) {
   Rig rig(toy_spec(/*idle_fps=*/60.0, /*content_fps=*/5.0));
-  rig.panel.set_refresh_rate(20);
-  rig.sim.run_for(sim::seconds(5));
-  const double fps = static_cast<double>(rig.app.frames_posted()) / 5.0;
+  rig.dev.panel().set_refresh_rate(20);
+  rig.sim().run_for(sim::seconds(5));
+  const double fps = static_cast<double>(rig.app->frames_posted()) / 5.0;
   EXPECT_NEAR(fps, 20.0, 1.5);  // V-Sync limits the app to the refresh rate
 }
 
 TEST(AppModel, TouchOpensRequestBurst) {
   Rig rig(toy_spec(/*idle_fps=*/5.0, /*content_fps=*/5.0));
-  rig.sim.run_for(sim::seconds(2));
-  const auto before = rig.app.frames_posted();
-  input::TouchEvent e{rig.sim.now(), {10, 10},
+  rig.sim().run_for(sim::seconds(2));
+  const auto before = rig.app->frames_posted();
+  input::TouchEvent e{rig.sim().now(), {10, 10},
                       input::TouchEvent::Action::kDown};
-  rig.app.on_touch(e);
-  EXPECT_DOUBLE_EQ(rig.app.current_request_fps(rig.sim.now()), 60.0);
-  rig.sim.run_for(sim::seconds(1));
-  const double burst_fps = static_cast<double>(rig.app.frames_posted() -
+  rig.app->on_touch(e);
+  EXPECT_DOUBLE_EQ(rig.app->current_request_fps(rig.sim().now()), 60.0);
+  rig.sim().run_for(sim::seconds(1));
+  const double burst_fps = static_cast<double>(rig.app->frames_posted() -
                                                before);
   EXPECT_GT(burst_fps, 40.0);  // ~60 fps during the burst second
 }
@@ -85,22 +69,22 @@ TEST(AppModel, BurstDecaysAfterHold) {
   AppSpec spec = toy_spec(5.0, 5.0);
   spec.burst_hold_s = 0.5;
   Rig rig(spec);
-  input::TouchEvent e{rig.sim.now(), {10, 10},
+  input::TouchEvent e{rig.sim().now(), {10, 10},
                       input::TouchEvent::Action::kDown};
-  rig.app.on_touch(e);
-  EXPECT_DOUBLE_EQ(rig.app.current_request_fps(sim::at_seconds(0.4)), 60.0);
-  EXPECT_DOUBLE_EQ(rig.app.current_request_fps(sim::at_seconds(0.6)), 5.0);
+  rig.app->on_touch(e);
+  EXPECT_DOUBLE_EQ(rig.app->current_request_fps(sim::at_seconds(0.4)), 60.0);
+  EXPECT_DOUBLE_EQ(rig.app->current_request_fps(sim::at_seconds(0.6)), 5.0);
 }
 
 TEST(AppModel, ChargesRenderEnergyPerPost) {
   Rig rig(toy_spec(10.0, 5.0));
-  const double before = rig.power.energy_mj_at(rig.sim.now());
-  rig.sim.run_for(sim::seconds(1));
+  const double before = rig.dev.power().energy_mj_at(rig.sim().now());
+  rig.sim().run_for(sim::seconds(1));
   // Continuous power also accrues; isolate the impulse part by comparing
   // against a model-only projection.
   const double continuous =
-      rig.power.continuous_power_mw(60) * 1.0;  // 1 s
-  const double total = rig.power.energy_mj_at(rig.sim.now()) - before;
+      rig.dev.power().continuous_power_mw(60) * 1.0;  // 1 s
+  const double total = rig.dev.power().energy_mj_at(rig.sim().now()) - before;
   const double impulses = total - continuous;
   // ~10 posts * 2 mJ render + composition costs (> 0).
   EXPECT_GT(impulses, 15.0);
@@ -108,77 +92,77 @@ TEST(AppModel, ChargesRenderEnergyPerPost) {
 
 TEST(AppModel, RedundantPostsWhenContentSlowerThanRequests) {
   Rig rig(toy_spec(/*idle_fps=*/60.0, /*content_fps=*/10.0));
-  rig.sim.run_for(sim::seconds(5));
-  EXPECT_GT(rig.recorder.total_frames(), 250u);
+  rig.sim().run_for(sim::seconds(5));
+  EXPECT_GT(rig.dev.recorder().total_frames(), 250u);
   // Roughly 10 content fps out of ~60 posted.
   const double content_fps =
-      static_cast<double>(rig.recorder.total_content_frames()) / 5.0;
+      static_cast<double>(rig.dev.recorder().total_content_frames()) / 5.0;
   EXPECT_NEAR(content_fps, 10.0, 2.5);
-  EXPECT_GT(rig.recorder.total_redundant_frames(),
-            rig.recorder.total_content_frames() * 3);
+  EXPECT_GT(rig.dev.recorder().total_redundant_frames(),
+            rig.dev.recorder().total_content_frames() * 3);
 }
 
 TEST(AppModel, ZeroRequestRatePostsOnlyTheLaunchFrame) {
   AppSpec spec = toy_spec(0.0, 5.0);
   Rig rig(spec);
-  rig.sim.run_for(sim::seconds(2));
+  rig.sim().run_for(sim::seconds(2));
   // The window is painted once on launch, then the app goes fully idle.
-  EXPECT_EQ(rig.app.frames_posted(), 1u);
+  EXPECT_EQ(rig.app->frames_posted(), 1u);
 }
 
 TEST(AppModel, ParkedAppWakesOnTouch) {
   AppSpec spec = toy_spec(0.0, 20.0);
   Rig rig(spec);
-  rig.sim.run_for(sim::seconds(2));
-  ASSERT_EQ(rig.app.frames_posted(), 1u);
-  input::TouchEvent e{rig.sim.now(), {10, 10},
+  rig.sim().run_for(sim::seconds(2));
+  ASSERT_EQ(rig.app->frames_posted(), 1u);
+  input::TouchEvent e{rig.sim().now(), {10, 10},
                       input::TouchEvent::Action::kDown};
-  rig.app.on_touch(e);
-  rig.sim.run_for(sim::seconds(1));
+  rig.app->on_touch(e);
+  rig.sim().run_for(sim::seconds(1));
   // Burst at ~60 fps for burst_hold_s = 1 s.
-  EXPECT_GT(rig.app.frames_posted(), 40u);
+  EXPECT_GT(rig.app->frames_posted(), 40u);
 }
 
 TEST(AppModel, RenderEnergyFlatWithoutDvfs) {
   Rig rig(toy_spec(10.0, 5.0));
-  EXPECT_DOUBLE_EQ(rig.app.render_energy_mj(60.0), 2.0);
-  EXPECT_DOUBLE_EQ(rig.app.render_energy_mj(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(rig.app->render_energy_mj(60.0), 2.0);
+  EXPECT_DOUBLE_EQ(rig.app->render_energy_mj(20.0), 2.0);
 }
 
 TEST(AppModel, DvfsCouplingScalesWithRate) {
   AppSpec spec = toy_spec(10.0, 5.0);
   spec.dvfs_coupling = true;
   Rig rig(spec);
-  EXPECT_DOUBLE_EQ(rig.app.render_energy_mj(60.0), 2.0 * 1.3);
-  EXPECT_DOUBLE_EQ(rig.app.render_energy_mj(0.0), 2.0 * 0.7);
-  EXPECT_NEAR(rig.app.render_energy_mj(30.0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rig.app->render_energy_mj(60.0), 2.0 * 1.3);
+  EXPECT_DOUBLE_EQ(rig.app->render_energy_mj(0.0), 2.0 * 0.7);
+  EXPECT_NEAR(rig.app->render_energy_mj(30.0), 2.0, 1e-9);
 }
 
 TEST(AppModel, BackgroundedAppGoesSilent) {
   Rig rig(toy_spec(30.0, 5.0));
-  rig.sim.run_for(sim::seconds(1));
-  const auto posted = rig.app.frames_posted();
+  rig.sim().run_for(sim::seconds(1));
+  const auto posted = rig.app->frames_posted();
   EXPECT_GT(posted, 0u);
-  rig.app.set_foreground(false);
-  rig.sim.run_for(sim::seconds(2));
-  EXPECT_EQ(rig.app.frames_posted(), posted);
+  rig.app->set_foreground(false);
+  rig.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(rig.app->frames_posted(), posted);
   // Touch while backgrounded must not open a burst.
-  input::TouchEvent e{rig.sim.now(), {1, 1},
+  input::TouchEvent e{rig.sim().now(), {1, 1},
                       input::TouchEvent::Action::kDown};
-  rig.app.on_touch(e);
-  EXPECT_LT(rig.app.current_request_fps(rig.sim.now()), 60.0);
+  rig.app->on_touch(e);
+  EXPECT_LT(rig.app->current_request_fps(rig.sim().now()), 60.0);
 }
 
 TEST(AppModel, ForegroundResumeRepaintsWindow) {
   Rig rig(toy_spec(30.0, 5.0));
-  rig.sim.run_for(sim::seconds(1));
-  rig.app.set_foreground(false);
-  rig.sim.run_for(sim::milliseconds(500));
-  const auto content_before = rig.flinger.content_frames();
-  rig.app.set_foreground(true);
-  rig.sim.run_for(sim::milliseconds(200));
+  rig.sim().run_for(sim::seconds(1));
+  rig.app->set_foreground(false);
+  rig.sim().run_for(sim::milliseconds(500));
+  const auto content_before = rig.dev.flinger().content_frames();
+  rig.app->set_foreground(true);
+  rig.sim().run_for(sim::milliseconds(200));
   // The resume repaint composes as a content frame.
-  EXPECT_GT(rig.flinger.content_frames(), content_before);
+  EXPECT_GT(rig.dev.flinger().content_frames(), content_before);
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+#include "harness/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profiles.h"
+
+namespace ccdem::harness {
+namespace {
+
+ExperimentConfig cfg(const char* app, ControlMode mode, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.app = apps::app_by_name(app);
+  c.duration = sim::seconds(5);
+  c.seed = seed;
+  c.mode = mode;
+  return c;
+}
+
+TEST(Fleet, EmptyInput) {
+  FleetRunner fleet;
+  EXPECT_TRUE(fleet.run({}).empty());
+  EXPECT_EQ(fleet.stats().runs_completed, 0u);
+}
+
+TEST(Fleet, SingleConfig) {
+  FleetRunner fleet;
+  const auto results =
+      fleet.run({cfg("Facebook", ControlMode::kBaseline60, 1)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].app_name, "Facebook");
+  EXPECT_EQ(fleet.stats().runs_completed, 1u);
+  EXPECT_EQ(fleet.stats().workers, 1u);
+}
+
+TEST(Fleet, ResultsMatchSerialExactly) {
+  std::vector<ExperimentConfig> configs = {
+      cfg("Facebook", ControlMode::kBaseline60, 1),
+      cfg("Facebook", ControlMode::kSectionWithBoost, 1),
+      cfg("Jelly Splash", ControlMode::kSection, 2),
+      cfg("MX Player", ControlMode::kSectionWithBoost, 3),
+      cfg("Tiny Flashlight", ControlMode::kNaive, 4),
+      cfg("Cookie Run", ControlMode::kSectionWithBoost, 5),
+  };
+  FleetRunner fleet(4);
+  const auto parallel = fleet.run(configs);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto serial = run_experiment(configs[i]);
+    EXPECT_EQ(parallel[i].app_name, serial.app_name);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_power_mw, serial.mean_power_mw);
+    EXPECT_EQ(parallel[i].frames_composed, serial.frames_composed);
+    EXPECT_EQ(parallel[i].content_frames, serial.content_frames);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_refresh_hz, serial.mean_refresh_hz);
+  }
+  EXPECT_EQ(fleet.stats().runs_completed, configs.size());
+}
+
+TEST(Fleet, ResultsKeepInputOrder) {
+  std::vector<ExperimentConfig> configs;
+  const char* names[] = {"Facebook", "Jelly Splash", "MX Player", "Naver"};
+  for (const char* n : names) {
+    configs.push_back(cfg(n, ControlMode::kBaseline60, 7));
+  }
+  FleetRunner fleet(3);
+  const auto results = fleet.run(configs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].app_name, names[i]);
+  }
+}
+
+TEST(Fleet, SingleThreadWorks) {
+  FleetRunner fleet(1);
+  const auto results = fleet.run({cfg("Facebook", ControlMode::kSection, 1),
+                                  cfg("Naver", ControlMode::kSection, 2)});
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_GT(results[1].mean_power_mw, 0.0);
+  EXPECT_EQ(fleet.stats().workers, 1u);
+}
+
+// A single worker serving several runs must recycle its device's buffers:
+// the second run's swapchain, surface and meter storage all come from the
+// pool the first run released into.
+TEST(Fleet, ReusesBuffersAcrossRuns) {
+  FleetRunner fleet(1);
+  (void)fleet.run({cfg("Facebook", ControlMode::kSectionWithBoost, 1),
+                   cfg("Facebook", ControlMode::kSectionWithBoost, 2),
+                   cfg("Naver", ControlMode::kSectionWithBoost, 3)});
+  const FleetStats& s = fleet.stats();
+  EXPECT_EQ(s.runs_completed, 3u);
+  EXPECT_GT(s.frames_composed, 0u);
+  EXPECT_GT(s.buffer_acquires, 0u);
+  EXPECT_GT(s.buffer_reuses, 0u);
+  EXPECT_EQ(s.buffer_allocations, s.buffer_acquires - s.buffer_reuses);
+  // Runs 2 and 3 re-acquire the same set of buffers run 1 allocated, so at
+  // most one run's worth of storage is ever freshly allocated.
+  EXPECT_LE(s.buffer_allocations, s.buffer_acquires / 3 + 1);
+}
+
+}  // namespace
+}  // namespace ccdem::harness

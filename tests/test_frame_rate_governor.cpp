@@ -2,123 +2,114 @@
 
 #include <gtest/gtest.h>
 
-#include <memory>
-
 #include "apps/app_model.h"
-#include "display/display_panel.h"
-#include "sim/simulator.h"
+#include "device/simulated_device.h"
 
 namespace ccdem::core {
 namespace {
 
-constexpr gfx::Size kScreen{720, 1280};
+apps::AppSpec make_spec(double request_fps, double content_fps) {
+  apps::AppSpec s;
+  s.name = "governed";
+  s.idle_request_fps = request_fps;
+  s.burst_request_fps = 60.0;
+  s.scene = apps::SceneSpec::game(content_fps);
+  return s;
+}
 
+/// A device in kE3FrameRate mode: the governor caps the installed app while
+/// the panel stays at 60 Hz.  Tests drive the raw simulator (dev.sim()).
 struct Rig {
-  sim::Simulator sim;
-  gfx::SurfaceFlinger flinger{kScreen};
-  display::DisplayPanel panel{sim, display::RefreshRateSet::galaxy_s3(), 60};
-  gfx::Surface* surface =
-      flinger.create_surface("app", gfx::Rect::of(kScreen), 0);
-  apps::AppModel app;
-  std::unique_ptr<FrameRateGovernor> governor;
-
-  struct Composer final : display::VsyncObserver {
-    explicit Composer(gfx::SurfaceFlinger& f) : f_(f) {}
-    void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
-    gfx::SurfaceFlinger& f_;
-  } composer{flinger};
+  device::SimulatedDevice dev;
+  apps::AppModel* app = nullptr;
+  FrameRateGovernor* governor = nullptr;
 
   explicit Rig(double request_fps, double content_fps,
-               FrameRateGovernor::Config config = {}) : app(make_spec(request_fps, content_fps), surface, nullptr,
-            sim::Rng(5)) {
-    panel.add_observer(display::VsyncPhase::kApp, &app);
-    panel.add_observer(display::VsyncPhase::kComposer, &composer);
-    governor = std::make_unique<FrameRateGovernor>(
-        sim, flinger, [this](double fps) { app.set_request_cap(fps); },
-        nullptr, config);
+               FrameRateGovernor::Config config = {}) {
+    device::DeviceConfig dc;
+    dc.mode = device::ControlMode::kE3FrameRate;
+    dc.seed = 5;
+    dc.governor = config;
+    dev.configure(dc);
+    app = &dev.install_app(make_spec(request_fps, content_fps));
+    dev.start_control();
+    governor = dev.governor();
   }
 
-  static apps::AppSpec make_spec(double request_fps, double content_fps) {
-    apps::AppSpec s;
-    s.name = "governed";
-    s.idle_request_fps = request_fps;
-    s.burst_request_fps = 60.0;
-    s.scene = apps::SceneSpec::game(content_fps);
-    return s;
-  }
+  [[nodiscard]] sim::Simulator& sim() { return dev.sim(); }
 };
 
 TEST(FrameRateGovernor, CapsRedundantRequester) {
   Rig rig(/*request=*/60.0, /*content=*/10.0);
-  rig.sim.run_for(sim::seconds(5));
+  rig.sim().run_for(sim::seconds(5));
   // Cap should settle near content * headroom = 15 fps.
-  EXPECT_GT(rig.app.request_cap(), 0.0);
-  EXPECT_LT(rig.app.request_cap(), 25.0);
+  EXPECT_GT(rig.app->request_cap(), 0.0);
+  EXPECT_LT(rig.app->request_cap(), 25.0);
   // Effective posting rate drops accordingly.
-  const double fps = static_cast<double>(rig.app.frames_posted()) / 5.0;
+  const double fps = static_cast<double>(rig.app->frames_posted()) / 5.0;
   EXPECT_LT(fps, 30.0);
 }
 
 TEST(FrameRateGovernor, RefreshRateStaysUntouched) {
   Rig rig(60.0, 10.0);
-  rig.sim.run_for(sim::seconds(5));
-  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+  rig.sim().run_for(sim::seconds(5));
+  EXPECT_EQ(rig.dev.panel().refresh_hz(), 60);
 }
 
 TEST(FrameRateGovernor, RespectsMinimumCap) {
   FrameRateGovernor::Config config;
   config.min_cap_fps = 12.0;
   Rig rig(60.0, 1.0, config);
-  rig.sim.run_for(sim::seconds(5));
-  EXPECT_GE(rig.app.request_cap(), 12.0);
+  rig.sim().run_for(sim::seconds(5));
+  EXPECT_GE(rig.app->request_cap(), 12.0);
 }
 
 TEST(FrameRateGovernor, TouchLiftsCapImmediately) {
   Rig rig(60.0, 10.0);
-  rig.sim.run_for(sim::seconds(5));
-  ASSERT_GT(rig.app.request_cap(), 0.0);
-  input::TouchEvent e{rig.sim.now(), {10, 10},
+  rig.sim().run_for(sim::seconds(5));
+  ASSERT_GT(rig.app->request_cap(), 0.0);
+  input::TouchEvent e{rig.sim().now(), {10, 10},
                       input::TouchEvent::Action::kDown};
   rig.governor->on_touch(e);
-  EXPECT_DOUBLE_EQ(rig.app.request_cap(), 0.0);
+  EXPECT_DOUBLE_EQ(rig.app->request_cap(), 0.0);
 }
 
 TEST(FrameRateGovernor, CapReappliesAfterInteractHold) {
   FrameRateGovernor::Config config;
   config.interact_hold = sim::milliseconds(300);
   Rig rig(60.0, 10.0, config);
-  rig.sim.run_for(sim::seconds(5));
-  input::TouchEvent e{rig.sim.now(), {10, 10},
+  rig.sim().run_for(sim::seconds(5));
+  input::TouchEvent e{rig.sim().now(), {10, 10},
                       input::TouchEvent::Action::kDown};
   rig.governor->on_touch(e);
-  rig.sim.run_for(sim::seconds(2));
-  EXPECT_GT(rig.app.request_cap(), 0.0);
+  rig.sim().run_for(sim::seconds(2));
+  EXPECT_GT(rig.app->request_cap(), 0.0);
 }
 
 TEST(FrameRateGovernor, CapTraceRecordsChanges) {
   Rig rig(60.0, 10.0);
-  rig.sim.run_for(sim::seconds(3));
+  rig.sim().run_for(sim::seconds(3));
   EXPECT_GE(rig.governor->cap_trace().size(), 2u);  // initial 0 + applied cap
   EXPECT_DOUBLE_EQ(rig.governor->cap_trace().points().front().value, 0.0);
 }
 
 TEST(FrameRateGovernor, StopFreezesControl) {
   Rig rig(60.0, 10.0);
-  rig.sim.run_for(sim::seconds(3));
+  rig.sim().run_for(sim::seconds(3));
   rig.governor->stop();
-  rig.app.set_request_cap(0.0);
-  rig.sim.run_for(sim::seconds(2));
-  EXPECT_DOUBLE_EQ(rig.app.request_cap(), 0.0);  // governor no longer writes
+  rig.app->set_request_cap(0.0);
+  rig.sim().run_for(sim::seconds(2));
+  EXPECT_DOUBLE_EQ(rig.app->request_cap(), 0.0);  // governor no longer writes
 }
 
 TEST(FrameRateGovernor, HighContentAppBarelyCapped) {
   Rig rig(60.0, 38.0);
-  rig.sim.run_for(sim::seconds(5));
+  rig.sim().run_for(sim::seconds(5));
   // ~38 fps of logic (slightly less in delivered pixels) with 1.5x headroom:
   // the cap settles just above the content rate, far from starving it.
-  const double fps = static_cast<double>(rig.app.frames_posted()) / 5.0;
+  const double fps = static_cast<double>(rig.app->frames_posted()) / 5.0;
   EXPECT_GT(fps, 34.0);
-  EXPECT_GT(rig.app.request_cap(), 36.0);
+  EXPECT_GT(rig.app->request_cap(), 36.0);
 }
 
 }  // namespace

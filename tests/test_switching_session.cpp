@@ -59,6 +59,61 @@ TEST(SwitchingSession, ControllerRampsAcrossSwitch) {
   EXPECT_GT(during_game, during_static);
 }
 
+TEST(SwitchingSession, IncomingAppRepaintsAtBoundary) {
+  // Two fully static segments: the only content around the boundary is the
+  // incoming app's resume repaint, so the ground-truth content-rate trace
+  // must show it right after the switch.
+  SessionConfig c;
+  c.mode = ControlMode::kBaseline60;
+  c.seed = 9;
+  c.segments = {
+      {apps::app_by_name("Tiny Flashlight"), sim::seconds(5)},
+      {apps::app_by_name("Tiny Flashlight"), sim::seconds(5)},
+  };
+  const auto r = run_switching_session(c);
+  double content_after_switch = 0.0;
+  for (const sim::TracePoint& p : r.content_rate.points()) {
+    if (p.t >= sim::at_seconds(5.0) && p.t < sim::at_seconds(6.5)) {
+      content_after_switch += p.value;
+    }
+  }
+  EXPECT_GT(content_after_switch, 0.0);
+}
+
+TEST(SwitchingSession, BackgroundAppStopsPosting) {
+  // Game first, flashlight second: once backgrounded at t = 5 s, the game
+  // must stop posting -- its total stays at roughly 5 s x 60 fps, nowhere
+  // near the ~600 frames of a full 10 s foreground run.
+  SessionConfig c;
+  c.mode = ControlMode::kBaseline60;
+  c.seed = 9;
+  c.segments = {
+      {apps::app_by_name("Jelly Splash"), sim::seconds(5)},
+      {apps::app_by_name("Tiny Flashlight"), sim::seconds(5)},
+  };
+  const auto r = run_switching_session(c);
+  ASSERT_EQ(r.app_frames_posted.size(), 2u);
+  EXPECT_GT(r.app_frames_posted[0], 200u);  // active for its own segment
+  EXPECT_LT(r.app_frames_posted[0], 400u);  // silent after the switch
+  // The flashlight paints its window and little else.
+  EXPECT_LT(r.app_frames_posted[1], 100u);
+}
+
+TEST(SwitchingSession, PowerIntegrationContinuousAcrossSwitch) {
+  const auto r = run_switching_session(two_apps(ControlMode::kSectionWithBoost));
+  // The meter samples every 50 ms for the whole 10 s session: no gap or
+  // restart at the segment boundary.
+  ASSERT_EQ(r.power.size(), 200u);
+  const auto& pts = r.power.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_EQ((pts[i].t - pts[i - 1].t).ticks,
+              sim::milliseconds(50).ticks);
+  }
+  // Samples straddling the switch carry real power, not zeros.
+  EXPECT_GT(r.power.mean_between(sim::at_seconds(4.5), sim::at_seconds(5.5)),
+            0.0);
+}
+
 TEST(SwitchingSession, Deterministic) {
   const auto a = run_switching_session(two_apps(ControlMode::kSection));
   const auto b = run_switching_session(two_apps(ControlMode::kSection));
