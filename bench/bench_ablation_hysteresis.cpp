@@ -14,8 +14,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Ablation: refresh-rate switch hysteresis ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Ablation: refresh-rate switch hysteresis", seconds);
 
   harness::TextTable t({"App", "Controller", "Rate switches", "Saved (mW)",
                         "Quality (%)"});

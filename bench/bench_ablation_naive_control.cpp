@@ -17,8 +17,9 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Ablation: naive direct mapping vs section-based control ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Ablation: naive direct mapping vs section-based control",
+      seconds);
 
   harness::TextTable t({"App", "Policy", "Mean refresh (Hz)",
                         "Saved power (mW)", "Quality (%)",

@@ -44,8 +44,8 @@ SweepPoint run_point(const std::vector<apps::AppSpec>& mix, int seconds,
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Ablation: section thresholds and boost hold time ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Ablation: section thresholds and boost hold time", seconds);
 
   const std::vector<apps::AppSpec> mix = {
       apps::app_by_name("Facebook"), apps::app_by_name("Daum Maps"),

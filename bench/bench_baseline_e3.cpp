@@ -14,8 +14,10 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Baseline comparison: frame-rate cap (E3-style) vs "
-               "refresh control (" << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout,
+      "Baseline comparison: frame-rate cap (E3-style) vs refresh control",
+      seconds);
 
   harness::TextTable t({"App", "Scheme", "Saved (mW)", "Quality (%)",
                         "Mean refresh (Hz)"});

@@ -22,8 +22,8 @@ double to_mw(double mj, int seconds) {
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Extension: energy breakdown (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Extension: energy breakdown",
+                              seconds);
 
   for (const char* name : {"Jelly Splash", "Facebook"}) {
     const apps::AppSpec app = apps::app_by_name(name);

@@ -14,8 +14,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Extension: brightness sweep and seed robustness ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Extension: brightness sweep and seed robustness", seconds);
 
   const apps::AppSpec app = apps::app_by_name("Jelly Splash");
 

@@ -15,8 +15,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Extension: DVFS-coupled render energy (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Extension: DVFS-coupled render energy", seconds);
 
   harness::TextTable t({"App", "Saved, flat energy (mW)",
                         "Saved, DVFS-coupled (mW)", "Quality (%)"});

@@ -13,8 +13,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 60);
-  std::cout << "=== Extension: touch-response latency (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Extension: touch-response latency",
+                              seconds);
 
   harness::TextTable t({"App", "Mode", "Mean (ms)", "p95 (ms)", "Max (ms)",
                         "Interactions"});

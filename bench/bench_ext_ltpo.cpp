@@ -15,8 +15,9 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Extension: LTPO 1-120 Hz ladder vs Galaxy S3 ladder ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Extension: LTPO 1-120 Hz ladder vs Galaxy S3 ladder",
+      seconds);
 
   const display::RefreshRateSet s3 = display::RefreshRateSet::galaxy_s3();
   const display::RefreshRateSet ltpo = display::RefreshRateSet::ltpo_120();

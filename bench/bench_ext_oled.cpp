@@ -49,8 +49,8 @@ OledRun run_oled(const apps::AppSpec& app, bool controlled, int seconds,
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Extension: OLED content-dependent emission ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Extension: OLED content-dependent emission", seconds);
 
   harness::TextTable t({"App", "Scene brightness", "Baseline (mW)",
                         "Controlled (mW)", "Saved (mW)"});

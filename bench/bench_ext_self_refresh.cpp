@@ -52,8 +52,8 @@ PsrRun run_one(const apps::AppSpec& app, bool with_psr, int seconds,
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Extension: panel self-refresh (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Extension: panel self-refresh",
+                              seconds);
 
   harness::TextTable t({"App", "No PSR (mW)", "With PSR (mW)",
                         "Extra saved (mW)", "PSR residency (%)", "Entries"});

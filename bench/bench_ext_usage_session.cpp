@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   // 3600 s of modelled usage at the default.
   const int seconds = bench::run_seconds(argc, argv, 36);
   const double scale = static_cast<double>(seconds) / 3600.0;
-  std::cout << "=== Extension: mixed-usage session ("
-            << harness::fmt(scale * 60.0, 1) << " min simulated per modelled "
-            "hour) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Extension: mixed-usage session",
+      harness::fmt(scale * 60.0, 1) + " min simulated per modelled hour");
 
   const harness::SessionResult base = harness::run_session(
       harness::typical_hour(scale, harness::ControlMode::kBaseline60));

@@ -16,8 +16,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Figure 10: content-rate effect (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 10: content-rate effect",
+                              seconds);
 
   const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 8);
 

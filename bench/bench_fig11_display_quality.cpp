@@ -14,8 +14,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Figure 11: display quality (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 11: display quality",
+                              seconds);
 
   const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 9);
 

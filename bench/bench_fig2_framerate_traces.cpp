@@ -14,8 +14,9 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Figure 2: frame rate traces at fixed 60 Hz ("
-            << seconds << " s runs) ===\n\n";
+  harness::print_bench_header(std::cout,
+                              "Figure 2: frame rate traces at fixed 60 Hz",
+                              seconds, "s runs");
 
   for (const char* name : {"Facebook", "Jelly Splash"}) {
     const auto r = harness::run_experiment(bench::make_config(

@@ -15,8 +15,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Figure 3: frame redundancy census (" << seconds
-            << " s per app, fixed 60 Hz) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 3: frame redundancy census",
+                              seconds, "s per app, fixed 60 Hz");
 
   struct Row {
     std::string name;

@@ -22,8 +22,9 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Figure 6: metering accuracy vs sampled pixels ("
-            << seconds << " s, Nexus Revampled wallpaper) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Figure 6: metering accuracy vs sampled pixels", seconds,
+      "s, Nexus Revampled wallpaper");
 
   // One baseline run with every grid's meter attached simultaneously, so
   // all configurations judge the exact same frame sequence.  No Monkey

@@ -15,8 +15,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 30);
-  std::cout << "=== Figure 7: control traces (" << seconds
-            << " s runs) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 7: control traces", seconds,
+                              "s runs");
 
   struct Drops {
     double section = 0.0;

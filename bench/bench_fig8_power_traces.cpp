@@ -15,8 +15,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Figure 8: saved power traces (" << seconds
-            << " s runs) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 8: saved power traces",
+                              seconds, "s runs");
 
   struct Saved {
     double section_mean = 0, section_std = 0;

@@ -15,8 +15,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Figure 9: per-app power savings (" << seconds
-            << " s per run) ===\n\n";
+  harness::print_bench_header(std::cout, "Figure 9: per-app power savings",
+                              seconds);
 
   harness::FleetStats fleet;
   const std::vector<bench::AppEval> evals =
@@ -73,11 +73,9 @@ int main(int argc, char** argv) {
   std::cout << "[check] apps where the proposed system costs power: "
             << negative << "/30 (paper: none)\n";
 
-  std::cout << "\n[fleet] " << fleet.runs_completed << " runs on "
-            << fleet.workers << " workers, " << fleet.frames_composed
-            << " frames composed; buffer pool avoided "
-            << fleet.buffer_reuses << "/" << fleet.buffer_acquires
-            << " allocations (" << fleet.buffer_allocations
-            << " fresh)\n";
+  std::cout << "\n";
+  harness::print_fleet_summary(std::cout, fleet);
+  std::cout << "\n[fleet] merged observability counters:\n";
+  harness::print_counters(std::cout, fleet.counters);
   return 0;
 }

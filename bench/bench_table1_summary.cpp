@@ -18,8 +18,8 @@ using namespace ccdem;
 
 int main(int argc, char** argv) {
   const int seconds = bench::run_seconds(argc, argv, 40);
-  std::cout << "=== Table 1: power saving and display quality summary ("
-            << seconds << " s per run) ===\n\n";
+  harness::print_bench_header(
+      std::cout, "Table 1: power saving and display quality summary", seconds);
 
   const std::vector<bench::AppEval> evals = bench::evaluate_all(seconds, 10);
 

@@ -33,6 +33,19 @@ const gfx::Framebuffer& ContentRateMeter::previous_frame() const {
   return frames_.back();
 }
 
+void ContentRateMeter::set_obs(obs::ObsSink* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    ctr_frames_ = ctr_meaningful_ = ctr_pixels_compared_ = ctr_misclassified_ =
+        nullptr;
+    return;
+  }
+  ctr_frames_ = &obs_->counters.counter("meter.frames");
+  ctr_meaningful_ = &obs_->counters.counter("meter.meaningful_frames");
+  ctr_pixels_compared_ = &obs_->counters.counter("meter.pixels_compared");
+  ctr_misclassified_ = &obs_->counters.counter("meter.misclassified_frames");
+}
+
 bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb) {
   // Capture the current frame's samples into the front buffer, classify
   // against the back buffer (previous frame), then swap -- the double
@@ -40,10 +53,12 @@ bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb) {
   // two buffers so no copy of the previous frame is ever made.
   sampler_.sample(fb, samples_.front());
   bool meaningful = false;
+  last_compared_ = 0;
   const auto& prev = samples_.back();
   const auto& cur = samples_.front();
   if (prev.size() == cur.size()) {
     for (std::size_t i = 0; i < cur.size(); ++i) {
+      ++last_compared_;
       if (cur[i] != prev[i]) {
         meaningful = true;
         break;
@@ -62,7 +77,9 @@ bool ContentRateMeter::classify_full_frame(const gfx::Framebuffer& fb) {
   // buffer and swap roles.
   const gfx::Framebuffer& prev = frames_.back();
   bool meaningful = false;
+  last_compared_ = 0;
   for (const gfx::Point& p : sampler_.points()) {
+    ++last_compared_;
     if (fb.at(p.x, p.y) != prev.at(p.x, p.y)) {
       meaningful = true;
       break;
@@ -93,10 +110,21 @@ void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
 
   ++total_frames_;
   if (meaningful) ++meaningful_frames_;
-  if (meaningful != info.content_changed && total_frames_ > 1) {
-    ++misclassified_;
-  }
+  const bool misclassified =
+      meaningful != info.content_changed && total_frames_ > 1;
+  if (misclassified) ++misclassified_;
   total_compare_ms_ += compare_cost_per_frame_ms();
+
+  if (obs_ != nullptr) {
+    ++*ctr_frames_;
+    if (meaningful) ++*ctr_meaningful_;
+    if (misclassified) ++*ctr_misclassified_;
+    *ctr_pixels_compared_ += static_cast<std::uint64_t>(last_compared_);
+  }
+  CCDEM_OBS_SPAN(
+      obs_, obs::Phase::kMeter, info.composed_at,
+      sim::seconds_f(compare_cost_per_frame_ms() / 1000.0), info.seq,
+      last_compared_);
 
   window_obs_.push_back({info.composed_at, meaningful});
   expire(info.composed_at);

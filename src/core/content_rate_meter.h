@@ -18,6 +18,7 @@
 #include "gfx/buffer_pool.h"
 #include "gfx/double_buffer.h"
 #include "gfx/surface_flinger.h"
+#include "obs/obs.h"
 #include "sim/time.h"
 
 namespace ccdem::core {
@@ -48,6 +49,11 @@ class ContentRateMeter final : public gfx::FrameListener {
 
   /// FrameListener: classifies the composed frame and updates the window.
   void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
+
+  /// Attaches an observability sink (may be null to detach).  Registers the
+  /// meter's counters and emits a meter span (with the cost model's modeled
+  /// comparison duration) per classified frame.
+  void set_obs(obs::ObsSink* obs);
 
   /// Content rate over the sliding window ending at `now` (fps).
   [[nodiscard]] double content_rate(sim::Time now) const;
@@ -118,6 +124,15 @@ class ContentRateMeter final : public gfx::FrameListener {
   std::uint64_t meaningful_frames_ = 0;
   std::uint64_t misclassified_ = 0;
   double total_compare_ms_ = 0.0;
+  /// Grid points actually read by the most recent classification (early
+  /// exit makes this smaller than sample_count() for meaningful frames).
+  std::int64_t last_compared_ = 0;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_frames_ = nullptr;
+  std::uint64_t* ctr_meaningful_ = nullptr;
+  std::uint64_t* ctr_pixels_compared_ = nullptr;
+  std::uint64_t* ctr_misclassified_ = nullptr;
 };
 
 }  // namespace ccdem::core

@@ -12,7 +12,8 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
                                          std::unique_ptr<RefreshPolicy> policy,
                                          power::DevicePowerModel* power,
                                          DpmConfig config,
-                                         gfx::BufferPool* pool)
+                                         gfx::BufferPool* pool,
+                                         obs::ObsSink* obs)
     : sim_(sim),
       panel_(panel),
       policy_(std::move(policy)),
@@ -20,8 +21,18 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
       config_(config),
       meter_(flinger.screen_size(), config.grid, config.meter_window,
              MeterMode::kSampledSnapshot, pool),
-      booster_(config.boost_hold) {
+      booster_(config.boost_hold),
+      prev_policy_hz_(panel.refresh_hz()),
+      obs_(obs) {
   assert(policy_ != nullptr);
+  if (obs_ != nullptr) {
+    meter_.set_obs(obs_);
+    ctr_evaluations_ = &obs_->counters.counter("dpm.evaluations");
+    ctr_rate_changes_ = &obs_->counters.counter("dpm.rate_changes");
+    ctr_section_transitions_ =
+        &obs_->counters.counter("dpm.section_transitions");
+    ctr_boost_activations_ = &obs_->counters.counter("dpm.boost_activations");
+  }
   flinger.add_listener(this);
   refresh_rate_trace_.record(sim_.now(),
                              static_cast<double>(panel_.refresh_hz()));
@@ -40,12 +51,17 @@ int DisplayPowerManager::boost_target_hz() const {
 }
 
 void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
+  const bool was_active = booster_.active(e.t);
   booster_.on_touch(e);
+  if (!was_active && ctr_boost_activations_ != nullptr) {
+    ++*ctr_boost_activations_;
+  }
   if (!config_.touch_boost) return;
   // Boost immediately: waiting for the next evaluation tick would reopen the
   // reaction-lag hole the booster exists to close.
   const int hz = boost_target_hz();
   if (panel_.set_refresh_rate(hz)) {
+    if (ctr_rate_changes_ != nullptr) ++*ctr_rate_changes_;
     refresh_rate_trace_.record(e.t, static_cast<double>(hz));
   }
 }
@@ -64,25 +80,33 @@ void DisplayPowerManager::on_frame(const gfx::FrameInfo& info,
 }
 
 void DisplayPowerManager::evaluate(sim::Time t) {
+  ++evaluations_;
   const double content_fps = meter_.content_rate(t);
   content_rate_trace_.record(t, content_fps);
 
-  int target;
+  const int policy_hz = policy_->decide(t, content_fps, panel_.refresh_hz());
+  if (policy_hz != prev_policy_hz_) {
+    prev_policy_hz_ = policy_hz;
+    if (ctr_section_transitions_ != nullptr) ++*ctr_section_transitions_;
+  }
+
+  int target = policy_hz;
   if (config_.touch_boost && booster_.active(t)) {
     // While boosted, never go below the policy's own choice (a game whose
     // content warrants more than the boost cap keeps its higher rate).
-    target = std::max(boost_target_hz(),
-                      policy_->decide(t, content_fps, panel_.refresh_hz()));
-  } else {
-    target = policy_->decide(t, content_fps, panel_.refresh_hz());
+    target = std::max(boost_target_hz(), policy_hz);
   }
   if (config_.min_hz > 0 && target < config_.min_hz &&
       panel_.rates().supports(config_.min_hz)) {
     target = config_.min_hz;
   }
+  if (ctr_evaluations_ != nullptr) ++*ctr_evaluations_;
   if (panel_.set_refresh_rate(target)) {
+    if (ctr_rate_changes_ != nullptr) ++*ctr_rate_changes_;
     refresh_rate_trace_.record(t, static_cast<double>(target));
   }
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kGovern, t, sim::Duration{}, evaluations_,
+                 target);
 }
 
 }  // namespace ccdem::core

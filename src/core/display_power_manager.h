@@ -14,6 +14,7 @@
 #include "display/display_panel.h"
 #include "gfx/surface_flinger.h"
 #include "input/touch_event.h"
+#include "obs/obs.h"
 #include "power/device_power_model.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -53,12 +54,15 @@ class DisplayPowerManager final : public input::TouchListener,
                                   public gfx::FrameListener {
  public:
   /// `power` may be null (no energy accounting, e.g. in unit tests).
-  /// `pool` (optional) recycles the meter's snapshot buffers.
+  /// `pool` (optional) recycles the meter's snapshot buffers.  `obs`
+  /// (optional) receives the dpm.* counters, the meter's counters, and a
+  /// govern span per evaluation tick.
   DisplayPowerManager(sim::Simulator& sim, display::DisplayPanel& panel,
                       gfx::SurfaceFlinger& flinger,
                       std::unique_ptr<RefreshPolicy> policy,
                       power::DevicePowerModel* power, DpmConfig config = {},
-                      gfx::BufferPool* pool = nullptr);
+                      gfx::BufferPool* pool = nullptr,
+                      obs::ObsSink* obs = nullptr);
 
   DisplayPowerManager(const DisplayPowerManager&) = delete;
   DisplayPowerManager& operator=(const DisplayPowerManager&) = delete;
@@ -99,6 +103,16 @@ class DisplayPowerManager final : public input::TouchListener,
   sim::Trace content_rate_trace_{"content_rate_fps"};
   sim::Trace refresh_rate_trace_{"refresh_hz"};
   bool running_ = true;
+
+  /// The policy's previous decision; a change is one section transition.
+  int prev_policy_hz_ = 0;
+  std::uint64_t evaluations_ = 0;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_evaluations_ = nullptr;
+  std::uint64_t* ctr_rate_changes_ = nullptr;
+  std::uint64_t* ctr_section_transitions_ = nullptr;
+  std::uint64_t* ctr_boost_activations_ = nullptr;
 };
 
 }  // namespace ccdem::core

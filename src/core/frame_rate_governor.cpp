@@ -10,13 +10,20 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
                                      gfx::SurfaceFlinger& flinger,
                                      std::function<void(double)> set_cap,
                                      power::DevicePowerModel* power,
-                                     Config config, gfx::BufferPool* pool)
+                                     Config config, gfx::BufferPool* pool,
+                                     obs::ObsSink* obs)
     : set_cap_(std::move(set_cap)),
       power_(power),
       config_(config),
       meter_(flinger.screen_size(), config.grid, config.meter_window,
-             MeterMode::kSampledSnapshot, pool) {
+             MeterMode::kSampledSnapshot, pool),
+      obs_(obs) {
   assert(set_cap_);
+  if (obs_ != nullptr) {
+    meter_.set_obs(obs_);
+    ctr_evaluations_ = &obs_->counters.counter("governor.evaluations");
+    ctr_cap_changes_ = &obs_->counters.counter("governor.cap_changes");
+  }
   flinger.add_listener(this);
   cap_trace_.record(sim.now(), 0.0);
   sim.every(config_.eval_period, [this](sim::Time t) {
@@ -46,10 +53,12 @@ void FrameRateGovernor::on_touch(const input::TouchEvent& e) {
     current_cap_ = 0.0;
     set_cap_(0.0);
     cap_trace_.record(e.t, 0.0);
+    if (ctr_cap_changes_ != nullptr) ++*ctr_cap_changes_;
   }
 }
 
 void FrameRateGovernor::evaluate(sim::Time t) {
+  ++evaluations_;
   double cap;
   if (t <= last_touch_ + config_.interact_hold) {
     cap = 0.0;  // interacting: uncapped
@@ -57,11 +66,15 @@ void FrameRateGovernor::evaluate(sim::Time t) {
     cap = std::max(config_.min_cap_fps,
                    meter_.content_rate(t) * config_.headroom);
   }
+  if (ctr_evaluations_ != nullptr) ++*ctr_evaluations_;
   if (cap != current_cap_) {
     current_cap_ = cap;
     set_cap_(cap);
     cap_trace_.record(t, cap);
+    if (ctr_cap_changes_ != nullptr) ++*ctr_cap_changes_;
   }
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kGovern, t, sim::Duration{}, evaluations_,
+                 static_cast<std::int64_t>(cap));
 }
 
 }  // namespace ccdem::core

@@ -18,6 +18,7 @@
 #include "core/content_rate_meter.h"
 #include "gfx/surface_flinger.h"
 #include "input/touch_event.h"
+#include "obs/obs.h"
 #include "power/device_power_model.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -45,10 +46,13 @@ class FrameRateGovernor final : public gfx::FrameListener,
 
   /// `set_cap(fps)` throttles the governed app; 0 lifts the cap.
   /// `power` may be null.  `pool` (optional) recycles the meter's buffers.
+  /// `obs` (optional) receives governor.* counters and a govern span per
+  /// evaluation tick.
   FrameRateGovernor(sim::Simulator& sim, gfx::SurfaceFlinger& flinger,
                     std::function<void(double)> set_cap,
                     power::DevicePowerModel* power, Config config = {},
-                    gfx::BufferPool* pool = nullptr);
+                    gfx::BufferPool* pool = nullptr,
+                    obs::ObsSink* obs = nullptr);
 
   FrameRateGovernor(const FrameRateGovernor&) = delete;
   FrameRateGovernor& operator=(const FrameRateGovernor&) = delete;
@@ -73,6 +77,11 @@ class FrameRateGovernor final : public gfx::FrameListener,
   double current_cap_ = 0.0;
   sim::Trace cap_trace_{"request_cap_fps"};
   bool running_ = true;
+  std::uint64_t evaluations_ = 0;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_evaluations_ = nullptr;
+  std::uint64_t* ctr_cap_changes_ = nullptr;
 };
 
 }  // namespace ccdem::core

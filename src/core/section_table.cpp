@@ -29,12 +29,16 @@ SectionTable SectionTable::build(const display::RefreshRateSet& rates,
 }
 
 int SectionTable::rate_for(double content_fps) const {
+  return sections_[section_index_for(content_fps)].refresh_hz;
+}
+
+std::size_t SectionTable::section_index_for(double content_fps) const {
   assert(!sections_.empty());
   const double c = std::max(content_fps, 0.0);
-  for (const Section& s : sections_) {
-    if (c < s.hi_fps) return s.refresh_hz;
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (c < sections_[i].hi_fps) return i;
   }
-  return sections_.back().refresh_hz;
+  return sections_.size() - 1;
 }
 
 std::string SectionTable::to_string() const {

@@ -46,6 +46,11 @@ class SectionTable {
   /// Refresh rate for a measured content rate.
   [[nodiscard]] int rate_for(double content_fps) const;
 
+  /// Index (into sections()) of the section holding `content_fps`.  Lets
+  /// observers count section transitions from a content-rate signal
+  /// independently of the controller that acted on it.
+  [[nodiscard]] std::size_t section_index_for(double content_fps) const;
+
   [[nodiscard]] const std::vector<Section>& sections() const {
     return sections_;
   }

@@ -21,6 +21,7 @@ class TouchBooster final : public input::TouchListener {
       : hold_(hold) {}
 
   void on_touch(const input::TouchEvent& e) override {
+    if (!active(e.t)) ++activations_;  // window was closed: this opens it
     last_touch_ = e.t;
     touched_ = true;
     ++touch_events_;
@@ -34,12 +35,16 @@ class TouchBooster final : public input::TouchListener {
   [[nodiscard]] sim::Duration hold() const { return hold_; }
   void set_hold(sim::Duration hold) { hold_ = hold; }
   [[nodiscard]] std::uint64_t touch_events() const { return touch_events_; }
+  /// Closed->open transitions of the boost window (a burst of touches
+  /// inside one window counts once).
+  [[nodiscard]] std::uint64_t activations() const { return activations_; }
 
  private:
   sim::Duration hold_;
   sim::Time last_touch_{};
   bool touched_ = false;
   std::uint64_t touch_events_ = 0;
+  std::uint64_t activations_ = 0;
 };
 
 }  // namespace ccdem::core

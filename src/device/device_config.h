@@ -18,6 +18,7 @@
 #include "device/control_mode.h"
 #include "display/refresh_rate.h"
 #include "gfx/geometry.h"
+#include "obs/obs.h"
 #include "power/device_power_model.h"
 #include "power/oled_panel_model.h"
 #include "sim/time.h"
@@ -53,6 +54,11 @@ struct DeviceConfig {
   std::optional<power::OledParams> oled;
   /// Panel self-refresh extension: link powers down on static content.
   std::optional<core::SelfRefreshConfig> self_refresh;
+  /// Observability sink (optional, not owned; must outlive the device).
+  /// When set, every component publishes its counters into it and the
+  /// hot paths record per-frame spans (compose / meter / govern /
+  /// panel-present) for the trace exporters.
+  obs::ObsSink* obs = nullptr;
 };
 
 /// The fixed rate of the stock arm: `baseline_hz`, or the ladder's maximum

@@ -8,11 +8,28 @@ namespace ccdem::device {
 /// Bridges the panel's composer phase to the SurfaceFlinger.
 class SimulatedDevice::ComposerHook final : public display::VsyncObserver {
  public:
-  explicit ComposerHook(gfx::SurfaceFlinger& flinger) : flinger_(flinger) {}
-  void on_vsync(sim::Time t, int) override { flinger_.on_vsync(t); }
+  ComposerHook(gfx::SurfaceFlinger& flinger, obs::ObsSink* obs)
+      : flinger_(flinger), obs_(obs) {
+    if (obs_ != nullptr) {
+      ctr_vsyncs_ = &obs_->counters.counter("panel.vsyncs");
+    }
+  }
+
+  void on_vsync(sim::Time t, int refresh_hz) override {
+    if (ctr_vsyncs_ != nullptr) ++*ctr_vsyncs_;
+    const bool composed = flinger_.on_vsync(t);
+    if (composed) {
+      // The frame occupies the panel until the next V-Sync: one period.
+      CCDEM_OBS_SPAN(obs_, obs::Phase::kPanelPresent, t,
+                     sim::seconds_f(refresh_hz > 0 ? 1.0 / refresh_hz : 0.0),
+                     flinger_.frames_composed(), refresh_hz);
+    }
+  }
 
  private:
   gfx::SurfaceFlinger& flinger_;
+  obs::ObsSink* obs_;
+  std::uint64_t* ctr_vsyncs_ = nullptr;
 };
 
 /// Charges the input pipeline's CPU cost per touch event.
@@ -61,6 +78,13 @@ void SimulatedDevice::configure(const DeviceConfig& config) {
   // --- device substrates, in the canonical order --------------------------
   flinger_ = std::make_unique<gfx::SurfaceFlinger>(config_.screen, pool_.get());
   flinger_->set_exact_change_detection(config_.exact_change_detection);
+  flinger_->set_obs(config_.obs);
+  if (pool_) {
+    // Pool counters are lifetime totals; remember the baseline so finish()
+    // can export this run's deltas.
+    last_pool_acquires_ = pool_->acquires();
+    last_pool_reuses_ = pool_->reuses();
+  }
 
   const int start_hz = initial_refresh_hz(config_);
   power_ = std::make_unique<power::DevicePowerModel>(config_.power, start_hz);
@@ -73,6 +97,7 @@ void SimulatedDevice::configure(const DeviceConfig& config) {
   }
 
   recorder_ = std::make_unique<metrics::FrameStatsRecorder>();
+  recorder_->set_obs(config_.obs);
   flinger_->add_listener(recorder_.get());
 
   if (config_.record_latency) {
@@ -85,12 +110,17 @@ void SimulatedDevice::configure(const DeviceConfig& config) {
   panel_->set_fast_rate_up(config_.fast_rate_up);
   refresh_trace_ = sim::Trace("refresh_hz");
   refresh_trace_.record(sim_->now(), static_cast<double>(start_hz));
-  panel_->add_rate_listener([this](sim::Time t, int hz) {
+  std::uint64_t* ctr_rate_changes =
+      config_.obs != nullptr
+          ? &config_.obs->counters.counter("panel.rate_changes")
+          : nullptr;
+  panel_->add_rate_listener([this, ctr_rate_changes](sim::Time t, int hz) {
     power_->on_rate_change(t, hz);
     refresh_trace_.record(t, static_cast<double>(hz));
+    if (ctr_rate_changes != nullptr) ++*ctr_rate_changes;
   });
 
-  composer_ = std::make_unique<ComposerHook>(*flinger_);
+  composer_ = std::make_unique<ComposerHook>(*flinger_, config_.obs);
   panel_->add_observer(display::VsyncPhase::kComposer, composer_.get());
 
   dispatcher_ = std::make_unique<input::InputDispatcher>(*sim_);
@@ -126,14 +156,14 @@ void SimulatedDevice::start_control() {
     governor_ = std::make_unique<core::FrameRateGovernor>(
         *sim_, *flinger_,
         [primary](double fps) { primary->set_request_cap(fps); },
-        power_.get(), config_.governor, pool_.get());
+        power_.get(), config_.governor, pool_.get(), config_.obs);
   } else if (config_.mode != ControlMode::kBaseline60) {
     core::DpmConfig dc = config_.dpm;
     dc.touch_boost = config_.mode == ControlMode::kSectionWithBoost ||
                      config_.mode == ControlMode::kSectionHysteresis;
     dpm_ = std::make_unique<core::DisplayPowerManager>(
         *sim_, *panel_, *flinger_, make_refresh_policy(config_), power_.get(),
-        dc, pool_.get());
+        dc, pool_.get(), config_.obs);
   }
   if (config_.self_refresh) {
     psr_ = std::make_unique<core::SelfRefreshController>(
@@ -198,6 +228,14 @@ void SimulatedDevice::finish() {
   if (psr_) psr_->stop();
   if (meter_) meter_->stop();
   recorder_->finish(sim_->now());
+  if (config_.obs != nullptr && pool_) {
+    // This run's share of the pool's lifetime totals (the pool itself
+    // carries across configure() calls by design).
+    config_.obs->counters.add("pool.acquires",
+                              pool_->acquires() - last_pool_acquires_);
+    config_.obs->counters.add("pool.reuses",
+                              pool_->reuses() - last_pool_reuses_);
+  }
   finished_ = true;
 }
 

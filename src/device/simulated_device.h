@@ -165,6 +165,11 @@ class SimulatedDevice {
   sim::Trace refresh_trace_{"refresh_hz"};
   bool control_started_ = false;
   bool finished_ = false;
+
+  /// Pool lifetime-counter baselines at configure(), so finish() exports
+  /// per-run pool.* deltas even though the pool outlives runs.
+  std::uint64_t last_pool_acquires_ = 0;
+  std::uint64_t last_pool_reuses_ = 0;
 };
 
 }  // namespace ccdem::device

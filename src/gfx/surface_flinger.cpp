@@ -27,6 +27,20 @@ void SurfaceFlinger::remove_surface(Surface* s) {
   std::erase_if(surfaces_, [s](const auto& p) { return p.get() == s; });
 }
 
+void SurfaceFlinger::set_obs(obs::ObsSink* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    ctr_frames_ = ctr_content_ = ctr_redundant_ = ctr_pixels_ = ctr_latched_ =
+        nullptr;
+    return;
+  }
+  ctr_frames_ = &obs_->counters.counter("flinger.frames_composed");
+  ctr_content_ = &obs_->counters.counter("flinger.content_frames");
+  ctr_redundant_ = &obs_->counters.counter("flinger.redundant_frames");
+  ctr_pixels_ = &obs_->counters.counter("flinger.pixels_composed");
+  ctr_latched_ = &obs_->counters.counter("flinger.surfaces_latched");
+}
+
 bool SurfaceFlinger::region_differs(const Surface& s, Rect dirty) const {
   // `dirty` is surface-local; translate into screen space and compare the
   // surface's pixels with what is currently on screen (the front buffer).
@@ -96,6 +110,15 @@ bool SurfaceFlinger::on_vsync(sim::Time t) {
   chain_.present(damage);
 
   if (info.content_changed) ++content_frames_;
+
+  if (obs_ != nullptr) {
+    ++*ctr_frames_;
+    ++*(info.content_changed ? ctr_content_ : ctr_redundant_);
+    *ctr_pixels_ += static_cast<std::uint64_t>(info.composed_pixels);
+    *ctr_latched_ += static_cast<std::uint64_t>(info.surfaces_latched);
+  }
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kCompose, t, sim::Duration{}, info.seq,
+                 info.composed_pixels);
 
   for (FrameListener* l : listeners_) l->on_frame(info, chain_.front());
   return true;

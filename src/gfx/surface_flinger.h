@@ -18,6 +18,7 @@
 #include "gfx/geometry.h"
 #include "gfx/surface.h"
 #include "gfx/swapchain.h"
+#include "obs/obs.h"
 #include "sim/time.h"
 
 namespace ccdem::gfx {
@@ -82,6 +83,10 @@ class SurfaceFlinger {
   /// dirty region is assumed to change content (cheaper, optimistic).
   void set_exact_change_detection(bool on) { exact_change_ = on; }
 
+  /// Attaches an observability sink (may be null to detach).  Registers the
+  /// flinger's counters and emits a compose span per composed frame.
+  void set_obs(obs::ObsSink* obs);
+
  private:
   /// Returns true if the pixels of `s` inside `dirty` (surface-local) differ
   /// from the currently displayed frame.
@@ -95,6 +100,13 @@ class SurfaceFlinger {
   std::uint64_t frame_seq_ = 0;
   std::uint64_t content_frames_ = 0;
   bool exact_change_ = true;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_frames_ = nullptr;
+  std::uint64_t* ctr_content_ = nullptr;
+  std::uint64_t* ctr_redundant_ = nullptr;
+  std::uint64_t* ctr_pixels_ = nullptr;
+  std::uint64_t* ctr_latched_ = nullptr;
 };
 
 }  // namespace ccdem::gfx

@@ -27,12 +27,19 @@ std::vector<ExperimentResult> FleetRunner::run(
   std::mutex stats_mu;
   auto worker = [&] {
     device::SimulatedDevice dev(/*use_buffer_pool=*/true);
+    // Each worker owns a private sink (a caller-provided config.obs is not
+    // thread-safe across workers, so it is overridden).  Spans stay off:
+    // a sweep's ring buffers would only hold each worker's last run.
+    obs::ObsSink sink;
+    sink.spans.set_enabled(false);
     std::uint64_t runs = 0;
     std::uint64_t frames = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) break;
-      results[i] = run_experiment_on(dev, configs[i]);
+      ExperimentConfig cfg = configs[i];
+      cfg.obs = &sink;
+      results[i] = run_experiment_on(dev, cfg);
       ++runs;
       frames += results[i].frames_composed;
     }
@@ -43,6 +50,7 @@ std::vector<ExperimentResult> FleetRunner::run(
     stats_.buffer_acquires += pool.acquires();
     stats_.buffer_reuses += pool.reuses();
     stats_.buffer_allocations += pool.allocations();
+    stats_.counters.merge(sink.counters);
   };
 
   std::vector<std::thread> pool;

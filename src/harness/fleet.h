@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/counters.h"
 
 namespace ccdem::harness {
 
@@ -29,6 +30,11 @@ struct FleetStats {
   std::uint64_t buffer_acquires = 0;
   std::uint64_t buffer_reuses = 0;
   std::uint64_t buffer_allocations = 0;
+  /// Observability counters merged (summed) across every worker's sink.
+  /// Merging is commutative, so the totals are independent of scheduling
+  /// and equal a serial run's -- except the pool.* counters, which depend
+  /// on how runs share a worker's device.
+  obs::Counters counters;
 };
 
 class FleetRunner {

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "harness/fleet.h"
+
 namespace ccdem::harness {
 
 TextTable::TextTable(std::vector<std::string> headers)
@@ -86,6 +88,36 @@ void print_ascii_chart(std::ostream& os, const std::string& title,
        << std::string(static_cast<std::size_t>(width - bar), ' ') << "| "
        << fmt(p.value, 1) << "\n";
   }
+}
+
+void print_bench_header(std::ostream& os, const std::string& title,
+                        int seconds, const std::string& unit) {
+  os << "=== " << title << " (" << seconds << " " << unit << ") ===\n\n";
+}
+
+void print_bench_header(std::ostream& os, const std::string& title,
+                        const std::string& detail) {
+  os << "=== " << title << " (" << detail << ") ===\n\n";
+}
+
+void print_counters(std::ostream& os, const obs::Counters& counters) {
+  const obs::Counters::Snapshot snap = counters.snapshot();
+  TextTable t({"Counter", "Value"});
+  for (const auto& [name, value] : snap.counters) {
+    t.add_row({name, std::to_string(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    t.add_row({name + " (gauge)", fmt(value, 3)});
+  }
+  t.print(os);
+}
+
+void print_fleet_summary(std::ostream& os, const FleetStats& stats) {
+  os << "[fleet] " << stats.runs_completed << " runs on " << stats.workers
+     << " workers, " << stats.frames_composed
+     << " frames composed; buffer pool avoided " << stats.buffer_reuses
+     << "/" << stats.buffer_acquires << " allocations ("
+     << stats.buffer_allocations << " fresh)\n";
 }
 
 }  // namespace ccdem::harness

@@ -6,9 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
 #include "sim/trace.h"
 
 namespace ccdem::harness {
+
+struct FleetStats;  // harness/fleet.h
 
 /// A fixed-width text table.  Columns size themselves to the widest cell.
 class TextTable {
@@ -44,5 +47,19 @@ void print_ascii_chart(std::ostream& os, const std::string& title,
                        const sim::Trace& trace, sim::Duration interval,
                        sim::Time begin, sim::Time end, double max_value,
                        int width = 60);
+
+/// The canonical bench banner: "=== <title> (<seconds> <unit>) ===\n\n".
+void print_bench_header(std::ostream& os, const std::string& title,
+                        int seconds, const std::string& unit = "s per run");
+/// Free-form parenthetical variant: "=== <title> (<detail>) ===\n\n".
+void print_bench_header(std::ostream& os, const std::string& title,
+                        const std::string& detail);
+
+/// Prints every counter and gauge, name-sorted, as a fixed-width table.
+void print_counters(std::ostream& os, const obs::Counters& counters);
+
+/// The fleet trailer every sweep bench prints: runs/workers/frames and the
+/// buffer-pool reuse line.
+void print_fleet_summary(std::ostream& os, const FleetStats& stats);
 
 }  // namespace ccdem::harness

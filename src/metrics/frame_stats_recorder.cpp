@@ -27,14 +27,27 @@ void FrameStatsRecorder::roll_to(sim::Time t) {
   }
 }
 
+void FrameStatsRecorder::set_obs(obs::ObsSink* sink) {
+  obs_ = sink;
+  if (obs_ != nullptr) {
+    ctr_frames_ = &obs_->counters.counter("recorder.frames");
+    ctr_content_ = &obs_->counters.counter("recorder.content_frames");
+  } else {
+    ctr_frames_ = nullptr;
+    ctr_content_ = nullptr;
+  }
+}
+
 void FrameStatsRecorder::on_frame(const gfx::FrameInfo& info,
                                   const gfx::Framebuffer&) {
   roll_to(info.composed_at);
   ++bucket_frames_;
   ++total_frames_;
+  if (ctr_frames_ != nullptr) ++*ctr_frames_;
   if (info.content_changed) {
     ++bucket_content_;
     ++total_content_;
+    if (ctr_content_ != nullptr) ++*ctr_content_;
   }
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "gfx/surface_flinger.h"
+#include "obs/obs.h"
 #include "sim/trace.h"
 
 namespace ccdem::metrics {
@@ -20,6 +21,10 @@ class FrameStatsRecorder final : public gfx::FrameListener {
   explicit FrameStatsRecorder(sim::Duration bucket = sim::seconds(1));
 
   void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer&) override;
+
+  /// Publishes recorder.* counters into `sink` (nullptr detaches).  The
+  /// recorder's exact-pixel counts cross-validate the flinger.* counters.
+  void set_obs(obs::ObsSink* sink);
 
   /// Closes the current bucket; call once at the end of the run so the last
   /// partial second is flushed (scaled to a rate).
@@ -52,6 +57,10 @@ class FrameStatsRecorder final : public gfx::FrameListener {
   std::uint64_t total_content_ = 0;
   sim::Trace frame_rate_{"frame_rate_fps"};
   sim::Trace content_rate_{"content_rate_fps"};
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_frames_ = nullptr;
+  std::uint64_t* ctr_content_ = nullptr;
 };
 
 }  // namespace ccdem::metrics

@@ -1,0 +1,72 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+
+namespace ccdem::obs {
+
+std::uint64_t& Counters::counter(std::string_view name) {
+  if (auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return it->second->value;
+  }
+  counters_.push_back(CounterEntry{std::string(name), 0});
+  CounterEntry* entry = &counters_.back();
+  counter_index_.emplace(std::string_view(entry->name), entry);
+  return entry->value;
+}
+
+double& Counters::gauge(std::string_view name) {
+  if (auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return it->second->value;
+  }
+  gauges_.push_back(GaugeEntry{std::string(name), 0.0});
+  GaugeEntry* entry = &gauges_.back();
+  gauge_index_.emplace(std::string_view(entry->name), entry);
+  return entry->value;
+}
+
+std::uint64_t Counters::value(std::string_view name) const {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : it->second->value;
+}
+
+double Counters::gauge_value(std::string_view name) const {
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? 0.0 : it->second->value;
+}
+
+bool Counters::has_counter(std::string_view name) const {
+  return counter_index_.find(name) != counter_index_.end();
+}
+
+Counters::Snapshot Counters::snapshot() const {
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const CounterEntry& e : counters_) s.counters.emplace_back(e.name, e.value);
+  s.gauges.reserve(gauges_.size());
+  for (const GaugeEntry& e : gauges_) s.gauges.emplace_back(e.name, e.value);
+  std::sort(s.counters.begin(), s.counters.end());
+  std::sort(s.gauges.begin(), s.gauges.end());
+  return s;
+}
+
+void Counters::merge(const Counters& other) {
+  for (const CounterEntry& e : other.counters_) counter(e.name) += e.value;
+  for (const GaugeEntry& e : other.gauges_) {
+    double& g = gauge(e.name);
+    g = std::max(g, e.value);
+  }
+}
+
+void Counters::clear() {
+  counter_index_.clear();
+  gauge_index_.clear();
+  counters_.clear();
+  gauges_.clear();
+}
+
+void Counters::assign(const Counters& other) {
+  for (const CounterEntry& e : other.counters_) counter(e.name) = e.value;
+  for (const GaugeEntry& e : other.gauges_) gauge(e.name) = e.value;
+}
+
+}  // namespace ccdem::obs

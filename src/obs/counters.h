@@ -1,0 +1,96 @@
+// Counters: named monotonic counters and gauges for the observability layer.
+//
+// Components register the counters they own once (at construction) and get
+// back a stable `std::uint64_t*` slot, so the per-frame hot path is a single
+// pointer increment -- no string hashing per event.  Slots stay valid for
+// the registry's lifetime (deque-backed storage never reallocates entries).
+//
+// Counters are monotonic by convention: components only ever add.  Gauges
+// are last-value doubles (current refresh rate, current section index).
+// merge() folds another registry in -- counters add, gauges take the max --
+// which is how FleetRunner combines its per-worker registries into one
+// fleet summary with totals identical to a serial run.
+//
+// NOT thread-safe by design: each fleet worker owns its own ObsSink, like
+// it owns its own device and buffer pool; merging happens under the fleet's
+// lock after a worker drains.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ccdem::obs {
+
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters& other) { assign(other); }
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      clear();
+      assign(other);
+    }
+    return *this;
+  }
+
+  /// Returns the slot for `name`, registering it (at zero) on first use.
+  /// The reference is stable for this registry's lifetime.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Returns the gauge slot for `name`, registering it (at zero) on first
+  /// use.  Same stability guarantee as counter().
+  double& gauge(std::string_view name);
+
+  void add(std::string_view name, std::uint64_t delta) {
+    counter(name) += delta;
+  }
+  void set_gauge(std::string_view name, double v) { gauge(name) = v; }
+
+  /// Current value of a counter; 0 if it was never registered.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  /// Current value of a gauge; 0.0 if it was never registered.
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+
+  /// Deterministic (name-sorted) copies of the current values.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Folds `other` in: counters add, gauges keep the maximum.  Registers
+  /// names this registry has not seen.
+  void merge(const Counters& other);
+
+  /// Drops every registered counter and gauge (slots are invalidated).
+  void clear();
+
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
+  [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+
+  void assign(const Counters& other);
+
+  // Deques keep entry addresses stable as new names register.
+  std::deque<CounterEntry> counters_;
+  std::deque<GaugeEntry> gauges_;
+  std::unordered_map<std::string_view, CounterEntry*> counter_index_;
+  std::unordered_map<std::string_view, GaugeEntry*> gauge_index_;
+};
+
+}  // namespace ccdem::obs

@@ -1,0 +1,46 @@
+// ObsSink: the one observability handle components share.
+//
+// A sink bundles the counter registry and the span ring buffer.  It is
+// owned OUTSIDE the device (by a test, a bench, a fleet worker) and plugged
+// in via DeviceConfig::obs, so it survives reconfigure() and accumulates
+// across runs -- exactly what a sweep wants for its fleet summary, and what
+// a golden-trace test wants to clear() between runs.
+//
+// Call sites emit spans through CCDEM_OBS_SPAN so that a build with
+// -DCCDEM_OBS_SPANS=OFF removes the call (and its argument evaluation)
+// entirely; counters stay on in every build, they are the always-available
+// near-zero-cost tier.
+#pragma once
+
+#include "obs/counters.h"
+#include "obs/span_recorder.h"
+
+namespace ccdem::obs {
+
+struct ObsSink {
+  Counters counters;
+  SpanRecorder spans;
+
+  void clear() {
+    counters.clear();
+    spans.clear();
+  }
+};
+
+}  // namespace ccdem::obs
+
+/// Records a span on a nullable ObsSink*.  Arguments are NOT evaluated when
+/// spans are compiled out, so modeled-duration math vanishes with them.
+#if CCDEM_OBS_SPANS
+#define CCDEM_OBS_SPAN(sink, phase, begin, dur, frame, arg)               \
+  do {                                                                    \
+    if ((sink) != nullptr) {                                              \
+      (sink)->spans.record((phase), (begin), (dur), (frame), (arg));      \
+    }                                                                     \
+  } while (false)
+#else
+#define CCDEM_OBS_SPAN(sink, phase, begin, dur, frame, arg) \
+  do {                                                      \
+    (void)sizeof(sink);                                     \
+  } while (false)
+#endif

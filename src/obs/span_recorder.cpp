@@ -1,0 +1,48 @@
+#include "obs/span_recorder.h"
+
+#include <cassert>
+
+namespace ccdem::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompose: return "compose";
+    case Phase::kMeter: return "meter";
+    case Phase::kGovern: return "govern";
+    case Phase::kPanelPresent: return "panel_present";
+  }
+  return "unknown";
+}
+
+std::optional<Phase> phase_from_name(std::string_view name) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (name == phase_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+std::vector<Span> SpanRecorder::spans() const {
+  std::vector<Span> out;
+  const std::uint64_t kept =
+      recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest retained span sits at head_ once the ring has wrapped, at 0
+  // before that.
+  std::size_t pos = recorded_ < ring_.size() ? 0 : head_;
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[pos]);
+    pos = pos + 1 == ring_.size() ? 0 : pos + 1;
+  }
+  return out;
+}
+
+void SpanRecorder::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace ccdem::obs

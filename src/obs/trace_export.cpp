@@ -1,0 +1,552 @@
+#include "obs/trace_export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace ccdem::obs {
+namespace {
+
+// --- shared formatting helpers ---------------------------------------------
+
+/// Shortest-exact double rendering: %.17g round-trips every finite double
+/// through strtod.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- a minimal JSON reader for our own writer's output ----------------------
+//
+// Numbers are kept as raw token text so 64-bit integers survive exactly
+// (a double would mangle frame sequence numbers above 2^53).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string raw;     // number token or decoded string
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) *error = "trailing data after JSON value";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.raw);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          if (code > 0x7f) return fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNull;
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a number");
+    out.raw = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool to_u64(const JsonValue& v, std::uint64_t* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoull(v.raw.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool to_i64(const JsonValue& v, std::int64_t* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoll(v.raw.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool to_double(const JsonValue& v, double* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return false;
+  char* end = nullptr;
+  *out = std::strtod(v.raw.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_fail(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+// --- Chrome trace_event JSON ------------------------------------------------
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const Counters::Snapshot& counters) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << phase_name(s.phase)
+       << "\",\"cat\":\"ccdem\",\"ph\":\"X\",\"ts\":" << s.begin.ticks
+       << ",\"dur\":" << s.dur.ticks
+       << ",\"pid\":1,\"tid\":" << (static_cast<int>(s.phase) + 1)
+       << ",\"args\":{\"frame\":" << s.frame << ",\"arg\":" << s.arg << "}}";
+  }
+  os << "\n],\n\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << escape_json(name) << "\":" << value;
+  }
+  os << "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : counters.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << escape_json(name) << "\":" << fmt_double(value);
+  }
+  os << "\n},\n\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_to_string(const std::vector<Span>& spans,
+                                   const Counters::Snapshot& counters) {
+  std::ostringstream os;
+  write_chrome_trace(os, spans, counters);
+  return os.str();
+}
+
+std::optional<ParsedTrace> parse_chrome_trace(const std::string& text,
+                                              std::string* error) {
+  JsonParser parser(text);
+  const std::optional<JsonValue> root = parser.parse(error);
+  if (!root) return std::nullopt;
+  if (root->kind != JsonValue::Kind::kObject) {
+    parse_fail(error, "top level is not an object");
+    return std::nullopt;
+  }
+
+  ParsedTrace out;
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    parse_fail(error, "missing traceEvents array");
+    return std::nullopt;
+  }
+  for (const JsonValue& ev : events->array) {
+    if (ev.kind != JsonValue::Kind::kObject) {
+      parse_fail(error, "trace event is not an object");
+      return std::nullopt;
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->raw != "X") {
+      continue;  // tolerate metadata events from other producers
+    }
+    Span s;
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      parse_fail(error, "event without a name");
+      return std::nullopt;
+    }
+    const std::optional<Phase> phase = phase_from_name(name->raw);
+    if (!phase) {
+      parse_fail(error, "unknown span phase");
+      return std::nullopt;
+    }
+    s.phase = *phase;
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* args = ev.find("args");
+    if (ts == nullptr || !to_i64(*ts, &s.begin.ticks) || dur == nullptr ||
+        !to_i64(*dur, &s.dur.ticks) || args == nullptr ||
+        args->kind != JsonValue::Kind::kObject) {
+      parse_fail(error, "event with malformed ts/dur/args");
+      return std::nullopt;
+    }
+    const JsonValue* frame = args->find("frame");
+    const JsonValue* arg = args->find("arg");
+    if (frame == nullptr || !to_u64(*frame, &s.frame) || arg == nullptr ||
+        !to_i64(*arg, &s.arg)) {
+      parse_fail(error, "event with malformed frame/arg");
+      return std::nullopt;
+    }
+    out.spans.push_back(s);
+  }
+
+  if (const JsonValue* counters = root->find("counters")) {
+    if (counters->kind != JsonValue::Kind::kObject) {
+      parse_fail(error, "counters is not an object");
+      return std::nullopt;
+    }
+    for (const auto& [name, v] : counters->object) {
+      std::uint64_t value = 0;
+      if (!to_u64(v, &value)) {
+        parse_fail(error, "counter with a non-integer value");
+        return std::nullopt;
+      }
+      out.counters.emplace_back(name, value);
+    }
+  }
+  if (const JsonValue* gauges = root->find("gauges")) {
+    if (gauges->kind != JsonValue::Kind::kObject) {
+      parse_fail(error, "gauges is not an object");
+      return std::nullopt;
+    }
+    for (const auto& [name, v] : gauges->object) {
+      double value = 0.0;
+      if (!to_double(v, &value)) {
+        parse_fail(error, "gauge with a non-numeric value");
+        return std::nullopt;
+      }
+      out.gauges.emplace_back(name, value);
+    }
+  }
+  return out;
+}
+
+// --- per-frame CSV -----------------------------------------------------------
+
+void write_trace_csv(std::ostream& os, const std::vector<Span>& spans,
+                     const Counters::Snapshot& counters) {
+  os << "# ccdem trace v1\n";
+  os << "frame,phase,ts_us,dur_us,arg\n";
+  for (const Span& s : spans) {
+    os << s.frame << ',' << phase_name(s.phase) << ',' << s.begin.ticks << ','
+       << s.dur.ticks << ',' << s.arg << '\n';
+  }
+  os << "# counters\n";
+  for (const auto& [name, value] : counters.counters) {
+    os << name << ',' << value << '\n';
+  }
+  os << "# gauges\n";
+  for (const auto& [name, value] : counters.gauges) {
+    os << name << ',' << fmt_double(value) << '\n';
+  }
+}
+
+std::string trace_csv_to_string(const std::vector<Span>& spans,
+                                const Counters::Snapshot& counters) {
+  std::ostringstream os;
+  write_trace_csv(os, spans, counters);
+  return os.str();
+}
+
+std::optional<ParsedTrace> parse_trace_csv(const std::string& text,
+                                           std::string* error) {
+  ParsedTrace out;
+  enum class Section { kSpans, kCounters, kGauges };
+  Section section = Section::kSpans;
+  bool saw_magic = false;
+  bool saw_span_header = false;
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line == "# ccdem trace v1") {
+      saw_magic = true;
+      continue;
+    }
+    if (line == "# counters") {
+      section = Section::kCounters;
+      continue;
+    }
+    if (line == "# gauges") {
+      section = Section::kGauges;
+      continue;
+    }
+    if (line.empty()) continue;
+
+    if (section == Section::kSpans) {
+      if (!saw_span_header) {
+        if (line != "frame,phase,ts_us,dur_us,arg") {
+          parse_fail(error, "missing span header row");
+          return std::nullopt;
+        }
+        saw_span_header = true;
+        continue;
+      }
+      // frame,phase,ts,dur,arg -- five fields, none of which contain commas.
+      std::size_t field_start = 0;
+      std::string fields[5];
+      int n = 0;
+      for (; n < 5; ++n) {
+        const std::size_t comma = line.find(',', field_start);
+        if (comma == std::string::npos) {
+          fields[n] = line.substr(field_start);
+          ++n;
+          break;
+        }
+        fields[n] = line.substr(field_start, comma - field_start);
+        field_start = comma + 1;
+      }
+      if (n != 5) {
+        parse_fail(error, "span row with wrong field count");
+        return std::nullopt;
+      }
+      Span s;
+      const std::optional<Phase> phase = phase_from_name(fields[1]);
+      errno = 0;
+      char* end = nullptr;
+      s.frame = std::strtoull(fields[0].c_str(), &end, 10);
+      bool ok = errno == 0 && end != nullptr && *end == '\0' && phase;
+      s.begin.ticks = std::strtoll(fields[2].c_str(), &end, 10);
+      ok = ok && errno == 0 && *end == '\0';
+      s.dur.ticks = std::strtoll(fields[3].c_str(), &end, 10);
+      ok = ok && errno == 0 && *end == '\0';
+      s.arg = std::strtoll(fields[4].c_str(), &end, 10);
+      ok = ok && errno == 0 && *end == '\0';
+      if (!ok) {
+        parse_fail(error, "span row with a malformed field");
+        return std::nullopt;
+      }
+      s.phase = *phase;
+      out.spans.push_back(s);
+    } else {
+      // name,value -- split at the LAST comma so dotted/odd names survive.
+      const std::size_t comma = line.rfind(',');
+      if (comma == std::string::npos) {
+        parse_fail(error, "counter row without a value");
+        return std::nullopt;
+      }
+      const std::string name = line.substr(0, comma);
+      const std::string value = line.substr(comma + 1);
+      errno = 0;
+      char* end = nullptr;
+      if (section == Section::kCounters) {
+        const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          parse_fail(error, "counter row with a malformed value");
+          return std::nullopt;
+        }
+        out.counters.emplace_back(name, v);
+      } else {
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          parse_fail(error, "gauge row with a malformed value");
+          return std::nullopt;
+        }
+        out.gauges.emplace_back(name, v);
+      }
+    }
+  }
+  if (!saw_magic) {
+    parse_fail(error, "missing trace magic line");
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace ccdem::obs

@@ -1,0 +1,57 @@
+// Trace exporters: Chrome trace_event JSON and per-frame CSV.
+//
+// Both formats serialize the same data -- a span stream plus a counter
+// snapshot -- and both round-trip: the parsers below re-read exactly what
+// the writers emit, which the fuzz harness uses to prove the exporters are
+// lossless and crash-free on arbitrary streams, and the golden-trace test
+// uses to lock the CSV byte stream down.
+//
+// The JSON is a standard Trace Event File ("traceEvents" with complete 'X'
+// events, ts/dur in microseconds = simulation ticks), loadable directly in
+// chrome://tracing or https://ui.perfetto.dev.  Counters and gauges ride in
+// top-level "counters"/"gauges" objects, which trace viewers ignore.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/span_recorder.h"
+
+namespace ccdem::obs {
+
+/// What a parser recovered from an exported trace.
+struct ParsedTrace {
+  std::vector<Span> spans;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;           // name-sorted
+};
+
+/// Chrome trace_event JSON ('X' complete events, one per span).
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const Counters::Snapshot& counters);
+[[nodiscard]] std::string chrome_trace_to_string(
+    const std::vector<Span>& spans, const Counters::Snapshot& counters);
+
+/// Re-parses write_chrome_trace() output; std::nullopt on malformed input
+/// with a message in `error`.
+[[nodiscard]] std::optional<ParsedTrace> parse_chrome_trace(
+    const std::string& text, std::string* error = nullptr);
+
+/// Per-frame CSV: a `frame,phase,ts_us,dur_us,arg` span section followed by
+/// `# counters` / `# gauges` name,value sections.  This is also the golden
+/// trace format.
+void write_trace_csv(std::ostream& os, const std::vector<Span>& spans,
+                     const Counters::Snapshot& counters);
+[[nodiscard]] std::string trace_csv_to_string(
+    const std::vector<Span>& spans, const Counters::Snapshot& counters);
+
+/// Re-parses write_trace_csv() output.
+[[nodiscard]] std::optional<ParsedTrace> parse_trace_csv(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace ccdem::obs

@@ -1,0 +1,173 @@
+// Randomized round-trip test for the trace exporters: arbitrary span and
+// counter streams must survive write -> parse through BOTH formats without
+// loss, and the parsers must never crash on what the writers emit.
+//
+// Counter/gauge names are drawn from the exporters' full supported alphabet:
+// the CSV format permits any byte except '\n' (values split at the LAST
+// comma), the JSON escaper handles quotes, backslashes and control bytes.
+// CSV name rows that would collide with the section markers ('#'-prefixed)
+// are avoided, as the real registry's dotted lowercase names always are.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/span_recorder.h"
+#include "obs/trace_export.h"
+#include "sim/rng.h"
+
+using namespace ccdem;
+using obs::Counters;
+using obs::Phase;
+using obs::Span;
+
+namespace {
+
+std::int64_t random_i64(sim::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return rng.uniform_int(-100, 100);
+    case 1: return static_cast<std::int64_t>(rng.next_u64());
+    case 2: return std::numeric_limits<std::int64_t>::max();
+    default: return std::numeric_limits<std::int64_t>::min();
+  }
+}
+
+std::vector<Span> random_spans(sim::Rng& rng, int count) {
+  std::vector<Span> spans;
+  spans.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Span s;
+    s.begin = sim::Time{random_i64(rng)};
+    s.dur = sim::Duration{random_i64(rng)};
+    s.frame = rng.next_u64();
+    s.arg = random_i64(rng);
+    s.phase = static_cast<Phase>(rng.uniform_int(0, obs::kPhaseCount - 1));
+    spans.push_back(s);
+  }
+  return spans;
+}
+
+std::string random_name(sim::Rng& rng, bool csv_safe) {
+  static const char kTame[] = "abcdefghijklmnopqrstuvwxyz0123456789._";
+  std::string name;
+  const int len = static_cast<int>(rng.uniform_int(1, 24));
+  for (int i = 0; i < len; ++i) {
+    if (csv_safe || rng.chance(0.8)) {
+      name += kTame[rng.uniform_int(0, sizeof(kTame) - 2)];
+    } else {
+      // Exercise the JSON escaper: quotes, backslashes, control bytes,
+      // commas, high bytes.
+      name += static_cast<char>(rng.uniform_int(1, 255));
+      if (name.back() == '\n') name.back() = 'n';  // CSV rows are lines
+    }
+  }
+  if (name[0] == '#') name[0] = 'x';  // '#' opens CSV section markers
+  return name;
+}
+
+Counters random_counters(sim::Rng& rng, bool csv_safe) {
+  Counters c;
+  const int n = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < n; ++i) {
+    c.add(random_name(rng, csv_safe), rng.next_u64());
+  }
+  const int g = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < g; ++i) {
+    double v;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: v = rng.uniform(-1e6, 1e6); break;
+      case 1: v = rng.uniform(-1.0, 1.0) * 1e-300; break;
+      case 2: v = 0.0; break;
+      default: v = rng.uniform(-1.0, 1.0) * 1e300; break;
+    }
+    c.set_gauge(random_name(rng, csv_safe), v);
+  }
+  return c;
+}
+
+void expect_equal(const obs::ParsedTrace& parsed,
+                  const std::vector<Span>& spans,
+                  const Counters::Snapshot& snap, const char* format,
+                  std::uint64_t seed) {
+  ASSERT_EQ(parsed.spans, spans) << format << " seed=" << seed;
+  ASSERT_EQ(parsed.counters.size(), snap.counters.size())
+      << format << " seed=" << seed;
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(parsed.counters[i].first, snap.counters[i].first)
+        << format << " seed=" << seed;
+    EXPECT_EQ(parsed.counters[i].second, snap.counters[i].second)
+        << format << " seed=" << seed;
+  }
+  ASSERT_EQ(parsed.gauges.size(), snap.gauges.size())
+      << format << " seed=" << seed;
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    EXPECT_EQ(parsed.gauges[i].first, snap.gauges[i].first)
+        << format << " seed=" << seed;
+    // Bit-exact: %.17g + strtod round-trips every finite double.
+    EXPECT_EQ(parsed.gauges[i].second, snap.gauges[i].second)
+        << format << " seed=" << seed << " name=" << snap.gauges[i].first;
+  }
+}
+
+TEST(TraceExportFuzz, ChromeJsonRoundTripsArbitraryStreams) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    const std::vector<Span> spans =
+        random_spans(rng, static_cast<int>(rng.uniform_int(0, 40)));
+    const Counters counters = random_counters(rng, /*csv_safe=*/false);
+    const Counters::Snapshot snap = counters.snapshot();
+
+    std::string error;
+    const auto parsed = obs::parse_chrome_trace(
+        obs::chrome_trace_to_string(spans, snap), &error);
+    ASSERT_TRUE(parsed.has_value()) << "seed=" << seed << ": " << error;
+    expect_equal(*parsed, spans, snap, "json", seed);
+  }
+}
+
+TEST(TraceExportFuzz, CsvRoundTripsArbitraryStreams) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    const std::vector<Span> spans =
+        random_spans(rng, static_cast<int>(rng.uniform_int(0, 40)));
+    const Counters counters = random_counters(rng, /*csv_safe=*/true);
+    const Counters::Snapshot snap = counters.snapshot();
+
+    std::string error;
+    const auto parsed =
+        obs::parse_trace_csv(obs::trace_csv_to_string(spans, snap), &error);
+    ASSERT_TRUE(parsed.has_value()) << "seed=" << seed << ": " << error;
+    expect_equal(*parsed, spans, snap, "csv", seed);
+  }
+}
+
+TEST(TraceExportFuzz, ParsersNeverCrashOnMutatedInput) {
+  // Flip random bytes in valid output; the parsers must reject or accept
+  // without crashing (gtest catches crashes as test failures), and the
+  // error string must be set on rejection.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    const std::vector<Span> spans = random_spans(rng, 8);
+    const Counters counters = random_counters(rng, /*csv_safe=*/true);
+    std::string json = obs::chrome_trace_to_string(spans, counters.snapshot());
+    std::string csv = obs::trace_csv_to_string(spans, counters.snapshot());
+    for (std::string* text : {&json, &csv}) {
+      const int flips = static_cast<int>(rng.uniform_int(1, 6));
+      for (int i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(text->size()) - 1));
+        (*text)[pos] = static_cast<char>(rng.uniform_int(1, 127));
+      }
+      std::string error = "unset";
+      const auto parsed = text == &json ? obs::parse_chrome_trace(*text, &error)
+                                        : obs::parse_trace_csv(*text, &error);
+      if (!parsed.has_value()) {
+        EXPECT_NE(error, "unset") << "seed=" << seed;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Property tests: across randomized configurations the observability
+// counters must agree with the simulation's own ground truth, with each
+// other, across serial vs fleet execution, and regardless of whether span
+// recording is enabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_profiles.h"
+#include "core/section_table.h"
+#include "device/simulated_device.h"
+#include "harness/experiment.h"
+#include "harness/fleet.h"
+#include "obs/obs.h"
+
+using namespace ccdem;
+
+namespace {
+
+harness::ExperimentConfig make_config(const apps::AppSpec& app,
+                                      harness::ControlMode mode,
+                                      std::uint64_t seed) {
+  harness::ExperimentConfig c;
+  c.app = app;
+  c.duration = sim::seconds(8);
+  c.seed = seed;
+  c.mode = mode;
+  return c;
+}
+
+/// A few structurally different workloads: static reader, animated game,
+/// video-style app.
+std::vector<apps::AppSpec> sample_apps() {
+  const std::vector<apps::AppSpec> all = apps::all_apps();
+  return {all[0], all[10], all[20]};
+}
+
+bool is_pool_counter(const std::string& name) {
+  return name.rfind("pool.", 0) == 0;
+}
+
+}  // namespace
+
+TEST(ObsProperties, FrameAccountingIsConsistent) {
+  std::uint64_t seed = 1;
+  for (const apps::AppSpec& app : sample_apps()) {
+    for (const harness::ControlMode mode :
+         {harness::ControlMode::kSection,
+          harness::ControlMode::kSectionWithBoost}) {
+      obs::ObsSink sink;
+      harness::ExperimentConfig c = make_config(app, mode, seed++);
+      c.obs = &sink;
+      const harness::ExperimentResult r = harness::run_experiment(c);
+      const obs::Counters& ctr = sink.counters;
+      const std::string label = app.name + "/" +
+                                std::string(harness::control_mode_name(mode));
+
+      // Redundant + meaningful partition the composed frames.
+      EXPECT_EQ(ctr.value("flinger.content_frames") +
+                    ctr.value("flinger.redundant_frames"),
+                ctr.value("flinger.frames_composed"))
+          << label;
+      // Every observer of the composition stream saw every frame.
+      EXPECT_EQ(ctr.value("meter.frames"),
+                ctr.value("flinger.frames_composed"))
+          << label;
+      EXPECT_EQ(ctr.value("recorder.frames"),
+                ctr.value("flinger.frames_composed"))
+          << label;
+      EXPECT_EQ(ctr.value("recorder.content_frames"),
+                ctr.value("flinger.content_frames"))
+          << label;
+      // Counters agree with the result scalars collected the classic way.
+      EXPECT_EQ(ctr.value("flinger.frames_composed"), r.frames_composed)
+          << label;
+      EXPECT_EQ(ctr.value("flinger.content_frames"), r.content_frames)
+          << label;
+      // The panel ticked at least one V-Sync per composed frame.
+      EXPECT_GE(ctr.value("panel.vsyncs"),
+                ctr.value("flinger.frames_composed"))
+          << label;
+      EXPECT_GT(ctr.value("dpm.evaluations"), 0u) << label;
+      EXPECT_GT(ctr.value("meter.pixels_compared"), 0u) << label;
+    }
+  }
+}
+
+TEST(ObsProperties, SectionTransitionsEqualRateChanges) {
+  // For pure section control (no boost, no rate floor) the panel's pending
+  // rate always equals the policy's previous decision, so every section
+  // transition is exactly one accepted rate change -- and both replay from
+  // the recorded content-rate trace through the same section table.
+  std::uint64_t seed = 100;
+  for (const apps::AppSpec& app : sample_apps()) {
+    obs::ObsSink sink;
+    harness::ExperimentConfig c =
+        make_config(app, harness::ControlMode::kSection, seed++);
+    c.obs = &sink;
+    const harness::ExperimentResult r = harness::run_experiment(c);
+
+    EXPECT_EQ(sink.counters.value("dpm.section_transitions"),
+              sink.counters.value("dpm.rate_changes"))
+        << app.name;
+
+    const core::SectionTable table =
+        core::SectionTable::build(c.rates, c.dpm.section_alpha);
+    int prev_hz = c.rates.max_hz();
+    std::uint64_t transitions = 0;
+    for (const auto& p : r.measured_content_rate.points()) {
+      const int hz = table.rate_for(p.value);
+      if (hz != prev_hz) {
+        ++transitions;
+        prev_hz = hz;
+      }
+    }
+    EXPECT_EQ(transitions, sink.counters.value("dpm.section_transitions"))
+        << app.name;
+    // Sanity: the sweep actually exercised the table.
+    EXPECT_EQ(table.section_index_for(0.0), 0u);
+    EXPECT_EQ(table.rate_for(1e9), c.rates.max_hz());
+  }
+}
+
+TEST(ObsProperties, BoostActivationsMatchBooster) {
+  std::uint64_t seed = 200;
+  for (const apps::AppSpec& app : sample_apps()) {
+    obs::ObsSink sink;
+    harness::ExperimentConfig c =
+        make_config(app, harness::ControlMode::kSectionWithBoost, seed++);
+    device::DeviceConfig dc = c.device_config();
+    dc.obs = &sink;
+
+    device::SimulatedDevice dev;
+    dev.configure(dc);
+    dev.install_app(c.app);
+    dev.start_control();
+    dev.schedule_monkey_script(c.app.monkey, c.duration);
+    dev.run_until(sim::Time{c.duration.ticks});
+    dev.finish();
+
+    ASSERT_NE(dev.dpm(), nullptr);
+    EXPECT_EQ(sink.counters.value("dpm.boost_activations"),
+              dev.dpm()->booster().activations())
+        << app.name;
+    if (dev.dispatcher().events_delivered() > 0) {
+      EXPECT_GT(sink.counters.value("dpm.boost_activations"), 0u) << app.name;
+    }
+  }
+}
+
+TEST(ObsProperties, SerialCountersEqualFleetCountersModuloPool) {
+  std::vector<harness::ExperimentConfig> configs;
+  for (const apps::AppSpec& app : sample_apps()) {
+    configs.push_back(make_config(app, harness::ControlMode::kSection, 7));
+    configs.push_back(
+        make_config(app, harness::ControlMode::kSectionWithBoost, 7));
+  }
+
+  // Serial reference: every run feeds one shared sink, which is the same
+  // fold the fleet performs with per-worker sinks + merge.
+  obs::ObsSink serial;
+  serial.spans.set_enabled(false);
+  for (harness::ExperimentConfig c : configs) {
+    c.obs = &serial;
+    (void)harness::run_experiment(c);
+  }
+
+  // Force multiple workers even on single-core CI machines.
+  harness::FleetRunner fleet(/*max_threads=*/3);
+  (void)fleet.run(configs);
+  const obs::Counters& merged = fleet.stats().counters;
+
+  const obs::Counters::Snapshot serial_snap = serial.counters.snapshot();
+  const obs::Counters::Snapshot fleet_snap = merged.snapshot();
+  for (const auto& [name, value] : fleet_snap.counters) {
+    if (is_pool_counter(name)) continue;  // device reuse is per-worker
+    EXPECT_EQ(value, serial.counters.value(name)) << name;
+  }
+  // Same counter vocabulary both ways (the fleet adds only pool.*).
+  for (const auto& [name, value] : serial_snap.counters) {
+    EXPECT_TRUE(merged.has_counter(name)) << name;
+  }
+  std::size_t fleet_named = 0;
+  for (const auto& [name, value] : fleet_snap.counters) {
+    if (!is_pool_counter(name)) ++fleet_named;
+  }
+  EXPECT_EQ(fleet_named, serial_snap.counters.size());
+  EXPECT_GT(merged.value("flinger.frames_composed"), 0u);
+}
+
+TEST(ObsProperties, CountersUnchangedWhenSpansDisabled) {
+  // Runtime-disabled spans stand in for the CCDEM_OBS_SPANS=0 build here
+  // (the CI perf job builds that configuration for real); either way the
+  // counter stream must be bit-identical to a spans-on run.
+  const apps::AppSpec app = sample_apps()[1];
+  obs::ObsSink with_spans;
+  obs::ObsSink without_spans;
+  without_spans.spans.set_enabled(false);
+
+  for (obs::ObsSink* sink : {&with_spans, &without_spans}) {
+    harness::ExperimentConfig c =
+        make_config(app, harness::ControlMode::kSectionWithBoost, 5);
+    c.obs = sink;
+    (void)harness::run_experiment(c);
+  }
+
+  const obs::Counters::Snapshot a = with_spans.counters.snapshot();
+  const obs::Counters::Snapshot b = without_spans.counters.snapshot();
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i], b.counters[i]);
+  }
+  if (obs::SpanRecorder::compiled_in()) {
+    EXPECT_GT(with_spans.spans.recorded(), 0u);
+  }
+  EXPECT_EQ(without_spans.spans.recorded(), 0u);
+}
+
+TEST(ObsProperties, GovernorPublishesItsCounters) {
+  const apps::AppSpec app = sample_apps()[2];
+  obs::ObsSink sink;
+  harness::ExperimentConfig c =
+      make_config(app, harness::ControlMode::kE3FrameRate, 3);
+  c.obs = &sink;
+  (void)harness::run_experiment(c);
+
+  const std::uint64_t evals = sink.counters.value("governor.evaluations");
+  EXPECT_GT(evals, 0u);
+  // One evaluation per eval_period tick, at most.
+  const core::GovernorConfig gc;
+  EXPECT_LE(evals, static_cast<std::uint64_t>(
+                       c.duration.ticks / gc.eval_period.ticks + 1));
+  // The cap engages at least once (the first post-interaction evaluation
+  // moves it off its initial 0 = uncapped).
+  EXPECT_GT(sink.counters.value("governor.cap_changes"), 0u);
+  EXPECT_EQ(sink.counters.value("meter.frames"),
+            sink.counters.value("flinger.frames_composed"));
+  // The E3 arm runs no DPM.
+  EXPECT_FALSE(sink.counters.has_counter("dpm.evaluations"));
+}
