@@ -1,6 +1,7 @@
 #include "core/content_rate_meter.h"
 
 #include <cassert>
+#include <utility>
 
 namespace ccdem::core {
 
@@ -10,102 +11,147 @@ ContentRateMeter::ContentRateMeter(gfx::Size screen, GridSpec grid,
     : sampler_(screen, grid), window_(window), mode_(mode), pool_(pool) {
   assert(window.ticks > 0);
   if (mode_ == MeterMode::kFullFrame) {
-    frames_ = gfx::DoubleBuffer<gfx::Framebuffer>(
-        gfx::Framebuffer(screen, pool_), gfx::Framebuffer(screen, pool_));
+    retained_ = gfx::Framebuffer(screen, pool_);
   } else if (pool_ != nullptr) {
-    // Pre-size the snapshot scratch from the pool; classify_sampled()'s
-    // sample() overwrites every element before any comparison reads them.
-    samples_ = gfx::DoubleBuffer<std::vector<gfx::Rgb888>>(
-        pool_->acquire_reserved(sampler_.sample_count()),
-        pool_->acquire_reserved(sampler_.sample_count()));
+    // Pre-size the retained snapshot and the unculled path's scratch from
+    // the pool; the priming capture writes every element before any
+    // comparison reads them.
+    samples_ = pool_->acquire_reserved(sampler_.sample_count());
+    scratch_ = pool_->acquire_reserved(sampler_.sample_count());
   }
 }
 
 ContentRateMeter::~ContentRateMeter() {
   if (pool_ != nullptr && mode_ != MeterMode::kFullFrame) {
-    pool_->release(std::move(samples_.front()));
-    pool_->release(std::move(samples_.back()));
+    pool_->release(std::move(samples_));
+    pool_->release(std::move(scratch_));
   }
 }
 
 const gfx::Framebuffer& ContentRateMeter::previous_frame() const {
   assert(mode_ == MeterMode::kFullFrame);
-  return frames_.back();
+  return retained_;
 }
 
 void ContentRateMeter::set_obs(obs::ObsSink* obs) {
   obs_ = obs;
   if (obs_ == nullptr) {
-    ctr_frames_ = ctr_meaningful_ = ctr_pixels_compared_ = ctr_misclassified_ =
-        nullptr;
+    ctr_frames_ = ctr_meaningful_ = ctr_pixels_compared_ =
+        ctr_pixels_skipped_ = ctr_misclassified_ = nullptr;
     return;
   }
   ctr_frames_ = &obs_->counters.counter("meter.frames");
   ctr_meaningful_ = &obs_->counters.counter("meter.meaningful_frames");
   ctr_pixels_compared_ = &obs_->counters.counter("meter.pixels_compared");
+  ctr_pixels_skipped_ =
+      &obs_->counters.counter("meter.pixels_compare_skipped");
   ctr_misclassified_ = &obs_->counters.counter("meter.misclassified_frames");
 }
 
-bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb) {
-  // Capture the current frame's samples into the front buffer, classify
-  // against the back buffer (previous frame), then swap -- the double
-  // buffering of section 3.1: capture and comparison alternate between the
-  // two buffers so no copy of the previous frame is ever made.
-  sampler_.sample(fb, samples_.front());
-  bool meaningful = false;
+bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb,
+                                        const gfx::Region& damage,
+                                        bool primed) {
   last_compared_ = 0;
-  const auto& prev = samples_.back();
-  const auto& cur = samples_.front();
-  if (prev.size() == cur.size()) {
-    for (std::size_t i = 0; i < cur.size(); ++i) {
+  last_skipped_ = 0;
+  if (!primed) {
+    // Priming capture: take the full grid so every retained point is valid;
+    // the frame is meaningful by definition (first content shown).
+    sampler_.sample(fb, samples_);
+    return true;
+  }
+  if (!damage_culling_) {
+    // Reference path (pre-culling behaviour, bit-identical): full fresh
+    // capture, early-exit compare, then the capture becomes the retained
+    // snapshot.
+    sampler_.sample(fb, scratch_);
+    assert(scratch_.size() == samples_.size());
+    bool meaningful = false;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
       ++last_compared_;
-      if (cur[i] != prev[i]) {
+      if (scratch_[i] != samples_[i]) {
         meaningful = true;
         break;
       }
     }
-  } else {
-    meaningful = true;  // priming capture: no previous snapshot yet
+    std::swap(samples_, scratch_);
+    return meaningful;
   }
-  samples_.swap();
+  // Damage-scoped pass: grid points outside the damage cannot have changed
+  // (the compositor reconciled everything else from the previous frame), so
+  // only covered points are read -- and refreshed in place, which keeps the
+  // whole snapshot equal to a full capture.  An empty damage region
+  // classifies the frame redundant without touching any pixel.
+  bool meaningful = false;
+  for (const gfx::Rect& r : damage.rects()) {
+    const GridSampler::ScanResult res =
+        sampler_.update_in_rect(fb, r, samples_);
+    last_compared_ += res.compared;
+    meaningful |= res.differed;
+  }
+  last_skipped_ =
+      static_cast<std::int64_t>(sampler_.sample_count()) - last_compared_;
   return meaningful;
 }
 
-bool ContentRateMeter::classify_full_frame(const gfx::Framebuffer& fb) {
-  // Compare the current framebuffer's grid points against the retained
-  // previous frame, then store a copy of the current frame into the spare
-  // buffer and swap roles.
-  const gfx::Framebuffer& prev = frames_.back();
-  bool meaningful = false;
+bool ContentRateMeter::classify_full_frame(const gfx::Framebuffer& fb,
+                                           const gfx::Region& damage,
+                                           bool primed) {
   last_compared_ = 0;
-  for (const gfx::Point& p : sampler_.points()) {
-    ++last_compared_;
-    if (fb.at(p.x, p.y) != prev.at(p.x, p.y)) {
-      meaningful = true;
-      break;
-    }
+  last_skipped_ = 0;
+  if (!primed) {
+    retained_.blit(fb, fb.bounds(), gfx::Point{0, 0});
+    return true;
   }
-  frames_.front().blit(fb, fb.bounds(), gfx::Point{0, 0});
-  frames_.swap();
+  if (!damage_culling_) {
+    // Reference path: compare every grid point (early exit), then retain a
+    // full copy of the current frame.
+    bool meaningful = false;
+    for (const gfx::Point& p : sampler_.points()) {
+      ++last_compared_;
+      if (fb.at(p.x, p.y) != retained_.at(p.x, p.y)) {
+        meaningful = true;
+        break;
+      }
+    }
+    retained_.blit(fb, fb.bounds(), gfx::Point{0, 0});
+    return meaningful;
+  }
+  // Damage-scoped: compare covered grid points, then reconcile the retained
+  // frame by copying only the damage -- the same trick the swapchain plays,
+  // so retained_ stays byte-identical to the current frame.
+  bool meaningful = false;
+  for (const gfx::Rect& r : damage.rects()) {
+    const GridSampler::ScanResult res =
+        sampler_.compare_in_rect(fb, retained_, r);
+    last_compared_ += res.compared;
+    meaningful |= res.differed;
+  }
+  for (const gfx::Rect& r : damage.rects()) {
+    retained_.blit(fb, r, gfx::Point{r.x, r.y});
+  }
+  last_skipped_ =
+      static_cast<std::int64_t>(sampler_.sample_count()) - last_compared_;
   return meaningful;
 }
 
 void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
                                 const gfx::Framebuffer& fb) {
-  bool meaningful;
-  if (have_prev_) {
-    meaningful = mode_ == MeterMode::kFullFrame ? classify_full_frame(fb)
-                                                : classify_sampled(fb);
-  } else {
-    // The very first composed frame necessarily shows new content.  Still
-    // run the capture path so the retained state is primed.
-    if (mode_ == MeterMode::kFullFrame) {
-      (void)classify_full_frame(fb);
-    } else {
-      (void)classify_sampled(fb);
-    }
-    meaningful = true;
+  // The compositor fills info.damage; hand-built frames (tests) may only
+  // set the dirty bounding box, which is a valid over-approximation of the
+  // damage.  Both empty means no pixel changed.
+  gfx::Region dirty_fallback;
+  const gfx::Region* damage = &info.damage;
+  if (info.damage.empty() && !info.dirty.empty()) {
+    dirty_fallback = gfx::Region(info.dirty);
+    damage = &dirty_fallback;
   }
+
+  const bool primed = have_prev_;
+  bool meaningful = mode_ == MeterMode::kFullFrame
+                        ? classify_full_frame(fb, *damage, primed)
+                        : classify_sampled(fb, *damage, primed);
+  // The very first composed frame necessarily shows new content.
+  if (!primed) meaningful = true;
   have_prev_ = true;
 
   ++total_frames_;
@@ -120,6 +166,7 @@ void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
     if (meaningful) ++*ctr_meaningful_;
     if (misclassified) ++*ctr_misclassified_;
     *ctr_pixels_compared_ += static_cast<std::uint64_t>(last_compared_);
+    *ctr_pixels_skipped_ += static_cast<std::uint64_t>(last_skipped_);
   }
   CCDEM_OBS_SPAN(
       obs_, obs::Phase::kMeter, info.composed_at,
@@ -127,34 +174,28 @@ void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
       last_compared_);
 
   window_obs_.push_back({info.composed_at, meaningful});
+  ++window_frames_;
+  if (meaningful) ++window_meaningful_;
   expire(info.composed_at);
 }
 
-void ContentRateMeter::expire(sim::Time now) {
+void ContentRateMeter::expire(sim::Time now) const {
   const sim::Time cutoff = now - window_;
   while (!window_obs_.empty() && window_obs_.front().t <= cutoff) {
+    --window_frames_;
+    if (window_obs_.front().meaningful) --window_meaningful_;
     window_obs_.pop_front();
   }
 }
 
 double ContentRateMeter::content_rate(sim::Time now) const {
-  const sim::Time cutoff = now - window_;
-  std::uint64_t n = 0;
-  for (auto it = window_obs_.rbegin(); it != window_obs_.rend(); ++it) {
-    if (it->t <= cutoff) break;
-    if (it->meaningful) ++n;
-  }
-  return static_cast<double>(n) / window_.seconds();
+  expire(now);
+  return static_cast<double>(window_meaningful_) / window_.seconds();
 }
 
 double ContentRateMeter::frame_rate(sim::Time now) const {
-  const sim::Time cutoff = now - window_;
-  std::uint64_t n = 0;
-  for (auto it = window_obs_.rbegin(); it != window_obs_.rend(); ++it) {
-    if (it->t <= cutoff) break;
-    ++n;
-  }
-  return static_cast<double>(n) / window_.seconds();
+  expire(now);
+  return static_cast<double>(window_frames_) / window_.seconds();
 }
 
 double ContentRateMeter::redundant_rate(sim::Time now) const {

@@ -3,10 +3,21 @@
 // The content rate is "the number of contents per second" -- the frame rate
 // minus the redundant frame rate.  The meter listens to every composition,
 // samples the framebuffer on a sparse grid, and compares against the
-// previous frame's samples held in the back half of a double buffer (paper
-// section 3.1: double buffering + grid-based comparison).  A sliding window
-// (default 1 s, matching the per-second definition) turns per-frame
-// meaningful/redundant classifications into a rate.
+// previous frame's retained samples (paper section 3.1: double buffering +
+// grid-based comparison).  A sliding window (default 1 s, matching the
+// per-second definition) turns per-frame meaningful/redundant
+// classifications into a rate.
+//
+// Host-side cost is damage-scoped: the compositor reconciles its back
+// buffer to the previous frame before composing, so the current frame can
+// only differ from the last one inside FrameInfo::damage.  Grid points
+// outside the damage are provably unchanged and are skipped (counted in
+// meter.pixels_compare_skipped); an empty-damage frame is classified
+// redundant without touching a single pixel.  The *modeled* comparison cost
+// (compare_cost_per_frame_ms) deliberately stays a function of the full
+// grid size -- it represents the instrumented device of the paper, not this
+// simulator's shortcut -- so classifications, rates, and power results are
+// bit-identical with culling on or off.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +27,6 @@
 #include "core/grid_sampler.h"
 #include "core/metering_cost_model.h"
 #include "gfx/buffer_pool.h"
-#include "gfx/double_buffer.h"
 #include "gfx/surface_flinger.h"
 #include "obs/obs.h"
 #include "sim/time.h"
@@ -29,18 +39,18 @@ enum class MeterMode {
   /// default).  Comparison results are identical to full-frame mode because
   /// only grid points are ever compared.
   kSampledSnapshot,
-  /// Store the entire previous frame in the back half of a double buffer --
-  /// the paper's literal architecture ("the framebuffer data are stored at
-  /// an extra buffer").  Costs a full-frame copy per composition; kept for
-  /// fidelity and for workloads that need the previous frame for other
-  /// purposes (e.g. the OLED emission model could diff luma).
+  /// Store the entire previous frame -- the paper's literal architecture
+  /// ("the framebuffer data are stored at an extra buffer").  Costs a
+  /// damage-sized copy per composition; kept for fidelity and for workloads
+  /// that need the previous frame for other purposes (e.g. the OLED
+  /// emission model could diff luma).
   kFullFrame,
 };
 
 class ContentRateMeter final : public gfx::FrameListener {
  public:
   /// `pool` (optional) recycles the sample snapshots (and, in full-frame
-  /// mode, the retained framebuffers) across meter lifetimes.
+  /// mode, the retained framebuffer) across meter lifetimes.
   ContentRateMeter(gfx::Size screen, GridSpec grid,
                    sim::Duration window = sim::seconds(1),
                    MeterMode mode = MeterMode::kSampledSnapshot,
@@ -54,6 +64,13 @@ class ContentRateMeter final : public gfx::FrameListener {
   /// meter's counters and emits a meter span (with the cost model's modeled
   /// comparison duration) per classified frame.
   void set_obs(obs::ObsSink* obs);
+
+  /// When true (default), classification reads only the grid points inside
+  /// the frame's damage region; when false it rescans the full grid every
+  /// frame (the pre-culling reference path).  Verdicts are identical either
+  /// way -- the property tests assert it -- only the host work differs.
+  void set_damage_culling(bool on) { damage_culling_ = on; }
+  [[nodiscard]] bool damage_culling() const { return damage_culling_; }
 
   /// Content rate over the sliding window ending at `now` (fps).
   [[nodiscard]] double content_rate(sim::Time now) const;
@@ -99,39 +116,58 @@ class ContentRateMeter final : public gfx::FrameListener {
   [[nodiscard]] const gfx::Framebuffer& previous_frame() const;
 
  private:
-  void expire(sim::Time now);
-  [[nodiscard]] bool classify_sampled(const gfx::Framebuffer& fb);
-  [[nodiscard]] bool classify_full_frame(const gfx::Framebuffer& fb);
+  /// Drops window observations with t <= now - window and keeps the running
+  /// counts in step -- the single source of truth for the window edge.
+  /// Const because the rate queries (logically read-only) call it; the
+  /// window state is mutable bookkeeping.
+  void expire(sim::Time now) const;
+  [[nodiscard]] bool classify_sampled(const gfx::Framebuffer& fb,
+                                      const gfx::Region& damage, bool primed);
+  [[nodiscard]] bool classify_full_frame(const gfx::Framebuffer& fb,
+                                         const gfx::Region& damage,
+                                         bool primed);
 
   GridSampler sampler_;
   MeteringCostModel cost_model_;
   sim::Duration window_;
   MeterMode mode_;
   gfx::BufferPool* pool_ = nullptr;
-  /// Sampled mode -- front: scratch for the current frame's samples;
-  /// back: previous frame's samples.
-  gfx::DoubleBuffer<std::vector<gfx::Rgb888>> samples_;
-  /// Full-frame mode -- back: the previous frame.
-  gfx::DoubleBuffer<gfx::Framebuffer> frames_;
+  bool damage_culling_ = true;
+  /// Sampled mode: the previous frame's grid samples.  Damage culling
+  /// updates only the covered points in place; the uncovered ones are
+  /// already correct because the frame cannot differ outside its damage.
+  std::vector<gfx::Rgb888> samples_;
+  /// Sampled mode, unculled path only: scratch for the full fresh capture.
+  std::vector<gfx::Rgb888> scratch_;
+  /// Full-frame mode: the retained previous frame.
+  gfx::Framebuffer retained_;
   bool have_prev_ = false;
 
   struct Obs {
     sim::Time t;
     bool meaningful;
   };
-  std::deque<Obs> window_obs_;
+  /// Window state is mutable so the const rate queries can expire through
+  /// the same code path on_frame uses (see expire()).
+  mutable std::deque<Obs> window_obs_;
+  mutable std::uint64_t window_frames_ = 0;      // == window_obs_.size()
+  mutable std::uint64_t window_meaningful_ = 0;  // meaningful obs in window
   std::uint64_t total_frames_ = 0;
   std::uint64_t meaningful_frames_ = 0;
   std::uint64_t misclassified_ = 0;
   double total_compare_ms_ = 0.0;
-  /// Grid points actually read by the most recent classification (early
-  /// exit makes this smaller than sample_count() for meaningful frames).
+  /// Grid points actually read by the most recent classification (damage
+  /// culling or the unculled path's early exit make this smaller than
+  /// sample_count()).
   std::int64_t last_compared_ = 0;
+  /// Grid points the damage proof let the last classification skip.
+  std::int64_t last_skipped_ = 0;
 
   obs::ObsSink* obs_ = nullptr;
   std::uint64_t* ctr_frames_ = nullptr;
   std::uint64_t* ctr_meaningful_ = nullptr;
   std::uint64_t* ctr_pixels_compared_ = nullptr;
+  std::uint64_t* ctr_pixels_skipped_ = nullptr;
   std::uint64_t* ctr_misclassified_ = nullptr;
 };
 

@@ -60,11 +60,55 @@ class GridSampler {
   [[nodiscard]] bool differs(const gfx::Framebuffer& fb,
                              const std::vector<gfx::Rgb888>& prev) const;
 
+  /// The half-open ranges of grid columns and rows whose cell-centre pixel
+  /// lies inside `r`.  Cell centres are monotonic in the cell index, so a
+  /// screen rect maps to a contiguous index block; grid point (i, j) has
+  /// sample index j * cols + i.  Empty ranges mean no centre is covered --
+  /// a change confined to `r` is invisible to the grid.
+  struct IndexRange {
+    int col_begin = 0;
+    int col_end = 0;  // exclusive
+    int row_begin = 0;
+    int row_end = 0;  // exclusive
+
+    [[nodiscard]] bool empty() const {
+      return col_begin >= col_end || row_begin >= row_end;
+    }
+    [[nodiscard]] std::int64_t count() const {
+      return empty() ? 0
+                     : static_cast<std::int64_t>(col_end - col_begin) *
+                           (row_end - row_begin);
+    }
+  };
+  [[nodiscard]] IndexRange index_range(gfx::Rect r) const;
+
+  /// Outcome of a damage-scoped pass: how many grid points were read and
+  /// whether any of them differed from the retained value.
+  struct ScanResult {
+    std::int64_t compared = 0;
+    bool differed = false;
+  };
+
+  /// Fused gather + compare over the grid points inside `r`: reads each
+  /// covered point from `fb`, compares it with `retained`, and writes the
+  /// fresh value back -- damage-scoped retention update and classification
+  /// in one pass.  `retained.size()` must equal sample_count().
+  ScanResult update_in_rect(const gfx::Framebuffer& fb, gfx::Rect r,
+                            std::vector<gfx::Rgb888>& retained) const;
+
+  /// Compares the grid points inside `r` between two full frames (full-frame
+  /// retention mode); no early exit so `compared` is the exact covered count.
+  [[nodiscard]] ScanResult compare_in_rect(const gfx::Framebuffer& fb,
+                                           const gfx::Framebuffer& prev,
+                                           gfx::Rect r) const;
+
  private:
   gfx::Size screen_;
   GridSpec grid_;
   std::vector<gfx::Point> points_;       // centre pixel of each grid cell
   std::vector<std::size_t> flat_index_;  // same points as linear fb offsets
+  std::vector<int> center_xs_;           // centre x per column (ascending)
+  std::vector<int> center_ys_;           // centre y per row (ascending)
 };
 
 }  // namespace ccdem::core

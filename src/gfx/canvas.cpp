@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 namespace ccdem::gfx {
 
@@ -22,12 +25,22 @@ void Canvas::draw_circle(Point center, int radius, Rgb888 c) {
   const Rect clipped = box.intersect(fb_->bounds());
   if (clipped.empty()) return;
   const int r2 = radius * radius;
+  // Row spans: dx^2 + dy^2 <= r^2 is |dx| <= floor(sqrt(r^2 - dy^2)), so
+  // each scanline is one contiguous fill instead of a per-pixel test.  The
+  // float sqrt is corrected to the exact integer bound, so the covered
+  // pixels are identical to the per-pixel formulation.
   for (int y = clipped.y; y < clipped.bottom(); ++y) {
     const int dy = y - center.y;
-    for (int x = clipped.x; x < clipped.right(); ++x) {
-      const int dx = x - center.x;
-      if (dx * dx + dy * dy <= r2) fb_->set(x, y, c);
-    }
+    const int span2 = r2 - dy * dy;
+    if (span2 < 0) continue;
+    int s = static_cast<int>(std::sqrt(static_cast<double>(span2)));
+    while ((s + 1) * (s + 1) <= span2) ++s;
+    while (s * s > span2) --s;
+    const int x0 = std::max(center.x - s, clipped.x);
+    const int x1 = std::min(center.x + s + 1, clipped.right());
+    if (x0 >= x1) continue;
+    auto row = fb_->row(y);
+    std::fill(row.begin() + x0, row.begin() + x1, c);
   }
   mark(clipped);
 }
@@ -54,19 +67,42 @@ void Canvas::draw_text_block(Rect r, Rgb888 fg, Rgb888 bg,
   if (c.empty()) return;
   fb_->fill_rect(c, bg);
   // Simulate lines of text as short fg runs; a simple LCG keyed by `seed`
-  // varies run lengths so distinct strings yield distinct pixels.
+  // varies run lengths so distinct strings yield distinct pixels.  The runs
+  // of a line are generated once into a span list, then painted row by row:
+  // the words of a line share their scanlines, so this walks the buffer in
+  // row-major order with one fill per run instead of one clipped fill_rect
+  // per word -- pixel output is unchanged (runs are disjoint; all lie
+  // inside `c`).
   std::uint32_t state = seed * 2654435761u + 12345u;
   const int line_height = 14;
   const int glyph_height = 9;
+  std::vector<std::pair<int, int>> runs;  // [x, end) per word of one line
   for (int ly = c.y + 3; ly + glyph_height <= c.bottom(); ly += line_height) {
+    runs.clear();
     int x = c.x + 4;
     while (x < c.right() - 4) {
       state = state * 1664525u + 1013904223u;
       const int run = 3 + static_cast<int>(state % 23);   // word width
       const int gap = 3 + static_cast<int>((state >> 8) % 6);
       const int end = std::min(x + run, c.right() - 4);
-      fb_->fill_rect(Rect{x, ly, end - x, glyph_height}, fg);
+      if (end > x) runs.emplace_back(x, end);
       x = end + gap;
+    }
+    // Paint the runs once, then replicate the scanline: every row of a
+    // glyph line is identical (runs and the background between them), so
+    // the other rows are straight copies of the first.
+    if (runs.empty()) continue;
+    auto first = fb_->row(ly);
+    for (const auto& [rx, rend] : runs) {
+      std::fill(first.begin() + rx, first.begin() + rend, fg);
+    }
+    const int span_x = runs.front().first;
+    const int span_end = runs.back().second;
+    for (int y = ly + 1; y < ly + glyph_height; ++y) {
+      auto row = fb_->row(y);
+      std::memcpy(row.data() + span_x, first.data() + span_x,
+                  static_cast<std::size_t>(span_end - span_x) *
+                      sizeof(Rgb888));
     }
   }
   mark(c);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "gfx/compare.h"
+
 namespace ccdem::gfx {
 
 SurfaceFlinger::SurfaceFlinger(Size screen, BufferPool* pool)
@@ -43,19 +45,19 @@ void SurfaceFlinger::set_obs(obs::ObsSink* obs) {
 
 bool SurfaceFlinger::region_differs(const Surface& s, Rect dirty) const {
   // `dirty` is surface-local; translate into screen space and compare the
-  // surface's pixels with what is currently on screen (the front buffer).
+  // surface's pixels with what is currently on screen (the front buffer),
+  // row span against row span.
   const Framebuffer& displayed = chain_.front();
-  const Rect screen_rect = dirty.translated(s.screen_rect().x,
-                                            s.screen_rect().y)
-                               .intersect(Rect::of(screen_));
-  for (int y = screen_rect.y; y < screen_rect.bottom(); ++y) {
-    const int sy = y - s.screen_rect().y;
-    for (int x = screen_rect.x; x < screen_rect.right(); ++x) {
-      const int sx = x - s.screen_rect().x;
-      if (displayed.at(x, y) != s.buffer().at(sx, sy)) return true;
-    }
-  }
-  return false;
+  const int sx = s.screen_rect().x;
+  const int sy = s.screen_rect().y;
+  const Rect screen_rect =
+      dirty.translated(sx, sy).intersect(Rect::of(screen_));
+  if (screen_rect.empty()) return false;
+  const Rect local = screen_rect.translated(-sx, -sy);
+  return !kernels::rows_equal_offset(
+      s.buffer().pixels().data(), s.buffer().width(), local,
+      displayed.pixels().data(), displayed.width(),
+      Point{screen_rect.x, screen_rect.y});
 }
 
 bool SurfaceFlinger::on_vsync(sim::Time t) {
@@ -108,6 +110,7 @@ bool SurfaceFlinger::on_vsync(sim::Time t) {
     }
   }
   chain_.present(damage);
+  info.damage = std::move(damage);
 
   if (info.content_changed) ++content_frames_;
 

@@ -16,6 +16,7 @@
 
 #include "gfx/framebuffer.h"
 #include "gfx/geometry.h"
+#include "gfx/region.h"
 #include "gfx/surface.h"
 #include "gfx/swapchain.h"
 #include "obs/obs.h"
@@ -28,6 +29,13 @@ struct FrameInfo {
   std::uint64_t seq = 0;        ///< monotonically increasing frame number
   sim::Time composed_at{};      ///< V-Sync timestamp of the composition
   Rect dirty{};                 ///< union of latched dirty rects (screen space)
+  /// The exact composed damage (screen space, disjoint rects; dirty is its
+  /// bounding box).  Contract: every pixel that differs from the previous
+  /// frame lies inside it -- the swapchain reconciles the back buffer to the
+  /// previous frame before composing, so pixels outside the damage are
+  /// byte-identical to frame N-1.  Listeners (the content-rate meter) rely
+  /// on this to scope their work to the damage.
+  Region damage;
   bool content_changed = false; ///< ground truth: any pixel actually changed
   std::int64_t composed_pixels = 0;  ///< pixels copied during composition
   /// Pixels recopied to reconcile the age-2 back buffer before composing

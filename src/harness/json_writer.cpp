@@ -1,0 +1,146 @@
+#include "harness/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ccdem::harness {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_newline() {
+  if (have_key_) {
+    // A key was just written; the value follows on the same line.
+    have_key_ = false;
+    return;
+  }
+  assert((stack_.empty() || stack_.back() == Frame::kArray || !started_) &&
+         "object members need a key() before each value");
+  if (needs_comma_) os_ << ',';
+  if (!stack_.empty() && indent_ > 0) {
+    os_ << '\n'
+        << std::string(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+}
+
+void JsonWriter::open(Frame f, char c) {
+  comma_and_newline();
+  started_ = true;
+  os_ << c;
+  stack_.push_back(f);
+  needs_comma_ = false;
+}
+
+void JsonWriter::close(Frame f, char c) {
+  assert(!stack_.empty() && stack_.back() == f && "mismatched close");
+  (void)f;
+  stack_.pop_back();
+  if (needs_comma_ && indent_ > 0) {
+    os_ << '\n'
+        << std::string(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+  os_ << c;
+  needs_comma_ = true;
+  if (stack_.empty()) os_ << '\n';
+}
+
+void JsonWriter::begin_object() { open(Frame::kObject, '{'); }
+void JsonWriter::end_object() { close(Frame::kObject, '}'); }
+void JsonWriter::begin_array() { open(Frame::kArray, '['); }
+void JsonWriter::end_array() { close(Frame::kArray, ']'); }
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject &&
+         "key() outside an object");
+  assert(!have_key_ && "two keys in a row");
+  if (needs_comma_) os_ << ',';
+  if (indent_ > 0) {
+    os_ << '\n'
+        << std::string(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+  os_ << '"' << escape(name) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  have_key_ = true;
+  needs_comma_ = false;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_and_newline();
+  started_ = true;
+  os_ << '"' << escape(s) << '"';
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  comma_and_newline();
+  started_ = true;
+  os_ << (b ? "true" : "false");
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  comma_and_newline();
+  started_ = true;
+  if (!std::isfinite(d)) {
+    os_ << "null";  // JSON has no Inf/NaN
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", d);
+    os_ << buf;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_and_newline();
+  started_ = true;
+  os_ << v;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_and_newline();
+  started_ = true;
+  os_ << v;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value_null() {
+  comma_and_newline();
+  started_ = true;
+  os_ << "null";
+  needs_comma_ = true;
+}
+
+}  // namespace ccdem::harness

@@ -1,0 +1,74 @@
+// JsonWriter: a small streaming JSON emitter for machine-readable bench
+// output (BENCH_*.json perf-trajectory files).
+//
+// The obs layer already writes Chrome trace JSON by hand; this class factors
+// the quoting/nesting bookkeeping so bench binaries can emit structured
+// results without string concatenation.  Output is deterministic (keys in
+// call order, fixed float formatting) so successive runs diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccdem::harness {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers.  The top-level value must be opened with begin_object() or
+  // begin_array(); inside an object every value needs a preceding key().
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view name);
+
+  // Scalars.
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value_null();
+
+  // key() + value() in one call, for the common case.
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once every opened container has been closed again.
+  [[nodiscard]] bool complete() const { return stack_.empty() && started_; }
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void comma_and_newline();
+  void open(Frame f, char c);
+  void close(Frame f, char c);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool needs_comma_ = false;  // a value was emitted at the current level
+  bool have_key_ = false;     // key() emitted, awaiting its value
+  bool started_ = false;
+};
+
+}  // namespace ccdem::harness

@@ -10,21 +10,25 @@ namespace {
 constexpr gfx::Size kScreen{100, 100};
 
 /// Feeds the meter a synthetic frame: optionally mutates a sampled pixel
-/// first so the frame reads as meaningful.
+/// first so the frame reads as meaningful.  Honours the compositor's damage
+/// contract: every mutated pixel is covered by dirty/damage (a real
+/// compositor cannot change the framebuffer without composing the change).
 class MeterFeeder {
  public:
   MeterFeeder() : fb_(kScreen) {}
 
   void feed(ContentRateMeter& meter, sim::Time t, bool change,
             bool ground_truth_matches = true) {
+    gfx::FrameInfo info;
+    info.seq = ++seq_;
+    info.composed_at = t;
     if (change) {
       // (5, 5) is the centre of the first cell of a 10x10 grid.
       toggle_ = !toggle_;
       fb_.set(5, 5, toggle_ ? gfx::colors::kRed : gfx::colors::kGreen);
+      info.dirty = gfx::Rect{5, 5, 1, 1};
+      info.damage = gfx::Region(info.dirty);
     }
-    gfx::FrameInfo info;
-    info.seq = ++seq_;
-    info.composed_at = t;
     info.content_changed = ground_truth_matches ? change : !change;
     meter.on_frame(info, fb_);
   }
@@ -118,9 +122,13 @@ TEST(ContentRateMeter, ChangeOffGridIsMissed) {
   info.composed_at = sim::Time{};
   info.content_changed = true;
   meter.on_frame(info, fb);
-  // Change a pixel no grid cell centre covers.
+  // Change a pixel no grid cell centre covers: the damage is real and
+  // honestly reported, but its rect contains no centre, so the sparse grid
+  // cannot see it.
   fb.set(0, 0, gfx::colors::kWhite);
   info.composed_at = sim::Time{10'000};
+  info.dirty = gfx::Rect{0, 0, 1, 1};
+  info.damage = gfx::Region(info.dirty);
   meter.on_frame(info, fb);
   EXPECT_EQ(meter.meaningful_frames(), 1u);       // missed
   EXPECT_EQ(meter.misclassified_frames(), 1u);    // and counted as an error
@@ -134,6 +142,37 @@ TEST(ContentRateMeter, CompareCostAccumulates) {
   f.feed(meter, sim::Time{0}, true);
   f.feed(meter, sim::Time{1}, true);
   EXPECT_NEAR(meter.total_compare_ms(), 2.0 * per_frame, 1e-12);
+}
+
+TEST(ContentRateMeter, WindowEdgeIsExclusive) {
+  // expire() drops observations with t <= now - window; the rates must use
+  // exactly the same edge.  An observation exactly one window ago is out;
+  // one tick later it is still in.
+  auto meter = make_meter();
+  MeterFeeder f;
+  f.feed(meter, sim::Time{0}, true);
+  // One tick before the edge: the t=0 observation still counts.
+  EXPECT_DOUBLE_EQ(meter.frame_rate(sim::Time{999'999}), 1.0);
+  EXPECT_DOUBLE_EQ(meter.content_rate(sim::Time{999'999}), 1.0);
+  // Exactly at the edge (cutoff == t): excluded.
+  EXPECT_DOUBLE_EQ(meter.frame_rate(sim::Time{1'000'000}), 0.0);
+  EXPECT_DOUBLE_EQ(meter.content_rate(sim::Time{1'000'000}), 0.0);
+}
+
+TEST(ContentRateMeter, RatesTolerateNonMonotonicQueries) {
+  // The running-count implementation must match the old reverse-scan for a
+  // query earlier than the latest one: nothing new expires, so the whole
+  // retained window is counted.
+  auto meter = make_meter();
+  MeterFeeder f;
+  for (int i = 0; i < 5; ++i) {
+    f.feed(meter, sim::Time{i * 100'000}, i % 2 == 0);
+  }
+  EXPECT_DOUBLE_EQ(meter.frame_rate(sim::Time{400'000}), 5.0);
+  // Earlier query after a later one: the deque only holds observations
+  // newer than the last cutoff, so every one of them is in this window too.
+  EXPECT_DOUBLE_EQ(meter.frame_rate(sim::Time{200'000}), 5.0);
+  EXPECT_DOUBLE_EQ(meter.content_rate(sim::Time{200'000}), 3.0);
 }
 
 TEST(ContentRateMeter, WindowSlidesContinuously) {

@@ -12,10 +12,12 @@ namespace {
 
 constexpr gfx::Size kScreen{100, 100};
 
-gfx::FrameInfo frame_at(sim::Tick t) {
+gfx::FrameInfo frame_at(sim::Tick t, gfx::Region damage = {}) {
   gfx::FrameInfo info;
   info.composed_at = sim::Time{t};
   info.content_changed = true;  // ground truth not under test here
+  info.dirty = damage.bounds();
+  info.damage = std::move(damage);
   return info;
 }
 
@@ -29,19 +31,23 @@ TEST(MeterModes, ClassificationsMatchOnRandomSequence) {
   for (int i = 0; i < 200; ++i) {
     // Randomly mutate 0-3 pixels anywhere (on or off grid), plus a direct
     // grid-centre hit every fifth frame so both hit and miss paths occur.
+    // Every touched pixel is reported as damage (compositor contract).
+    gfx::Region damage;
     const auto mutations = rng.uniform_int(0, 3);
     for (int m = 0; m < mutations; ++m) {
-      fb.set(static_cast<int>(rng.uniform_int(0, 99)),
-             static_cast<int>(rng.uniform_int(0, 99)),
-             gfx::Rgb888::from_packed(
-                 static_cast<std::uint32_t>(rng.next_u64())));
+      const int x = static_cast<int>(rng.uniform_int(0, 99));
+      const int y = static_cast<int>(rng.uniform_int(0, 99));
+      fb.set(x, y, gfx::Rgb888::from_packed(
+                       static_cast<std::uint32_t>(rng.next_u64())));
+      damage.add(gfx::Rect{x, y, 1, 1});
     }
     if (i % 5 == 0) {
       fb.set(45, 45, gfx::Rgb888::from_packed(
                          static_cast<std::uint32_t>(rng.next_u64())));
+      damage.add(gfx::Rect{45, 45, 1, 1});
     }
-    sampled.on_frame(frame_at(i * 10'000), fb);
-    full.on_frame(frame_at(i * 10'000), fb);
+    sampled.on_frame(frame_at(i * 10'000, damage), fb);
+    full.on_frame(frame_at(i * 10'000, damage), fb);
     ASSERT_EQ(sampled.meaningful_frames(), full.meaningful_frames())
         << "diverged at frame " << i;
   }
@@ -57,7 +63,7 @@ TEST(MeterModes, FullFrameRetainsPreviousFrame) {
   full.on_frame(frame_at(0), fb);
   EXPECT_EQ(full.previous_frame().at(50, 50), gfx::colors::kRed);
   fb.fill(gfx::colors::kBlue);
-  full.on_frame(frame_at(10'000), fb);
+  full.on_frame(frame_at(10'000, gfx::Region(fb.bounds())), fb);
   EXPECT_EQ(full.previous_frame().at(50, 50), gfx::colors::kBlue);
 }
 
@@ -67,10 +73,10 @@ TEST(MeterModes, FullFrameDetectsOnGridChange) {
   gfx::Framebuffer fb(kScreen);
   full.on_frame(frame_at(0), fb);
   fb.set(5, 5, gfx::colors::kWhite);  // grid cell centre
-  full.on_frame(frame_at(10'000), fb);
+  full.on_frame(frame_at(10'000, gfx::Region(gfx::Rect{5, 5, 1, 1})), fb);
   EXPECT_EQ(full.meaningful_frames(), 2u);
   fb.set(0, 0, gfx::colors::kWhite);  // off grid
-  full.on_frame(frame_at(20'000), fb);
+  full.on_frame(frame_at(20'000, gfx::Region(gfx::Rect{0, 0, 1, 1})), fb);
   EXPECT_EQ(full.meaningful_frames(), 2u);
 }
 
