@@ -1,0 +1,257 @@
+// Fault-envelope sweep: power and delivered quality vs injected fault rate.
+//
+// The robustness layer (src/fault/, DESIGN.md section 9) promises that the
+// self-healing control plane keeps the content-centric policy's quality
+// intact across a realistic envelope of panel/input faults.  This bench
+// measures that promise: it sweeps scaled multiples of the nominal
+// FaultPlan over two representative workloads, records mean power, the
+// display quality vs a clean fixed-60 Hz baseline, and every fault/recovery
+// counter -- for a serial arm AND a work-stealing fleet arm, which must
+// agree bit-exactly (fault injection is part of the reproducible contract).
+//
+// Writes BENCH_faults.json (schema ccdem-bench-faults-v1) and exits
+// non-zero when the gate fails: serial/fleet counters diverging, or display
+// quality at the nominal (1x) fault rate dropping below 95 %.
+//
+// Usage:  bench_fault_envelope [sim_seconds_per_run] [output.json]
+//         CCDEM_BENCH_SECONDS / CCDEM_BENCH_OUT override the defaults
+//         (20 s per run, ./BENCH_faults.json).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app_profiles.h"
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+#include "harness/json_writer.h"
+#include "metrics/quality.h"
+#include "obs/obs.h"
+
+using namespace ccdem;
+
+namespace {
+
+/// Multiples of FaultPlan::nominal(); 0 is the clean control arm.
+constexpr double kScales[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+constexpr double kNominalScale = 1.0;
+constexpr double kQualityGatePct = 95.0;
+
+/// Counters that must be scheduling-independent between the serial and
+/// fleet arms (everything is, except pool.* which tracks worker reuse).
+bool counters_identical(const obs::Counters& serial,
+                        const obs::Counters& fleet) {
+  for (const auto& [name, value] : fleet.snapshot().counters) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    if (serial.value(name) != value) return false;
+  }
+  for (const auto& [name, value] : serial.snapshot().counters) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    if (fleet.value(name) != value) return false;
+  }
+  return true;
+}
+
+struct Workload {
+  std::string name;
+  apps::AppSpec app;
+};
+
+/// A feed app (touch-driven bursts, long idle stretches where a stuck
+/// panel is cheap to hide) and a game (sustained 30+ fps content where
+/// every lost switch shows up in delivered quality immediately).
+std::vector<Workload> workloads() {
+  std::vector<Workload> v;
+  v.push_back({"feed", apps::app_by_name("Facebook")});
+  v.push_back({"game", apps::app_by_name("Jelly Splash")});
+  return v;
+}
+
+harness::ExperimentConfig faulted_config(const Workload& w, int seconds,
+                                         double scale) {
+  harness::ExperimentConfig c = bench::make_config(
+      w.app, harness::ControlMode::kSectionWithBoost, seconds, /*seed=*/1);
+  if (scale > 0.0) c.fault = fault::FaultPlan::nominal().scaled(scale);
+  return c;
+}
+
+struct AppCell {
+  std::string name;
+  double power_mw = 0.0;
+  double quality_pct = 0.0;
+  std::uint64_t rate_switches = 0;
+};
+
+struct ScaleRow {
+  double scale = 0.0;
+  std::vector<AppCell> apps;
+  obs::Counters serial_counters;
+  bool identical = false;
+
+  [[nodiscard]] double min_quality_pct() const {
+    double q = 100.0;
+    for (const AppCell& a : apps) q = std::min(q, a.quality_pct);
+    return q;
+  }
+};
+
+const char* kReportedCounters[] = {
+    "fault.switch_naks",      "fault.switch_delays",
+    "fault.stuck_episodes",   "fault.capability_losses",
+    "fault.touch_dropped",    "fault.touch_duplicated",
+    "fault.touch_delayed",    "fault.meter_bitflips",
+    "dpm.retries",            "dpm.retry_giveups",
+    "dpm.watchdog_fallbacks", "dpm.safe_mode_entries",
+};
+
+std::string out_path(int argc, char** argv) {
+  if (argc > 2) return argv[2];
+  if (const char* env = std::getenv("CCDEM_BENCH_OUT")) return env;
+  return "BENCH_faults.json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 20);
+  const std::string path = out_path(argc, argv);
+  const std::vector<Workload> loads = workloads();
+
+  harness::print_bench_header(
+      std::cout, "Fault envelope: power / quality vs injected fault rate",
+      std::to_string(seconds) + " s per run, scales 0x-4x nominal");
+
+  // Quality reference: a clean fixed-60 Hz run per workload.  The faulted
+  // arms are judged against the content the app would have shown with no
+  // rate control and no faults at all.
+  std::vector<harness::ExperimentResult> ideal;
+  for (const Workload& w : loads) {
+    ideal.push_back(harness::run_experiment(bench::make_config(
+        w.app, harness::ControlMode::kBaseline60, seconds, /*seed=*/1)));
+  }
+
+  std::vector<ScaleRow> rows;
+  for (const double scale : kScales) {
+    ScaleRow row;
+    row.scale = scale;
+
+    std::vector<harness::ExperimentConfig> configs;
+    for (const Workload& w : loads) {
+      configs.push_back(faulted_config(w, seconds, scale));
+    }
+
+    // Serial arm: one private sink per run, merged -- the ground truth.
+    std::vector<harness::ExperimentResult> serial_results;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      harness::ExperimentConfig c = configs[i];
+      obs::ObsSink sink;
+      sink.spans.set_enabled(false);
+      c.obs = &sink;
+      serial_results.push_back(harness::run_experiment(c));
+      row.serial_counters.merge(sink.counters);
+    }
+
+    // Fleet arm: same configs through the work-stealing runner; the
+    // merged counters must match the serial totals exactly.
+    harness::FleetRunner fleet;
+    (void)fleet.run(configs);
+    row.identical =
+        counters_identical(row.serial_counters, fleet.stats().counters);
+
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      AppCell cell;
+      cell.name = loads[i].name;
+      cell.power_mw = serial_results[i].mean_power_mw;
+      cell.quality_pct =
+          metrics::compare_quality(ideal[i].content_rate,
+                                   serial_results[i].content_rate)
+              .display_quality_pct;
+      cell.rate_switches = serial_results[i].rate_switches;
+      row.apps.push_back(std::move(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  harness::TextTable table({"scale", "min quality %", "naks", "stuck",
+                            "touch drops", "retries", "safe modes",
+                            "counters"});
+  for (const ScaleRow& r : rows) {
+    table.add_row(
+        {harness::fmt(r.scale, 2), harness::fmt(r.min_quality_pct(), 1),
+         std::to_string(r.serial_counters.value("fault.switch_naks")),
+         std::to_string(r.serial_counters.value("fault.stuck_episodes")),
+         std::to_string(r.serial_counters.value("fault.touch_dropped")),
+         std::to_string(r.serial_counters.value("dpm.retries")),
+         std::to_string(r.serial_counters.value("dpm.safe_mode_entries")),
+         r.identical ? "identical" : "DIVERGED"});
+  }
+  table.print(std::cout);
+
+  bool all_identical = true;
+  double quality_at_nominal = 100.0;
+  std::uint64_t faults_at_nominal = 0;
+  for (const ScaleRow& r : rows) {
+    all_identical = all_identical && r.identical;
+    if (r.scale == kNominalScale) {
+      quality_at_nominal = r.min_quality_pct();
+      for (const char* name : kReportedCounters) {
+        faults_at_nominal += r.serial_counters.value(name);
+      }
+    }
+  }
+  const bool gate_passed = all_identical &&
+                           quality_at_nominal >= kQualityGatePct &&
+                           faults_at_nominal > 0;
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  harness::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "ccdem-bench-faults-v1");
+  w.kv("generated_by", "bench_fault_envelope");
+  w.kv("sim_seconds_per_run", seconds);
+  w.kv("quality_gate_pct", kQualityGatePct);
+  w.key("scales");
+  w.begin_array();
+  for (const ScaleRow& r : rows) {
+    w.begin_object();
+    w.kv("scale", r.scale);
+    w.kv("counters_identical", r.identical);
+    w.kv("min_quality_pct", r.min_quality_pct());
+    w.key("apps");
+    w.begin_array();
+    for (const AppCell& a : r.apps) {
+      w.begin_object();
+      w.kv("name", a.name);
+      w.kv("power_mw", a.power_mw);
+      w.kv("quality_pct", a.quality_pct);
+      w.kv("rate_switches", a.rate_switches);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("counters");
+    w.begin_object();
+    for (const char* name : kReportedCounters) {
+      w.kv(name, r.serial_counters.value(name));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("all_counters_identical", all_identical);
+  w.kv("quality_at_nominal_pct", quality_at_nominal);
+  w.kv("faults_at_nominal", faults_at_nominal);
+  w.kv("gate_passed", gate_passed);
+  w.end_object();
+
+  std::cout << "\nquality at nominal fault rate: "
+            << harness::fmt(quality_at_nominal, 1) << " % (gate "
+            << (gate_passed ? "PASSED" : "FAILED") << ")\nwrote " << path
+            << "\n";
+  return gate_passed ? 0 : 1;
+}

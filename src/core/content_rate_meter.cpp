@@ -147,6 +147,10 @@ void ContentRateMeter::on_frame(const gfx::FrameInfo& info,
   }
 
   const bool primed = have_prev_;
+  if (sample_fault_ != nullptr && primed &&
+      mode_ == MeterMode::kSampledSnapshot) {
+    sample_fault_->corrupt_samples(info.composed_at, samples_);
+  }
   bool meaningful = mode_ == MeterMode::kFullFrame
                         ? classify_full_frame(fb, *damage, primed)
                         : classify_sampled(fb, *damage, primed);

@@ -47,6 +47,16 @@ enum class MeterMode {
   kFullFrame,
 };
 
+/// Corrupts the meter's retained grid samples before a comparison (fault
+/// layer: readback/bus bit flips).  Declared here so core stays independent
+/// of the fault library; the injector implements it.
+class SampleFault {
+ public:
+  virtual ~SampleFault() = default;
+  virtual void corrupt_samples(sim::Time t,
+                               std::vector<gfx::Rgb888>& samples) = 0;
+};
+
 class ContentRateMeter final : public gfx::FrameListener {
  public:
   /// `pool` (optional) recycles the sample snapshots (and, in full-frame
@@ -64,6 +74,11 @@ class ContentRateMeter final : public gfx::FrameListener {
   /// meter's counters and emits a meter span (with the cost model's modeled
   /// comparison duration) per classified frame.
   void set_obs(obs::ObsSink* obs);
+
+  /// Corrupts retained grid samples ahead of each comparison (fault layer;
+  /// sampled-snapshot mode only).  Null -- the default -- costs the hot
+  /// path nothing but one pointer test.  Not owned.
+  void set_sample_fault(SampleFault* fault) { sample_fault_ = fault; }
 
   /// When true (default), classification reads only the grid points inside
   /// the frame's damage region; when false it rescans the full grid every
@@ -142,6 +157,7 @@ class ContentRateMeter final : public gfx::FrameListener {
   /// Full-frame mode: the retained previous frame.
   gfx::Framebuffer retained_;
   bool have_prev_ = false;
+  SampleFault* sample_fault_ = nullptr;
 
   struct Obs {
     sim::Time t;

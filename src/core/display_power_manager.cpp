@@ -21,7 +21,7 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
       config_(config),
       meter_(flinger.screen_size(), config.grid, config.meter_window,
              MeterMode::kSampledSnapshot, pool),
-      booster_(config.boost_hold),
+      booster_(config.boost_hold, config.boost_min_hold),
       prev_policy_hz_(panel.refresh_hz()),
       obs_(obs) {
   assert(policy_ != nullptr);
@@ -32,6 +32,20 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
     ctr_section_transitions_ =
         &obs_->counters.counter("dpm.section_transitions");
     ctr_boost_activations_ = &obs_->counters.counter("dpm.boost_activations");
+    if (config_.recovery.enabled) {
+      // Registered only with recovery on: a disabled controller publishes
+      // the exact pre-recovery counter set, so golden snapshots stay
+      // bit-identical (the zero-cost-when-disabled contract).
+      ctr_retries_ = &obs_->counters.counter("dpm.retries");
+      ctr_retry_giveups_ = &obs_->counters.counter("dpm.retry_giveups");
+      ctr_watchdog_fallbacks_ =
+          &obs_->counters.counter("dpm.watchdog_fallbacks");
+      ctr_safe_mode_entries_ =
+          &obs_->counters.counter("dpm.safe_mode_entries");
+      ctr_safe_mode_rearms_ = &obs_->counters.counter("dpm.safe_mode_rearms");
+      gauge_degradation_ = &obs_->counters.gauge("dpm.degradation_state");
+      *gauge_degradation_ = 0.0;
+    }
   }
   flinger.add_listener(this);
   refresh_rate_trace_.record(sim_.now(),
@@ -44,10 +58,13 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
 }
 
 int DisplayPowerManager::boost_target_hz() const {
-  if (config_.boost_hz > 0 && panel_.rates().supports(config_.boost_hz)) {
+  // Advertised set == the hardware set unless the fault layer revoked
+  // levels, so the stock behaviour is unchanged.
+  if (config_.boost_hz > 0 &&
+      panel_.advertised_rates().supports(config_.boost_hz)) {
     return config_.boost_hz;
   }
-  return panel_.rates().max_hz();
+  return panel_.advertised_rates().max_hz();
 }
 
 void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
@@ -57,13 +74,10 @@ void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
     ++*ctr_boost_activations_;
   }
   if (!config_.touch_boost) return;
+  if (config_.recovery.enabled && safe_mode()) return;  // already pinned max
   // Boost immediately: waiting for the next evaluation tick would reopen the
   // reaction-lag hole the booster exists to close.
-  const int hz = boost_target_hz();
-  if (panel_.set_refresh_rate(hz)) {
-    if (ctr_rate_changes_ != nullptr) ++*ctr_rate_changes_;
-    refresh_rate_trace_.record(e.t, static_cast<double>(hz));
-  }
+  request_rate(e.t, boost_target_hz());
 }
 
 void DisplayPowerManager::on_frame(const gfx::FrameInfo& info,
@@ -79,31 +93,213 @@ void DisplayPowerManager::on_frame(const gfx::FrameInfo& info,
   }
 }
 
+display::SwitchResult DisplayPowerManager::push_rate(sim::Time t, int hz) {
+  const display::SwitchResult res = panel_.set_refresh_rate(hz);
+  if (res) {
+    if (ctr_rate_changes_ != nullptr) ++*ctr_rate_changes_;
+    refresh_rate_trace_.record(t, static_cast<double>(hz));
+  }
+  return res;
+}
+
+void DisplayPowerManager::request_rate(sim::Time t, int hz) {
+  const display::SwitchResult res = push_rate(t, hz);
+  if (!config_.recovery.enabled) return;
+  if (res.nacked) {
+    if (pending_target_ != hz) {
+      pending_target_ = hz;
+      pending_since_ = t;
+      retries_ = 0;
+      if (!safe_mode()) set_degradation(DegradationState::kRetrying);
+    }
+    if (!retry_scheduled_) schedule_retry(t);
+    return;
+  }
+  if (res.changed) {
+    // Acknowledged: the link is responsive.  Close any retry ladder and
+    // heal the consecutive-fault streak.
+    abandon_pending(t);
+    consecutive_faults_ = 0;
+    if (!safe_mode()) set_degradation(DegradationState::kNormal);
+  }
+  // A redundant request (panel already pending at hz) carries no health
+  // information either way.
+}
+
+void DisplayPowerManager::schedule_retry(sim::Time t) {
+  // Exponential backoff: backoff, 2x, 4x, ... per failed attempt.
+  const sim::Duration backoff{config_.recovery.retry_backoff.ticks
+                              << std::min(retries_, 16)};
+  retry_scheduled_ = true;
+  retry_event_ = sim_.at(t + backoff, [this](sim::Time rt) { on_retry(rt); });
+}
+
+void DisplayPowerManager::on_retry(sim::Time t) {
+  retry_scheduled_ = false;
+  if (!running_ || pending_target_ == 0) return;
+  ++retries_;
+  if (ctr_retries_ != nullptr) ++*ctr_retries_;
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kRecover, t, sim::Duration{},
+                 static_cast<std::uint64_t>(retries_), pending_target_);
+  const display::SwitchResult res = push_rate(t, pending_target_);
+  if (!res.nacked) {
+    // The panel took it (or is already pending there): ladder closed.
+    abandon_pending(t);
+    consecutive_faults_ = 0;
+    if (!safe_mode()) set_degradation(DegradationState::kNormal);
+    return;
+  }
+  if (retries_ >= config_.recovery.max_retries ||
+      t - pending_since_ >= config_.recovery.switch_timeout) {
+    // Give up on this target: one fault, fall back to the maximum
+    // advertised rate (the one request a degraded DDIC is most likely to
+    // honour, and the quality-safe direction).
+    if (ctr_retry_giveups_ != nullptr) ++*ctr_retry_giveups_;
+    abandon_pending(t);
+    note_fault(t);
+    if (!safe_mode()) {
+      set_degradation(DegradationState::kFallback);
+      push_rate(t, panel_.advertised_rates().max_hz());
+    }
+    return;
+  }
+  schedule_retry(t);
+}
+
+void DisplayPowerManager::abandon_pending(sim::Time) {
+  if (retry_scheduled_) {
+    sim_.cancel(retry_event_);
+    retry_scheduled_ = false;
+  }
+  pending_target_ = 0;
+  retries_ = 0;
+}
+
+void DisplayPowerManager::note_fault(sim::Time t) {
+  ++consecutive_faults_;
+  if (!safe_mode() &&
+      consecutive_faults_ >= config_.recovery.safe_mode_after) {
+    enter_safe_mode(t);
+  }
+}
+
+void DisplayPowerManager::set_degradation(DegradationState s) {
+  if (degradation_ == s) return;
+  degradation_ = s;
+  if (gauge_degradation_ != nullptr) {
+    *gauge_degradation_ = static_cast<double>(s);
+  }
+}
+
+void DisplayPowerManager::enter_safe_mode(sim::Time t) {
+  if (ctr_safe_mode_entries_ != nullptr) ++*ctr_safe_mode_entries_;
+  abandon_pending(t);
+  safe_until_ = t + config_.recovery.safe_mode_cooldown;
+  set_degradation(DegradationState::kSafeMode);
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kRecover, t,
+                 config_.recovery.safe_mode_cooldown, evaluations_,
+                 static_cast<int>(DegradationState::kSafeMode));
+  // Pin the maximum advertised rate for the cooldown.  A NAK here opens the
+  // retry ladder on the pin itself; every evaluation re-requests it too.
+  request_rate(t, panel_.advertised_rates().max_hz());
+}
+
 void DisplayPowerManager::evaluate(sim::Time t) {
   ++evaluations_;
   const double content_fps = meter_.content_rate(t);
   content_rate_trace_.record(t, content_fps);
 
-  const int policy_hz = policy_->decide(t, content_fps, panel_.refresh_hz());
-  if (policy_hz != prev_policy_hz_) {
-    prev_policy_hz_ = policy_hz;
-    if (ctr_section_transitions_ != nullptr) ++*ctr_section_transitions_;
+  const bool recovery = config_.recovery.enabled;
+  if (recovery && safe_mode() && t >= safe_until_) {
+    // Cooldown elapsed: re-arm content-rate control.
+    consecutive_faults_ = 0;
+    if (ctr_safe_mode_rearms_ != nullptr) ++*ctr_safe_mode_rearms_;
+    set_degradation(DegradationState::kNormal);
   }
 
-  int target = policy_hz;
-  if (config_.touch_boost && booster_.active(t)) {
-    // While boosted, never go below the policy's own choice (a game whose
-    // content warrants more than the boost cap keeps its higher rate).
-    target = std::max(boost_target_hz(), policy_hz);
+  int target;
+  if (recovery && safe_mode()) {
+    // Content-rate control suspended: hold the maximum advertised rate.
+    target = panel_.advertised_rates().max_hz();
+  } else {
+    const int policy_hz = policy_->decide(t, content_fps, panel_.refresh_hz());
+    if (policy_hz != prev_policy_hz_) {
+      prev_policy_hz_ = policy_hz;
+      if (ctr_section_transitions_ != nullptr) ++*ctr_section_transitions_;
+    }
+    target = policy_hz;
+    if (config_.touch_boost && booster_.active(t)) {
+      // While boosted, never go below the policy's own choice (a game whose
+      // content warrants more than the boost cap keeps its higher rate).
+      target = std::max(boost_target_hz(), policy_hz);
+    }
+    if (config_.min_hz > 0 && target < config_.min_hz &&
+        panel_.rates().supports(config_.min_hz)) {
+      target = config_.min_hz;
+    }
+    if (recovery) {
+      // Revalidate against what the DDIC currently advertises (identity
+      // while nothing is revoked; otherwise the next level up survives the
+      // capability loss -- never a lower one).
+      target =
+          panel_.advertised_rates().ceil_rate(static_cast<double>(target));
+    }
   }
-  if (config_.min_hz > 0 && target < config_.min_hz &&
-      panel_.rates().supports(config_.min_hz)) {
-    target = config_.min_hz;
+
+  if (recovery) {
+    // --- watchdog ---------------------------------------------------------
+    if (panel_.vsync_count() != last_vsync_count_) {
+      last_vsync_count_ = panel_.vsync_count();
+      last_vsync_progress_ = t;
+    }
+    // Low rungs legitimately need up to one (long) old period to move; give
+    // the watchdog at least two periods of grace before calling it stuck.
+    const sim::Duration grace =
+        std::max(config_.recovery.watchdog_window,
+                 sim::Duration{2 * sim::period_of_hz(
+                                       std::max(1, panel_.refresh_hz()))
+                                       .ticks});
+    bool trip = false;
+    if (t - last_vsync_progress_ > grace) trip = true;  // no vsync ack
+    // Delivered-quality collapse: we keep asking for more than the panel
+    // presents (a switch that never lands, or a stuck-at-low panel).
+    const bool underserving = target > panel_.refresh_hz();
+    if (underserving && !underserved_) {
+      underserved_ = true;
+      underserved_since_ = t;
+    } else if (!underserving) {
+      underserved_ = false;
+    }
+    if (underserved_ && t - underserved_since_ > grace) {
+      trip = true;
+      underserved_since_ = t;  // re-arm: at most one trip per window
+    }
+    if (trip && !safe_mode()) {
+      if (ctr_watchdog_fallbacks_ != nullptr) ++*ctr_watchdog_fallbacks_;
+      abandon_pending(t);
+      note_fault(t);  // may escalate straight into safe mode
+      if (!safe_mode()) set_degradation(DegradationState::kFallback);
+      target = panel_.advertised_rates().max_hz();
+      CCDEM_OBS_SPAN(obs_, obs::Phase::kRecover, t, sim::Duration{},
+                     evaluations_, target);
+    }
+    // --- pending-switch timeout (ladder open but unresolved) --------------
+    if (pending_target_ != 0 &&
+        t - pending_since_ >= config_.recovery.switch_timeout) {
+      if (ctr_retry_giveups_ != nullptr) ++*ctr_retry_giveups_;
+      abandon_pending(t);
+      note_fault(t);
+      if (!safe_mode()) set_degradation(DegradationState::kFallback);
+      target = panel_.advertised_rates().max_hz();
+    }
   }
+
   if (ctr_evaluations_ != nullptr) ++*ctr_evaluations_;
-  if (panel_.set_refresh_rate(target)) {
-    if (ctr_rate_changes_ != nullptr) ++*ctr_rate_changes_;
-    refresh_rate_trace_.record(t, static_cast<double>(target));
+  if (recovery && pending_target_ != 0 && pending_target_ == target) {
+    // The retry ladder already owns this target; its backoff cadence drives
+    // the re-requests instead of hammering the DDIC every evaluation.
+  } else {
+    request_rate(t, target);
   }
   CCDEM_OBS_SPAN(obs_, obs::Phase::kGovern, t, sim::Duration{}, evaluations_,
                  target);

@@ -21,6 +21,43 @@
 
 namespace ccdem::core {
 
+/// Self-healing behaviour against a faulty panel link (DESIGN.md section 9).
+/// Disabled by default -- the paper's kernel-patched panel never fails, and
+/// with `enabled == false` the controller registers no extra counters and
+/// takes no extra branches on the ack path, keeping golden traces
+/// bit-identical.  The device layer auto-enables it when a FaultPlan is
+/// active.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// A NAK'd switch is retried this many times with exponential backoff
+  /// (backoff, 2x, 4x, ...) before the attempt counts as one fault.
+  int max_retries = 4;
+  sim::Duration retry_backoff = sim::milliseconds(40);
+  /// A target unreached for this long (NAK streak or settle stall) counts
+  /// as one fault and abandons the retry ladder.
+  sim::Duration switch_timeout = sim::milliseconds(400);
+  /// Watchdog: content rate persistently above the panel's effective rate
+  /// (delivered-quality collapse), or no vsync progress, sustained for this
+  /// long forces fallback to the maximum advertised rate.
+  sim::Duration watchdog_window = sim::milliseconds(600);
+  /// Consecutive faults (retry giveups, switch timeouts, watchdog trips)
+  /// without an intervening acknowledged switch before safe mode engages:
+  /// content-rate control off, panel pinned to the maximum advertised rate.
+  int safe_mode_after = 4;
+  /// Safe mode re-arms (section control resumes, fault count resets) after
+  /// this cooldown.
+  sim::Duration safe_mode_cooldown = sim::seconds(3);
+};
+
+/// Controller health, exported as the dpm.degradation_state gauge (only
+/// when recovery is enabled).
+enum class DegradationState {
+  kNormal = 0,    ///< section control, panel acking
+  kRetrying = 1,  ///< a NAK'd switch is on the retry/backoff ladder
+  kFallback = 2,  ///< watchdog or giveup forced the maximum rate
+  kSafeMode = 3,  ///< content control suspended until the cooldown expires
+};
+
 struct DpmConfig {
   GridSpec grid = GridSpec::grid_9k();
   sim::Duration meter_window = sim::seconds(1);
@@ -48,6 +85,10 @@ struct DpmConfig {
   /// below a core's peak (the paper calls the cost "almost no overhead").
   bool charge_meter_cost = true;
   double meter_cpu_mw = 100.0;
+  /// Minimum time the touch boost stays up after the touch that opened it
+  /// (tolerates a lossy input path; 0 = classic behaviour).
+  sim::Duration boost_min_hold{};
+  RecoveryConfig recovery{};
 };
 
 class DisplayPowerManager final : public input::TouchListener,
@@ -80,6 +121,16 @@ class DisplayPowerManager final : public input::TouchListener,
   [[nodiscard]] const RefreshPolicy& policy() const { return *policy_; }
   [[nodiscard]] const TouchBooster& booster() const { return booster_; }
 
+  /// Current recovery state (kNormal whenever recovery is disabled).
+  [[nodiscard]] DegradationState degradation_state() const {
+    return degradation_;
+  }
+  /// Faults since the last acknowledged switch / safe-mode re-arm.
+  [[nodiscard]] int consecutive_faults() const { return consecutive_faults_; }
+
+  /// Forwards a sample-corruption hook to the meter (fault layer).
+  void set_sample_fault(SampleFault* fault) { meter_.set_sample_fault(fault); }
+
   /// Content rate sampled at each evaluation tick (fps).
   [[nodiscard]] const sim::Trace& content_rate_trace() const {
     return content_rate_trace_;
@@ -92,6 +143,23 @@ class DisplayPowerManager final : public input::TouchListener,
  private:
   void evaluate(sim::Time t);
   [[nodiscard]] int boost_target_hz() const;
+
+  // --- self-healing helpers (all no-ops unless recovery is enabled) -------
+  /// The raw push: set_refresh_rate + rate-change counter + trace record.
+  display::SwitchResult push_rate(sim::Time t, int hz);
+  /// Pushes `hz` to the panel, recording the trace/counter on a change and
+  /// feeding the recovery state machine on a NAK or an ack.
+  void request_rate(sim::Time t, int hz);
+  void schedule_retry(sim::Time t);
+  void on_retry(sim::Time t);
+  void abandon_pending(sim::Time t);
+  /// One fault observed; escalates to safe mode after the configured streak.
+  void note_fault(sim::Time t);
+  void set_degradation(DegradationState s);
+  void enter_safe_mode(sim::Time t);
+  [[nodiscard]] bool safe_mode() const {
+    return degradation_ == DegradationState::kSafeMode;
+  }
 
   sim::Simulator& sim_;
   display::DisplayPanel& panel_;
@@ -108,11 +176,31 @@ class DisplayPowerManager final : public input::TouchListener,
   int prev_policy_hz_ = 0;
   std::uint64_t evaluations_ = 0;
 
+  // --- recovery state (inert while config_.recovery.enabled is false) -----
+  DegradationState degradation_ = DegradationState::kNormal;
+  int pending_target_ = 0;  ///< NAK'd target on the retry ladder; 0 = none
+  int retries_ = 0;
+  sim::Time pending_since_{};
+  bool retry_scheduled_ = false;
+  sim::EventHandle retry_event_{};
+  int consecutive_faults_ = 0;
+  sim::Time safe_until_{};
+  bool underserved_ = false;       ///< content rate above the presented rate
+  sim::Time underserved_since_{};
+  std::uint64_t last_vsync_count_ = 0;
+  sim::Time last_vsync_progress_{};
+
   obs::ObsSink* obs_ = nullptr;
   std::uint64_t* ctr_evaluations_ = nullptr;
   std::uint64_t* ctr_rate_changes_ = nullptr;
   std::uint64_t* ctr_section_transitions_ = nullptr;
   std::uint64_t* ctr_boost_activations_ = nullptr;
+  std::uint64_t* ctr_retries_ = nullptr;
+  std::uint64_t* ctr_retry_giveups_ = nullptr;
+  std::uint64_t* ctr_watchdog_fallbacks_ = nullptr;
+  std::uint64_t* ctr_safe_mode_entries_ = nullptr;
+  std::uint64_t* ctr_safe_mode_rearms_ = nullptr;
+  double* gauge_degradation_ = nullptr;
 };
 
 }  // namespace ccdem::core

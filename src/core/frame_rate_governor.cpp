@@ -11,9 +11,11 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
                                      std::function<void(double)> set_cap,
                                      power::DevicePowerModel* power,
                                      Config config, gfx::BufferPool* pool,
-                                     obs::ObsSink* obs)
+                                     obs::ObsSink* obs,
+                                     const display::DisplayPanel* panel)
     : set_cap_(std::move(set_cap)),
       power_(power),
+      panel_(panel),
       config_(config),
       meter_(flinger.screen_size(), config.grid, config.meter_window,
              MeterMode::kSampledSnapshot, pool),
@@ -47,7 +49,8 @@ void FrameRateGovernor::on_frame(const gfx::FrameInfo& info,
 }
 
 void FrameRateGovernor::on_touch(const input::TouchEvent& e) {
-  last_touch_ = e.t;
+  // A late-delivered (fault layer) event must not rewind the hold window.
+  last_touch_ = std::max(last_touch_, e.t);
   if (current_cap_ != 0.0) {
     // Release immediately: interaction must not wait for the next tick.
     current_cap_ = 0.0;
@@ -65,6 +68,18 @@ void FrameRateGovernor::evaluate(sim::Time t) {
   } else {
     cap = std::max(config_.min_cap_fps,
                    meter_.content_rate(t) * config_.headroom);
+  }
+  if (panel_ != nullptr && cap > 0.0) {
+    // Revalidate against the currently-advertised rates: frames above what
+    // the link can present are pure waste.  Only a genuine capability loss
+    // narrows the set, so the stock behaviour (cap free to exceed the
+    // ladder) is untouched.
+    const display::RefreshRateSet& advertised = panel_->advertised_rates();
+    const int hw_max = panel_->rates().max_hz();
+    if (advertised.max_hz() < hw_max &&
+        cap > static_cast<double>(advertised.max_hz())) {
+      cap = static_cast<double>(advertised.max_hz());
+    }
   }
   if (ctr_evaluations_ != nullptr) ++*ctr_evaluations_;
   if (cap != current_cap_) {

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "core/content_rate_meter.h"
+#include "display/display_panel.h"
 #include "gfx/surface_flinger.h"
 #include "input/touch_event.h"
 #include "obs/obs.h"
@@ -47,12 +48,16 @@ class FrameRateGovernor final : public gfx::FrameListener,
   /// `set_cap(fps)` throttles the governed app; 0 lifts the cap.
   /// `power` may be null.  `pool` (optional) recycles the meter's buffers.
   /// `obs` (optional) receives governor.* counters and a govern span per
-  /// evaluation tick.
+  /// evaluation tick.  `panel` (optional) lets the governor revalidate its
+  /// cap against the panel's currently-advertised rates (fault layer: a
+  /// capability loss must not leave the app rendering frames the link
+  /// cannot present).
   FrameRateGovernor(sim::Simulator& sim, gfx::SurfaceFlinger& flinger,
                     std::function<void(double)> set_cap,
                     power::DevicePowerModel* power, Config config = {},
                     gfx::BufferPool* pool = nullptr,
-                    obs::ObsSink* obs = nullptr);
+                    obs::ObsSink* obs = nullptr,
+                    const display::DisplayPanel* panel = nullptr);
 
   FrameRateGovernor(const FrameRateGovernor&) = delete;
   FrameRateGovernor& operator=(const FrameRateGovernor&) = delete;
@@ -61,6 +66,10 @@ class FrameRateGovernor final : public gfx::FrameListener,
   void on_touch(const input::TouchEvent& e) override;
 
   void stop() { running_ = false; }
+
+  /// Routes the fault layer's sample corruption into the meter (null
+  /// detaches).
+  void set_sample_fault(SampleFault* fault) { meter_.set_sample_fault(fault); }
 
   [[nodiscard]] const ContentRateMeter& meter() const { return meter_; }
   /// Applied cap over time (0 = uncapped); step signal.
@@ -71,6 +80,7 @@ class FrameRateGovernor final : public gfx::FrameListener,
 
   std::function<void(double)> set_cap_;
   power::DevicePowerModel* power_;
+  const display::DisplayPanel* panel_ = nullptr;
   Config config_;
   ContentRateMeter meter_;
   sim::Time last_touch_{sim::Time{} - sim::seconds(3600)};

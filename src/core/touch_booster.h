@@ -8,6 +8,7 @@
 // configurable time after the last event.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "input/touch_event.h"
@@ -17,23 +18,37 @@ namespace ccdem::core {
 
 class TouchBooster final : public input::TouchListener {
  public:
-  explicit TouchBooster(sim::Duration hold = sim::seconds(1))
-      : hold_(hold) {}
+  /// `min_hold`: minimum time the window stays open after the touch that
+  /// opened it, regardless of later events.  0 (the default) is the classic
+  /// behaviour; a lossy input path (fault layer) sets it so a dropped "up"
+  /// event cannot shorten an interaction's boost below a usable floor.
+  explicit TouchBooster(sim::Duration hold = sim::seconds(1),
+                        sim::Duration min_hold = sim::Duration{})
+      : hold_(hold), min_hold_(min_hold) {}
 
   void on_touch(const input::TouchEvent& e) override {
-    if (!active(e.t)) ++activations_;  // window was closed: this opens it
-    last_touch_ = e.t;
+    if (!active(e.t)) {
+      ++activations_;  // window was closed: this opens it
+      opened_at_ = e.t;
+    }
+    // A late-delivered event carries an older timestamp than one already
+    // seen; the window edge must never move backwards.
+    last_touch_ = std::max(last_touch_, e.t);
     touched_ = true;
     ++touch_events_;
   }
 
-  /// True while the boost window after the last touch is open.
+  /// True while the boost window after the last touch is open (or the
+  /// opening touch's minimum hold has not elapsed).
   [[nodiscard]] bool active(sim::Time now) const {
-    return touched_ && now <= last_touch_ + hold_;
+    return touched_ &&
+           (now <= last_touch_ + hold_ || now <= opened_at_ + min_hold_);
   }
 
   [[nodiscard]] sim::Duration hold() const { return hold_; }
   void set_hold(sim::Duration hold) { hold_ = hold; }
+  [[nodiscard]] sim::Duration min_hold() const { return min_hold_; }
+  void set_min_hold(sim::Duration min_hold) { min_hold_ = min_hold; }
   [[nodiscard]] std::uint64_t touch_events() const { return touch_events_; }
   /// Closed->open transitions of the boost window (a burst of touches
   /// inside one window counts once).
@@ -41,7 +56,9 @@ class TouchBooster final : public input::TouchListener {
 
  private:
   sim::Duration hold_;
+  sim::Duration min_hold_;
   sim::Time last_touch_{};
+  sim::Time opened_at_{};
   bool touched_ = false;
   std::uint64_t touch_events_ = 0;
   std::uint64_t activations_ = 0;

@@ -17,6 +17,7 @@
 #include "core/self_refresh_controller.h"
 #include "device/control_mode.h"
 #include "display/refresh_rate.h"
+#include "fault/fault_plan.h"
 #include "gfx/geometry.h"
 #include "obs/obs.h"
 #include "power/device_power_model.h"
@@ -54,6 +55,12 @@ struct DeviceConfig {
   std::optional<power::OledParams> oled;
   /// Panel self-refresh extension: link powers down on static content.
   std::optional<core::SelfRefreshConfig> self_refresh;
+  /// Fault injection (robustness layer).  Default-constructed = empty plan:
+  /// no injector is built, no fault.* counters register, and the device is
+  /// bit-identical to a build without the fault layer.  A non-empty plan
+  /// builds a FaultInjector (RNG stream kFaultRngStream) and auto-enables
+  /// the DPM's self-healing recovery plane.
+  fault::FaultPlan fault{};
   /// Observability sink (optional, not owned; must outlive the device).
   /// When set, every component publishes its counters into it and the
   /// hot paths record per-frame spans (compose / meter / govern /

@@ -59,6 +59,7 @@ void SimulatedDevice::configure(const DeviceConfig& config) {
   apps_.clear();
   pending_input_apps_.clear();
   touch_power_.reset();
+  fault_.reset();
   dispatcher_.reset();
   composer_.reset();
   panel_.reset();  // rate listener captures this->power_ / refresh_trace_
@@ -125,6 +126,16 @@ void SimulatedDevice::configure(const DeviceConfig& config) {
 
   dispatcher_ = std::make_unique<input::InputDispatcher>(*sim_);
   touch_power_ = std::make_unique<TouchPowerHook>(*power_);
+
+  if (!config_.fault.empty()) {
+    // The injector forks its own RNG stream, so adding faults to a run
+    // leaves the app and Monkey streams untouched (A/B against the clean
+    // run stays seed-comparable).
+    fault_ = std::make_unique<fault::FaultInjector>(
+        *sim_, config_.fault, root_.fork(kFaultRngStream), config_.obs);
+    fault_->attach_panel(panel_.get());
+    fault_->attach_input(dispatcher_.get());
+  }
 }
 
 apps::AppModel& SimulatedDevice::install_app(const apps::AppSpec& spec,
@@ -156,14 +167,21 @@ void SimulatedDevice::start_control() {
     governor_ = std::make_unique<core::FrameRateGovernor>(
         *sim_, *flinger_,
         [primary](double fps) { primary->set_request_cap(fps); },
-        power_.get(), config_.governor, pool_.get(), config_.obs);
+        power_.get(), config_.governor, pool_.get(), config_.obs,
+        panel_.get());
+    if (fault_) governor_->set_sample_fault(fault_.get());
   } else if (config_.mode != ControlMode::kBaseline60) {
     core::DpmConfig dc = config_.dpm;
     dc.touch_boost = config_.mode == ControlMode::kSectionWithBoost ||
                      config_.mode == ControlMode::kSectionHysteresis;
+    // A faulted run always gets the self-healing plane: content-rate
+    // control against a flaky panel without recovery is not a supported
+    // configuration.
+    if (fault_) dc.recovery.enabled = true;
     dpm_ = std::make_unique<core::DisplayPowerManager>(
         *sim_, *panel_, *flinger_, make_refresh_policy(config_), power_.get(),
         dc, pool_.get(), config_.obs);
+    if (fault_) dpm_->set_sample_fault(fault_.get());
   }
   if (config_.self_refresh) {
     psr_ = std::make_unique<core::SelfRefreshController>(

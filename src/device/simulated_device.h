@@ -36,6 +36,7 @@
 #include "core/self_refresh_controller.h"
 #include "device/device_config.h"
 #include "display/display_panel.h"
+#include "fault/fault_injector.h"
 #include "gfx/buffer_pool.h"
 #include "gfx/surface_flinger.h"
 #include "input/input_dispatcher.h"
@@ -54,9 +55,11 @@ namespace ccdem::device {
 class SimulatedDevice {
  public:
   /// Canonical RNG stream ids: a single-app experiment forks the app model
-  /// from stream 1 and its Monkey script from stream 2 off the seed root.
+  /// from stream 1, its Monkey script from stream 2 and the fault injector
+  /// from stream 3 off the seed root.
   static constexpr std::uint64_t kAppRngStream = 1;
   static constexpr std::uint64_t kMonkeyRngStream = 2;
+  static constexpr std::uint64_t kFaultRngStream = 3;
 
   explicit SimulatedDevice(bool use_buffer_pool = false);
   ~SimulatedDevice();
@@ -122,6 +125,8 @@ class SimulatedDevice {
   [[nodiscard]] core::DisplayPowerManager* dpm() { return dpm_.get(); }
   [[nodiscard]] core::FrameRateGovernor* governor() { return governor_.get(); }
   [[nodiscard]] core::SelfRefreshController* psr() { return psr_.get(); }
+  /// Null unless the config carries a non-empty FaultPlan.
+  [[nodiscard]] fault::FaultInjector* fault() { return fault_.get(); }
   [[nodiscard]] power::OledPanelModel* oled_model() { return oled_.get(); }
   /// Null until the first run_for()/run_until() after configure().
   [[nodiscard]] power::MonsoonMeter* meter() { return meter_.get(); }
@@ -154,6 +159,7 @@ class SimulatedDevice {
   std::unique_ptr<display::DisplayPanel> panel_;
   std::unique_ptr<ComposerHook> composer_;
   std::unique_ptr<input::InputDispatcher> dispatcher_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<TouchPowerHook> touch_power_;
   std::unique_ptr<core::DisplayPowerManager> dpm_;
   std::unique_ptr<core::FrameRateGovernor> governor_;

@@ -10,10 +10,31 @@ DisplayPanel::DisplayPanel(sim::Simulator& sim, RefreshRateSet rates,
                            int initial_hz)
     : sim_(sim),
       rates_(std::move(rates)),
+      advertised_(rates_),
       refresh_hz_(initial_hz),
       pending_hz_(initial_hz) {
   assert(rates_.supports(initial_hz));
   sim_.at(sim_.now(), [this](sim::Time t) { tick(t); });
+}
+
+void DisplayPanel::set_rate_advertised(int hz, bool advertised) {
+  assert(rates_.supports(hz));
+  const auto it = std::find(revoked_.begin(), revoked_.end(), hz);
+  if (advertised) {
+    if (it == revoked_.end()) return;
+    revoked_.erase(it);
+  } else {
+    if (it != revoked_.end()) return;
+    revoked_.push_back(hz);
+  }
+  std::vector<int> alive;
+  for (int r : rates_.rates()) {
+    if (std::find(revoked_.begin(), revoked_.end(), r) == revoked_.end()) {
+      alive.push_back(r);
+    }
+  }
+  assert(!alive.empty() && "at least one rate must stay advertised");
+  advertised_ = RefreshRateSet(std::move(alive));
 }
 
 void DisplayPanel::add_observer(VsyncPhase phase, VsyncObserver* obs) {
@@ -26,20 +47,28 @@ void DisplayPanel::add_rate_listener(
   rate_listeners_.push_back(std::move(cb));
 }
 
-bool DisplayPanel::set_refresh_rate(int hz) {
+SwitchResult DisplayPanel::set_refresh_rate(int hz) {
   assert(rates_.supports(hz));
-  if (hz == pending_hz_) return false;
+  if (hz == pending_hz_) return {};
+  sim::Duration settle{};
+  if (interceptor_ != nullptr) {
+    const SwitchInterceptor::Decision d =
+        interceptor_->on_switch_request(sim_.now(), refresh_hz_, hz);
+    if (!d.ack) return SwitchResult{.changed = false, .nacked = true};
+    settle = d.settle;
+  }
   pending_hz_ = hz;
+  pending_applies_at_ = sim_.now() + settle;
   if (fast_rate_up_ && hz > refresh_hz_ && running_ && vsync_count_ > 0) {
     // Fast exit: do not wait out the remaining (long) old period -- retime
     // the next tick to one new-rate period after the last tick, clamped to
-    // "not in the past".
-    const sim::Time earlier =
-        std::max(last_tick_ + sim::period_of_hz(hz), sim_.now());
+    // "not in the past" (nor before the settle window closes).
+    const sim::Time earlier = std::max(
+        {last_tick_ + sim::period_of_hz(hz), sim_.now(), pending_applies_at_});
     sim_.cancel(next_tick_);
     next_tick_ = sim_.at(earlier, [this](sim::Time t) { tick(t); });
   }
-  return true;
+  return SwitchResult{.changed = true};
 }
 
 void DisplayPanel::stop() { running_ = false; }
@@ -47,8 +76,10 @@ void DisplayPanel::stop() { running_ = false; }
 void DisplayPanel::tick(sim::Time t) {
   if (!running_) return;
 
-  // Apply a pending rate change at the period boundary.
-  if (pending_hz_ != refresh_hz_) {
+  // Apply a pending rate change at the period boundary (once any injected
+  // settle delay has elapsed; the default pending_applies_at_ of 0 never
+  // gates).
+  if (pending_hz_ != refresh_hz_ && t >= pending_applies_at_) {
     refresh_hz_ = pending_hz_;
     for (const auto& cb : rate_listeners_) cb(t, refresh_hz_);
   }

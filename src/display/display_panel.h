@@ -31,6 +31,29 @@ class VsyncObserver {
   virtual void on_vsync(sim::Time t, int refresh_hz) = 0;
 };
 
+/// Models the DDIC's reaction to a switch request (fault layer).  The
+/// default -- no interceptor installed -- is the paper's kernel-patched
+/// panel: every request is acknowledged and lands at the next boundary.
+class SwitchInterceptor {
+ public:
+  struct Decision {
+    bool ack = true;        ///< false: the DDIC refuses the request
+    sim::Duration settle{}; ///< extra time before the switch may land
+  };
+  virtual ~SwitchInterceptor() = default;
+  virtual Decision on_switch_request(sim::Time t, int from_hz, int to_hz) = 0;
+};
+
+/// Outcome of a switch request.  Converts to bool as "the pending rate
+/// moved" -- exactly what set_refresh_rate() used to return -- so existing
+/// call sites keep working; `nacked` distinguishes a DDIC refusal from a
+/// redundant request for the self-healing controller.
+struct SwitchResult {
+  bool changed = false;
+  bool nacked = false;
+  explicit operator bool() const { return changed; }
+};
+
 class DisplayPanel {
  public:
   /// Starts ticking immediately: the first V-Sync fires at sim.now().
@@ -43,16 +66,34 @@ class DisplayPanel {
   [[nodiscard]] int refresh_hz() const { return refresh_hz_; }
   [[nodiscard]] std::uint64_t vsync_count() const { return vsync_count_; }
 
+  /// The rates the DDIC currently advertises as switchable-to.  Equals
+  /// rates() unless a transient capability loss (fault layer) revoked some;
+  /// controllers revalidate targets against this set.
+  [[nodiscard]] const RefreshRateSet& advertised_rates() const {
+    return advertised_;
+  }
+  /// Marks a supported rate (un)available for new switch requests; the
+  /// current rate keeps scanning out regardless.  At least one rate must
+  /// stay advertised.
+  void set_rate_advertised(int hz, bool advertised);
+
   void add_observer(VsyncPhase phase, VsyncObserver* obs);
 
   /// Callback invoked whenever the effective refresh rate changes; receives
   /// the change time and the new rate.  Used by the power model and traces.
   void add_rate_listener(std::function<void(sim::Time, int)> cb);
 
+  /// Interposes on switch requests (fault layer); null restores the
+  /// perfectly reliable default.  Not owned; must outlive the panel's use.
+  void set_switch_interceptor(SwitchInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
   /// Requests a refresh rate change; `hz` must be a supported level.
-  /// Takes effect at the next V-Sync boundary.  Returns true if the target
-  /// differs from the current pending rate.
-  bool set_refresh_rate(int hz);
+  /// Takes effect at the next V-Sync boundary (later if an interceptor adds
+  /// settle time).  `changed` is true if the target differs from the
+  /// current pending rate; `nacked` if an interceptor refused it.
+  SwitchResult set_refresh_rate(int hz);
 
   /// Fast rate-up ("fast exit"): when enabled, an *increase* reschedules the
   /// next V-Sync to one new-rate period after the last tick instead of
@@ -70,8 +111,12 @@ class DisplayPanel {
 
   sim::Simulator& sim_;
   RefreshRateSet rates_;
+  RefreshRateSet advertised_;  // rates_ minus transiently revoked levels
+  std::vector<int> revoked_;
   int refresh_hz_;          // rate in effect for the current period
   int pending_hz_;          // rate requested for the next period
+  sim::Time pending_applies_at_{};  // boundary gate for a settling switch
+  SwitchInterceptor* interceptor_ = nullptr;
   bool running_ = true;
   bool fast_rate_up_ = false;
   sim::EventHandle next_tick_;

@@ -1,0 +1,167 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace ccdem::fault {
+namespace {
+
+// Sub-stream ids under the injector's root stream.  Fixed forever: changing
+// one fault class's draw pattern must not reshuffle the others.
+constexpr std::uint64_t kSwitchStream = 1;
+constexpr std::uint64_t kEpisodeStream = 2;
+constexpr std::uint64_t kTouchStream = 3;
+constexpr std::uint64_t kMeterStream = 4;
+
+sim::Duration exp_gap(sim::Rng& rng, double per_s) {
+  // Mean gap 1/rate seconds; floor at one tick so a huge rate cannot
+  // schedule a zero-delay self-perpetuating event.
+  const double gap_s = rng.exponential(1.0 / per_s);
+  const auto ticks = static_cast<std::int64_t>(gap_s * 1e6);
+  return sim::Duration{std::max<std::int64_t>(1, ticks)};
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, const FaultPlan& plan,
+                             sim::Rng rng, obs::ObsSink* obs)
+    : sim_(sim),
+      plan_(plan),
+      switch_rng_(rng.fork(kSwitchStream)),
+      episode_rng_(rng.fork(kEpisodeStream)),
+      touch_rng_(rng.fork(kTouchStream)),
+      meter_rng_(rng.fork(kMeterStream)) {
+  if (obs != nullptr) {
+    ctr_switch_naks_ = &obs->counters.counter("fault.switch_naks");
+    ctr_switch_delays_ = &obs->counters.counter("fault.switch_delays");
+    ctr_stuck_episodes_ = &obs->counters.counter("fault.stuck_episodes");
+    ctr_capability_losses_ = &obs->counters.counter("fault.capability_losses");
+    ctr_touch_dropped_ = &obs->counters.counter("fault.touch_dropped");
+    ctr_touch_duplicated_ = &obs->counters.counter("fault.touch_duplicated");
+    ctr_touch_delayed_ = &obs->counters.counter("fault.touch_delayed");
+    ctr_meter_bitflips_ = &obs->counters.counter("fault.meter_bitflips");
+  }
+}
+
+void FaultInjector::attach_panel(display::DisplayPanel* panel) {
+  assert(panel != nullptr);
+  assert(panel_ == nullptr);
+  panel_ = panel;
+  panel_->set_switch_interceptor(this);
+  if (plan_.stuck_per_s > 0.0) schedule_next_stuck(sim_.now());
+  if (plan_.capability_loss_per_s > 0.0) {
+    schedule_next_capability_loss(sim_.now());
+  }
+}
+
+void FaultInjector::attach_input(input::InputDispatcher* dispatcher) {
+  assert(dispatcher != nullptr);
+  dispatcher->set_fault_hook(this);
+}
+
+void FaultInjector::schedule_next_stuck(sim::Time t) {
+  const sim::Duration gap = exp_gap(episode_rng_, plan_.stuck_per_s);
+  sim_.at(t + gap, [this](sim::Time now) {
+    if (plan_.active(now)) {
+      bump(stuck_episodes_, ctr_stuck_episodes_);
+      stuck_until_ = std::max(stuck_until_, now + plan_.stuck_duration);
+    }
+    schedule_next_stuck(now);
+  });
+}
+
+void FaultInjector::schedule_next_capability_loss(sim::Time t) {
+  const sim::Duration gap = exp_gap(episode_rng_, plan_.capability_loss_per_s);
+  sim_.at(t + gap, [this](sim::Time now) {
+    if (plan_.active(now) && panel_ != nullptr) {
+      // Revoke one currently-advertised rate -- never the hardware maximum,
+      // which the recovery plane relies on as its always-valid fallback.
+      const display::RefreshRateSet& adv = panel_->advertised_rates();
+      std::vector<int> candidates;
+      for (const int hz : adv.rates()) {
+        if (hz != panel_->rates().max_hz()) candidates.push_back(hz);
+      }
+      if (!candidates.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            episode_rng_.uniform_int(0, static_cast<std::int64_t>(
+                                            candidates.size() - 1)));
+        const int hz = candidates[pick];
+        bump(capability_losses_, ctr_capability_losses_);
+        panel_->set_rate_advertised(hz, false);
+        sim_.at(now + plan_.capability_loss_duration, [this, hz](sim::Time) {
+          panel_->set_rate_advertised(hz, true);
+        });
+      }
+    }
+    schedule_next_capability_loss(now);
+  });
+}
+
+display::SwitchInterceptor::Decision FaultInjector::on_switch_request(
+    sim::Time t, int /*from_hz*/, int /*to_hz*/) {
+  Decision d;
+  if (!plan_.active(t)) return d;
+  if (panel_stuck(t)) {
+    // A stuck DDIC refuses everything until the episode drains; counted as
+    // a NAK each time so retries show up in the fault tallies.
+    bump(switch_naks_, ctr_switch_naks_);
+    d.ack = false;
+    return d;
+  }
+  if (switch_rng_.chance(plan_.switch_nak_p)) {
+    bump(switch_naks_, ctr_switch_naks_);
+    d.ack = false;
+    return d;
+  }
+  if (switch_rng_.chance(plan_.switch_delay_p)) {
+    bump(switch_delays_, ctr_switch_delays_);
+    const double lo = static_cast<double>(plan_.switch_delay_min.ticks);
+    const double hi = static_cast<double>(plan_.switch_delay_max.ticks);
+    d.settle = sim::Duration{
+        static_cast<std::int64_t>(switch_rng_.uniform(lo, hi))};
+  }
+  return d;
+}
+
+input::InputFaultHook::Verdict FaultInjector::on_event(
+    const input::TouchEvent& e) {
+  Verdict v;
+  if (!plan_.active(e.t)) return v;
+  // Mutually exclusive branches: one fault per event keeps reasoning (and
+  // the per-class probabilities) simple.
+  if (touch_rng_.chance(plan_.touch_drop_p)) {
+    bump(touch_dropped_, ctr_touch_dropped_);
+    v.drop = true;
+  } else if (touch_rng_.chance(plan_.touch_dup_p)) {
+    bump(touch_duplicated_, ctr_touch_duplicated_);
+    v.duplicate = true;
+  } else if (touch_rng_.chance(plan_.touch_delay_p)) {
+    bump(touch_delayed_, ctr_touch_delayed_);
+    const double lo = static_cast<double>(plan_.touch_delay_min.ticks);
+    const double hi = static_cast<double>(plan_.touch_delay_max.ticks);
+    v.delay = sim::Duration{
+        static_cast<std::int64_t>(touch_rng_.uniform(lo, hi))};
+  }
+  return v;
+}
+
+void FaultInjector::corrupt_samples(sim::Time t,
+                                    std::vector<gfx::Rgb888>& samples) {
+  if (samples.empty() || !plan_.active(t)) return;
+  if (!meter_rng_.chance(plan_.meter_bitflip_p)) return;
+  bump(meter_bitflips_, ctr_meter_bitflips_);
+  const auto idx = static_cast<std::size_t>(meter_rng_.uniform_int(
+      0, static_cast<std::int64_t>(samples.size() - 1)));
+  const auto channel = meter_rng_.uniform_int(0, 2);
+  const auto bit = static_cast<std::uint8_t>(
+      1u << meter_rng_.uniform_int(0, 7));
+  gfx::Rgb888& px = samples[idx];
+  switch (channel) {
+    case 0: px.r ^= bit; break;
+    case 1: px.g ^= bit; break;
+    default: px.b ^= bit; break;
+  }
+}
+
+}  // namespace ccdem::fault

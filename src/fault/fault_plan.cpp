@@ -1,0 +1,42 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+namespace ccdem::fault {
+
+bool FaultPlan::empty() const {
+  return switch_nak_p <= 0.0 && switch_delay_p <= 0.0 && stuck_per_s <= 0.0 &&
+         capability_loss_per_s <= 0.0 && touch_drop_p <= 0.0 &&
+         touch_dup_p <= 0.0 && touch_delay_p <= 0.0 && meter_bitflip_p <= 0.0;
+}
+
+FaultPlan FaultPlan::nominal() {
+  FaultPlan p;
+  p.switch_nak_p = 0.05;
+  p.switch_delay_p = 0.10;
+  p.stuck_per_s = 0.02;
+  p.capability_loss_per_s = 0.02;
+  p.touch_drop_p = 0.05;
+  p.touch_dup_p = 0.02;
+  p.touch_delay_p = 0.05;
+  p.meter_bitflip_p = 0.01;
+  return p;
+}
+
+FaultPlan FaultPlan::scaled(double factor) const {
+  const auto prob = [factor](double p) {
+    return std::clamp(p * factor, 0.0, 1.0);
+  };
+  FaultPlan s = *this;
+  s.switch_nak_p = prob(switch_nak_p);
+  s.switch_delay_p = prob(switch_delay_p);
+  s.stuck_per_s = std::max(0.0, stuck_per_s * factor);
+  s.capability_loss_per_s = std::max(0.0, capability_loss_per_s * factor);
+  s.touch_drop_p = prob(touch_drop_p);
+  s.touch_dup_p = prob(touch_dup_p);
+  s.touch_delay_p = prob(touch_delay_p);
+  s.meter_bitflip_p = prob(meter_bitflip_p);
+  return s;
+}
+
+}  // namespace ccdem::fault

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 namespace ccdem::harness {
 
@@ -13,6 +16,54 @@ std::string trim(const std::string& s) {
   if (b == std::string::npos) return "";
   const auto e = s.find_last_not_of(" \t\r");
   return s.substr(b, e - b + 1);
+}
+
+// Strict numeric parsing: the whole value must be consumed (no "12abc", no
+// empty string) and doubles must be finite ("nan" passes a `< 0 || > 1`
+// range check because every NaN comparison is false -- the atof-era parser
+// accepted it).
+std::optional<long long> parse_int_strict(const std::string& v) {
+  long long out = 0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<unsigned long long> parse_u64_strict(const std::string& v) {
+  unsigned long long out = 0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<double> parse_double_strict(const std::string& v) {
+  double out = 0.0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  if (!std::isfinite(out)) return std::nullopt;
+  return out;
+}
+
+/// Comma-separated list of strictly-positive refresh rates.
+std::optional<std::vector<int>> parse_rate_list(const std::string& v) {
+  std::vector<int> rates;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string item =
+        trim(v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+    const auto hz = parse_int_strict(item);
+    if (!hz || *hz <= 0 || *hz > 1000) return std::nullopt;
+    rates.push_back(static_cast<int>(*hz));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (rates.empty()) return std::nullopt;
+  return rates;
 }
 
 bool set_error(std::string* error, const std::string& msg) {
@@ -103,27 +154,50 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
       if (!m) return bad_value();
       config.mode = *m;
     } else if (key == "seconds") {
-      const int s = std::atoi(value.c_str());
-      if (s <= 0) return bad_value();
-      config.duration = sim::seconds(s);
+      const auto s = parse_int_strict(value);
+      if (!s || *s <= 0) return bad_value();
+      config.duration = sim::seconds(static_cast<int>(*s));
     } else if (key == "seed") {
-      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+      const auto s = parse_u64_strict(value);
+      if (!s) return bad_value();
+      config.seed = *s;
     } else if (key == "grid") {
       const auto g = parse_grid(value);
       if (!g) return bad_value();
       config.dpm.grid = *g;
     } else if (key == "eval_ms") {
-      const int ms = std::atoi(value.c_str());
-      if (ms <= 0) return bad_value();
-      config.dpm.eval_period = sim::milliseconds(ms);
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms <= 0) return bad_value();
+      config.dpm.eval_period = sim::milliseconds(static_cast<int>(*ms));
     } else if (key == "boost_hold_ms") {
-      const int ms = std::atoi(value.c_str());
-      if (ms < 0) return bad_value();
-      config.dpm.boost_hold = sim::milliseconds(ms);
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms < 0) return bad_value();
+      config.dpm.boost_hold = sim::milliseconds(static_cast<int>(*ms));
     } else if (key == "alpha") {
-      const double a = std::atof(value.c_str());
-      if (a < 0.0 || a > 1.0) return bad_value();
-      config.dpm.section_alpha = a;
+      const auto a = parse_double_strict(value);
+      if (!a || *a < 0.0 || *a > 1.0) return bad_value();
+      config.dpm.section_alpha = *a;
+    } else if (key == "rates") {
+      const auto r = parse_rate_list(value);
+      if (!r) return bad_value();
+      config.rates = display::RefreshRateSet(*r);
+    } else if (key == "baseline_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz <= 0) return bad_value();
+      config.baseline_hz = static_cast<int>(*hz);
+    } else if (key == "min_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz <= 0) return bad_value();
+      config.dpm.min_hz = static_cast<int>(*hz);
+    } else if (key == "boost_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz <= 0) return bad_value();
+      config.dpm.boost_hz = static_cast<int>(*hz);
+    } else if (key == "fault_scale") {
+      const auto f = parse_double_strict(value);
+      if (!f || *f < 0.0) return bad_value();
+      config.fault = *f > 0.0 ? fault::FaultPlan::nominal().scaled(*f)
+                              : fault::FaultPlan{};
     } else {
       set_error(error, "line " + std::to_string(line_no) +
                            ": unknown key '" + key + "'");
@@ -132,6 +206,21 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
   }
   if (!have_app) {
     set_error(error, "missing required key 'app'");
+    return std::nullopt;
+  }
+  // Cross-field validation (keys may appear in any order, so membership in
+  // the rate ladder is checked once the whole file is read).
+  const auto check_in_rates = [&](const char* key, int hz) {
+    if (hz > 0 && !config.rates.supports(hz)) {
+      set_error(error, std::string(key) + " = " + std::to_string(hz) +
+                           " is not in the configured rate set");
+      return false;
+    }
+    return true;
+  };
+  if (!check_in_rates("baseline_hz", config.baseline_hz) ||
+      !check_in_rates("min_hz", config.dpm.min_hz) ||
+      !check_in_rates("boost_hz", config.dpm.boost_hz)) {
     return std::nullopt;
   }
   return config;
@@ -155,6 +244,19 @@ std::string experiment_config_to_string(const ExperimentConfig& config) {
   os << "boost_hold_ms = "
      << config.dpm.boost_hold.ticks / sim::kTicksPerMillisecond << "\n";
   os << "alpha = " << config.dpm.section_alpha << "\n";
+  os << "rates = ";
+  for (std::size_t i = 0; i < config.rates.count(); ++i) {
+    if (i != 0) os << ",";
+    os << config.rates.at(i);
+  }
+  os << "\n";
+  if (config.baseline_hz > 0) {
+    os << "baseline_hz = " << config.baseline_hz << "\n";
+  }
+  if (config.dpm.min_hz > 0) os << "min_hz = " << config.dpm.min_hz << "\n";
+  if (config.dpm.boost_hz > 0) {
+    os << "boost_hz = " << config.dpm.boost_hz << "\n";
+  }
   return os.str();
 }
 

@@ -13,8 +13,16 @@
 //     eval_ms      = 100
 //     boost_hold_ms= 500
 //     alpha        = 0.5
+//     rates        = 20,24,30,40,60    # panel ladder (all > 0)
+//     baseline_hz  = 60                # must be a member of `rates`
+//     min_hz       = 24                # controller floor; member of `rates`
+//     boost_hz     = 60                # boost target; member of `rates`
+//     fault_scale  = 1.0               # x FaultPlan::nominal(); 0 = clean
 //
-// Unknown keys are rejected (typos must not silently become defaults).
+// Unknown keys are rejected (typos must not silently become defaults), and
+// numeric values parse strictly: trailing garbage ("12abc"), NaN, infinity,
+// negative thresholds and non-positive refresh rates are all errors with a
+// line-numbered message -- a config that parses is a config that runs.
 #pragma once
 
 #include <iosfwd>

@@ -20,6 +20,7 @@ device::DeviceConfig ExperimentConfig::device_config() const {
   dc.brightness = brightness;
   dc.baseline_hz = baseline_hz;
   dc.fast_rate_up = fast_rate_up;
+  dc.fault = fault;
   dc.obs = obs;
   return dc;
 }

@@ -15,6 +15,24 @@ void InputDispatcher::add_listener(TouchListener* l) {
 }
 
 void InputDispatcher::deliver(const TouchEvent& e) {
+  if (fault_hook_ == nullptr) {
+    deliver_now(e);
+    return;
+  }
+  const InputFaultHook::Verdict v = fault_hook_->on_event(e);
+  if (v.drop) return;  // lost IRQ: listeners never see it, nothing counts
+  if (v.delay.ticks > 0) {
+    // Late IRQ: redeliver at sim-time + delay with the original timestamp
+    // (listeners observe an out-of-order event).  The deferred copy skips
+    // the hook -- one fault per event.
+    sim_.at(e.t + v.delay, [this, e](sim::Time) { deliver_now(e); });
+    return;
+  }
+  deliver_now(e);
+  if (v.duplicate) deliver_now(e);
+}
+
+void InputDispatcher::deliver_now(const TouchEvent& e) {
   ++delivered_;
   for (TouchListener* l : listeners_) l->on_touch(e);
 }

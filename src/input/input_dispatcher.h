@@ -15,6 +15,21 @@
 
 namespace ccdem::input {
 
+/// Interposes on event delivery (fault layer): a verdict can drop the
+/// event (a lost touch IRQ), duplicate it (a bouncing controller), or defer
+/// it -- the deferred copy keeps its ORIGINAL timestamp, so listeners see
+/// out-of-order times exactly as a late-serviced IRQ produces.
+class InputFaultHook {
+ public:
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    sim::Duration delay{};  ///< > 0: deliver this much later
+  };
+  virtual ~InputFaultHook() = default;
+  virtual Verdict on_event(const TouchEvent& e) = 0;
+};
+
 class InputDispatcher {
  public:
   /// `sample_rate_hz`: touch controller report rate for move events during
@@ -32,12 +47,18 @@ class InputDispatcher {
 
   [[nodiscard]] std::uint64_t events_delivered() const { return delivered_; }
 
+  /// Interposes on delivery (fault layer); null restores lossless delivery.
+  /// Not owned; must outlive scheduled deliveries.
+  void set_fault_hook(InputFaultHook* hook) { fault_hook_ = hook; }
+
  private:
   void deliver(const TouchEvent& e);
+  void deliver_now(const TouchEvent& e);
 
   sim::Simulator& sim_;
   sim::Duration sample_period_;
   std::vector<TouchListener*> listeners_;
+  InputFaultHook* fault_hook_ = nullptr;
   std::uint64_t delivered_ = 0;
 };
 

@@ -10,6 +10,7 @@ const char* phase_name(Phase p) {
     case Phase::kMeter: return "meter";
     case Phase::kGovern: return "govern";
     case Phase::kPanelPresent: return "panel_present";
+    case Phase::kRecover: return "recover";
   }
   return "unknown";
 }

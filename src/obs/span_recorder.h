@@ -34,8 +34,9 @@ enum class Phase : std::uint8_t {
   kMeter = 1,         ///< content-rate meter grid comparison
   kGovern = 2,        ///< controller evaluation tick (DPM or governor)
   kPanelPresent = 3,  ///< panel scans out a composed frame
+  kRecover = 4,       ///< self-healing action (retry, fallback, safe mode)
 };
-inline constexpr int kPhaseCount = 4;
+inline constexpr int kPhaseCount = 5;
 
 [[nodiscard]] const char* phase_name(Phase p);
 [[nodiscard]] std::optional<Phase> phase_from_name(std::string_view name);

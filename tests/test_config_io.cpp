@@ -85,6 +85,102 @@ TEST(ConfigIo, RejectsBadValues) {
       "app = Facebook\nmode = turbo\n"));
 }
 
+// --- strict numeric parsing: each rejection carries a descriptive error ---
+
+TEST(ConfigIo, RejectsNanAndInf) {
+  for (const char* bad :
+       {"alpha = nan\n", "alpha = inf\n", "alpha = -inf\n",
+        "fault_scale = nan\n", "fault_scale = inf\n"}) {
+    std::string error;
+    EXPECT_FALSE(parse_experiment_config_string(
+        std::string("app = Facebook\n") + bad, &error))
+        << bad;
+    EXPECT_NE(error.find("bad value"), std::string::npos) << bad;
+  }
+}
+
+TEST(ConfigIo, RejectsTrailingGarbageOnNumbers) {
+  for (const char* bad :
+       {"seconds = 12abc\n", "seed = 7seven\n", "eval_ms = 100ms\n",
+        "boost_hold_ms = 1e2x\n", "alpha = 0.5!\n", "baseline_hz = 60Hz\n"}) {
+    std::string error;
+    EXPECT_FALSE(parse_experiment_config_string(
+        std::string("app = Facebook\n") + bad, &error))
+        << bad;
+    EXPECT_NE(error.find("bad value"), std::string::npos) << bad;
+  }
+}
+
+TEST(ConfigIo, RejectsNegativeThresholds) {
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nboost_hold_ms = -1\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\neval_ms = 0\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nalpha = -0.1\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nfault_scale = -1\n"));
+}
+
+TEST(ConfigIo, RejectsNonPositiveRefreshRates) {
+  std::string error;
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nrates = 20,0,60\n", &error));
+  EXPECT_NE(error.find("rates"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nrates = -30\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nrates = \n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nbaseline_hz = 0\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nmin_hz = -24\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nboost_hz = 0\n"));
+}
+
+TEST(ConfigIo, RejectsRatesOutsideTheLadder) {
+  // Membership is checked after the whole file parses, so key order must
+  // not matter.
+  std::string error;
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nbaseline_hz = 45\n", &error));
+  EXPECT_NE(error.find("baseline_hz"), std::string::npos);
+  EXPECT_NE(error.find("45"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nmin_hz = 25\nrates = 20,24,30,40,60\n"));
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nrates = 30,60\nboost_hz = 40\n"));
+  EXPECT_TRUE(parse_experiment_config_string(
+      "app = Facebook\nbaseline_hz = 40\nrates = 20,40\n"));
+}
+
+TEST(ConfigIo, ParsesRatesAndHzKeys) {
+  const auto config = parse_experiment_config_string(
+      "app = Facebook\nrates = 30, 60, 90\nbaseline_hz = 60\n"
+      "min_hz = 30\nboost_hz = 90\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->rates.count(), 3u);
+  EXPECT_EQ(config->rates.max_hz(), 90);
+  EXPECT_EQ(config->baseline_hz, 60);
+  EXPECT_EQ(config->dpm.min_hz, 30);
+  EXPECT_EQ(config->dpm.boost_hz, 90);
+}
+
+TEST(ConfigIo, FaultScaleBuildsAPlan) {
+  const auto clean = parse_experiment_config_string(
+      "app = Facebook\nfault_scale = 0\n");
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_TRUE(clean->fault.empty());
+
+  const auto faulted = parse_experiment_config_string(
+      "app = Facebook\nfault_scale = 2.0\n");
+  ASSERT_TRUE(faulted.has_value());
+  EXPECT_FALSE(faulted->fault.empty());
+  EXPECT_DOUBLE_EQ(faulted->fault.switch_nak_p,
+                   fault::FaultPlan::nominal().switch_nak_p * 2.0);
+}
+
 TEST(ConfigIo, RoundTrips) {
   ExperimentConfig config;
   config.app = apps::app_by_name("Daum Maps");
@@ -95,6 +191,10 @@ TEST(ConfigIo, RoundTrips) {
   config.dpm.eval_period = sim::milliseconds(150);
   config.dpm.boost_hold = sim::milliseconds(400);
   config.dpm.section_alpha = 0.25;
+  config.rates = display::RefreshRateSet{30, 60, 90};
+  config.baseline_hz = 60;
+  config.dpm.min_hz = 30;
+  config.dpm.boost_hz = 90;
 
   const auto back =
       parse_experiment_config_string(experiment_config_to_string(config));
@@ -108,6 +208,10 @@ TEST(ConfigIo, RoundTrips) {
   EXPECT_EQ(back->dpm.eval_period, config.dpm.eval_period);
   EXPECT_EQ(back->dpm.boost_hold, config.dpm.boost_hold);
   EXPECT_DOUBLE_EQ(back->dpm.section_alpha, config.dpm.section_alpha);
+  EXPECT_EQ(back->rates.rates(), config.rates.rates());
+  EXPECT_EQ(back->baseline_hz, config.baseline_hz);
+  EXPECT_EQ(back->dpm.min_hz, config.dpm.min_hz);
+  EXPECT_EQ(back->dpm.boost_hz, config.dpm.boost_hz);
 }
 
 TEST(ConfigIo, CommentsAndBlankLinesIgnored) {

@@ -1,0 +1,146 @@
+// Randomized round-trip test for the Monkey script serializer: arbitrary
+// gesture streams must survive write -> parse without loss, and the parser
+// must reject truncated or corrupted input with an error, never a crash
+// (companion to test_fuzz_trace_export for the obs formats).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "input/monkey.h"
+#include "input/script_io.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+using namespace ccdem;
+using input::TouchGesture;
+
+namespace {
+
+bool gestures_equal(const TouchGesture& a, const TouchGesture& b) {
+  return a.kind == b.kind && a.start == b.start && a.duration == b.duration &&
+         a.from.x == b.from.x && a.from.y == b.from.y && a.to.x == b.to.x &&
+         a.to.y == b.to.y;
+}
+
+/// Random script honouring the format's invariants (non-negative swipe
+/// duration, non-decreasing start times).  Taps reparse with the parser's
+/// canonical 60 ms duration, so the generator uses it too.
+std::vector<TouchGesture> random_script(sim::Rng& rng, int count) {
+  std::vector<TouchGesture> script;
+  sim::Tick start = rng.uniform_int(0, 1'000'000);
+  for (int i = 0; i < count; ++i) {
+    TouchGesture g;
+    g.start = sim::Time{start};
+    g.from = {static_cast<int>(rng.uniform_int(-100, 2000)),
+              static_cast<int>(rng.uniform_int(-100, 2000))};
+    if (rng.chance(0.5)) {
+      g.kind = TouchGesture::Kind::kSwipe;
+      g.duration = sim::Duration{rng.uniform_int(0, 2'000'000)};
+      g.to = {static_cast<int>(rng.uniform_int(-100, 2000)),
+              static_cast<int>(rng.uniform_int(-100, 2000))};
+    } else {
+      g.kind = TouchGesture::Kind::kTap;
+      g.duration = sim::milliseconds(60);
+      g.to = g.from;
+    }
+    script.push_back(g);
+    start += rng.uniform_int(0, 5'000'000);  // non-decreasing; ties allowed
+  }
+  return script;
+}
+
+TEST(ScriptIoFuzz, RoundTripsArbitraryScripts) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    const auto script =
+        random_script(rng, static_cast<int>(rng.uniform_int(0, 40)));
+    std::string error;
+    const auto back =
+        input::script_from_string(input::script_to_string(script), &error);
+    ASSERT_TRUE(back.has_value()) << "seed=" << seed << ": " << error;
+    ASSERT_EQ(back->size(), script.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      EXPECT_TRUE(gestures_equal((*back)[i], script[i]))
+          << "seed=" << seed << " gesture=" << i;
+    }
+  }
+}
+
+TEST(ScriptIoFuzz, RoundTripsGeneratedMonkeyScripts) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    sim::Rng rng(seed);
+    const auto script = input::generate_monkey_script(
+        rng, input::MonkeyProfile::general_app(), sim::seconds(120),
+        {720, 1280});
+    const auto back = input::script_from_string(input::script_to_string(script));
+    ASSERT_TRUE(back.has_value()) << "seed=" << seed;
+    ASSERT_EQ(back->size(), script.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      EXPECT_TRUE(gestures_equal((*back)[i], script[i]))
+          << "seed=" << seed << " gesture=" << i;
+    }
+  }
+}
+
+TEST(ScriptIoFuzz, TruncatedInputErrorsNotCrashes) {
+  // Chop a valid script at every byte boundary: each prefix must either
+  // parse (the cut fell on a line boundary) or error with a message --
+  // never crash, never return a gesture the text does not contain.
+  sim::Rng rng(7);
+  const auto script = random_script(rng, 12);
+  const std::string text = input::script_to_string(script);
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    std::string error = "unset";
+    const auto parsed =
+        input::script_from_string(text.substr(0, cut), &error);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->size(), script.size()) << "cut=" << cut;
+    } else {
+      EXPECT_NE(error, "unset") << "cut=" << cut;
+    }
+  }
+}
+
+TEST(ScriptIoFuzz, MutatedInputErrorsNotCrashes) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    std::string text = input::script_to_string(random_script(rng, 10));
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      text[pos] = static_cast<char>(rng.uniform_int(1, 127));
+    }
+    std::string error = "unset";
+    const auto parsed = input::script_from_string(text, &error);
+    if (!parsed.has_value()) {
+      EXPECT_NE(error, "unset") << "seed=" << seed;
+    }
+  }
+}
+
+TEST(ScriptIoFuzz, RejectsSpecificMalformedLines) {
+  const char* kBad[] = {
+      "jump 0 10 10\n",              // unknown gesture kind
+      "tap 0 10\n",                  // missing coordinate
+      "swipe 0 100 1 2 3\n",         // missing destination coordinate
+      "swipe 0 -5 1 2 3 4\n",        // negative duration
+      "tap 100 1 1\ntap 50 2 2\n",   // non-monotonic start times
+      "tap abc 1 1\n",               // non-numeric field
+  };
+  for (const char* text : kBad) {
+    std::string error;
+    EXPECT_FALSE(input::script_from_string(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ScriptIoFuzz, AcceptsCommentsAndBlankLines) {
+  const auto parsed = input::script_from_string(
+      "# header\n\n   \ntap 10 1 2   # inline comment\n\nswipe 20 5 1 2 3 4\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+}  // namespace

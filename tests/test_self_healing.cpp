@@ -1,0 +1,259 @@
+// Self-healing refresh control (DESIGN.md section 9): the DPM's recovery
+// plane against a scripted flaky link -- retry/backoff on NAKs, watchdog
+// fallback when the panel stops serving the target, safe mode after a fault
+// streak, and re-arm after the cooldown.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/display_power_manager.h"
+#include "display/display_panel.h"
+#include "gfx/surface_flinger.h"
+#include "sim/simulator.h"
+
+namespace ccdem::core {
+namespace {
+
+constexpr gfx::Size kScreen{100, 100};
+
+/// Posts a frame every vsync, toggling a sampled pixel at `content_fps`
+/// (same rig as test_display_power_manager).
+class TogglerApp final : public display::VsyncObserver {
+ public:
+  TogglerApp(gfx::Surface* s, double content_fps)
+      : surface_(s), content_fps_(content_fps) {}
+
+  void on_vsync(sim::Time t, int) override {
+    gfx::Canvas& c = surface_->begin_frame();
+    const auto version = static_cast<std::int64_t>(t.seconds() * content_fps_);
+    if (version != last_version_) {
+      last_version_ = version;
+      toggle_ = !toggle_;
+      c.fill_rect(gfx::Rect{0, 0, 20, 20},
+                  toggle_ ? gfx::colors::kRed : gfx::colors::kBlue);
+    }
+    surface_->post_frame();
+  }
+
+  void set_content_fps(double fps) { content_fps_ = fps; }
+
+ private:
+  gfx::Surface* surface_;
+  double content_fps_;
+  std::int64_t last_version_ = -1;
+  bool toggle_ = false;
+};
+
+class ComposerHook final : public display::VsyncObserver {
+ public:
+  explicit ComposerHook(gfx::SurfaceFlinger& f) : f_(f) {}
+  void on_vsync(sim::Time t, int) override { f_.on_vsync(t); }
+
+ private:
+  gfx::SurfaceFlinger& f_;
+};
+
+/// A deterministic DDIC stand-in: NAKs the next `nak_remaining` requests,
+/// or every downward request while `nak_downward` holds.
+class ScriptedLink final : public display::SwitchInterceptor {
+ public:
+  int nak_remaining = 0;
+  bool nak_downward = false;
+  bool nak_all = false;
+  sim::Duration settle{};
+  int requests = 0;
+  int naks = 0;
+
+  Decision on_switch_request(sim::Time, int from_hz, int to_hz) override {
+    ++requests;
+    Decision d;
+    const bool scripted_nak =
+        nak_all || nak_remaining > 0 || (nak_downward && to_hz < from_hz);
+    if (scripted_nak) {
+      if (nak_remaining > 0) --nak_remaining;
+      ++naks;
+      d.ack = false;
+      return d;
+    }
+    d.settle = settle;
+    return d;
+  }
+};
+
+RecoveryConfig fast_recovery() {
+  RecoveryConfig r;
+  r.enabled = true;
+  r.max_retries = 2;
+  r.retry_backoff = sim::milliseconds(20);
+  r.switch_timeout = sim::milliseconds(200);
+  r.watchdog_window = sim::milliseconds(600);
+  r.safe_mode_after = 2;
+  r.safe_mode_cooldown = sim::seconds(1);
+  return r;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  gfx::SurfaceFlinger flinger{kScreen};
+  display::DisplayPanel panel;
+  ScriptedLink link;
+  gfx::Surface* surface =
+      flinger.create_surface("app", gfx::Rect::of(kScreen), 0);
+  std::unique_ptr<TogglerApp> app;
+  std::unique_ptr<ComposerHook> composer;
+  std::unique_ptr<DisplayPowerManager> dpm;
+
+  explicit Rig(double content_fps, DpmConfig config = {}, int start_hz = 60,
+               bool recovery = true)
+      : panel(sim, display::RefreshRateSet::galaxy_s3(), start_hz) {
+    config.grid = GridSpec{10, 10};
+    if (recovery && !config.recovery.enabled) {
+      config.recovery = fast_recovery();
+    }
+    panel.set_switch_interceptor(&link);
+    app = std::make_unique<TogglerApp>(surface, content_fps);
+    composer = std::make_unique<ComposerHook>(flinger);
+    panel.add_observer(display::VsyncPhase::kApp, app.get());
+    panel.add_observer(display::VsyncPhase::kComposer, composer.get());
+    dpm = std::make_unique<DisplayPowerManager>(
+        sim, panel, flinger, std::make_unique<SectionPolicy>(panel.rates()),
+        nullptr, config);
+  }
+
+  /// Steps until `pred` holds or `limit` elapses; true when it held.
+  template <typename Pred>
+  bool run_until_state(Pred pred, sim::Duration limit) {
+    const sim::Time deadline = sim.now() + limit;
+    while (sim.now() < deadline) {
+      if (pred()) return true;
+      sim.run_for(sim::milliseconds(50));
+    }
+    return pred();
+  }
+};
+
+TEST(SelfHealing, TransientNakHealsThroughRetries) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.nak_remaining = 2;  // first request + first retry refused
+  rig.sim.run_for(sim::seconds(3));
+  // The retry ladder pushed through once the link recovered.
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kNormal);
+  EXPECT_EQ(rig.dpm->consecutive_faults(), 0);
+  EXPECT_GE(rig.link.naks, 2);
+}
+
+TEST(SelfHealing, PersistentNakGivesUpAndHoldsQualitySafeRate) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.nak_downward = true;  // the panel refuses to slow down, forever
+  const bool degraded = rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() != DegradationState::kNormal &&
+               rig.dpm->degradation_state() != DegradationState::kRetrying;
+      },
+      sim::seconds(10));
+  EXPECT_TRUE(degraded);
+  // The quality-safe direction: the panel never left the maximum.
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+  EXPECT_GT(rig.link.naks, 0);
+}
+
+TEST(SelfHealing, FaultStreakEntersSafeModeAndRearmsAfterHealing) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.nak_downward = true;
+  const bool safe = rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kSafeMode;
+      },
+      sim::seconds(20));
+  ASSERT_TRUE(safe);
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);  // pinned to max while safe
+
+  // The link heals; after the cooldown the controller re-arms and resumes
+  // content-rate control.
+  rig.link.nak_downward = false;
+  const bool rearmed = rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kNormal &&
+               rig.panel.refresh_hz() == 20;
+      },
+      sim::seconds(10));
+  EXPECT_TRUE(rearmed);
+  EXPECT_EQ(rig.dpm->consecutive_faults(), 0);
+}
+
+TEST(SelfHealing, WatchdogTripsWhenPanelUnderserves) {
+  // Start low with demanding content and a link that refuses every switch:
+  // the content rate wants 60 Hz, the panel is stuck at 20.  The watchdog
+  // must detect sustained underserving and degrade (the fallback push is
+  // also refused, but the state machine must not sit in kNormal).
+  Rig rig(/*content_fps=*/55.0, {}, /*start_hz=*/20);
+  rig.link.nak_all = true;
+  const bool tripped = rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kFallback ||
+               rig.dpm->degradation_state() == DegradationState::kSafeMode;
+      },
+      sim::seconds(15));
+  EXPECT_TRUE(tripped);
+  EXPECT_GT(rig.link.naks, 0);
+}
+
+TEST(SelfHealing, SettleDelayIsWaitedOutWithoutFaulting) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.settle = sim::milliseconds(150);  // slow but honest DDIC
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kNormal);
+  EXPECT_EQ(rig.dpm->consecutive_faults(), 0);
+}
+
+TEST(SelfHealing, CapabilityLossRevalidatesToNextRateUp) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_EQ(rig.panel.refresh_hz(), 20);
+  // The DDIC stops advertising the two lowest rungs mid-run.
+  rig.panel.set_rate_advertised(20, false);
+  rig.panel.set_rate_advertised(24, false);
+  rig.sim.run_for(sim::seconds(2));
+  // 5 fps still maps to 20 Hz, but the advertised ladder starts at 30 now.
+  EXPECT_EQ(rig.panel.refresh_hz(), 30);
+  // Capability returns; the controller settles back down.
+  rig.panel.set_rate_advertised(20, true);
+  rig.panel.set_rate_advertised(24, true);
+  rig.sim.run_for(sim::seconds(2));
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kNormal);
+}
+
+TEST(SelfHealing, RecoveryDisabledMatchesClassicBehaviour) {
+  // With recovery off (the default), a NAK is simply dropped on the floor:
+  // no retries, no state machine -- and the next evaluation re-requests.
+  Rig rig(/*content_fps=*/5.0, {}, /*start_hz=*/60, /*recovery=*/false);
+  rig.link.nak_remaining = 1;
+  rig.sim.run_for(sim::seconds(3));
+  // The evaluation cadence re-requested after the dropped NAK.
+  EXPECT_EQ(rig.panel.refresh_hz(), 20);
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kNormal);
+}
+
+TEST(SelfHealing, SafeModeIgnoresTouchBoostRedundantly) {
+  // In safe mode the panel is already pinned at max; a touch must not
+  // reopen the retry ladder or perturb the state.
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.nak_downward = true;
+  ASSERT_TRUE(rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kSafeMode;
+      },
+      sim::seconds(20)));
+  const int requests_before = rig.link.requests;
+  input::TouchEvent e{rig.sim.now(), {10, 10},
+                      input::TouchEvent::Action::kDown};
+  rig.dpm->on_touch(e);
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kSafeMode);
+  EXPECT_EQ(rig.link.requests, requests_before);
+}
+
+}  // namespace
+}  // namespace ccdem::core

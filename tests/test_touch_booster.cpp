@@ -52,6 +52,75 @@ TEST(TouchBooster, HoldIsConfigurable) {
   EXPECT_TRUE(b.active(sim::Time{2'300'000}));
 }
 
+// --- lossy input path (fault layer) regressions ---------------------------
+
+TEST(TouchBooster, HoldExpiresNormallyWhenTrailingEventsDrop) {
+  // A gesture whose trailing move/up events were dropped still opened the
+  // window at the first event; the hold must expire `hold` after the last
+  // event that DID arrive -- no sticky boost.
+  TouchBooster b(sim::milliseconds(500));
+  b.on_touch(touch_at(1'000'000));  // the rest of the gesture got dropped
+  EXPECT_TRUE(b.active(sim::Time{1'400'000}));
+  EXPECT_TRUE(b.active(sim::Time{1'500'000}));
+  EXPECT_FALSE(b.active(sim::Time{1'500'001}));
+  EXPECT_EQ(b.activations(), 1u);
+}
+
+TEST(TouchBooster, LateEventCannotRewindTheWindow) {
+  // A delayed event is delivered with its ORIGINAL timestamp after a newer
+  // one was already seen.  The window edge must not move backwards: the
+  // boost still runs until (newest event + hold).
+  TouchBooster b(sim::milliseconds(500));
+  b.on_touch(touch_at(2'000'000));
+  b.on_touch(touch_at(1'800'000));  // late delivery, older timestamp
+  EXPECT_TRUE(b.active(sim::Time{2'500'000}));
+  EXPECT_FALSE(b.active(sim::Time{2'500'001}));
+  EXPECT_EQ(b.touch_events(), 2u);
+  EXPECT_EQ(b.activations(), 1u);  // both land inside one window
+}
+
+TEST(TouchBooster, OutOfOrderTimestampsDoNotUnderflowTheWindow) {
+  // Out-of-order delivery where the late event is older than the whole
+  // hold window: active() math must not wrap or reopen a closed window
+  // retroactively; the late event re-opens it from the NEWEST edge only.
+  TouchBooster b(sim::milliseconds(100));
+  b.on_touch(touch_at(5'000'000));
+  EXPECT_FALSE(b.active(sim::Time{5'200'000}));  // window closed
+  b.on_touch(touch_at(4'000'000));               // very late straggler
+  // last_touch_ stays at 5'000'000: the straggler cannot shrink it, and
+  // the already-expired window stays expired.
+  EXPECT_FALSE(b.active(sim::Time{5'200'000}));
+  EXPECT_TRUE(b.active(sim::Time{5'100'000}));
+  EXPECT_EQ(b.touch_events(), 2u);
+}
+
+TEST(TouchBooster, MinHoldKeepsBoostUsableWhenGestureTruncated) {
+  // With min_hold set, the opening touch guarantees a floor even if the
+  // hold is configured very short (or trailing events never arrive).
+  TouchBooster b(sim::milliseconds(100), sim::milliseconds(400));
+  b.on_touch(touch_at(1'000'000));
+  EXPECT_TRUE(b.active(sim::Time{1'100'000}));  // inside hold
+  EXPECT_TRUE(b.active(sim::Time{1'400'000}));  // hold passed, min_hold holds
+  EXPECT_FALSE(b.active(sim::Time{1'400'001}));
+  // A follow-up touch extends past the floor as usual.
+  b.on_touch(touch_at(1'400'000));
+  EXPECT_TRUE(b.active(sim::Time{1'500'000}));
+  EXPECT_EQ(b.min_hold(), sim::milliseconds(400));
+}
+
+TEST(TouchBooster, MinHoldZeroIsClassicBehaviour) {
+  TouchBooster classic(sim::seconds(1));
+  TouchBooster with_floor(sim::seconds(1), sim::Duration{});
+  for (sim::Tick t : {0LL, 900'000LL, 2'500'000LL}) {
+    classic.on_touch(touch_at(t));
+    with_floor.on_touch(touch_at(t));
+  }
+  for (sim::Tick t = 0; t <= 4'000'000; t += 100'000) {
+    EXPECT_EQ(classic.active(sim::Time{t}), with_floor.active(sim::Time{t}))
+        << t;
+  }
+}
+
 TEST(TouchBooster, AllActionKindsBoost) {
   TouchBooster b(sim::seconds(1));
   input::TouchEvent move{sim::Time{0}, {5, 5},
