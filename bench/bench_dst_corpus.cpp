@@ -1,0 +1,162 @@
+// DST campaign runner: replay the seed corpus, then fuzz fresh scenarios
+// until the time budget runs out.
+//
+//   bench_dst_corpus [budget_seconds]
+//
+// Environment:
+//   CCDEM_DST_SECONDS   fuzzing budget in wall seconds (default 45)
+//   CCDEM_DST_SEED      campaign seed (default 1; CI passes the run id so
+//                       nightly campaigns explore different scenarios)
+//   CCDEM_DST_MAX       hard cap on fuzzed scenarios (default unlimited)
+//
+// Every tests/corpus/*.repro must replay green first -- the corpus is the
+// regression suite distilled from past campaigns.  Failures (corpus or
+// fuzzed) are minimized and written as self-contained .repro files under
+// ./dst_failures/, and the process exits nonzero.  A JSON summary (schema
+// ccdem-dst-corpus-v1) goes to stdout.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/dst.h"
+#include "harness/json_writer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ccdem::check::CheckOptions;
+using ccdem::check::CheckReport;
+using ccdem::check::Scenario;
+
+double env_or(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double d = std::atof(v);
+    if (d > 0) return d;
+  }
+  return fallback;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct Failure {
+  std::string origin;  // corpus file name or "fuzz:<index>"
+  Scenario minimized;
+  std::vector<std::string> messages;
+};
+
+void write_failure(const fs::path& dir, std::size_t n, const Failure& f) {
+  fs::create_directories(dir);
+  const fs::path out = dir / ("failure_" + std::to_string(n) + ".repro");
+  std::ofstream os(out);
+  os << "# origin: " << f.origin << "\n"
+     << ccdem::check::repro_to_string(f.minimized, f.messages);
+  std::cerr << "dst: wrote " << out.string() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double budget_s = argc > 1 && std::atof(argv[1]) > 0
+                              ? std::atof(argv[1])
+                              : env_or("CCDEM_DST_SECONDS", 45.0);
+  const auto seed =
+      static_cast<std::uint64_t>(env_or("CCDEM_DST_SEED", 1.0));
+  const auto max_scenarios =
+      static_cast<std::uint64_t>(env_or("CCDEM_DST_MAX", 1e12));
+
+  CheckOptions options;
+  const ccdem::check::FailurePredicate predicate =
+      ccdem::check::make_failure_predicate(options);
+  std::vector<Failure> failures;
+
+  // --- corpus replay ------------------------------------------------------
+  const fs::path corpus = fs::path(CCDEM_REPO_DIR) / "tests" / "corpus";
+  std::vector<fs::path> repros;
+  if (fs::exists(corpus)) {
+    for (const auto& e : fs::directory_iterator(corpus)) {
+      if (e.path().extension() == ".repro") repros.push_back(e.path());
+    }
+  }
+  std::sort(repros.begin(), repros.end());
+  int corpus_ok = 0;
+  for (const fs::path& p : repros) {
+    std::string error;
+    const auto s = ccdem::check::parse_scenario(read_file(p), &error);
+    if (!s) {
+      failures.push_back({p.filename().string(), Scenario{},
+                          {"unparseable corpus file: " + error}});
+      continue;
+    }
+    const CheckReport r = ccdem::check::check_scenario(*s, options);
+    if (r.ok()) {
+      ++corpus_ok;
+    } else {
+      failures.push_back({p.filename().string(), *s, r.failures});
+    }
+    std::cerr << "dst: corpus " << p.filename().string() << " "
+              << (r.ok() ? "ok" : "FAILED") << "\n";
+  }
+
+  // --- fuzz until the budget runs out ------------------------------------
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  ccdem::check::ScenarioGen gen(seed);
+  std::uint64_t fuzzed = 0;
+  while (elapsed_s() < budget_s && fuzzed < max_scenarios &&
+         failures.size() < 8) {
+    const Scenario s = gen.next();
+    const CheckReport r = ccdem::check::check_scenario(s, options);
+    ++fuzzed;
+    if (r.ok()) continue;
+    std::cerr << "dst: fuzz scenario " << fuzzed - 1 << " FAILED:\n"
+              << r.to_string();
+    const ccdem::check::MinimizeResult m =
+        ccdem::check::minimize_scenario(s, predicate);
+    std::vector<std::string> messages = r.failures;
+    if (!m.failure.empty() && m.failure != messages.front()) {
+      messages.insert(messages.begin(), m.failure);
+    }
+    failures.push_back(
+        {"fuzz:" + std::to_string(fuzzed - 1), m.scenario, messages});
+  }
+
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    write_failure("dst_failures", i, failures[i]);
+  }
+
+  ccdem::harness::JsonWriter w(std::cout);
+  w.begin_object();
+  w.kv("schema", "ccdem-dst-corpus-v1");
+  w.kv("budget_seconds", budget_s);
+  w.kv("seed", seed);
+  w.kv("corpus_total", static_cast<std::int64_t>(repros.size()));
+  w.kv("corpus_ok", corpus_ok);
+  w.kv("fuzzed", fuzzed);
+  w.kv("elapsed_seconds", elapsed_s());
+  w.key("failures");
+  w.begin_array();
+  for (const Failure& f : failures) {
+    w.begin_object();
+    w.kv("origin", f.origin);
+    w.kv("message", f.messages.empty() ? "" : f.messages.front());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::cout << "\n";
+  return failures.empty() ? 0 : 1;
+}

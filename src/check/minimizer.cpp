@@ -1,0 +1,257 @@
+#include "check/minimizer.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "device/simulated_device.h"
+#include "display/refresh_rate.h"
+#include "input/monkey.h"
+#include "sim/rng.h"
+
+namespace ccdem::check {
+
+namespace {
+
+/// Drops script gestures that can no longer start within the duration.
+void trim_script_to_duration(Scenario& s) {
+  if (!s.script) return;
+  const sim::Time end{sim::milliseconds(s.duration_ms).ticks};
+  auto& g = *s.script;
+  g.erase(std::remove_if(g.begin(), g.end(),
+                         [&](const input::TouchGesture& t) {
+                           return t.start.ticks >= end.ticks;
+                         }),
+          g.end());
+}
+
+/// Clears rung-membership fields that a thinner ladder no longer supports.
+void reconcile_rungs(Scenario& s) {
+  const display::RefreshRateSet ladder{s.rates};
+  if (s.baseline_hz != 0 && !ladder.supports(s.baseline_hz)) s.baseline_hz = 0;
+  if (s.min_hz != 0 && !ladder.supports(s.min_hz)) s.min_hz = 0;
+  if (s.boost_hz != 0 && !ladder.supports(s.boost_hz)) s.boost_hz = 0;
+}
+
+class Shrinker {
+ public:
+  Shrinker(Scenario failing, const FailurePredicate& predicate,
+           const MinimizeOptions& options)
+      : predicate_(predicate), options_(options) {
+    result_.scenario = std::move(failing);
+  }
+
+  MinimizeResult run() {
+    ++result_.attempts;
+    const auto initial = predicate_(result_.scenario);
+    if (!initial) return result_;  // does not fail: nothing to minimize
+    result_.failure = *initial;
+
+    bool changed = true;
+    while (changed && budget_left()) {
+      changed = false;
+      changed |= shrink_duration();
+      changed |= shrink_fleet();
+      changed |= shrink_faults();
+      changed |= shrink_mode();
+      changed |= shrink_script();
+      changed |= shrink_scalars();
+      changed |= shrink_ladder();
+    }
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] bool budget_left() const {
+    return result_.attempts < options_.max_attempts;
+  }
+
+  /// Re-runs the predicate on `cand`; keeps it when it still fails.
+  bool try_accept(Scenario cand) {
+    if (!budget_left() || cand == result_.scenario) return false;
+    ++result_.attempts;
+    if (const auto f = predicate_(cand)) {
+      result_.scenario = std::move(cand);
+      result_.failure = *f;
+      ++result_.accepted;
+      return true;
+    }
+    return false;
+  }
+
+  bool shrink_duration() {
+    bool any = false;
+    while (result_.scenario.duration_ms > options_.min_duration_ms) {
+      Scenario c = result_.scenario;
+      c.duration_ms = std::max(options_.min_duration_ms, c.duration_ms / 2);
+      trim_script_to_duration(c);
+      if (!try_accept(std::move(c))) break;
+      any = true;
+    }
+    return any;
+  }
+
+  bool shrink_fleet() {
+    if (!result_.scenario.fleet) return false;
+    Scenario c = result_.scenario;
+    c.fleet = false;
+    return try_accept(std::move(c));
+  }
+
+  bool shrink_faults() {
+    if (result_.scenario.fault_scale == 0.0) return false;
+    bool any = false;
+    {
+      Scenario c = result_.scenario;
+      c.fault_scale = 0.0;
+      c.fault_until_ms = 0;
+      c.fault_classes = FaultClasses{};
+      if (try_accept(std::move(c))) return true;
+    }
+    if (result_.scenario.fault_until_ms != 0) {
+      Scenario c = result_.scenario;
+      c.fault_until_ms = 0;
+      any |= try_accept(std::move(c));
+    }
+    // One class at a time: the surviving set is what the failure needs.
+    const auto flags = {&FaultClasses::switching, &FaultClasses::stuck,
+                        &FaultClasses::capability, &FaultClasses::touch,
+                        &FaultClasses::meter};
+    for (const auto flag : flags) {
+      if (!(result_.scenario.fault_classes.*flag)) continue;
+      FaultClasses fc = result_.scenario.fault_classes;
+      fc.*flag = false;
+      if (!fc.switching && !fc.stuck && !fc.capability && !fc.touch &&
+          !fc.meter) {
+        continue;  // scenario validation demands at least one class
+      }
+      Scenario c = result_.scenario;
+      c.fault_classes = fc;
+      any |= try_accept(std::move(c));
+    }
+    return any;
+  }
+
+  bool shrink_mode() {
+    using device::ControlMode;
+    bool any = false;
+    while (budget_left()) {
+      ControlMode next;
+      switch (result_.scenario.mode) {
+        case ControlMode::kNaive:
+        case ControlMode::kSectionWithBoost:
+          next = ControlMode::kSection;
+          break;
+        case ControlMode::kSectionHysteresis:
+          next = ControlMode::kSectionWithBoost;
+          break;
+        default:
+          return any;  // kSection / kBaseline60 / kE3FrameRate: floor reached
+      }
+      Scenario c = result_.scenario;
+      c.mode = next;
+      if (!try_accept(std::move(c))) return any;
+      any = true;
+    }
+    return any;
+  }
+
+  bool shrink_script() {
+    bool any = false;
+    if (!result_.scenario.script) {
+      // Materialize the seed's Monkey script verbatim: replaying an embedded
+      // copy is equivalent, and only an explicit list can be delta-debugged.
+      const auto app = find_app(result_.scenario.app);
+      if (!app) return false;
+      const sim::Rng root{result_.scenario.seed};
+      sim::Rng monkey = root.fork(device::SimulatedDevice::kMonkeyRngStream);
+      Scenario c = result_.scenario;
+      c.script = input::generate_monkey_script(monkey, app->monkey,
+                                               c.duration(),
+                                               apps::kGalaxyS3Screen);
+      if (!try_accept(std::move(c))) return false;
+      any = true;
+    }
+    // ddmin-lite over the gesture list: remove progressively smaller chunks.
+    for (std::size_t chunk = std::max<std::size_t>(
+             result_.scenario.script->size() / 2, 1);
+         chunk >= 1 && budget_left(); chunk /= 2) {
+      bool removed = true;
+      while (removed && budget_left()) {
+        removed = false;
+        const auto& gestures = *result_.scenario.script;
+        for (std::size_t at = 0; at < gestures.size() && budget_left();
+             at += chunk) {
+          Scenario c = result_.scenario;
+          auto& g = *c.script;
+          g.erase(g.begin() + static_cast<std::ptrdiff_t>(at),
+                  g.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(at + chunk, g.size())));
+          if (try_accept(std::move(c))) {
+            removed = true;
+            any = true;
+            break;  // indices shifted: rescan this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return any;
+  }
+
+  bool shrink_scalars() {
+    bool any = false;
+    const Scenario defaults;
+    const auto reset = [&](auto member, auto value) {
+      if (result_.scenario.*member == value) return;
+      Scenario c = result_.scenario;
+      c.*member = value;
+      any |= try_accept(std::move(c));
+    };
+    reset(&Scenario::alpha, defaults.alpha);
+    reset(&Scenario::eval_ms, defaults.eval_ms);
+    reset(&Scenario::boost_hold_ms, defaults.boost_hold_ms);
+    reset(&Scenario::meter_window_ms, defaults.meter_window_ms);
+    reset(&Scenario::baseline_hz, defaults.baseline_hz);
+    reset(&Scenario::min_hz, defaults.min_hz);
+    reset(&Scenario::boost_hz, defaults.boost_hz);
+    reset(&Scenario::fast_rate_up, defaults.fast_rate_up);
+    reset(&Scenario::grid, defaults.grid);
+    return any;
+  }
+
+  bool shrink_ladder() {
+    bool any = false;
+    bool removed = true;
+    while (removed && result_.scenario.rates.size() > 1 && budget_left()) {
+      removed = false;
+      for (std::size_t i = 0;
+           i < result_.scenario.rates.size() && budget_left(); ++i) {
+        if (result_.scenario.rates.size() <= 1) break;
+        Scenario c = result_.scenario;
+        c.rates.erase(c.rates.begin() + static_cast<std::ptrdiff_t>(i));
+        reconcile_rungs(c);
+        if (try_accept(std::move(c))) {
+          removed = true;
+          any = true;
+          break;  // indices shifted: rescan
+        }
+      }
+    }
+    return any;
+  }
+
+  const FailurePredicate& predicate_;
+  const MinimizeOptions& options_;
+  MinimizeResult result_;
+};
+
+}  // namespace
+
+MinimizeResult minimize_scenario(const Scenario& failing,
+                                 const FailurePredicate& predicate,
+                                 const MinimizeOptions& options) {
+  return Shrinker(failing, predicate, options).run();
+}
+
+}  // namespace ccdem::check

@@ -1,0 +1,445 @@
+#include "check/scenario.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "apps/app_profiles.h"
+#include "fault/fault_plan.h"
+#include "input/script_io.h"
+
+namespace ccdem::check {
+
+namespace {
+
+constexpr const char* kSchema = "ccdem-repro-v1";
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Strict numeric parsing, same rules as config_io: the whole value must be
+// consumed, doubles must be finite.
+std::optional<long long> parse_int_strict(const std::string& v) {
+  long long out = 0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<unsigned long long> parse_u64_strict(const std::string& v) {
+  unsigned long long out = 0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<double> parse_double_strict(const std::string& v) {
+  double out = 0.0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || v.empty()) return std::nullopt;
+  if (!std::isfinite(out)) return std::nullopt;
+  return out;
+}
+
+std::optional<bool> parse_bool_strict(const std::string& v) {
+  if (v == "0") return false;
+  if (v == "1") return true;
+  return std::nullopt;
+}
+
+/// Shortest round-trip decimal (std::to_chars default), so alpha = 0.5
+/// serializes as "0.5", not seventeen digits.
+std::string double_to_string(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+std::optional<device::ControlMode> parse_mode(const std::string& v) {
+  using device::ControlMode;
+  if (v == "baseline") return ControlMode::kBaseline60;
+  if (v == "section") return ControlMode::kSection;
+  if (v == "section+boost") return ControlMode::kSectionWithBoost;
+  if (v == "naive") return ControlMode::kNaive;
+  if (v == "hysteresis") return ControlMode::kSectionHysteresis;
+  if (v == "e3") return ControlMode::kE3FrameRate;
+  return std::nullopt;
+}
+
+const char* mode_keyword(device::ControlMode m) {
+  using device::ControlMode;
+  switch (m) {
+    case ControlMode::kBaseline60: return "baseline";
+    case ControlMode::kSection: return "section";
+    case ControlMode::kSectionWithBoost: return "section+boost";
+    case ControlMode::kNaive: return "naive";
+    case ControlMode::kSectionHysteresis: return "hysteresis";
+    case ControlMode::kE3FrameRate: return "e3";
+  }
+  return "baseline";
+}
+
+std::optional<core::GridSpec> parse_grid(const std::string& v) {
+  if (v == "2k") return core::GridSpec::grid_2k();
+  if (v == "4k") return core::GridSpec::grid_4k();
+  if (v == "9k") return core::GridSpec::grid_9k();
+  if (v == "36k") return core::GridSpec::grid_36k();
+  if (v == "full") return core::GridSpec::full_720p();
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> parse_rate_list(const std::string& v) {
+  std::vector<int> rates;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string item =
+        trim(v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+    const auto hz = parse_int_strict(item);
+    if (!hz || *hz <= 0 || *hz > 1000) return std::nullopt;
+    rates.push_back(static_cast<int>(*hz));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (rates.empty()) return std::nullopt;
+  return rates;
+}
+
+std::optional<FaultClasses> parse_fault_classes(const std::string& v) {
+  FaultClasses fc{false, false, false, false, false};
+  if (v == "none") return fc;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string item =
+        trim(v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+    if (item == "switching") fc.switching = true;
+    else if (item == "stuck") fc.stuck = true;
+    else if (item == "capability") fc.capability = true;
+    else if (item == "touch") fc.touch = true;
+    else if (item == "meter") fc.meter = true;
+    else return std::nullopt;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return fc;
+}
+
+std::string fault_classes_to_string(const FaultClasses& fc) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (fc.switching) add("switching");
+  if (fc.stuck) add("stuck");
+  if (fc.capability) add("capability");
+  if (fc.touch) add("touch");
+  if (fc.meter) add("meter");
+  return out.empty() ? "none" : out;
+}
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::optional<apps::AppSpec> find_app(const std::string& name) {
+  for (const auto& spec : apps::all_apps()) {
+    if (spec.name == name) return spec;
+  }
+  if (const auto wp = apps::nexus_revampled_wallpaper(); wp.name == name) {
+    return wp;
+  }
+  return std::nullopt;
+}
+
+core::GridSpec Scenario::grid_spec() const {
+  const auto g = parse_grid(grid);
+  assert(g && "invalid grid keyword; parse_scenario validates this");
+  return *g;
+}
+
+harness::ExperimentConfig Scenario::experiment_config() const {
+  const auto spec = find_app(app);
+  assert(spec && "unknown app; parse_scenario validates this");
+  harness::ExperimentConfig cfg;
+  cfg.app = *spec;
+  cfg.mode = mode;
+  cfg.duration = duration();
+  cfg.seed = seed;
+  cfg.dpm.grid = grid_spec();
+  cfg.dpm.eval_period = sim::milliseconds(eval_ms);
+  cfg.dpm.boost_hold = sim::milliseconds(boost_hold_ms);
+  cfg.dpm.meter_window = sim::milliseconds(meter_window_ms);
+  cfg.dpm.section_alpha = alpha;
+  cfg.dpm.min_hz = min_hz;
+  cfg.dpm.boost_hz = boost_hz;
+  // The E3 governor shares the metering knobs, so one scenario drives both
+  // controller families.
+  cfg.governor.grid = cfg.dpm.grid;
+  cfg.governor.eval_period = cfg.dpm.eval_period;
+  cfg.governor.meter_window = cfg.dpm.meter_window;
+  cfg.rates = display::RefreshRateSet(rates);
+  cfg.baseline_hz = baseline_hz;
+  cfg.fast_rate_up = fast_rate_up;
+  if (fault_scale > 0.0) {
+    fault::FaultPlan plan = fault::FaultPlan::nominal().scaled(fault_scale);
+    if (!fault_classes.switching) {
+      plan.switch_nak_p = 0.0;
+      plan.switch_delay_p = 0.0;
+    }
+    if (!fault_classes.stuck) plan.stuck_per_s = 0.0;
+    if (!fault_classes.capability) plan.capability_loss_per_s = 0.0;
+    if (!fault_classes.touch) {
+      plan.touch_drop_p = 0.0;
+      plan.touch_dup_p = 0.0;
+      plan.touch_delay_p = 0.0;
+    }
+    if (!fault_classes.meter) plan.meter_bitflip_p = 0.0;
+    if (fault_until_ms > 0) {
+      plan.active_until = sim::Time{sim::milliseconds(fault_until_ms).ticks};
+    }
+    cfg.fault = plan;
+  }
+  cfg.script = script;
+  return cfg;
+}
+
+std::string scenario_to_string(const Scenario& s) {
+  std::ostringstream os;
+  os << "schema = " << kSchema << "\n";
+  os << "app = " << s.app << "\n";
+  os << "mode = " << mode_keyword(s.mode) << "\n";
+  os << "duration_ms = " << s.duration_ms << "\n";
+  os << "seed = " << s.seed << "\n";
+  os << "grid = " << s.grid << "\n";
+  os << "eval_ms = " << s.eval_ms << "\n";
+  os << "boost_hold_ms = " << s.boost_hold_ms << "\n";
+  os << "meter_window_ms = " << s.meter_window_ms << "\n";
+  os << "alpha = " << double_to_string(s.alpha) << "\n";
+  os << "rates = ";
+  for (std::size_t i = 0; i < s.rates.size(); ++i) {
+    if (i != 0) os << ",";
+    os << s.rates[i];
+  }
+  os << "\n";
+  os << "baseline_hz = " << s.baseline_hz << "\n";
+  os << "min_hz = " << s.min_hz << "\n";
+  os << "boost_hz = " << s.boost_hz << "\n";
+  os << "fast_rate_up = " << (s.fast_rate_up ? 1 : 0) << "\n";
+  os << "fault_scale = " << double_to_string(s.fault_scale) << "\n";
+  if (s.fault_scale > 0.0) {
+    os << "fault_until_ms = " << s.fault_until_ms << "\n";
+    os << "fault_classes = " << fault_classes_to_string(s.fault_classes)
+       << "\n";
+  }
+  os << "fleet = " << (s.fleet ? 1 : 0) << "\n";
+  if (s.script) {
+    os << "begin_script\n";
+    os << input::script_to_string(*s.script);
+    os << "end_script\n";
+  }
+  return os.str();
+}
+
+std::string repro_to_string(const Scenario& s,
+                            const std::vector<std::string>& failures) {
+  std::ostringstream os;
+  for (const std::string& f : failures) {
+    // One comment line per failure; newlines inside a message would escape
+    // the comment, so flatten them.
+    std::string flat = f;
+    for (char& c : flat) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    os << "# failure: " << flat << "\n";
+  }
+  os << scenario_to_string(s);
+  return os.str();
+}
+
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       std::string* error) {
+  Scenario s;
+  // Fields with context-dependent defaults start cleared; serialization
+  // always writes them, so a missing key means a hand-edited file.
+  bool have_schema = false;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  bool have_script = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string raw = trim(line);
+    if (raw == "begin_script") {
+      if (have_script) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": duplicate begin_script");
+        return std::nullopt;
+      }
+      std::string script_text;
+      bool closed = false;
+      while (std::getline(is, line)) {
+        ++line_no;
+        if (trim(line) == "end_script") {
+          closed = true;
+          break;
+        }
+        script_text += line;
+        script_text += "\n";
+      }
+      if (!closed) {
+        set_error(error, "unterminated begin_script block");
+        return std::nullopt;
+      }
+      std::string script_error;
+      auto script = input::script_from_string(script_text, &script_error);
+      if (!script) {
+        set_error(error, "embedded script: " + script_error);
+        return std::nullopt;
+      }
+      s.script = std::move(*script);
+      have_script = true;
+      continue;
+    }
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      set_error(error, "line " + std::to_string(line_no) + ": expected '='");
+      return std::nullopt;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto bad_value = [&] {
+      set_error(error, "line " + std::to_string(line_no) + ": bad value '" +
+                           value + "' for key '" + key + "'");
+      return std::nullopt;
+    };
+
+    if (key == "schema") {
+      if (value != kSchema) return bad_value();
+      have_schema = true;
+    } else if (key == "app") {
+      if (!find_app(value)) return bad_value();
+      s.app = value;
+    } else if (key == "mode") {
+      const auto m = parse_mode(value);
+      if (!m) return bad_value();
+      s.mode = *m;
+    } else if (key == "duration_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms <= 0 || *ms > 600'000) return bad_value();
+      s.duration_ms = *ms;
+    } else if (key == "seed") {
+      const auto v = parse_u64_strict(value);
+      if (!v) return bad_value();
+      s.seed = *v;
+    } else if (key == "grid") {
+      if (!parse_grid(value)) return bad_value();
+      s.grid = value;
+    } else if (key == "eval_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms <= 0 || *ms > 10'000) return bad_value();
+      s.eval_ms = *ms;
+    } else if (key == "boost_hold_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms < 0 || *ms > 60'000) return bad_value();
+      s.boost_hold_ms = *ms;
+    } else if (key == "meter_window_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms <= 0 || *ms > 60'000) return bad_value();
+      s.meter_window_ms = *ms;
+    } else if (key == "alpha") {
+      const auto a = parse_double_strict(value);
+      if (!a || *a < 0.0 || *a > 1.0) return bad_value();
+      s.alpha = *a;
+    } else if (key == "rates") {
+      const auto r = parse_rate_list(value);
+      if (!r) return bad_value();
+      s.rates = *r;
+    } else if (key == "baseline_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz < 0 || *hz > 1000) return bad_value();
+      s.baseline_hz = static_cast<int>(*hz);
+    } else if (key == "min_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz < 0 || *hz > 1000) return bad_value();
+      s.min_hz = static_cast<int>(*hz);
+    } else if (key == "boost_hz") {
+      const auto hz = parse_int_strict(value);
+      if (!hz || *hz < 0 || *hz > 1000) return bad_value();
+      s.boost_hz = static_cast<int>(*hz);
+    } else if (key == "fast_rate_up") {
+      const auto b = parse_bool_strict(value);
+      if (!b) return bad_value();
+      s.fast_rate_up = *b;
+    } else if (key == "fault_scale") {
+      const auto f = parse_double_strict(value);
+      if (!f || *f < 0.0 || *f > 100.0) return bad_value();
+      s.fault_scale = *f;
+    } else if (key == "fault_until_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms < 0 || *ms > 600'000) return bad_value();
+      s.fault_until_ms = *ms;
+    } else if (key == "fault_classes") {
+      const auto fc = parse_fault_classes(value);
+      if (!fc) return bad_value();
+      s.fault_classes = *fc;
+    } else if (key == "fleet") {
+      const auto b = parse_bool_strict(value);
+      if (!b) return bad_value();
+      s.fleet = *b;
+    } else {
+      set_error(error,
+                "line " + std::to_string(line_no) + ": unknown key '" + key +
+                    "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_schema) {
+    set_error(error, "missing required key 'schema'");
+    return std::nullopt;
+  }
+  // Cross-field validation, as in config_io: rung references must be in the
+  // ladder (keys may arrive in any order, so this runs after the whole
+  // parse).
+  const display::RefreshRateSet ladder{s.rates};
+  const auto check_in_rates = [&](const char* key, int hz) {
+    if (hz > 0 && !ladder.supports(hz)) {
+      set_error(error, std::string(key) + " = " + std::to_string(hz) +
+                           " is not in the configured rate set");
+      return false;
+    }
+    return true;
+  };
+  if (!check_in_rates("baseline_hz", s.baseline_hz) ||
+      !check_in_rates("min_hz", s.min_hz) ||
+      !check_in_rates("boost_hz", s.boost_hz)) {
+    return std::nullopt;
+  }
+  // A clean scenario must not carry fault-only keys into the canonical form.
+  if (s.fault_scale == 0.0) {
+    s.fault_until_ms = 0;
+    s.fault_classes = FaultClasses{};
+  }
+  return s;
+}
+
+}  // namespace ccdem::check

@@ -1,0 +1,97 @@
+// Scenario: one self-contained DST experiment description.
+//
+// A scenario is the unit the fuzzer samples, the oracles diff, the
+// minimizer shrinks and a `.repro` file persists.  It is pure data -- every
+// field is serializable text -- and expands into a harness::ExperimentConfig
+// on demand, so replaying a repro needs nothing beyond this file's parser.
+//
+// Serialization is the repo's strict key=value dialect (config_io's rules:
+// whole-value numeric parses, no NaN/inf, unknown keys rejected) under the
+// `schema = ccdem-repro-v1` header, with the optional shrunk touch script
+// embedded between `begin_script` / `end_script` markers in the script_io
+// line format.  Round-trip is exact: parse(to_string(s)) == s.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/grid_sampler.h"
+#include "device/control_mode.h"
+#include "harness/experiment.h"
+#include "input/touch_event.h"
+#include "sim/time.h"
+
+namespace ccdem::check {
+
+/// Which classes of the (scaled) nominal FaultPlan stay enabled.  The
+/// minimizer switches classes off one at a time to isolate the one a
+/// failure needs.
+struct FaultClasses {
+  bool switching = true;   ///< NAK + settle-delay faults
+  bool stuck = true;       ///< stuck-at-rate episodes
+  bool capability = true;  ///< transient capability-loss episodes
+  bool touch = true;       ///< drop / duplicate / delay
+  bool meter = true;       ///< grid-sample bit flips
+
+  [[nodiscard]] bool all() const {
+    return switching && stuck && capability && touch && meter;
+  }
+  [[nodiscard]] bool operator==(const FaultClasses&) const = default;
+};
+
+struct Scenario {
+  std::string app = "Facebook";
+  device::ControlMode mode = device::ControlMode::kSectionWithBoost;
+  std::int64_t duration_ms = 3000;
+  std::uint64_t seed = 1;
+  std::string grid = "9k";  ///< 2k | 4k | 9k | 36k | full
+  std::int64_t eval_ms = 100;
+  std::int64_t boost_hold_ms = 500;
+  std::int64_t meter_window_ms = 1000;
+  double alpha = 0.5;
+  std::vector<int> rates = {20, 24, 30, 40, 60};
+  int baseline_hz = 0;  ///< 0 = ladder maximum
+  int min_hz = 0;       ///< 0 = no floor
+  int boost_hz = 0;     ///< 0 = ladder maximum
+  bool fast_rate_up = false;
+  /// 0 = clean run; otherwise FaultPlan::nominal().scaled(fault_scale) with
+  /// the classes below masked.
+  double fault_scale = 0.0;
+  std::int64_t fault_until_ms = 0;  ///< 0 = faults active for the whole run
+  FaultClasses fault_classes{};
+  /// Additionally diff the run through the FleetRunner (serial == fleet).
+  bool fleet = false;
+  /// Explicit touch script; unset = the seed's Monkey script.
+  std::optional<std::vector<input::TouchGesture>> script;
+
+  [[nodiscard]] sim::Duration duration() const {
+    return sim::milliseconds(duration_ms);
+  }
+  [[nodiscard]] core::GridSpec grid_spec() const;
+  /// The full experiment config this scenario describes.  Requires the
+  /// scenario to be valid (parse_scenario output, or a generator's).
+  [[nodiscard]] harness::ExperimentConfig experiment_config() const;
+
+  [[nodiscard]] bool operator==(const Scenario&) const = default;
+};
+
+/// Canonical `ccdem-repro-v1` text (defaulted fields omitted).
+[[nodiscard]] std::string scenario_to_string(const Scenario& s);
+
+/// Strict parse; std::nullopt on any malformed or unknown input, with a
+/// message in `error` (when non-null).  Comment lines (`#`) are ignored, so
+/// a full `.repro` file (failure header + scenario) parses directly.
+[[nodiscard]] std::optional<Scenario> parse_scenario(
+    const std::string& text, std::string* error = nullptr);
+
+/// A `.repro` file: `# failure:` header comments followed by the scenario.
+[[nodiscard]] std::string repro_to_string(
+    const Scenario& s, const std::vector<std::string>& failures);
+
+/// App lookup across the paper's 30 profiles plus the accuracy-study
+/// wallpaper; std::nullopt for unknown names (app_by_name() would abort).
+[[nodiscard]] std::optional<apps::AppSpec> find_app(const std::string& name);
+
+}  // namespace ccdem::check

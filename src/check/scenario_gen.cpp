@@ -1,0 +1,106 @@
+#include "check/scenario_gen.h"
+
+#include <algorithm>
+
+#include "apps/app_profiles.h"
+
+namespace ccdem::check {
+
+namespace {
+
+/// Weighted pick over the control modes.  The proposed system's modes get
+/// most of the probability mass; the stock arms still appear so the
+/// baseline/e3 code paths stay under differential test.
+device::ControlMode sample_mode(sim::Rng& rng) {
+  using device::ControlMode;
+  const double x = rng.next_double();
+  if (x < 0.08) return ControlMode::kBaseline60;
+  if (x < 0.30) return ControlMode::kSection;
+  if (x < 0.60) return ControlMode::kSectionWithBoost;
+  if (x < 0.75) return ControlMode::kSectionHysteresis;
+  if (x < 0.85) return ControlMode::kNaive;
+  return ControlMode::kE3FrameRate;
+}
+
+const char* sample_grid(sim::Rng& rng) {
+  const double x = rng.next_double();
+  if (x < 0.20) return "2k";
+  if (x < 0.40) return "4k";
+  if (x < 0.75) return "9k";
+  if (x < 0.92) return "36k";
+  return "full";
+}
+
+std::vector<int> sample_ladder(sim::Rng& rng) {
+  switch (rng.uniform_int(0, 6)) {
+    case 0:
+    case 1:
+    case 2: return {20, 24, 30, 40, 60};              // the paper's panel
+    case 3: return {1, 10, 24, 30, 40, 60, 90, 120};  // LTPO-class
+    case 4: return {30, 60};
+    case 5: return {20, 30, 60, 90};
+    default: return {60};                             // single-rate panel
+  }
+}
+
+template <typename T>
+T pick(sim::Rng& rng, std::initializer_list<T> values) {
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(values.size()) - 1));
+  return *(values.begin() + i);
+}
+
+}  // namespace
+
+ScenarioGen::ScenarioGen(std::uint64_t seed, Options options)
+    : rng_(seed), options_(options) {
+  for (const auto& spec : apps::all_apps()) app_pool_.push_back(spec.name);
+  app_pool_.push_back(apps::nexus_revampled_wallpaper().name);
+}
+
+Scenario ScenarioGen::next() {
+  ++generated_;
+  Scenario s;
+  s.app = app_pool_[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(app_pool_.size()) - 1))];
+  s.mode = sample_mode(rng_);
+  s.duration_ms =
+      rng_.uniform_int(options_.min_duration_ms, options_.max_duration_ms);
+  s.seed = rng_.next_u64();
+  s.grid = sample_grid(rng_);
+  s.eval_ms = pick(rng_, {50L, 100L, 100L, 200L, 250L});
+  s.boost_hold_ms = pick(rng_, {200L, 500L, 500L, 1000L});
+  s.meter_window_ms = pick(rng_, {500L, 1000L, 1000L, 2000L});
+  s.alpha = pick(rng_, {0.0, 0.3, 0.5, 0.5, 0.7, 1.0});
+  s.rates = sample_ladder(rng_);
+  const display::RefreshRateSet ladder{s.rates};
+  const auto rung = [&]() {
+    return ladder.at(static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(ladder.count()) - 1)));
+  };
+  s.baseline_hz = rng_.chance(0.25) ? rung() : 0;
+  s.min_hz = rng_.chance(0.20) ? rung() : 0;
+  s.boost_hz = rng_.chance(0.20) ? rung() : 0;
+  // Deep ladders without fast exit spend whole seconds waiting out a 1 Hz
+  // period on every boost; sample fast_rate_up more often there.
+  s.fast_rate_up = rng_.chance(ladder.min_hz() < 20 ? 0.7 : 0.3);
+  if (rng_.chance(options_.fault_p)) {
+    s.fault_scale = rng_.uniform(0.25, 2.5);
+    s.fault_until_ms = rng_.chance(0.3) ? s.duration_ms / 2 : 0;
+    FaultClasses fc;
+    fc.switching = rng_.chance(0.8);
+    fc.stuck = rng_.chance(0.8);
+    fc.capability = rng_.chance(0.8);
+    fc.touch = rng_.chance(0.8);
+    fc.meter = rng_.chance(0.8);
+    if (!fc.switching && !fc.stuck && !fc.capability && !fc.touch &&
+        !fc.meter) {
+      fc.switching = true;  // a faulted scenario must be able to fault
+    }
+    s.fault_classes = fc;
+  }
+  s.fleet = rng_.chance(options_.fleet_p);
+  return s;
+}
+
+}  // namespace ccdem::check

@@ -1,0 +1,45 @@
+// ScenarioGen: seeded whole-experiment sampler for the DST fuzzer.
+//
+// Samples complete Scenarios -- app profile, control mode, grid density,
+// section-table shape, rate ladder, fault plan, fleet-vs-serial -- from one
+// Xoshiro stream, so a fuzz campaign is a pure function of its seed: the
+// nth scenario of seed S is the same on every machine and every run, which
+// is what lets CI failures be reproduced locally by seed alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/scenario.h"
+#include "sim/rng.h"
+
+namespace ccdem::check {
+
+class ScenarioGen {
+ public:
+  struct Options {
+    std::int64_t min_duration_ms = 1500;
+    std::int64_t max_duration_ms = 5000;
+    /// Probability a scenario additionally runs the fleet-identity oracle.
+    double fleet_p = 0.25;
+    /// Probability a scenario carries a fault plan.
+    double fault_p = 0.45;
+  };
+
+  explicit ScenarioGen(std::uint64_t seed) : ScenarioGen(seed, Options{}) {}
+  ScenarioGen(std::uint64_t seed, Options options);
+
+  /// The next sampled scenario (deterministic in construction seed + call
+  /// index).
+  [[nodiscard]] Scenario next();
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  sim::Rng rng_;
+  Options options_;
+  std::vector<std::string> app_pool_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace ccdem::check

@@ -83,8 +83,19 @@ bool ContentRateMeter::classify_sampled(const gfx::Framebuffer& fb,
   // classifies the frame redundant without touching any pixel.
   bool meaningful = false;
   for (const gfx::Rect& r : damage.rects()) {
+#if defined(CCDEM_CANARY_BUG)
+    // Mutation-smoke canary (-DCCDEM_CANARY_BUG=ON, never a release build):
+    // drop the damage rect's rightmost pixel column, so grid points under it
+    // are neither compared nor refreshed in the retained snapshot.  The DST
+    // harness must catch the divergence from the unculled reference.
+    gfx::Rect cr = r;
+    cr.width -= 1;
+    const GridSampler::ScanResult res =
+        sampler_.update_in_rect(fb, cr, samples_);
+#else
     const GridSampler::ScanResult res =
         sampler_.update_in_rect(fb, r, samples_);
+#endif
     last_compared_ += res.compared;
     meaningful |= res.differed;
   }

@@ -25,6 +25,7 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
       prev_policy_hz_(panel.refresh_hz()),
       obs_(obs) {
   assert(policy_ != nullptr);
+  meter_.set_damage_culling(config_.meter_damage_culling);
   if (obs_ != nullptr) {
     meter_.set_obs(obs_);
     ctr_evaluations_ = &obs_->counters.counter("dpm.evaluations");

@@ -88,6 +88,10 @@ struct DpmConfig {
   /// Minimum time the touch boost stays up after the touch that opened it
   /// (tolerates a lossy input path; 0 = classic behaviour).
   sim::Duration boost_min_hold{};
+  /// Damage-scoped metering (the O(changed-pixels) hot path).  The DST
+  /// harness turns it off to run the unculled reference meter as a
+  /// differential oracle; classifications must be identical either way.
+  bool meter_damage_culling = true;
   RecoveryConfig recovery{};
 };
 

@@ -21,6 +21,7 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
              MeterMode::kSampledSnapshot, pool),
       obs_(obs) {
   assert(set_cap_);
+  meter_.set_damage_culling(config_.meter_damage_culling);
   if (obs_ != nullptr) {
     meter_.set_obs(obs_);
     ctr_evaluations_ = &obs_->counters.counter("governor.evaluations");

@@ -38,6 +38,9 @@ struct GovernorConfig {
   sim::Duration interact_hold = sim::milliseconds(500);
   bool charge_meter_cost = true;
   double meter_cpu_mw = 100.0;
+  /// Damage-scoped metering; off = the unculled reference meter (DST
+  /// differential oracle, same contract as DpmConfig::meter_damage_culling).
+  bool meter_damage_culling = true;
 };
 
 class FrameRateGovernor final : public gfx::FrameListener,

@@ -11,6 +11,7 @@ device::DeviceConfig ExperimentConfig::device_config() const {
   device::DeviceConfig dc;
   dc.mode = mode;
   dc.dpm = dpm;
+  dc.governor = governor;
   dc.power = power;
   dc.rates = rates;
   dc.screen = screen;
@@ -31,7 +32,14 @@ ExperimentResult run_experiment_on(device::SimulatedDevice& dev,
   dev.configure(config.device_config());
   apps::AppModel& app = dev.install_app(config.app);
   dev.start_control();
-  dev.schedule_monkey_script(config.app.monkey, config.duration);
+  if (config.script) {
+    // Replay path (.repro files): the embedded script is authoritative.
+    // The Monkey RNG stream is never forked, which is fine -- fork() is
+    // const, so the app/fault streams are unaffected either way.
+    dev.dispatcher().schedule_script(*config.script);
+  } else {
+    dev.schedule_monkey_script(config.app.monkey, config.duration);
+  }
   dev.run_until(sim::Time{config.duration.ticks});
   dev.finish();
 

@@ -27,6 +27,8 @@ struct TouchGesture {
   Kind kind = Kind::kTap;
   gfx::Point from{};
   gfx::Point to{};           ///< equals `from` for taps
+
+  [[nodiscard]] bool operator==(const TouchGesture&) const = default;
 };
 
 class TouchListener {

@@ -1,0 +1,89 @@
+// Mutation smoke: with -DCCDEM_CANARY_BUG=ON the damage-cull path drops the
+// rightmost pixel column of every damage rect, and the DST harness must
+// (a) catch the divergence from the unculled reference and (b) minimize it
+// to a small, replayable .repro.  In a normal build this whole file skips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/dst.h"
+#include "check/oracles.h"
+#include "test_tmpdir.h"
+
+namespace ccdem::check {
+namespace {
+
+#if !defined(CCDEM_CANARY_BUG)
+
+TEST(DstCanary, SkippedInNormalBuilds) {
+  GTEST_SKIP() << "canary disarmed; configure with -DCCDEM_CANARY_BUG=ON";
+}
+
+#else
+
+// The live wallpaper pins the canary: its animation damages many small
+// scattered rects, and on a sparse grid a single sample under a rect's
+// rightmost column regularly decides the frame's classification.  This
+// scenario (mirrored in tests/corpus/wallpaper_2k_canary_sentinel.repro)
+// diverges from the unculled reference within the first 200 ms.
+Scenario canary_scenario() {
+  Scenario s;
+  s.app = "Nexus Revampled";
+  s.mode = device::ControlMode::kSection;
+  s.grid = "2k";
+  s.duration_ms = 800;
+  s.seed = 11;
+  return s;
+}
+
+TEST(DstCanary, UnculledOracleCatchesTheBug) {
+  const CheckReport r = check_scenario(canary_scenario());
+  ASSERT_FALSE(r.ok()) << "canary build but every oracle passed";
+}
+
+TEST(DstCanary, MinimizesToASmallReplayableRepro) {
+  // Only the oracle that actually catches the bug runs during shrinking;
+  // this keeps each predicate call to two experiment replays.
+  CheckOptions unculled_only;
+  unculled_only.oracle_determinism = false;
+  unculled_only.oracle_spans_off = false;
+  unculled_only.oracle_fleet = false;
+  unculled_only.oracle_reference = false;
+  unculled_only.invariants = false;
+  unculled_only.quality_arm = false;
+
+  const Scenario start = canary_scenario();
+  const FailurePredicate predicate = make_failure_predicate(unculled_only);
+  ASSERT_TRUE(predicate(start)) << "unculled oracle alone misses the canary";
+
+  const MinimizeResult m = minimize_scenario(start, predicate);
+  ASSERT_FALSE(m.failure.empty());
+  const RunArtifacts replay =
+      run_scenario_once(m.scenario.experiment_config());
+  EXPECT_LT(replay.result.frames_composed, 50)
+      << "minimized repro is not small";
+
+  // The written .repro must parse back and still fail.
+  testing::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::filesystem::path file = tmp.file("canary.repro");
+  {
+    std::ofstream os(file);
+    os << repro_to_string(m.scenario, {m.failure});
+  }
+  std::ifstream in(file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto parsed = parse_scenario(text.str(), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, m.scenario);
+  EXPECT_TRUE(predicate(*parsed));
+}
+
+#endif  // CCDEM_CANARY_BUG
+
+}  // namespace
+}  // namespace ccdem::check

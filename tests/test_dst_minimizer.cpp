@@ -1,0 +1,143 @@
+// Minimizer unit tests against synthetic predicates (no experiment runs),
+// so each shrink lever can be pinned down exactly and the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "check/minimizer.h"
+
+namespace ccdem::check {
+namespace {
+
+Scenario big_scenario() {
+  Scenario s;
+  s.app = "TempleRun";
+  s.mode = device::ControlMode::kSectionHysteresis;
+  s.duration_ms = 4000;
+  s.grid = "36k";
+  s.alpha = 0.35;
+  s.eval_ms = 200;
+  s.boost_hold_ms = 900;
+  s.fault_scale = 1.5;
+  s.fleet = true;
+  return s;
+}
+
+TEST(Minimizer, PassingInputIsReturnedUnchanged) {
+  const Scenario s = big_scenario();
+  int calls = 0;
+  const MinimizeResult r = minimize_scenario(
+      s, [&](const Scenario&) -> std::optional<std::string> {
+        ++calls;
+        return std::nullopt;
+      });
+  EXPECT_EQ(r.scenario, s);
+  EXPECT_TRUE(r.failure.empty());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Minimizer, ShrinksEverythingUnderAlwaysFail) {
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(),
+      [](const Scenario&) -> std::optional<std::string> { return "boom"; });
+  EXPECT_EQ(r.failure, "boom");
+  const Scenario& m = r.scenario;
+  EXPECT_LE(m.duration_ms, 500);
+  EXPECT_FALSE(m.fleet);
+  EXPECT_EQ(m.fault_scale, 0.0);
+  EXPECT_EQ(m.mode, device::ControlMode::kSection);
+  EXPECT_EQ(m.grid, Scenario{}.grid);
+  EXPECT_EQ(m.alpha, Scenario{}.alpha);
+  // The Monkey script was materialized and delta-debugged away entirely.
+  ASSERT_TRUE(m.script.has_value());
+  EXPECT_TRUE(m.script->empty());
+  EXPECT_LT(m.rates.size(), big_scenario().rates.size());
+  EXPECT_GT(r.accepted, 0);
+}
+
+TEST(Minimizer, KeepsDurationAboveWhatTheFailureNeeds) {
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(), [](const Scenario& s) -> std::optional<std::string> {
+        if (s.duration_ms >= 1000) return "needs a second";
+        return std::nullopt;
+      });
+  EXPECT_GE(r.scenario.duration_ms, 1000);
+  EXPECT_LT(r.scenario.duration_ms, 4000);
+}
+
+TEST(Minimizer, IsolatesTheFaultClassTheFailureNeeds) {
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(), [](const Scenario& s) -> std::optional<std::string> {
+        if (s.fault_scale > 0.0 && s.fault_classes.meter) return "meter flip";
+        return std::nullopt;
+      });
+  EXPECT_GT(r.scenario.fault_scale, 0.0);
+  const FaultClasses expect_meter_only{false, false, false, false, true};
+  EXPECT_EQ(r.scenario.fault_classes, expect_meter_only);
+}
+
+TEST(Minimizer, PreservesFleetWhenTheFailureNeedsIt) {
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(), [](const Scenario& s) -> std::optional<std::string> {
+        if (s.fleet) return "fleet-only divergence";
+        return std::nullopt;
+      });
+  EXPECT_TRUE(r.scenario.fleet);
+}
+
+TEST(Minimizer, PreservesTheModeTheFailureNeeds) {
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(), [](const Scenario& s) -> std::optional<std::string> {
+        if (s.mode == device::ControlMode::kSectionHysteresis) {
+          return "hysteresis bug";
+        }
+        return std::nullopt;
+      });
+  EXPECT_EQ(r.scenario.mode, device::ControlMode::kSectionHysteresis);
+}
+
+TEST(Minimizer, DeltaDebugsScriptToTheOneGuiltyGesture) {
+  Scenario s;
+  s.fault_scale = 0.0;
+  s.duration_ms = 3000;
+  std::vector<input::TouchGesture> script;
+  for (int i = 0; i < 8; ++i) {
+    input::TouchGesture g;
+    g.start = sim::Time{} + sim::milliseconds(100 + 200 * i);
+    g.kind = input::TouchGesture::Kind::kTap;
+    g.from = g.to = {10 * i, 20 * i};
+    script.push_back(g);
+  }
+  const input::TouchGesture guilty = script[3];  // starts at 700 ms
+  s.script = script;
+  const MinimizeResult r = minimize_scenario(
+      s, [&](const Scenario& c) -> std::optional<std::string> {
+        if (!c.script) return std::nullopt;
+        for (const input::TouchGesture& g : *c.script) {
+          if (g == guilty) return "gesture tickles the bug";
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(r.scenario.script.has_value());
+  ASSERT_EQ(r.scenario.script->size(), 1u);
+  EXPECT_EQ(r.scenario.script->front(), guilty);
+  // Duration shrank, but never below the gesture it must keep.
+  EXPECT_GE(r.scenario.duration_ms, 700);
+}
+
+TEST(Minimizer, RespectsTheAttemptBudget) {
+  MinimizeOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  const MinimizeResult r = minimize_scenario(
+      big_scenario(),
+      [&](const Scenario&) -> std::optional<std::string> {
+        ++calls;
+        return "boom";
+      },
+      options);
+  EXPECT_LE(calls, 5);
+  EXPECT_LE(r.attempts, 5);
+  EXPECT_EQ(r.failure, "boom");
+}
+
+}  // namespace
+}  // namespace ccdem::check

@@ -1,0 +1,97 @@
+// Seed-corpus registry: every tests/corpus/*.repro must parse, round-trip
+// canonically, and replay green through every oracle; plus the repro
+// write -> read -> byte-identical-replay loop through a scratch directory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "check/dst.h"
+#include "check/oracles.h"
+#include "test_tmpdir.h"
+
+namespace ccdem::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<fs::path> corpus_files() {
+  const fs::path dir = fs::path(CCDEM_REPO_DIR) / "tests" / "corpus";
+  std::vector<fs::path> out;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".repro") out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DstReplay, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 6u)
+      << "seed corpus under tests/corpus/ went missing";
+}
+
+TEST(DstReplay, EveryCorpusFileParsesAndRoundTrips) {
+  for (const fs::path& p : corpus_files()) {
+    std::string error;
+    const auto s = parse_scenario(read_file(p), &error);
+    ASSERT_TRUE(s) << p.filename().string() << ": " << error;
+    const auto again = parse_scenario(scenario_to_string(*s), &error);
+    ASSERT_TRUE(again) << p.filename().string() << ": " << error;
+    EXPECT_EQ(*again, *s) << p.filename().string();
+  }
+}
+
+TEST(DstReplay, EveryCorpusFileReplaysGreen) {
+  for (const fs::path& p : corpus_files()) {
+    std::string error;
+    const auto s = parse_scenario(read_file(p), &error);
+    ASSERT_TRUE(s) << p.filename().string() << ": " << error;
+    const CheckReport r = check_scenario(*s);
+    EXPECT_TRUE(r.ok()) << p.filename().string() << ":\n" << r.to_string();
+  }
+}
+
+// The full failure loop a developer follows: a repro written to disk parses
+// back to the same scenario and re-executes byte-identically.
+TEST(DstReplay, WrittenReproReplaysByteIdentically) {
+  testing::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+
+  Scenario s;
+  s.app = "Cookie Run";
+  s.duration_ms = 1700;
+  s.seed = 31337;
+  s.mode = device::ControlMode::kSectionHysteresis;
+  const RunArtifacts before = run_scenario_once(s.experiment_config());
+
+  const fs::path file = tmp.file("case.repro");
+  {
+    std::ofstream os(file);
+    os << repro_to_string(s, {"synthetic failure for the round-trip test"});
+  }
+  std::string error;
+  const auto parsed = parse_scenario(read_file(file), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, s);
+
+  const RunArtifacts after = run_scenario_once(parsed->experiment_config());
+  EXPECT_EQ(before.trace_csv, after.trace_csv);
+  EXPECT_FALSE(diff_results(before.result, after.result, "repro-replay"));
+  EXPECT_FALSE(
+      diff_counters(before.counters, after.counters, "repro-replay"));
+}
+
+}  // namespace
+}  // namespace ccdem::check

@@ -19,7 +19,10 @@
 // counter determinism.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -90,9 +93,19 @@ TEST_P(GoldenTraces, TraceMatchesGolden) {
   const std::string golden_path = repo_path("tests/golden/" + name + ".trace");
 
   if (updating_goldens()) {
-    std::ofstream out(golden_path);
-    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
-    out << trace;
+    // Write-then-rename so a parallel or interrupted update can never leave
+    // a torn golden behind; the rename is atomic on POSIX filesystems.
+    const std::string tmp_path =
+        golden_path + ".tmp." + std::to_string(::getpid());
+    {
+      std::ofstream out(tmp_path);
+      ASSERT_TRUE(out.good()) << "cannot write " << tmp_path;
+      out << trace;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, golden_path, ec);
+    ASSERT_FALSE(ec) << "cannot move " << tmp_path << " over " << golden_path
+                     << ": " << ec.message();
     std::cout << "[updated] " << golden_path << "\n";
     return;
   }

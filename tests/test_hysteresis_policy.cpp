@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 namespace ccdem::core {
@@ -82,6 +83,101 @@ TEST(HysteresisPolicy, OscillatingInputProducesFewerSwitches) {
     raw_hz = r;
   }
   EXPECT_LT(hyst_switches, raw_switches / 4);
+}
+
+// --- Equation (1) boundary conditions ---------------------------------------
+
+TEST(SectionBoundaries, ThresholdExactRatesMapToTheUpperSection) {
+  // Galaxy S3, alpha = 0.5: thresholds at the medians 10/22/27/35, and each
+  // section is half-open [lo, hi) -- landing exactly on a threshold selects
+  // the higher rate.
+  SectionPolicy p(kS3, 0.5);
+  const struct {
+    double threshold;
+    int below_hz;
+    int at_hz;
+  } cases[] = {{10.0, 20, 24}, {22.0, 24, 30}, {27.0, 30, 40}, {35.0, 40, 60}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(p.decide(sim::Time{}, std::nextafter(c.threshold, 0.0), 60),
+              c.below_hz)
+        << "just below " << c.threshold;
+    EXPECT_EQ(p.decide(sim::Time{}, c.threshold, 60), c.at_hz)
+        << "exactly " << c.threshold;
+  }
+}
+
+TEST(SectionBoundaries, MediansMatchEquationOne) {
+  const SectionTable t = SectionTable::build(kS3, 0.5);
+  ASSERT_EQ(t.sections().size(), 5u);
+  const double expected_hi[] = {10.0, 22.0, 27.0, 35.0};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(t.sections()[i].hi_fps, expected_hi[i]) << "section " << i;
+    // Contiguity: each section starts where the previous one ends.
+    EXPECT_DOUBLE_EQ(t.sections()[i + 1].lo_fps, t.sections()[i].hi_fps);
+  }
+  EXPECT_TRUE(std::isinf(t.sections().back().hi_fps));
+}
+
+TEST(SectionBoundaries, AlphaZeroCollapsesTheBottomSection) {
+  // alpha = 0 puts every threshold at the lower neighbour, so section 0 is
+  // the empty [0, 0) and even a fully static screen gets the second rung:
+  // maximal headroom, minimal savings.
+  SectionPolicy p(kS3, 0.0);
+  EXPECT_EQ(p.decide(sim::Time{}, 0.0, 60), 24);
+  EXPECT_EQ(p.decide(sim::Time{}, 19.9, 60), 24);
+  EXPECT_EQ(p.decide(sim::Time{}, 20.0, 60), 30);
+}
+
+TEST(SectionBoundaries, AlphaOneIsTheTightMapping) {
+  // alpha = 1 puts every threshold at the upper neighbour: the chosen rate
+  // is the smallest rung strictly above the content rate.
+  SectionPolicy p(kS3, 1.0);
+  EXPECT_EQ(p.decide(sim::Time{}, 19.9, 60), 20);
+  EXPECT_EQ(p.decide(sim::Time{}, 20.0, 60), 24);  // exactly 20 rounds up
+  EXPECT_EQ(p.decide(sim::Time{}, 59.9, 20), 60);
+}
+
+TEST(SectionBoundaries, SingleRateLadderAlwaysPicksThatRate) {
+  const display::RefreshRateSet one{60};
+  SectionPolicy p(one, 0.5);
+  for (double c : {0.0, 10.0, 60.0, 500.0}) {
+    EXPECT_EQ(p.decide(sim::Time{}, c, 60), 60);
+  }
+  const SectionTable t = SectionTable::build(one, 0.5);
+  ASSERT_EQ(t.sections().size(), 1u);
+  EXPECT_TRUE(std::isinf(t.sections().front().hi_fps));
+}
+
+TEST(HysteresisPolicy, SingleRateLadderNeverSwitches) {
+  HysteresisPolicy p(
+      std::make_unique<SectionPolicy>(display::RefreshRateSet{30}, 0.5), 3);
+  for (double c : {0.0, 100.0, 0.0, 100.0}) {
+    EXPECT_EQ(p.decide(sim::Time{}, c, 30), 30);
+  }
+}
+
+TEST(HysteresisPolicy, ZeroConfirmationsAppliesDecreasesImmediately) {
+  auto p = HysteresisPolicy(std::make_unique<SectionPolicy>(kS3, 0.5), 0);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 20);
+}
+
+TEST(HysteresisPolicy, HoldAtSameRateDoesNotCountAsDecrease) {
+  // The inner policy asking for the *current* rate must reset the pending
+  // decrease counter, not advance it.
+  auto p = make(2);
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);   // pending = 1
+  EXPECT_EQ(p.decide(sim::Time{}, 50.0, 60), 60);  // inner wants 60: reset
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 60);   // pending = 1 again
+  EXPECT_EQ(p.decide(sim::Time{}, 5.0, 60), 20);
+}
+
+TEST(HysteresisPolicy, ThresholdExactDecreasePathIsConfirmedToo) {
+  // Content parked exactly on a threshold: the inner decision is stable
+  // (upper section), so hysteresis converges to it and stays.
+  auto p = make(2);
+  EXPECT_EQ(p.decide(sim::Time{}, 22.0, 60), 60);
+  EXPECT_EQ(p.decide(sim::Time{}, 22.0, 60), 30);
+  EXPECT_EQ(p.decide(sim::Time{}, 22.0, 30), 30);
 }
 
 }  // namespace

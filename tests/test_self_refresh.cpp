@@ -112,6 +112,91 @@ TEST(SelfRefresh, StopFreezesController) {
   EXPECT_FALSE(rig.psr.in_self_refresh());
 }
 
+// --- boundary conditions ----------------------------------------------------
+
+TEST(SelfRefresh, EntryHappensExactlyAtTheIdleThreshold) {
+  // enter_after = 1 s, evaluations every 250 ms: with no frame ever
+  // composed, `t - last_frame >= enter_after` first holds at the t = 1 s
+  // evaluation, not one tick earlier.
+  SelfRefreshConfig config;
+  config.enter_after = sim::seconds(1);
+  Rig rig(config);
+  rig.sim.run_for(sim::milliseconds(999));
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  rig.sim.run_for(sim::milliseconds(2));
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+  EXPECT_EQ(rig.psr.entries(), 1u);
+}
+
+TEST(SelfRefresh, ZeroThresholdEntersAtTheFirstEvaluation) {
+  // enter_after = 0 is the degenerate "always eligible" config: even a
+  // frame composed right before the evaluation cannot hold the link up.
+  SelfRefreshConfig config;
+  config.enter_after = sim::Duration{};
+  Rig rig(config);
+  rig.compose_frame();
+  rig.sim.run_for(sim::milliseconds(300));  // first eval at 250 ms
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+}
+
+TEST(SelfRefresh, CoarseEvalPeriodDelaysEntryToTheNextTick) {
+  // The idle threshold is crossed at 300 ms but the controller only looks
+  // every second, so entry lands on the t = 1 s evaluation.
+  SelfRefreshConfig config;
+  config.enter_after = sim::milliseconds(300);
+  config.eval_period = sim::seconds(1);
+  Rig rig(config);
+  rig.sim.run_for(sim::milliseconds(900));
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  rig.sim.run_for(sim::milliseconds(200));
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+}
+
+TEST(SelfRefresh, ReEntryAfterAnInterveningFrameCountsTwice) {
+  Rig rig;
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  rig.compose_frame();  // exit
+  ASSERT_FALSE(rig.psr.in_self_refresh());
+  rig.sim.run_for(sim::seconds(3));
+  EXPECT_TRUE(rig.psr.in_self_refresh());
+  EXPECT_EQ(rig.psr.entries(), 2u);
+}
+
+TEST(SelfRefresh, ResidencyIsExactFromTheEntryEvaluation) {
+  // Entry at exactly t = 2 s (default threshold, 250 ms eval grid, no
+  // frames at all), so by t = 3.5 s residency is exactly 1.5 s.
+  Rig rig;
+  rig.sim.run_for(sim::milliseconds(3500));
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  EXPECT_DOUBLE_EQ(rig.psr.time_in_self_refresh(rig.sim.now()).seconds(),
+                   1.5);
+}
+
+TEST(SelfRefresh, StopInsideSelfRefreshFreezesFurtherEntries) {
+  Rig rig;
+  rig.sim.run_for(sim::seconds(3));
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  rig.psr.stop();
+  rig.compose_frame();  // the composed frame still exits PSR
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  EXPECT_TRUE(rig.power.link_active());
+  rig.sim.run_for(sim::seconds(10));  // ...but the controller never re-enters
+  EXPECT_FALSE(rig.psr.in_self_refresh());
+  EXPECT_EQ(rig.psr.entries(), 1u);
+}
+
+TEST(SelfRefresh, TransitionEnergyIsTalliedPerEdge) {
+  SelfRefreshConfig config;
+  config.transition_mj = 5.0;
+  Rig rig(config);
+  const double before = rig.power.breakdown().rate_switch_mj;
+  rig.sim.run_for(sim::seconds(3));  // enter: one impulse
+  ASSERT_TRUE(rig.psr.in_self_refresh());
+  rig.compose_frame();               // exit: second impulse
+  EXPECT_DOUBLE_EQ(rig.power.breakdown().rate_switch_mj - before, 10.0);
+}
+
 TEST(SelfRefresh, PsrLinkParamsPreserveTotalIdlePower) {
   // Splitting the link out of the SoC base must not change the calibrated
   // total while the link is active.

@@ -1,0 +1,41 @@
+// RAII per-test scratch directory.
+//
+// Tests that write files (repro dumps, golden regeneration, trace exports)
+// get a private mkdtemp() directory instead of sharing a path in the source
+// tree, which is what makes the suite safe under `ctest -j`.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace ccdem::testing {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "ccdem_test_XXXXXX")
+            .string();
+    if (mkdtemp(tmpl.data()) != nullptr) path_ = tmpl;
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] bool ok() const { return !path_.empty(); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace ccdem::testing
