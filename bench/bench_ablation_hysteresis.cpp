@@ -5,7 +5,7 @@
 // between adjacent rates.  Real panels pay for every mode switch (timing
 // reprogram, visible cadence change).  This bench counts switches and the
 // power/quality cost of suppressing them with asymmetric hysteresis
-// (core::HysteresisPolicy: up immediately, down after 3 confirmations).
+// (core::HysteresisStage: up immediately, down after 3 confirmations).
 #include <iostream>
 
 #include "bench_common.h"

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     for (const apps::AppSpec& app : mix) {
       auto cfg = bench::make_config(
           app, harness::ControlMode::kSectionWithBoost, seconds, 12);
-      cfg.dpm.meter_window = sim::seconds_f(win_s);
+      cfg.dpm.meter.window = sim::seconds_f(win_s);
       const auto ab = harness::run_ab(cfg);
       p.saved_mw += ab.saved_power_mw;
       p.quality_pct += ab.quality.display_quality_pct;

@@ -1,0 +1,213 @@
+// Policy-pipeline ablation: reactive vs predictive vs DVFS co-control.
+//
+// The composable control plane (DESIGN.md section 11) turns "which policy?"
+// into "which stage composition?".  This bench runs the interesting arms of
+// that space over a feed and a game workload and checks the claims the
+// predictive governor makes:
+//   * the predictive arm spends no more energy than the reactive ladder
+//     (pre-emptive down-steps only ever remove refresh work), and
+//   * both the predictive and the DVFS co-control arm keep delivered
+//     quality at >= 95 % of the fixed-60 Hz baseline.
+//
+// Writes BENCH_policy_ablation.json (schema ccdem-bench-policy-v1) and
+// exits non-zero when a gate fails.
+//
+// Usage:  bench_policy_ablation [sim_seconds_per_run] [output.json]
+//         CCDEM_BENCH_SECONDS / CCDEM_BENCH_OUT override the defaults
+//         (20 s per run, ./BENCH_policy_ablation.json).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app_profiles.h"
+#include "bench_common.h"
+#include "core/policy_pipeline.h"
+#include "harness/json_writer.h"
+#include "metrics/quality.h"
+#include "obs/obs.h"
+
+using namespace ccdem;
+
+namespace {
+
+constexpr double kQualityGatePct = 95.0;
+
+struct Arm {
+  std::string name;
+  std::string spec;  ///< empty = the fixed-60 Hz baseline
+};
+
+/// The ablation ladder: each arm adds one idea on top of the previous.
+std::vector<Arm> arms() {
+  return {
+      {"baseline60", ""},
+      {"reactive", "section,hysteresis,boost"},
+      {"predictive", "predictive,boost"},
+      {"co-control", "predictive,boost,dvfs"},
+  };
+}
+
+struct Workload {
+  std::string name;
+  apps::AppSpec app;
+};
+
+/// A feed (bursty content, long quiet stretches the predictor can claim
+/// early) and a game (sustained 60 fps requests; the arm must not regress
+/// delivered quality to save power).
+std::vector<Workload> workloads() {
+  std::vector<Workload> v;
+  v.push_back({"feed", apps::app_by_name("Facebook")});
+  v.push_back({"game", apps::app_by_name("Jelly Splash")});
+  return v;
+}
+
+struct Cell {
+  double power_mw = 0.0;
+  double energy_mj = 0.0;
+  double quality_pct = 0.0;
+  double mean_refresh_hz = 0.0;
+  std::uint64_t rate_switches = 0;
+  std::uint64_t presteps = 0;
+  std::uint64_t dvfs_caps = 0;
+};
+
+std::string out_path(int argc, char** argv) {
+  if (argc > 2) return argv[2];
+  if (const char* env = std::getenv("CCDEM_BENCH_OUT")) return env;
+  return "BENCH_policy_ablation.json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = bench::run_seconds(argc, argv, 20);
+  const std::string path = out_path(argc, argv);
+  const std::vector<Arm> all_arms = arms();
+  const std::vector<Workload> loads = workloads();
+
+  harness::print_bench_header(
+      std::cout, "Policy-pipeline ablation: reactive / predictive / DVFS",
+      std::to_string(seconds) + " s per run");
+
+  // cells[workload][arm]; arm 0 is the baseline and quality reference.
+  std::vector<std::vector<Cell>> cells(loads.size());
+  for (std::size_t wi = 0; wi < loads.size(); ++wi) {
+    harness::ExperimentResult reference;
+    for (std::size_t ai = 0; ai < all_arms.size(); ++ai) {
+      const Arm& arm = all_arms[ai];
+      harness::ExperimentConfig c = bench::make_config(
+          loads[wi].app, harness::ControlMode::kBaseline60, seconds,
+          /*seed=*/1);
+      if (!arm.spec.empty()) {
+        c.mode = harness::ControlMode::kPipeline;
+        const auto spec = core::PipelineSpec::parse(arm.spec, nullptr);
+        if (!spec) {
+          std::cerr << "bad arm spec: " << arm.spec << "\n";
+          return 1;
+        }
+        c.pipeline = *spec;
+      }
+      obs::ObsSink sink;
+      sink.spans.set_enabled(false);
+      c.obs = &sink;
+      const harness::ExperimentResult r = harness::run_experiment(c);
+      if (ai == 0) reference = r;
+
+      Cell cell;
+      cell.power_mw = r.mean_power_mw;
+      cell.energy_mj = r.energy.total_mj();
+      cell.quality_pct =
+          ai == 0 ? 100.0
+                  : metrics::compare_quality(reference.content_rate,
+                                             r.content_rate)
+                        .display_quality_pct;
+      cell.mean_refresh_hz = r.mean_refresh_hz;
+      cell.rate_switches = r.rate_switches;
+      cell.presteps = sink.counters.value("policy.predictive.presteps");
+      cell.dvfs_caps = sink.counters.value("policy.dvfs.caps");
+      cells[wi].push_back(cell);
+    }
+  }
+
+  harness::TextTable table({"workload", "arm", "power (mW)", "quality (%)",
+                            "mean Hz", "switches", "presteps", "dvfs caps"});
+  for (std::size_t wi = 0; wi < loads.size(); ++wi) {
+    for (std::size_t ai = 0; ai < all_arms.size(); ++ai) {
+      const Cell& c = cells[wi][ai];
+      table.add_row({loads[wi].name, all_arms[ai].name,
+                     harness::fmt(c.power_mw, 1),
+                     harness::fmt(c.quality_pct, 1),
+                     harness::fmt(c.mean_refresh_hz, 1),
+                     std::to_string(c.rate_switches),
+                     std::to_string(c.presteps),
+                     std::to_string(c.dvfs_caps)});
+    }
+  }
+  table.print(std::cout);
+
+  // Gates.  Arm indices: 1 = reactive, 2 = predictive, 3 = co-control.
+  bool energy_ok = true, quality_ok = true;
+  for (std::size_t wi = 0; wi < loads.size(); ++wi) {
+    energy_ok =
+        energy_ok && cells[wi][2].energy_mj <= cells[wi][1].energy_mj;
+    for (const std::size_t ai : {std::size_t{2}, std::size_t{3}}) {
+      quality_ok = quality_ok && cells[wi][ai].quality_pct >= kQualityGatePct;
+    }
+  }
+  const bool gate_passed = energy_ok && quality_ok;
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  harness::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "ccdem-bench-policy-v1");
+  w.kv("generated_by", "bench_policy_ablation");
+  w.kv("sim_seconds_per_run", seconds);
+  w.kv("quality_gate_pct", kQualityGatePct);
+  w.key("workloads");
+  w.begin_array();
+  for (std::size_t wi = 0; wi < loads.size(); ++wi) {
+    w.begin_object();
+    w.kv("name", loads[wi].name);
+    w.kv("app", loads[wi].app.name);
+    w.key("arms");
+    w.begin_array();
+    for (std::size_t ai = 0; ai < all_arms.size(); ++ai) {
+      const Cell& c = cells[wi][ai];
+      w.begin_object();
+      w.kv("name", all_arms[ai].name);
+      w.kv("pipeline", all_arms[ai].spec);
+      w.kv("power_mw", c.power_mw);
+      w.kv("energy_mj", c.energy_mj);
+      w.kv("quality_pct", c.quality_pct);
+      w.kv("mean_refresh_hz", c.mean_refresh_hz);
+      w.kv("rate_switches", c.rate_switches);
+      w.kv("policy.predictive.presteps", c.presteps);
+      w.kv("policy.dvfs.caps", c.dvfs_caps);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("predictive_energy_le_reactive", energy_ok);
+  w.kv("quality_gate_ok", quality_ok);
+  w.kv("gate_passed", gate_passed);
+  w.end_object();
+
+  std::cout << "\npredictive <= reactive energy: "
+            << (energy_ok ? "yes" : "NO")
+            << ", quality >= " << harness::fmt(kQualityGatePct, 0)
+            << " %: " << (quality_ok ? "yes" : "NO") << " (gate "
+            << (gate_passed ? "PASSED" : "FAILED") << ")\nwrote " << path
+            << "\n";
+  return gate_passed ? 0 : 1;
+}

@@ -15,9 +15,17 @@ namespace {
 /// system on a clean run long enough for the 1 s-window rates to settle.
 bool quality_arm_applies(const Scenario& s) {
   using device::ControlMode;
-  const bool proposed = s.mode == ControlMode::kSection ||
-                        s.mode == ControlMode::kSectionWithBoost ||
-                        s.mode == ControlMode::kSectionHysteresis;
+  bool proposed = s.mode == ControlMode::kSection ||
+                  s.mode == ControlMode::kSectionWithBoost ||
+                  s.mode == ControlMode::kSectionHysteresis;
+  if (s.mode == ControlMode::kPipeline) {
+    // An explicit composition counts as "the proposed system" when its rate
+    // source is content-derived (section or predictive; naive-only arms are
+    // the paper's failed mapping and trade quality by design).
+    const auto spec = core::PipelineSpec::parse(s.pipeline, nullptr);
+    proposed = spec && (spec->contains(core::StageId::kSection) ||
+                        spec->contains(core::StageId::kPredictive));
+  }
   return proposed && s.fault_scale == 0.0 && s.duration_ms >= 2500;
 }
 

@@ -133,13 +133,17 @@ void TraceInvariantChecker::check_refresh_floor(
 void TraceInvariantChecker::check_touch_boost(
     const RunArtifacts& r, std::vector<std::string>& out) const {
   using device::ControlMode;
-  // Boost is wired only in these modes; fault runs may legitimately drop
-  // the very touch event the window keys on (fault.touch_dropped), and
-  // capability faults can revoke the boost rung.
-  if (scenario_.mode != ControlMode::kSectionWithBoost &&
-      scenario_.mode != ControlMode::kSectionHysteresis) {
-    return;
+  // Boost is wired only in these modes (or in an explicit composition that
+  // includes the boost stage); fault runs may legitimately drop the very
+  // touch event the window keys on (fault.touch_dropped), and capability
+  // faults can revoke the boost rung.
+  bool boosted_mode = scenario_.mode == ControlMode::kSectionWithBoost ||
+                      scenario_.mode == ControlMode::kSectionHysteresis;
+  if (scenario_.mode == ControlMode::kPipeline) {
+    const auto spec = core::PipelineSpec::parse(scenario_.pipeline, nullptr);
+    boosted_mode = spec && spec->contains(core::StageId::kBoost);
   }
+  if (!boosted_mode) return;
   if (scenario_.fault_scale != 0.0) return;
   if (!obs::SpanRecorder::compiled_in() || spans_maybe_dropped(r)) return;
 
@@ -365,6 +369,11 @@ void TraceInvariantChecker::check_span_stream(
       find_counter(r.counters, "dpm.evaluations").value_or(0) +
       find_counter(r.counters, "governor.evaluations").value_or(0);
   expect_count(obs::Phase::kGovern, evals, "controller evaluations");
+  // The DPM runs the policy pipeline exactly once per evaluation, and the
+  // pipeline stamps exactly one arbiter span per evaluate().
+  expect_count(obs::Phase::kArbiter,
+               find_counter(r.counters, "dpm.evaluations").value_or(0),
+               "dpm evaluations");
 
   const display::RefreshRateSet ladder{scenario_.rates};
   sim::Time prev{};

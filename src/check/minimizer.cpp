@@ -53,6 +53,7 @@ class Shrinker {
       changed |= shrink_duration();
       changed |= shrink_fleet();
       changed |= shrink_faults();
+      changed |= shrink_pipeline();
       changed |= shrink_mode();
       changed |= shrink_script();
       changed |= shrink_scalars();
@@ -132,11 +133,39 @@ class Shrinker {
     return any;
   }
 
+  /// Drops pipeline stages one at a time (skipping candidates that fail
+  /// spec validation, e.g. removing the only rate source).
+  bool shrink_pipeline() {
+    using device::ControlMode;
+    if (result_.scenario.mode != ControlMode::kPipeline) return false;
+    bool any = false;
+    bool changed = true;
+    while (changed && budget_left()) {
+      changed = false;
+      const auto spec =
+          core::PipelineSpec::parse(result_.scenario.pipeline, nullptr);
+      if (!spec) return any;
+      for (std::size_t i = 0; i < spec->stages.size(); ++i) {
+        core::PipelineSpec cand = *spec;
+        cand.stages.erase(cand.stages.begin() + static_cast<std::ptrdiff_t>(i));
+        if (cand.empty() || cand.validate()) continue;
+        Scenario c = result_.scenario;
+        c.pipeline = cand.to_string();
+        if (try_accept(std::move(c))) {
+          any = changed = true;
+          break;  // restart over the shrunk spec
+        }
+      }
+    }
+    return any;
+  }
+
   bool shrink_mode() {
     using device::ControlMode;
     bool any = false;
     while (budget_left()) {
       ControlMode next;
+      Scenario c = result_.scenario;
       switch (result_.scenario.mode) {
         case ControlMode::kNaive:
         case ControlMode::kSectionWithBoost:
@@ -145,10 +174,14 @@ class Shrinker {
         case ControlMode::kSectionHysteresis:
           next = ControlMode::kSectionWithBoost;
           break;
+        case ControlMode::kPipeline:
+          // Explicit compositions floor at the simplest legacy arm.
+          next = ControlMode::kSection;
+          c.pipeline.clear();
+          break;
         default:
           return any;  // kSection / kBaseline60 / kE3FrameRate: floor reached
       }
-      Scenario c = result_.scenario;
       c.mode = next;
       if (!try_accept(std::move(c))) return any;
       any = true;

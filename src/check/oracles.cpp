@@ -68,8 +68,8 @@ RunArtifacts run_scenario_once(harness::ExperimentConfig cfg,
   obs::ObsSink sink;
   sink.spans.set_enabled(opt.spans);
   cfg.obs = &sink;
-  cfg.dpm.meter_damage_culling = opt.damage_culling;
-  cfg.governor.meter_damage_culling = opt.damage_culling;
+  cfg.dpm.meter.damage_culling = opt.damage_culling;
+  cfg.governor.meter.damage_culling = opt.damage_culling;
   RunArtifacts out;
   out.result = harness::run_experiment(cfg);
   out.counters = sink.counters.snapshot();

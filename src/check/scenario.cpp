@@ -64,30 +64,6 @@ std::string double_to_string(double v) {
   return std::string(buf, ptr);
 }
 
-std::optional<device::ControlMode> parse_mode(const std::string& v) {
-  using device::ControlMode;
-  if (v == "baseline") return ControlMode::kBaseline60;
-  if (v == "section") return ControlMode::kSection;
-  if (v == "section+boost") return ControlMode::kSectionWithBoost;
-  if (v == "naive") return ControlMode::kNaive;
-  if (v == "hysteresis") return ControlMode::kSectionHysteresis;
-  if (v == "e3") return ControlMode::kE3FrameRate;
-  return std::nullopt;
-}
-
-const char* mode_keyword(device::ControlMode m) {
-  using device::ControlMode;
-  switch (m) {
-    case ControlMode::kBaseline60: return "baseline";
-    case ControlMode::kSection: return "section";
-    case ControlMode::kSectionWithBoost: return "section+boost";
-    case ControlMode::kNaive: return "naive";
-    case ControlMode::kSectionHysteresis: return "hysteresis";
-    case ControlMode::kE3FrameRate: return "e3";
-  }
-  return "baseline";
-}
-
 std::optional<core::GridSpec> parse_grid(const std::string& v) {
   if (v == "2k") return core::GridSpec::grid_2k();
   if (v == "4k") return core::GridSpec::grid_4k();
@@ -179,20 +155,23 @@ harness::ExperimentConfig Scenario::experiment_config() const {
   harness::ExperimentConfig cfg;
   cfg.app = *spec;
   cfg.mode = mode;
+  if (mode == device::ControlMode::kPipeline) {
+    const auto ps = core::PipelineSpec::parse(pipeline, nullptr);
+    assert(ps && "invalid pipeline spec; parse_scenario validates this");
+    cfg.pipeline = *ps;
+  }
   cfg.duration = duration();
   cfg.seed = seed;
-  cfg.dpm.grid = grid_spec();
-  cfg.dpm.eval_period = sim::milliseconds(eval_ms);
+  cfg.dpm.meter.grid = grid_spec();
+  cfg.dpm.meter.eval_period = sim::milliseconds(eval_ms);
   cfg.dpm.boost_hold = sim::milliseconds(boost_hold_ms);
-  cfg.dpm.meter_window = sim::milliseconds(meter_window_ms);
+  cfg.dpm.meter.window = sim::milliseconds(meter_window_ms);
   cfg.dpm.section_alpha = alpha;
   cfg.dpm.min_hz = min_hz;
   cfg.dpm.boost_hz = boost_hz;
   // The E3 governor shares the metering knobs, so one scenario drives both
   // controller families.
-  cfg.governor.grid = cfg.dpm.grid;
-  cfg.governor.eval_period = cfg.dpm.eval_period;
-  cfg.governor.meter_window = cfg.dpm.meter_window;
+  cfg.governor.meter = cfg.dpm.meter;
   cfg.rates = display::RefreshRateSet(rates);
   cfg.baseline_hz = baseline_hz;
   cfg.fast_rate_up = fast_rate_up;
@@ -223,7 +202,10 @@ std::string scenario_to_string(const Scenario& s) {
   std::ostringstream os;
   os << "schema = " << kSchema << "\n";
   os << "app = " << s.app << "\n";
-  os << "mode = " << mode_keyword(s.mode) << "\n";
+  os << "mode = " << device::control_mode_keyword(s.mode) << "\n";
+  if (s.mode == device::ControlMode::kPipeline) {
+    os << "pipeline = " << s.pipeline << "\n";
+  }
   os << "duration_ms = " << s.duration_ms << "\n";
   os << "seed = " << s.seed << "\n";
   os << "grid = " << s.grid << "\n";
@@ -340,9 +322,20 @@ std::optional<Scenario> parse_scenario(const std::string& text,
       if (!find_app(value)) return bad_value();
       s.app = value;
     } else if (key == "mode") {
-      const auto m = parse_mode(value);
+      const auto m = device::control_mode_from_keyword(value);
       if (!m) return bad_value();
       s.mode = *m;
+    } else if (key == "pipeline") {
+      std::string spec_error;
+      const auto ps = core::PipelineSpec::parse(value, &spec_error);
+      if (!ps) {
+        set_error(error,
+                  "line " + std::to_string(line_no) + ": " + spec_error);
+        return std::nullopt;
+      }
+      // Canonical rendering, so round-trip is byte-exact regardless of the
+      // input's spacing.
+      s.pipeline = ps->to_string();
     } else if (key == "duration_ms") {
       const auto ms = parse_int_strict(value);
       if (!ms || *ms <= 0 || *ms > 600'000) return bad_value();
@@ -432,6 +425,14 @@ std::optional<Scenario> parse_scenario(const std::string& text,
   if (!check_in_rates("baseline_hz", s.baseline_hz) ||
       !check_in_rates("min_hz", s.min_hz) ||
       !check_in_rates("boost_hz", s.boost_hz)) {
+    return std::nullopt;
+  }
+  if (s.mode == device::ControlMode::kPipeline && s.pipeline.empty()) {
+    set_error(error, "mode = pipeline requires a 'pipeline' key");
+    return std::nullopt;
+  }
+  if (s.mode != device::ControlMode::kPipeline && !s.pipeline.empty()) {
+    set_error(error, "'pipeline' is only valid with mode = pipeline");
     return std::nullopt;
   }
   // A clean scenario must not carry fault-only keys into the canonical form.

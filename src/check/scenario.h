@@ -44,6 +44,10 @@ struct FaultClasses {
 struct Scenario {
   std::string app = "Facebook";
   device::ControlMode mode = device::ControlMode::kSectionWithBoost;
+  /// Explicit stage composition (canonical `section,hysteresis,boost`
+  /// rendering); non-empty iff mode == kPipeline.  Kept as text so the
+  /// serialized form round-trips byte-exactly.
+  std::string pipeline;
   std::int64_t duration_ms = 3000;
   std::uint64_t seed = 1;
   std::string grid = "9k";  ///< 2k | 4k | 9k | 36k | full

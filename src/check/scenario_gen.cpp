@@ -14,12 +14,36 @@ namespace {
 device::ControlMode sample_mode(sim::Rng& rng) {
   using device::ControlMode;
   const double x = rng.next_double();
-  if (x < 0.08) return ControlMode::kBaseline60;
-  if (x < 0.30) return ControlMode::kSection;
-  if (x < 0.60) return ControlMode::kSectionWithBoost;
-  if (x < 0.75) return ControlMode::kSectionHysteresis;
-  if (x < 0.85) return ControlMode::kNaive;
-  return ControlMode::kE3FrameRate;
+  if (x < 0.07) return ControlMode::kBaseline60;
+  if (x < 0.25) return ControlMode::kSection;
+  if (x < 0.50) return ControlMode::kSectionWithBoost;
+  if (x < 0.62) return ControlMode::kSectionHysteresis;
+  if (x < 0.70) return ControlMode::kNaive;
+  if (x < 0.82) return ControlMode::kE3FrameRate;
+  return ControlMode::kPipeline;
+}
+
+/// A random valid stage composition in canonical order: rate source(s)
+/// first, then the hysteresis filter, overlays (boost), and the DVFS cap.
+/// Every composition this returns passes PipelineSpec::validate().
+std::string sample_pipeline(sim::Rng& rng) {
+  using core::StageId;
+  core::PipelineSpec spec;
+  const double src = rng.next_double();
+  if (src < 0.50) {
+    spec.stages.push_back(StageId::kSection);
+  } else if (src < 0.80) {
+    spec.stages.push_back(StageId::kPredictive);
+  } else if (src < 0.90) {
+    spec.stages.push_back(StageId::kNaive);
+  } else {
+    spec.stages.push_back(StageId::kSection);
+    spec.stages.push_back(StageId::kPredictive);
+  }
+  if (rng.chance(0.40)) spec.stages.push_back(StageId::kHysteresis);
+  if (rng.chance(0.60)) spec.stages.push_back(StageId::kBoost);
+  if (rng.chance(0.30)) spec.stages.push_back(StageId::kDvfs);
+  return spec.to_string();
 }
 
 const char* sample_grid(sim::Rng& rng) {
@@ -64,6 +88,9 @@ Scenario ScenarioGen::next() {
   s.app = app_pool_[static_cast<std::size_t>(rng_.uniform_int(
       0, static_cast<std::int64_t>(app_pool_.size()) - 1))];
   s.mode = sample_mode(rng_);
+  if (s.mode == device::ControlMode::kPipeline) {
+    s.pipeline = sample_pipeline(rng_);
+  }
   s.duration_ms =
       rng_.uniform_int(options_.min_duration_ms, options_.max_duration_ms);
   s.seed = rng_.next_u64();

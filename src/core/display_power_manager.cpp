@@ -4,28 +4,28 @@
 #include <cassert>
 #include <utility>
 
+#include "core/policy_stages.h"
+
 namespace ccdem::core {
 
-DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
-                                         display::DisplayPanel& panel,
-                                         gfx::SurfaceFlinger& flinger,
-                                         std::unique_ptr<RefreshPolicy> policy,
-                                         power::DevicePowerModel* power,
-                                         DpmConfig config,
-                                         gfx::BufferPool* pool,
-                                         obs::ObsSink* obs)
+DisplayPowerManager::DisplayPowerManager(
+    sim::Simulator& sim, display::DisplayPanel& panel,
+    gfx::SurfaceFlinger& flinger, std::unique_ptr<PolicyPipeline> pipeline,
+    power::DevicePowerModel* power, DpmConfig config, gfx::BufferPool* pool,
+    obs::ObsSink* obs)
     : sim_(sim),
       panel_(panel),
-      policy_(std::move(policy)),
+      pipeline_(std::move(pipeline)),
       power_(power),
       config_(config),
-      meter_(flinger.screen_size(), config.grid, config.meter_window,
+      meter_(flinger.screen_size(), config.meter.grid, config.meter.window,
              MeterMode::kSampledSnapshot, pool),
       booster_(config.boost_hold, config.boost_min_hold),
       prev_policy_hz_(panel.refresh_hz()),
       obs_(obs) {
-  assert(policy_ != nullptr);
-  meter_.set_damage_culling(config_.meter_damage_culling);
+  assert(pipeline_ != nullptr);
+  boost_enabled_ = pipeline_->has_stage("boost");
+  meter_.set_damage_culling(config_.meter.damage_culling);
   if (obs_ != nullptr) {
     meter_.set_obs(obs_);
     ctr_evaluations_ = &obs_->counters.counter("dpm.evaluations");
@@ -39,8 +39,6 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
       // bit-identical (the zero-cost-when-disabled contract).
       ctr_retries_ = &obs_->counters.counter("dpm.retries");
       ctr_retry_giveups_ = &obs_->counters.counter("dpm.retry_giveups");
-      ctr_watchdog_fallbacks_ =
-          &obs_->counters.counter("dpm.watchdog_fallbacks");
       ctr_safe_mode_entries_ =
           &obs_->counters.counter("dpm.safe_mode_entries");
       ctr_safe_mode_rearms_ = &obs_->counters.counter("dpm.safe_mode_rearms");
@@ -48,24 +46,30 @@ DisplayPowerManager::DisplayPowerManager(sim::Simulator& sim,
       *gauge_degradation_ = 0.0;
     }
   }
+  pipeline_->set_obs(obs_);
+  pipeline_->bind_recovery_host(this);
   flinger.add_listener(this);
   refresh_rate_trace_.record(sim_.now(),
                              static_cast<double>(panel_.refresh_hz()));
-  sim_.every(config_.eval_period, [this](sim::Time t) {
+  sim_.every(config_.meter.eval_period, [this](sim::Time t) {
     if (!running_) return false;
     evaluate(t);
     return true;
   });
+  // Last: stages with their own listeners / event series (self-refresh)
+  // register after everything above, preserving the canonical order the
+  // device assembly established.
+  pipeline_->start(sim_);
+}
+
+SelfRefreshController* DisplayPowerManager::self_refresh() {
+  auto* stage =
+      static_cast<SelfRefreshStage*>(pipeline_->stage("self_refresh"));
+  return stage != nullptr ? stage->controller() : nullptr;
 }
 
 int DisplayPowerManager::boost_target_hz() const {
-  // Advertised set == the hardware set unless the fault layer revoked
-  // levels, so the stock behaviour is unchanged.
-  if (config_.boost_hz > 0 &&
-      panel_.advertised_rates().supports(config_.boost_hz)) {
-    return config_.boost_hz;
-  }
-  return panel_.advertised_rates().max_hz();
+  return resolve_boost_hz(panel_.advertised_rates(), config_.boost_hz);
 }
 
 void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
@@ -74,7 +78,7 @@ void DisplayPowerManager::on_touch(const input::TouchEvent& e) {
   if (!was_active && ctr_boost_activations_ != nullptr) {
     ++*ctr_boost_activations_;
   }
-  if (!config_.touch_boost) return;
+  if (!boost_enabled_) return;
   if (config_.recovery.enabled && safe_mode()) return;  // already pinned max
   // Boost immediately: waiting for the next evaluation tick would reopen the
   // reaction-lag hole the booster exists to close.
@@ -184,6 +188,16 @@ void DisplayPowerManager::note_fault(sim::Time t) {
   }
 }
 
+void DisplayPowerManager::mark_fallback() {
+  if (!safe_mode()) set_degradation(DegradationState::kFallback);
+}
+
+void DisplayPowerManager::rearm_safe_mode(sim::Time) {
+  consecutive_faults_ = 0;
+  if (ctr_safe_mode_rearms_ != nullptr) ++*ctr_safe_mode_rearms_;
+  set_degradation(DegradationState::kNormal);
+}
+
 void DisplayPowerManager::set_degradation(DegradationState s) {
   if (degradation_ == s) return;
   degradation_ = s;
@@ -210,93 +224,25 @@ void DisplayPowerManager::evaluate(sim::Time t) {
   const double content_fps = meter_.content_rate(t);
   content_rate_trace_.record(t, content_fps);
 
-  const bool recovery = config_.recovery.enabled;
-  if (recovery && safe_mode() && t >= safe_until_) {
-    // Cooldown elapsed: re-arm content-rate control.
-    consecutive_faults_ = 0;
-    if (ctr_safe_mode_rearms_ != nullptr) ++*ctr_safe_mode_rearms_;
-    set_degradation(DegradationState::kNormal);
-  }
+  PolicyInput in;
+  in.now = t;
+  in.content_fps = content_fps;
+  in.current_hz = panel_.refresh_hz();
+  in.vsync_count = panel_.vsync_count();
+  in.boost_active = boost_enabled_ && booster_.active(t);
+  in.rates = &panel_.rates();
+  in.advertised = &panel_.advertised_rates();
 
-  int target;
-  if (recovery && safe_mode()) {
-    // Content-rate control suspended: hold the maximum advertised rate.
-    target = panel_.advertised_rates().max_hz();
-  } else {
-    const int policy_hz = policy_->decide(t, content_fps, panel_.refresh_hz());
-    if (policy_hz != prev_policy_hz_) {
-      prev_policy_hz_ = policy_hz;
-      if (ctr_section_transitions_ != nullptr) ++*ctr_section_transitions_;
-    }
-    target = policy_hz;
-    if (config_.touch_boost && booster_.active(t)) {
-      // While boosted, never go below the policy's own choice (a game whose
-      // content warrants more than the boost cap keeps its higher rate).
-      target = std::max(boost_target_hz(), policy_hz);
-    }
-    if (config_.min_hz > 0 && target < config_.min_hz &&
-        panel_.rates().supports(config_.min_hz)) {
-      target = config_.min_hz;
-    }
-    if (recovery) {
-      // Revalidate against what the DDIC currently advertises (identity
-      // while nothing is revoked; otherwise the next level up survives the
-      // capability loss -- never a lower one).
-      target =
-          panel_.advertised_rates().ceil_rate(static_cast<double>(target));
-    }
+  const PipelineDecision d = pipeline_->evaluate(in);
+  if (!d.preempted && d.policy_hz != prev_policy_hz_) {
+    prev_policy_hz_ = d.policy_hz;
+    if (ctr_section_transitions_ != nullptr) ++*ctr_section_transitions_;
   }
-
-  if (recovery) {
-    // --- watchdog ---------------------------------------------------------
-    if (panel_.vsync_count() != last_vsync_count_) {
-      last_vsync_count_ = panel_.vsync_count();
-      last_vsync_progress_ = t;
-    }
-    // Low rungs legitimately need up to one (long) old period to move; give
-    // the watchdog at least two periods of grace before calling it stuck.
-    const sim::Duration grace =
-        std::max(config_.recovery.watchdog_window,
-                 sim::Duration{2 * sim::period_of_hz(
-                                       std::max(1, panel_.refresh_hz()))
-                                       .ticks});
-    bool trip = false;
-    if (t - last_vsync_progress_ > grace) trip = true;  // no vsync ack
-    // Delivered-quality collapse: we keep asking for more than the panel
-    // presents (a switch that never lands, or a stuck-at-low panel).
-    const bool underserving = target > panel_.refresh_hz();
-    if (underserving && !underserved_) {
-      underserved_ = true;
-      underserved_since_ = t;
-    } else if (!underserving) {
-      underserved_ = false;
-    }
-    if (underserved_ && t - underserved_since_ > grace) {
-      trip = true;
-      underserved_since_ = t;  // re-arm: at most one trip per window
-    }
-    if (trip && !safe_mode()) {
-      if (ctr_watchdog_fallbacks_ != nullptr) ++*ctr_watchdog_fallbacks_;
-      abandon_pending(t);
-      note_fault(t);  // may escalate straight into safe mode
-      if (!safe_mode()) set_degradation(DegradationState::kFallback);
-      target = panel_.advertised_rates().max_hz();
-      CCDEM_OBS_SPAN(obs_, obs::Phase::kRecover, t, sim::Duration{},
-                     evaluations_, target);
-    }
-    // --- pending-switch timeout (ladder open but unresolved) --------------
-    if (pending_target_ != 0 &&
-        t - pending_since_ >= config_.recovery.switch_timeout) {
-      if (ctr_retry_giveups_ != nullptr) ++*ctr_retry_giveups_;
-      abandon_pending(t);
-      note_fault(t);
-      if (!safe_mode()) set_degradation(DegradationState::kFallback);
-      target = panel_.advertised_rates().max_hz();
-    }
-  }
+  const int target = d.target_hz;
 
   if (ctr_evaluations_ != nullptr) ++*ctr_evaluations_;
-  if (recovery && pending_target_ != 0 && pending_target_ == target) {
+  if (config_.recovery.enabled && pending_target_ != 0 &&
+      pending_target_ == target) {
     // The retry ladder already owns this target; its backoff cadence drives
     // the re-requests instead of hammering the DDIC every evaluation.
   } else {

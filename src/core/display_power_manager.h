@@ -1,15 +1,20 @@
 // DisplayPowerManager: the proposed system, assembled.
 //
-// Wires the content-rate meter to the compositor, evaluates the refresh
-// policy on a fixed cadence, applies touch boosting, pushes rate decisions
-// to the panel, charges the metering CPU cost to the device power model, and
-// records the content-rate / refresh-rate traces the evaluation figures use.
+// Wires the content-rate meter to the compositor, runs the policy pipeline
+// on a fixed cadence (meter sample -> stages -> arbiter, see
+// core/policy_pipeline.h), applies touch boosting, pushes rate decisions
+// to the panel, charges the metering CPU cost to the device power model,
+// and records the content-rate / refresh-rate traces the evaluation
+// figures use.  Everything policy-shaped lives in the pipeline's stages;
+// this class owns metering, actuation (including the self-healing retry
+// ladder) and the evaluation cadence.
 #pragma once
 
 #include <memory>
 
 #include "core/content_rate_meter.h"
-#include "core/refresh_policy.h"
+#include "core/control_config.h"
+#include "core/policy_pipeline.h"
 #include "core/touch_booster.h"
 #include "display/display_panel.h"
 #include "gfx/surface_flinger.h"
@@ -21,90 +26,21 @@
 
 namespace ccdem::core {
 
-/// Self-healing behaviour against a faulty panel link (DESIGN.md section 9).
-/// Disabled by default -- the paper's kernel-patched panel never fails, and
-/// with `enabled == false` the controller registers no extra counters and
-/// takes no extra branches on the ack path, keeping golden traces
-/// bit-identical.  The device layer auto-enables it when a FaultPlan is
-/// active.
-struct RecoveryConfig {
-  bool enabled = false;
-  /// A NAK'd switch is retried this many times with exponential backoff
-  /// (backoff, 2x, 4x, ...) before the attempt counts as one fault.
-  int max_retries = 4;
-  sim::Duration retry_backoff = sim::milliseconds(40);
-  /// A target unreached for this long (NAK streak or settle stall) counts
-  /// as one fault and abandons the retry ladder.
-  sim::Duration switch_timeout = sim::milliseconds(400);
-  /// Watchdog: content rate persistently above the panel's effective rate
-  /// (delivered-quality collapse), or no vsync progress, sustained for this
-  /// long forces fallback to the maximum advertised rate.
-  sim::Duration watchdog_window = sim::milliseconds(600);
-  /// Consecutive faults (retry giveups, switch timeouts, watchdog trips)
-  /// without an intervening acknowledged switch before safe mode engages:
-  /// content-rate control off, panel pinned to the maximum advertised rate.
-  int safe_mode_after = 4;
-  /// Safe mode re-arms (section control resumes, fault count resets) after
-  /// this cooldown.
-  sim::Duration safe_mode_cooldown = sim::seconds(3);
-};
-
-/// Controller health, exported as the dpm.degradation_state gauge (only
-/// when recovery is enabled).
-enum class DegradationState {
-  kNormal = 0,    ///< section control, panel acking
-  kRetrying = 1,  ///< a NAK'd switch is on the retry/backoff ladder
-  kFallback = 2,  ///< watchdog or giveup forced the maximum rate
-  kSafeMode = 3,  ///< content control suspended until the cooldown expires
-};
-
-struct DpmConfig {
-  GridSpec grid = GridSpec::grid_9k();
-  sim::Duration meter_window = sim::seconds(1);
-  sim::Duration eval_period = sim::milliseconds(100);
-  bool touch_boost = true;
-  /// How long the boost pins the maximum rate after the last touch event.
-  /// Android-era input boosts hold a few hundred ms; by then the meter has
-  /// seen the interaction burst and the section table takes over.
-  sim::Duration boost_hold = sim::milliseconds(500);
-  /// Rate the booster targets; 0 = the panel's maximum.  On tall ladders
-  /// (120 Hz LTPO) boosting all the way to the top wastes power on content
-  /// that cannot exceed 60 fps -- cap it at the app-relevant maximum.
-  int boost_hz = 0;
-  /// Floor below which the controller never parks the panel; 0 = the
-  /// ladder's minimum.  Deep floors (1 Hz) amplify any metering miss --
-  /// content the sparse grid cannot see (a 3 px cursor) freezes at 1 fps --
-  /// so conservative deployments pin a safety floor, as Android's
-  /// "minimum refresh rate" setting later did.
-  int min_hz = 0;
-  /// Threshold placement for the section table (0.5 = paper's Equation (1)).
-  double section_alpha = 0.5;
-  /// Charge the metering comparison's CPU energy to the power model.  The
-  /// comparison is memory-bound and runs on whatever core is already awake
-  /// for composition, so the *incremental* power while comparing is well
-  /// below a core's peak (the paper calls the cost "almost no overhead").
-  bool charge_meter_cost = true;
-  double meter_cpu_mw = 100.0;
-  /// Minimum time the touch boost stays up after the touch that opened it
-  /// (tolerates a lossy input path; 0 = classic behaviour).
-  sim::Duration boost_min_hold{};
-  /// Damage-scoped metering (the O(changed-pixels) hot path).  The DST
-  /// harness turns it off to run the unculled reference meter as a
-  /// differential oracle; classifications must be identical either way.
-  bool meter_damage_culling = true;
-  RecoveryConfig recovery{};
-};
+class SelfRefreshController;
 
 class DisplayPowerManager final : public input::TouchListener,
-                                  public gfx::FrameListener {
+                                  public gfx::FrameListener,
+                                  public RecoveryHost {
  public:
   /// `power` may be null (no energy accounting, e.g. in unit tests).
   /// `pool` (optional) recycles the meter's snapshot buffers.  `obs`
-  /// (optional) receives the dpm.* counters, the meter's counters, and a
-  /// govern span per evaluation tick.
+  /// (optional) receives the dpm.* counters, the meter's counters, the
+  /// pipeline's policy.* counters, and govern/arbiter spans per
+  /// evaluation tick.  The pipeline must be non-null; build one with
+  /// core::build_pipeline().
   DisplayPowerManager(sim::Simulator& sim, display::DisplayPanel& panel,
                       gfx::SurfaceFlinger& flinger,
-                      std::unique_ptr<RefreshPolicy> policy,
+                      std::unique_ptr<PolicyPipeline> pipeline,
                       power::DevicePowerModel* power, DpmConfig config = {},
                       gfx::BufferPool* pool = nullptr,
                       obs::ObsSink* obs = nullptr);
@@ -119,11 +55,19 @@ class DisplayPowerManager final : public input::TouchListener,
   /// FrameListener: forwards to the meter and charges metering energy.
   void on_frame(const gfx::FrameInfo& info, const gfx::Framebuffer& fb) override;
 
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    pipeline_->stop();
+  }
 
   [[nodiscard]] const ContentRateMeter& meter() const { return meter_; }
-  [[nodiscard]] const RefreshPolicy& policy() const { return *policy_; }
+  [[nodiscard]] const PolicyPipeline& pipeline() const { return *pipeline_; }
+  [[nodiscard]] PolicyPipeline& pipeline() { return *pipeline_; }
   [[nodiscard]] const TouchBooster& booster() const { return booster_; }
+
+  /// The self-refresh controller owned by the pipeline's self_refresh
+  /// stage; null when no such stage is registered.
+  [[nodiscard]] SelfRefreshController* self_refresh();
 
   /// Current recovery state (kNormal whenever recovery is disabled).
   [[nodiscard]] DegradationState degradation_state() const {
@@ -144,11 +88,28 @@ class DisplayPowerManager final : public input::TouchListener,
     return refresh_rate_trace_;
   }
 
+  // --- RecoveryHost (the recovery stage's view of the actuation plane) ----
+  [[nodiscard]] bool safe_mode() const override {
+    return degradation_ == DegradationState::kSafeMode;
+  }
+  [[nodiscard]] sim::Time safe_until() const override { return safe_until_; }
+  void rearm_safe_mode(sim::Time t) override;
+  void note_fault(sim::Time t) override;
+  void mark_fallback() override;
+  void abandon_pending(sim::Time t) override;
+  [[nodiscard]] int pending_target() const override { return pending_target_; }
+  [[nodiscard]] sim::Time pending_since() const override {
+    return pending_since_;
+  }
+  [[nodiscard]] std::uint64_t evaluations() const override {
+    return evaluations_;
+  }
+
  private:
   void evaluate(sim::Time t);
   [[nodiscard]] int boost_target_hz() const;
 
-  // --- self-healing helpers (all no-ops unless recovery is enabled) -------
+  // --- self-healing actuation (all no-ops unless recovery is enabled) -----
   /// The raw push: set_refresh_rate + rate-change counter + trace record.
   display::SwitchResult push_rate(sim::Time t, int hz);
   /// Pushes `hz` to the panel, recording the trace/counter on a change and
@@ -156,27 +117,24 @@ class DisplayPowerManager final : public input::TouchListener,
   void request_rate(sim::Time t, int hz);
   void schedule_retry(sim::Time t);
   void on_retry(sim::Time t);
-  void abandon_pending(sim::Time t);
-  /// One fault observed; escalates to safe mode after the configured streak.
-  void note_fault(sim::Time t);
   void set_degradation(DegradationState s);
   void enter_safe_mode(sim::Time t);
-  [[nodiscard]] bool safe_mode() const {
-    return degradation_ == DegradationState::kSafeMode;
-  }
 
   sim::Simulator& sim_;
   display::DisplayPanel& panel_;
-  std::unique_ptr<RefreshPolicy> policy_;
+  std::unique_ptr<PolicyPipeline> pipeline_;
   power::DevicePowerModel* power_;
   DpmConfig config_;
   ContentRateMeter meter_;
   TouchBooster booster_;
+  /// Whether a boost stage is registered (the legacy touch_boost gate).
+  bool boost_enabled_ = false;
   sim::Trace content_rate_trace_{"content_rate_fps"};
   sim::Trace refresh_rate_trace_{"refresh_hz"};
   bool running_ = true;
 
-  /// The policy's previous decision; a change is one section transition.
+  /// The pipeline's previous policy decision; a change is one section
+  /// transition.
   int prev_policy_hz_ = 0;
   std::uint64_t evaluations_ = 0;
 
@@ -189,10 +147,6 @@ class DisplayPowerManager final : public input::TouchListener,
   sim::EventHandle retry_event_{};
   int consecutive_faults_ = 0;
   sim::Time safe_until_{};
-  bool underserved_ = false;       ///< content rate above the presented rate
-  sim::Time underserved_since_{};
-  std::uint64_t last_vsync_count_ = 0;
-  sim::Time last_vsync_progress_{};
 
   obs::ObsSink* obs_ = nullptr;
   std::uint64_t* ctr_evaluations_ = nullptr;
@@ -201,7 +155,6 @@ class DisplayPowerManager final : public input::TouchListener,
   std::uint64_t* ctr_boost_activations_ = nullptr;
   std::uint64_t* ctr_retries_ = nullptr;
   std::uint64_t* ctr_retry_giveups_ = nullptr;
-  std::uint64_t* ctr_watchdog_fallbacks_ = nullptr;
   std::uint64_t* ctr_safe_mode_entries_ = nullptr;
   std::uint64_t* ctr_safe_mode_rearms_ = nullptr;
   double* gauge_degradation_ = nullptr;

@@ -17,11 +17,11 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
       power_(power),
       panel_(panel),
       config_(config),
-      meter_(flinger.screen_size(), config.grid, config.meter_window,
+      meter_(flinger.screen_size(), config.meter.grid, config.meter.window,
              MeterMode::kSampledSnapshot, pool),
       obs_(obs) {
   assert(set_cap_);
-  meter_.set_damage_culling(config_.meter_damage_culling);
+  meter_.set_damage_culling(config_.meter.damage_culling);
   if (obs_ != nullptr) {
     meter_.set_obs(obs_);
     ctr_evaluations_ = &obs_->counters.counter("governor.evaluations");
@@ -29,7 +29,7 @@ FrameRateGovernor::FrameRateGovernor(sim::Simulator& sim,
   }
   flinger.add_listener(this);
   cap_trace_.record(sim.now(), 0.0);
-  sim.every(config_.eval_period, [this](sim::Time t) {
+  sim.every(config_.meter.eval_period, [this](sim::Time t) {
     if (!running_) return false;
     evaluate(t);
     return true;

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "core/content_rate_meter.h"
+#include "core/control_config.h"
 #include "display/display_panel.h"
 #include "gfx/surface_flinger.h"
 #include "input/touch_event.h"
@@ -27,9 +28,10 @@
 namespace ccdem::core {
 
 struct GovernorConfig {
-  GridSpec grid = GridSpec::grid_9k();
-  sim::Duration meter_window = sim::seconds(1);
-  sim::Duration eval_period = sim::milliseconds(100);
+  /// Shared meter description (grid / window / cadence / culling) --
+  /// identical in shape to the proposed controller's DpmConfig::meter, so
+  /// A/B arms meter the same way by construction.
+  MeterConfig meter{};
   /// Cap = content rate x headroom (the content rate must be able to
   /// grow so the governor can observe demand increases).
   double headroom = 1.5;
@@ -38,9 +40,6 @@ struct GovernorConfig {
   sim::Duration interact_hold = sim::milliseconds(500);
   bool charge_meter_cost = true;
   double meter_cpu_mw = 100.0;
-  /// Damage-scoped metering; off = the unculled reference meter (DST
-  /// differential oracle, same contract as DpmConfig::meter_damage_culling).
-  bool meter_damage_culling = true;
 };
 
 class FrameRateGovernor final : public gfx::FrameListener,

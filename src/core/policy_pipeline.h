@@ -1,0 +1,251 @@
+// The composable policy pipeline: meter sample -> N stages -> arbiter.
+//
+// Each evaluation tick the DisplayPowerManager samples the content-rate
+// meter and hands the sample to a PolicyPipeline.  The pipeline runs three
+// phases over its ordered stages:
+//
+//   1. preempt  -- a stage may pin the rate and suspend the policy round
+//                  entirely (the recovery plane's safe mode).  The first
+//                  pin wins; no proposals are gathered.
+//   2. propose  -- every stage may contribute a RateProposal.  Later stages
+//                  see the proposals gathered so far (`upstream`), which is
+//                  how a meta-stage like hysteresis filters the decision of
+//                  the rate sources before it.  The arbiter then resolves
+//                  deterministically: maximum priority wins, ties break to
+//                  the maximum rate, remaining ties to the earliest stage.
+//   3. adjust   -- stages may rewrite the arbitrated target in order
+//                  (the DVFS co-control cap, the recovery plane's
+//                  revalidation / watchdog / pending-timeout fallbacks).
+//
+// The quality-first composition rule the monolithic controller implemented
+// with nested std::max calls (boost over policy over floor) falls out of
+// same-priority + max-rate arbitration, which is what makes the legacy
+// ControlMode arms byte-identical when replayed through their canonical
+// pipeline specs (tests/test_policy_pipeline.cpp proves it over the DST
+// corpus).
+//
+// Observability: the pipeline registers policy.<stage>.proposals and
+// policy.<stage>.wins counters per stage and stamps one kArbiter span per
+// evaluation (frame = evaluation index, arg = arbitrated target).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/control_config.h"
+#include "display/refresh_rate.h"
+#include "obs/obs.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccdem::core {
+
+/// Proposal priorities.  All stock stages propose at kPriorityNormal (the
+/// legacy max() composition); kPriorityPin is reserved for stages that must
+/// override quality-first arbitration downward.
+inline constexpr int kPriorityNormal = 0;
+inline constexpr int kPriorityPin = 100;
+
+struct RateProposal {
+  int target_hz = 0;
+  int priority = kPriorityNormal;
+  /// Advisory minimum hold; stages that manage their own hold windows (the
+  /// touch booster) leave it zero.  The arbiter records but does not
+  /// enforce it.
+  sim::Duration hold{};
+  /// Proposals marked `policy` carry content-derived decisions; their
+  /// maximum is the round's policy_hz, which feeds the section-transition
+  /// counter independently of boost/floor overlays (legacy semantics).
+  bool policy = true;
+};
+
+/// Everything a stage may observe at one evaluation tick.  Stages hold no
+/// reference to the panel; the pipeline snapshot decouples them from the
+/// device assembly (and keeps propose() trivially testable).
+struct PolicyInput {
+  sim::Time now{};
+  double content_fps = 0.0;
+  /// The panel's currently presented rate.
+  int current_hz = 0;
+  std::uint64_t vsync_count = 0;
+  /// True while the touch booster's hold window is open AND a boost stage
+  /// is registered (mirrors the legacy touch_boost gate).
+  bool boost_active = false;
+  /// The hardware ladder.
+  const display::RefreshRateSet* rates = nullptr;
+  /// What the DDIC currently advertises (== rates unless the fault layer
+  /// revoked levels).
+  const display::RefreshRateSet* advertised = nullptr;
+  /// Proposals gathered so far this round (propose phase only; null in
+  /// preempt/adjust).
+  const std::vector<RateProposal>* upstream = nullptr;
+
+  /// Maximum target among upstream policy-class proposals; `fallback` when
+  /// no rate source has proposed yet.
+  [[nodiscard]] int best_policy_hz(int fallback) const {
+    int best = fallback;
+    bool any = false;
+    if (upstream != nullptr) {
+      for (const RateProposal& p : *upstream) {
+        if (!p.policy) continue;
+        best = any ? std::max(best, p.target_hz) : p.target_hz;
+        any = true;
+      }
+    }
+    return best;
+  }
+};
+
+/// Host hooks the recovery stage needs from the actuation plane (the
+/// DisplayPowerManager): the retry ladder, fault escalation and safe-mode
+/// bookkeeping live with the panel pushes; the stage owns the evaluation-
+/// side policy (rearm, safe-mode pin, revalidation, watchdog, timeouts).
+class RecoveryHost {
+ public:
+  virtual ~RecoveryHost() = default;
+  [[nodiscard]] virtual bool safe_mode() const = 0;
+  [[nodiscard]] virtual sim::Time safe_until() const = 0;
+  /// Cooldown elapsed: reset the fault streak and resume content control.
+  virtual void rearm_safe_mode(sim::Time t) = 0;
+  /// One fault observed; may escalate straight into safe mode.
+  virtual void note_fault(sim::Time t) = 0;
+  /// Enter the fallback degradation state (no-op while in safe mode).
+  virtual void mark_fallback() = 0;
+  virtual void abandon_pending(sim::Time t) = 0;
+  [[nodiscard]] virtual int pending_target() const = 0;
+  [[nodiscard]] virtual sim::Time pending_since() const = 0;
+  /// Evaluation index of the tick in flight (for span stamping).
+  [[nodiscard]] virtual std::uint64_t evaluations() const = 0;
+};
+
+class PolicyStage {
+ public:
+  virtual ~PolicyStage() = default;
+
+  /// Stable identifier; also the `policy.<name>.*` counter namespace and
+  /// the spec keyword for user-specifiable stages.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Pin the rate and suspend this round's propose phase (first pin wins).
+  virtual std::optional<int> preempt(const PolicyInput&) {
+    return std::nullopt;
+  }
+  /// Contribute a proposal; `in.upstream` holds earlier stages' proposals.
+  /// Not called on preempted rounds (stage state must freeze, matching the
+  /// monolithic controller's suspended policy).
+  virtual std::optional<RateProposal> propose(const PolicyInput&) {
+    return std::nullopt;
+  }
+  /// Rewrite the arbitrated target (runs on every round, preempted or not).
+  virtual void adjust(const PolicyInput& /*in*/, bool /*preempted*/,
+                      int& /*target_hz*/) {}
+
+  /// Stage-specific counters/gauges beyond the pipeline-registered pair.
+  virtual void register_obs(obs::ObsSink* /*obs*/) {}
+  /// Late wiring for stages that need the actuation plane (recovery).
+  virtual void set_recovery_host(RecoveryHost* /*host*/) {}
+  /// Called once the owning controller is fully wired; stages that run
+  /// their own event series or listeners (self-refresh) register here so
+  /// the canonical registration order is preserved.
+  virtual void start(sim::Simulator& /*sim*/) {}
+  virtual void stop() {}
+};
+
+/// One arbitrated decision.
+struct PipelineDecision {
+  int target_hz = 0;
+  /// Maximum over policy-class proposals (the pre-boost/pre-floor policy
+  /// decision; drives the section-transition counter).
+  int policy_hz = 0;
+  bool preempted = false;
+};
+
+class PolicyPipeline {
+ public:
+  PolicyPipeline() = default;
+  PolicyPipeline(const PolicyPipeline&) = delete;
+  PolicyPipeline& operator=(const PolicyPipeline&) = delete;
+
+  void add_stage(std::unique_ptr<PolicyStage> stage);
+
+  /// Registers policy.<stage>.* counters and forwards the sink to stages.
+  /// Call before the first evaluate(); null is fine (no-op).
+  void set_obs(obs::ObsSink* obs);
+  void bind_recovery_host(RecoveryHost* host);
+  void start(sim::Simulator& sim);
+  void stop();
+
+  [[nodiscard]] PipelineDecision evaluate(const PolicyInput& in);
+
+  [[nodiscard]] bool has_stage(std::string_view name) const;
+  /// First stage with `name`, or null.
+  [[nodiscard]] PolicyStage* stage(std::string_view name);
+  [[nodiscard]] std::size_t size() const { return stages_.size(); }
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<std::unique_ptr<PolicyStage>> stages_;
+  // Reused across ticks so steady-state evaluation never allocates.
+  std::vector<RateProposal> proposals_;
+  std::vector<std::size_t> owners_;  // proposals_[j] came from stages_[owners_[j]]
+  std::uint64_t evaluations_ = 0;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::vector<std::uint64_t*> ctr_proposals_;
+  std::vector<std::uint64_t*> ctr_wins_;
+};
+
+// --- pipeline specs --------------------------------------------------------
+
+/// The user-specifiable stages.  Floor, recovery and self-refresh stages are
+/// appended automatically from DpmConfig / DeviceConfig (they are wiring,
+/// not policy choices) and have no spec keyword.
+enum class StageId {
+  kSection,
+  kNaive,
+  kHysteresis,
+  kBoost,
+  kPredictive,
+  kDvfs,
+};
+
+[[nodiscard]] const char* stage_keyword(StageId id);
+[[nodiscard]] std::optional<StageId> stage_from_keyword(std::string_view name);
+
+/// An ordered stage composition, as written in configs:
+/// `pipeline=section,hysteresis,boost`.
+struct PipelineSpec {
+  std::vector<StageId> stages;
+
+  [[nodiscard]] bool operator==(const PipelineSpec&) const = default;
+  [[nodiscard]] bool empty() const { return stages.empty(); }
+  [[nodiscard]] bool contains(StageId id) const;
+
+  /// `section,hysteresis,boost` rendering (config round-trip format).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Strict parse + validation: unknown names, duplicates, empty specs, a
+  /// spec without a rate source (section/naive/predictive), or a
+  /// hysteresis stage with no rate source before it are all rejected.
+  /// On failure returns nullopt and sets `*error` (if non-null).
+  static std::optional<PipelineSpec> parse(std::string_view text,
+                                           std::string* error);
+
+  /// Validation of an already-built spec (same rules as parse).  Returns
+  /// the error message, or nullopt when valid.
+  [[nodiscard]] std::optional<std::string> validate() const;
+};
+
+/// Builds the pipeline for `spec` over the hardware ladder, appending the
+/// floor stage when config.min_hz > 0 and the recovery stage when
+/// config.recovery.enabled (bind_recovery_host() before evaluating).
+[[nodiscard]] std::unique_ptr<PolicyPipeline> build_pipeline(
+    const PipelineSpec& spec, const display::RefreshRateSet& rates,
+    const DpmConfig& config);
+
+}  // namespace ccdem::core

@@ -1,0 +1,291 @@
+#include "core/policy_stages.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdem::core {
+
+int resolve_boost_hz(const display::RefreshRateSet& advertised, int boost_hz) {
+  // Advertised set == the hardware set unless the fault layer revoked
+  // levels, so the stock behaviour is unchanged.
+  if (boost_hz > 0 && advertised.supports(boost_hz)) return boost_hz;
+  return advertised.max_hz();
+}
+
+// --- SectionStage ----------------------------------------------------------
+
+std::optional<RateProposal> SectionStage::propose(const PolicyInput& in) {
+  RateProposal p;
+  p.target_hz = table_.rate_for(in.content_fps);
+  return p;
+}
+
+// --- NaiveStage ------------------------------------------------------------
+
+std::optional<RateProposal> NaiveStage::propose(const PolicyInput& in) {
+  RateProposal p;
+  p.target_hz = rates_.ceil_rate(in.content_fps);
+  return p;
+}
+
+// --- HysteresisStage -------------------------------------------------------
+
+std::optional<RateProposal> HysteresisStage::propose(const PolicyInput& in) {
+  const int want = in.best_policy_hz(in.current_hz);
+  if (want >= in.current_hz) {
+    pending_down_ = 0;
+    return std::nullopt;  // increases (and holds) apply immediately
+  }
+  if (++pending_down_ >= down_confirmations_) {
+    pending_down_ = 0;
+    return std::nullopt;  // decrease confirmed; let the source's rate win
+  }
+  // Not yet confirmed: hold the current rate.  Same priority + higher rate
+  // out-arbitrates the source's lower proposal.
+  RateProposal p;
+  p.target_hz = in.current_hz;
+  return p;
+}
+
+// --- BoostStage ------------------------------------------------------------
+
+std::optional<RateProposal> BoostStage::propose(const PolicyInput& in) {
+  if (!in.boost_active) return std::nullopt;
+  // While boosted, never go below the policy's own choice (a game whose
+  // content warrants more than the boost cap keeps its higher rate) --
+  // max-rate arbitration provides exactly that.
+  RateProposal p;
+  p.target_hz = resolve_boost_hz(*in.advertised, boost_hz_);
+  p.policy = false;
+  return p;
+}
+
+// --- FloorStage ------------------------------------------------------------
+
+std::optional<RateProposal> FloorStage::propose(const PolicyInput& in) {
+  // The floor is validated against the *hardware* ladder (legacy semantics:
+  // a fault-revoked level still floors -- the push simply NAKs and the
+  // recovery plane deals with it).
+  if (!in.rates->supports(min_hz_)) return std::nullopt;
+  RateProposal p;
+  p.target_hz = min_hz_;
+  p.policy = false;
+  return p;
+}
+
+// --- PredictiveRateStage ---------------------------------------------------
+
+PredictiveRateStage::PredictiveRateStage(SectionTable table,
+                                         PredictiveConfig config)
+    : table_(std::move(table)), config_(config) {
+  window_.resize(std::max(2, config_.window));
+}
+
+void PredictiveRateStage::register_obs(obs::ObsSink* obs) {
+  ctr_presteps_ = &obs->counters.counter("policy.predictive.presteps");
+}
+
+std::optional<RateProposal> PredictiveRateStage::propose(
+    const PolicyInput& in) {
+  const double fps = in.content_fps;
+  window_[window_head_] = fps;
+  window_head_ = (window_head_ + 1) % window_.size();
+  window_count_ = std::min(window_count_ + 1, window_.size());
+
+  const int reactive = table_.rate_for(fps);
+  if (target_hz_ == 0) target_hz_ = reactive;
+
+  if (reactive > target_hz_) {
+    // Up-steps are instant (cooldown_up == 1 in the DynClockVita idiom):
+    // quality first, exactly like the reactive table.
+    target_hz_ = reactive;
+    down_streak_ = 0;
+  } else {
+    // Down candidate: the reactive rate, extrapolated further down when
+    // the window shows a *stable* downtrend.
+    double predicted = fps;
+    if (window_count_ == window_.size()) {
+      const std::size_t n = window_.size();
+      // Straight-line trend over the ring, oldest (at head_) to newest.
+      const double oldest = window_[window_head_];
+      const double slope = (fps - oldest) / static_cast<double>(n - 1);
+      // Stability = residual spread around the trend line, not raw
+      // variance: a clean downtrend is exactly the signal prediction
+      // wants, and raw variance would veto it in proportion to its own
+      // slope.  Oscillating content fits no line and stays gated.
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double fit = oldest + slope * static_cast<double>(i);
+        const double v = window_[(window_head_ + i) % n];
+        var += (v - fit) * (v - fit);
+      }
+      var /= static_cast<double>(n);
+      if (std::sqrt(var) <= config_.stability_threshold) {
+        predicted = fps + std::min(0.0, slope) * config_.lead;
+        if (predicted < 0.0) predicted = 0.0;
+      }
+    }
+    const int candidate = std::min(reactive, table_.rate_for(predicted));
+    if (candidate < target_hz_) {
+      ++down_streak_;
+      if (down_streak_ >= config_.down_confirmations &&
+          in.now - last_down_ >= config_.down_cooldown) {
+        if (candidate < reactive && ctr_presteps_ != nullptr) {
+          ++*ctr_presteps_;  // stepped below the reactive table: a pre-step
+        }
+        target_hz_ = candidate;
+        down_streak_ = 0;
+        last_down_ = in.now;
+      }
+    } else {
+      down_streak_ = 0;
+    }
+  }
+
+  RateProposal p;
+  p.target_hz = target_hz_;
+  return p;
+}
+
+// --- DvfsCoControlStage ----------------------------------------------------
+
+void DvfsCoControlStage::register_obs(obs::ObsSink* obs) {
+  ctr_caps_ = &obs->counters.counter("policy.dvfs.caps");
+  gauge_rung_ = &obs->counters.gauge("policy.dvfs.rung");
+  *gauge_rung_ = static_cast<double>(rung_);
+}
+
+double DvfsCoControlStage::capacity_fps(int rung,
+                                        const PolicyInput& in) const {
+  return static_cast<double>(in.rates->max_hz()) *
+         static_cast<double>(rung + 1) / static_cast<double>(config_.rungs);
+}
+
+void DvfsCoControlStage::adjust(const PolicyInput& in, bool preempted,
+                                int& target_hz) {
+  const double fps = in.content_fps;
+  const double delta = has_last_ ? std::abs(fps - last_fps_) : 0.0;
+  last_fps_ = fps;
+  has_last_ = true;
+
+  if (delta > config_.instability_fps) {
+    // Frametime instability: the GPU needs headroom now.
+    if (rung_ < config_.rungs - 1) ++rung_;
+    stable_streak_ = 0;
+  } else if (++stable_streak_ >= config_.stable_ticks) {
+    if (rung_ > 0 && capacity_fps(rung_ - 1, in) >= fps * config_.headroom) {
+      --rung_;
+    }
+    stable_streak_ = 0;
+  }
+  if (gauge_rung_ != nullptr) *gauge_rung_ = static_cast<double>(rung_);
+
+  // While boosted the quality contract owns the rate; while preempted the
+  // recovery plane does.  Cap only in normal operation.
+  if (preempted || in.boost_active) return;
+  int cap = in.rates->ceil_rate(capacity_fps(rung_, in));
+  if (min_hz_ > 0 && in.rates->supports(min_hz_)) {
+    cap = std::max(cap, min_hz_);
+  }
+  if (target_hz > cap) {
+    target_hz = cap;
+    if (ctr_caps_ != nullptr) ++*ctr_caps_;
+  }
+}
+
+// --- SelfRefreshStage ------------------------------------------------------
+
+void SelfRefreshStage::start(sim::Simulator& sim) {
+  // Constructed here, not in the stage constructor: the controller
+  // self-registers a frame listener and an evaluation series, and the
+  // canonical registration order (after the owning DPM's) is part of the
+  // reproducible contract.
+  ctrl_ = std::make_unique<SelfRefreshController>(sim, flinger_, power_,
+                                                  config_);
+}
+
+void SelfRefreshStage::stop() {
+  if (ctrl_) ctrl_->stop();
+}
+
+// --- RecoveryStage ---------------------------------------------------------
+
+void RecoveryStage::register_obs(obs::ObsSink* obs) {
+  obs_ = obs;
+  // Shared slots with the actuation plane (Counters dedups by name): the
+  // giveup counter counts both the retry ladder's and the eval-side
+  // timeouts, exactly as the monolithic controller did.
+  ctr_watchdog_fallbacks_ = &obs->counters.counter("dpm.watchdog_fallbacks");
+  ctr_retry_giveups_ = &obs->counters.counter("dpm.retry_giveups");
+}
+
+std::optional<int> RecoveryStage::preempt(const PolicyInput& in) {
+  if (host_->safe_mode() && in.now >= host_->safe_until()) {
+    // Cooldown elapsed: re-arm content-rate control.
+    host_->rearm_safe_mode(in.now);
+  }
+  if (host_->safe_mode()) {
+    // Content-rate control suspended: hold the maximum advertised rate.
+    return in.advertised->max_hz();
+  }
+  return std::nullopt;
+}
+
+void RecoveryStage::adjust(const PolicyInput& in, bool preempted,
+                           int& target_hz) {
+  const sim::Time t = in.now;
+  if (!preempted) {
+    // Revalidate against what the DDIC currently advertises (identity
+    // while nothing is revoked; otherwise the next level up survives the
+    // capability loss -- never a lower one).
+    target_hz = in.advertised->ceil_rate(static_cast<double>(target_hz));
+  }
+
+  // --- watchdog -----------------------------------------------------------
+  if (in.vsync_count != last_vsync_count_) {
+    last_vsync_count_ = in.vsync_count;
+    last_vsync_progress_ = t;
+  }
+  // Low rungs legitimately need up to one (long) old period to move; give
+  // the watchdog at least two periods of grace before calling it stuck.
+  const sim::Duration grace = std::max(
+      config_.watchdog_window,
+      sim::Duration{
+          2 * sim::period_of_hz(std::max(1, in.current_hz)).ticks});
+  bool trip = false;
+  if (t - last_vsync_progress_ > grace) trip = true;  // no vsync ack
+  // Delivered-quality collapse: we keep asking for more than the panel
+  // presents (a switch that never lands, or a stuck-at-low panel).
+  const bool underserving = target_hz > in.current_hz;
+  if (underserving && !underserved_) {
+    underserved_ = true;
+    underserved_since_ = t;
+  } else if (!underserving) {
+    underserved_ = false;
+  }
+  if (underserved_ && t - underserved_since_ > grace) {
+    trip = true;
+    underserved_since_ = t;  // re-arm: at most one trip per window
+  }
+  if (trip && !host_->safe_mode()) {
+    if (ctr_watchdog_fallbacks_ != nullptr) ++*ctr_watchdog_fallbacks_;
+    host_->abandon_pending(t);
+    host_->note_fault(t);  // may escalate straight into safe mode
+    host_->mark_fallback();
+    target_hz = in.advertised->max_hz();
+    CCDEM_OBS_SPAN(obs_, obs::Phase::kRecover, t, sim::Duration{},
+                   host_->evaluations(), target_hz);
+  }
+
+  // --- pending-switch timeout (ladder open but unresolved) ----------------
+  if (host_->pending_target() != 0 &&
+      t - host_->pending_since() >= config_.switch_timeout) {
+    if (ctr_retry_giveups_ != nullptr) ++*ctr_retry_giveups_;
+    host_->abandon_pending(t);
+    host_->note_fault(t);
+    host_->mark_fallback();
+    target_hz = in.advertised->max_hz();
+  }
+}
+
+}  // namespace ccdem::core

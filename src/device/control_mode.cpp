@@ -1,0 +1,49 @@
+#include "device/control_mode.h"
+
+namespace ccdem::device {
+
+const char* control_mode_name(ControlMode m) {
+  switch (m) {
+    case ControlMode::kBaseline60:
+      return "baseline-60Hz";
+    case ControlMode::kSection:
+      return "section";
+    case ControlMode::kSectionWithBoost:
+      return "section+boost";
+    case ControlMode::kNaive:
+      return "naive";
+    case ControlMode::kSectionHysteresis:
+      return "section+boost+hysteresis";
+    case ControlMode::kE3FrameRate:
+      return "e3-framerate";
+    case ControlMode::kPipeline:
+      return "pipeline";
+  }
+  return "?";
+}
+
+const char* control_mode_keyword(ControlMode m) {
+  switch (m) {
+    case ControlMode::kBaseline60: return "baseline";
+    case ControlMode::kSection: return "section";
+    case ControlMode::kSectionWithBoost: return "section+boost";
+    case ControlMode::kNaive: return "naive";
+    case ControlMode::kSectionHysteresis: return "hysteresis";
+    case ControlMode::kE3FrameRate: return "e3";
+    case ControlMode::kPipeline: return "pipeline";
+  }
+  return "baseline";
+}
+
+std::optional<ControlMode> control_mode_from_keyword(std::string_view v) {
+  for (const ControlMode m :
+       {ControlMode::kBaseline60, ControlMode::kSection,
+        ControlMode::kSectionWithBoost, ControlMode::kNaive,
+        ControlMode::kSectionHysteresis, ControlMode::kE3FrameRate,
+        ControlMode::kPipeline}) {
+    if (v == control_mode_keyword(m)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccdem::device

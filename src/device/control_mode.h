@@ -1,7 +1,15 @@
 // Control modes: which (if any) display-energy controller a simulated
 // device runs.  Lives in the device layer so the façade, the experiment
 // harness, benches and config files all speak the same vocabulary.
+//
+// Every DPM-family mode is canonically a policy-pipeline composition (see
+// device_config.h's canonical_pipeline_spec); kPipeline is the escape hatch
+// for explicit compositions (`mode = pipeline` + `pipeline = section,...`
+// in config files).
 #pragma once
+
+#include <optional>
+#include <string_view>
 
 namespace ccdem::device {
 
@@ -12,8 +20,16 @@ enum class ControlMode {
   kNaive,             ///< ablation: the paper's failed direct mapping
   kSectionHysteresis, ///< extension: full system + asymmetric rate hysteresis
   kE3FrameRate,       ///< baseline: E3-style app frame-rate cap, 60 Hz panel
+  kPipeline,          ///< explicit policy-pipeline spec (DeviceConfig::pipeline)
 };
 
+/// Human-readable name (reports, logs): "section+boost+hysteresis".
 [[nodiscard]] const char* control_mode_name(ControlMode m);
+
+/// Config-file keyword (round-trips through control_mode_from_keyword):
+/// "section+boost", "hysteresis", "pipeline", ...
+[[nodiscard]] const char* control_mode_keyword(ControlMode m);
+[[nodiscard]] std::optional<ControlMode> control_mode_from_keyword(
+    std::string_view v);
 
 }  // namespace ccdem::device

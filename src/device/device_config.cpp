@@ -2,27 +2,7 @@
 
 #include <cassert>
 
-#include "core/hysteresis_policy.h"
-
 namespace ccdem::device {
-
-const char* control_mode_name(ControlMode m) {
-  switch (m) {
-    case ControlMode::kBaseline60:
-      return "baseline-60Hz";
-    case ControlMode::kSection:
-      return "section";
-    case ControlMode::kSectionWithBoost:
-      return "section+boost";
-    case ControlMode::kNaive:
-      return "naive";
-    case ControlMode::kSectionHysteresis:
-      return "section+boost+hysteresis";
-    case ControlMode::kE3FrameRate:
-      return "e3-framerate";
-  }
-  return "?";
-}
 
 int resolved_baseline_hz(const DeviceConfig& config) {
   const int hz =
@@ -38,24 +18,33 @@ int initial_refresh_hz(const DeviceConfig& config) {
              : config.rates.max_hz();
 }
 
-std::unique_ptr<core::RefreshPolicy> make_refresh_policy(
-    const DeviceConfig& config) {
-  switch (config.mode) {
+core::PipelineSpec canonical_pipeline_spec(ControlMode mode) {
+  using core::StageId;
+  core::PipelineSpec spec;
+  switch (mode) {
+    case ControlMode::kSection:
+      spec.stages = {StageId::kSection};
+      break;
+    case ControlMode::kSectionWithBoost:
+      spec.stages = {StageId::kSection, StageId::kBoost};
+      break;
+    case ControlMode::kSectionHysteresis:
+      spec.stages = {StageId::kSection, StageId::kHysteresis, StageId::kBoost};
+      break;
+    case ControlMode::kNaive:
+      spec.stages = {StageId::kNaive};
+      break;
     case ControlMode::kBaseline60:
     case ControlMode::kE3FrameRate:
-      return std::make_unique<core::FixedPolicy>(resolved_baseline_hz(config));
-    case ControlMode::kSection:
-    case ControlMode::kSectionWithBoost:
-      return std::make_unique<core::SectionPolicy>(config.rates,
-                                                   config.dpm.section_alpha);
-    case ControlMode::kSectionHysteresis:
-      return std::make_unique<core::HysteresisPolicy>(
-          std::make_unique<core::SectionPolicy>(config.rates,
-                                                config.dpm.section_alpha));
-    case ControlMode::kNaive:
-      return std::make_unique<core::NaivePolicy>(config.rates);
+    case ControlMode::kPipeline:
+      break;  // no canonical spec
   }
-  return nullptr;  // unreachable
+  return spec;
+}
+
+core::PipelineSpec resolved_pipeline_spec(const DeviceConfig& config) {
+  if (config.mode == ControlMode::kPipeline) return config.pipeline;
+  return canonical_pipeline_spec(config.mode);
 }
 
 }  // namespace ccdem::device

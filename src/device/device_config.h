@@ -13,7 +13,7 @@
 #include "apps/app_profiles.h"
 #include "core/display_power_manager.h"
 #include "core/frame_rate_governor.h"
-#include "core/refresh_policy.h"
+#include "core/policy_pipeline.h"
 #include "core/self_refresh_controller.h"
 #include "device/control_mode.h"
 #include "display/refresh_rate.h"
@@ -28,6 +28,10 @@ namespace ccdem::device {
 
 struct DeviceConfig {
   ControlMode mode = ControlMode::kBaseline60;
+  /// Explicit stage composition; used only when `mode == kPipeline` (the
+  /// enum modes resolve to canonical specs, see canonical_pipeline_spec).
+  /// Must validate (PipelineSpec::validate) when the mode selects it.
+  core::PipelineSpec pipeline{};
   core::DpmConfig dpm{};
   /// Used only when `mode == kE3FrameRate`.
   core::GovernorConfig governor{};
@@ -78,10 +82,18 @@ struct DeviceConfig {
 /// let the policy take over.
 [[nodiscard]] int initial_refresh_hz(const DeviceConfig& config);
 
-/// Builds the refresh policy for the configured mode (nullptr only for
-/// modes that run no panel-rate policy, i.e. never -- the stock arms get a
-/// FixedPolicy so the selection logic lives in one place).
-[[nodiscard]] std::unique_ptr<core::RefreshPolicy> make_refresh_policy(
+/// The canonical pipeline spec of a legacy DPM-family mode:
+///   kSection           -> section
+///   kSectionWithBoost  -> section,boost
+///   kSectionHysteresis -> section,hysteresis,boost
+///   kNaive             -> naive
+/// Empty for the stock arms (kBaseline60, kE3FrameRate) which run no
+/// panel-rate pipeline, and for kPipeline (the spec is the config's).
+[[nodiscard]] core::PipelineSpec canonical_pipeline_spec(ControlMode mode);
+
+/// The spec the device will actually run for `config`: the canonical spec
+/// of the mode, or config.pipeline for kPipeline.
+[[nodiscard]] core::PipelineSpec resolved_pipeline_spec(
     const DeviceConfig& config);
 
 }  // namespace ccdem::device

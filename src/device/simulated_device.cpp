@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/policy_stages.h"
+
 namespace ccdem::device {
 
 /// Bridges the panel's composer phase to the SurfaceFlinger.
@@ -172,18 +174,26 @@ void SimulatedDevice::start_control() {
     if (fault_) governor_->set_sample_fault(fault_.get());
   } else if (config_.mode != ControlMode::kBaseline60) {
     core::DpmConfig dc = config_.dpm;
-    dc.touch_boost = config_.mode == ControlMode::kSectionWithBoost ||
-                     config_.mode == ControlMode::kSectionHysteresis;
     // A faulted run always gets the self-healing plane: content-rate
     // control against a flaky panel without recovery is not a supported
     // configuration.
     if (fault_) dc.recovery.enabled = true;
+    const core::PipelineSpec spec = resolved_pipeline_spec(config_);
+    assert(!spec.validate() && "invalid pipeline spec reached the device");
+    auto pipeline = core::build_pipeline(spec, config_.rates, dc);
+    if (config_.self_refresh) {
+      // PSR rides the pipeline when a DPM runs (the stage constructs the
+      // controller in start(), preserving the canonical after-the-DPM
+      // registration order).
+      pipeline->add_stage(std::make_unique<core::SelfRefreshStage>(
+          *flinger_, *power_, *config_.self_refresh));
+    }
     dpm_ = std::make_unique<core::DisplayPowerManager>(
-        *sim_, *panel_, *flinger_, make_refresh_policy(config_), power_.get(),
-        dc, pool_.get(), config_.obs);
+        *sim_, *panel_, *flinger_, std::move(pipeline), power_.get(), dc,
+        pool_.get(), config_.obs);
     if (fault_) dpm_->set_sample_fault(fault_.get());
   }
-  if (config_.self_refresh) {
+  if (config_.self_refresh && !dpm_) {
     psr_ = std::make_unique<core::SelfRefreshController>(
         *sim_, *flinger_, *power_, *config_.self_refresh);
   }
@@ -241,7 +251,7 @@ void SimulatedDevice::run_until(sim::Time t) {
 void SimulatedDevice::finish() {
   if (finished_ || !sim_) return;
   panel_->stop();
-  if (dpm_) dpm_->stop();
+  if (dpm_) dpm_->stop();  // also stops pipeline stages (PSR included)
   if (governor_) governor_->stop();
   if (psr_) psr_->stop();
   if (meter_) meter_->stop();

@@ -124,7 +124,12 @@ class SimulatedDevice {
   /// Null unless the mode runs the respective controller.
   [[nodiscard]] core::DisplayPowerManager* dpm() { return dpm_.get(); }
   [[nodiscard]] core::FrameRateGovernor* governor() { return governor_.get(); }
-  [[nodiscard]] core::SelfRefreshController* psr() { return psr_.get(); }
+  [[nodiscard]] core::SelfRefreshController* psr() {
+    // Standalone for the stock arms; owned by the pipeline's self_refresh
+    // stage when a DPM runs.
+    if (psr_) return psr_.get();
+    return dpm_ ? dpm_->self_refresh() : nullptr;
+  }
   /// Null unless the config carries a non-empty FaultPlan.
   [[nodiscard]] fault::FaultInjector* fault() { return fault_.get(); }
   [[nodiscard]] power::OledPanelModel* oled_model() { return oled_.get(); }

@@ -71,28 +71,6 @@ bool set_error(std::string* error, const std::string& msg) {
   return false;
 }
 
-std::optional<ControlMode> parse_mode(const std::string& v) {
-  if (v == "baseline") return ControlMode::kBaseline60;
-  if (v == "section") return ControlMode::kSection;
-  if (v == "section+boost") return ControlMode::kSectionWithBoost;
-  if (v == "naive") return ControlMode::kNaive;
-  if (v == "hysteresis") return ControlMode::kSectionHysteresis;
-  if (v == "e3") return ControlMode::kE3FrameRate;
-  return std::nullopt;
-}
-
-const char* mode_keyword(ControlMode m) {
-  switch (m) {
-    case ControlMode::kBaseline60: return "baseline";
-    case ControlMode::kSection: return "section";
-    case ControlMode::kSectionWithBoost: return "section+boost";
-    case ControlMode::kNaive: return "naive";
-    case ControlMode::kSectionHysteresis: return "hysteresis";
-    case ControlMode::kE3FrameRate: return "e3";
-  }
-  return "baseline";
-}
-
 std::optional<core::GridSpec> parse_grid(const std::string& v) {
   if (v == "2k") return core::GridSpec::grid_2k();
   if (v == "4k") return core::GridSpec::grid_4k();
@@ -117,6 +95,7 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
                                                         std::string* error) {
   ExperimentConfig config;
   bool have_app = false;
+  bool have_pipeline = false;
   std::string line;
   int line_no = 0;
   while (std::getline(is, line)) {
@@ -150,9 +129,24 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
       if (!found) return bad_value();
       have_app = true;
     } else if (key == "mode") {
-      const auto m = parse_mode(value);
+      const auto m = device::control_mode_from_keyword(value);
       if (!m) return bad_value();
       config.mode = *m;
+    } else if (key == "pipeline") {
+      if (have_pipeline) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": duplicate key 'pipeline'");
+        return std::nullopt;
+      }
+      std::string spec_error;
+      const auto spec = core::PipelineSpec::parse(value, &spec_error);
+      if (!spec) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": bad value for 'pipeline': " + spec_error);
+        return std::nullopt;
+      }
+      config.pipeline = *spec;
+      have_pipeline = true;
     } else if (key == "seconds") {
       const auto s = parse_int_strict(value);
       if (!s || *s <= 0) return bad_value();
@@ -164,11 +158,11 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
     } else if (key == "grid") {
       const auto g = parse_grid(value);
       if (!g) return bad_value();
-      config.dpm.grid = *g;
+      config.dpm.meter.grid = *g;
     } else if (key == "eval_ms") {
       const auto ms = parse_int_strict(value);
       if (!ms || *ms <= 0) return bad_value();
-      config.dpm.eval_period = sim::milliseconds(static_cast<int>(*ms));
+      config.dpm.meter.eval_period = sim::milliseconds(static_cast<int>(*ms));
     } else if (key == "boost_hold_ms") {
       const auto ms = parse_int_strict(value);
       if (!ms || *ms < 0) return bad_value();
@@ -208,6 +202,16 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
     set_error(error, "missing required key 'app'");
     return std::nullopt;
   }
+  // Keys may appear in any order, so the mode <-> pipeline pairing is
+  // checked once the whole file is read.
+  if (config.mode == ControlMode::kPipeline && !have_pipeline) {
+    set_error(error, "mode = pipeline requires a 'pipeline' key");
+    return std::nullopt;
+  }
+  if (have_pipeline && config.mode != ControlMode::kPipeline) {
+    set_error(error, "'pipeline' is only valid with mode = pipeline");
+    return std::nullopt;
+  }
   // Cross-field validation (keys may appear in any order, so membership in
   // the rate ladder is checked once the whole file is read).
   const auto check_in_rates = [&](const char* key, int hz) {
@@ -235,12 +239,15 @@ std::optional<ExperimentConfig> parse_experiment_config_string(
 std::string experiment_config_to_string(const ExperimentConfig& config) {
   std::ostringstream os;
   os << "app = " << config.app.name << "\n";
-  os << "mode = " << mode_keyword(config.mode) << "\n";
+  os << "mode = " << device::control_mode_keyword(config.mode) << "\n";
+  if (config.mode == ControlMode::kPipeline) {
+    os << "pipeline = " << config.pipeline.to_string() << "\n";
+  }
   os << "seconds = " << config.duration.ticks / sim::kTicksPerSecond << "\n";
   os << "seed = " << config.seed << "\n";
-  os << "grid = " << grid_keyword(config.dpm.grid) << "\n";
+  os << "grid = " << grid_keyword(config.dpm.meter.grid) << "\n";
   os << "eval_ms = "
-     << config.dpm.eval_period.ticks / sim::kTicksPerMillisecond << "\n";
+     << config.dpm.meter.eval_period.ticks / sim::kTicksPerMillisecond << "\n";
   os << "boost_hold_ms = "
      << config.dpm.boost_hold.ticks / sim::kTicksPerMillisecond << "\n";
   os << "alpha = " << config.dpm.section_alpha << "\n";

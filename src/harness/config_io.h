@@ -6,7 +6,11 @@
 //     # jelly.conf
 //     app          = Jelly Splash
 //     mode         = section+boost     # baseline | section | section+boost |
-//                                      # naive | hysteresis | e3
+//                                      # naive | hysteresis | e3 | pipeline
+//     pipeline     = section,hysteresis,boost  # required (and only valid)
+//                                      # when mode = pipeline; ordered stage
+//                                      # list, no duplicates, needs a rate
+//                                      # source (section|naive|predictive)
 //     seconds      = 30
 //     seed         = 7
 //     grid         = 9k                # 2k | 4k | 9k | 36k | full

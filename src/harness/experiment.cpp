@@ -10,6 +10,7 @@ namespace ccdem::harness {
 device::DeviceConfig ExperimentConfig::device_config() const {
   device::DeviceConfig dc;
   dc.mode = mode;
+  dc.pipeline = pipeline;
   dc.dpm = dpm;
   dc.governor = governor;
   dc.power = power;

@@ -11,6 +11,7 @@ const char* phase_name(Phase p) {
     case Phase::kGovern: return "govern";
     case Phase::kPanelPresent: return "panel_present";
     case Phase::kRecover: return "recover";
+    case Phase::kArbiter: return "arbiter";
   }
   return "unknown";
 }

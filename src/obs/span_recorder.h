@@ -35,8 +35,9 @@ enum class Phase : std::uint8_t {
   kGovern = 2,        ///< controller evaluation tick (DPM or governor)
   kPanelPresent = 3,  ///< panel scans out a composed frame
   kRecover = 4,       ///< self-healing action (retry, fallback, safe mode)
+  kArbiter = 5,       ///< policy-pipeline arbitration (one per evaluation)
 };
-inline constexpr int kPhaseCount = 5;
+inline constexpr int kPhaseCount = 6;
 
 [[nodiscard]] const char* phase_name(Phase p);
 [[nodiscard]] std::optional<Phase> phase_from_name(std::string_view name);

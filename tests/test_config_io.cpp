@@ -23,9 +23,9 @@ TEST(ConfigIo, ParsesFullConfig) {
   EXPECT_EQ(config->mode, ControlMode::kSectionWithBoost);
   EXPECT_EQ(config->duration, sim::seconds(42));
   EXPECT_EQ(config->seed, 99u);
-  EXPECT_EQ(config->dpm.grid.sample_count(),
+  EXPECT_EQ(config->dpm.meter.grid.sample_count(),
             core::GridSpec::grid_36k().sample_count());
-  EXPECT_EQ(config->dpm.eval_period, sim::milliseconds(250));
+  EXPECT_EQ(config->dpm.meter.eval_period, sim::milliseconds(250));
   EXPECT_EQ(config->dpm.boost_hold, sim::milliseconds(750));
   EXPECT_DOUBLE_EQ(config->dpm.section_alpha, 0.75);
 }
@@ -45,6 +45,66 @@ TEST(ConfigIo, AllModesParse) {
         std::string("app = Facebook\nmode = ") + mode + "\n");
     EXPECT_TRUE(config.has_value()) << mode;
   }
+}
+
+// --- pipeline mode: the spec key is mandatory, strict, and paired -------
+
+TEST(ConfigIo, ParsesPipelineModeWithSpec) {
+  const auto config = parse_experiment_config_string(
+      "app = Facebook\nmode = pipeline\n"
+      "pipeline = section, hysteresis ,boost\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->mode, ControlMode::kPipeline);
+  EXPECT_EQ(config->pipeline.to_string(), "section,hysteresis,boost");
+}
+
+TEST(ConfigIo, PipelineModeRoundTrips) {
+  ExperimentConfig config;
+  config.app = apps::app_by_name("Facebook");
+  config.mode = ControlMode::kPipeline;
+  const auto spec = core::PipelineSpec::parse("predictive,boost,dvfs", nullptr);
+  ASSERT_TRUE(spec.has_value());
+  config.pipeline = *spec;
+  const auto back =
+      parse_experiment_config_string(experiment_config_to_string(config));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mode, ControlMode::kPipeline);
+  EXPECT_EQ(back->pipeline.to_string(), "predictive,boost,dvfs");
+}
+
+TEST(ConfigIo, RejectsBadPipelineSpecs) {
+  const char* bad[] = {
+      "pipeline = section,florp\n",       // unknown stage
+      "pipeline = section,section\n",     // duplicate stage
+      "pipeline = \n",                    // empty spec
+      "pipeline = boost\n",               // no rate source
+      "pipeline = hysteresis,section\n",  // hysteresis before its source
+  };
+  for (const char* line : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_experiment_config_string(
+        std::string("app = Facebook\nmode = pipeline\n") + line, &error))
+        << line;
+    EXPECT_NE(error.find("pipeline"), std::string::npos) << line;
+  }
+}
+
+TEST(ConfigIo, RejectsPipelineKeyModePairingViolations) {
+  std::string error;
+  // mode = pipeline without the spec key...
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nmode = pipeline\n", &error));
+  EXPECT_NE(error.find("pipeline"), std::string::npos);
+  // ...and a spec key under a legacy mode (key order must not matter).
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\npipeline = section\nmode = section\n", &error));
+  EXPECT_NE(error.find("pipeline"), std::string::npos);
+  // Duplicate spec keys are a conflict, not last-wins.
+  EXPECT_FALSE(parse_experiment_config_string(
+      "app = Facebook\nmode = pipeline\npipeline = section\n"
+      "pipeline = naive\n",
+      &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
 }
 
 TEST(ConfigIo, RejectsUnknownApp) {
@@ -187,8 +247,8 @@ TEST(ConfigIo, RoundTrips) {
   config.mode = ControlMode::kSectionHysteresis;
   config.duration = sim::seconds(17);
   config.seed = 1234;
-  config.dpm.grid = core::GridSpec::grid_2k();
-  config.dpm.eval_period = sim::milliseconds(150);
+  config.dpm.meter.grid = core::GridSpec::grid_2k();
+  config.dpm.meter.eval_period = sim::milliseconds(150);
   config.dpm.boost_hold = sim::milliseconds(400);
   config.dpm.section_alpha = 0.25;
   config.rates = display::RefreshRateSet{30, 60, 90};
@@ -203,9 +263,9 @@ TEST(ConfigIo, RoundTrips) {
   EXPECT_EQ(back->mode, config.mode);
   EXPECT_EQ(back->duration, config.duration);
   EXPECT_EQ(back->seed, config.seed);
-  EXPECT_EQ(back->dpm.grid.sample_count(),
-            config.dpm.grid.sample_count());
-  EXPECT_EQ(back->dpm.eval_period, config.dpm.eval_period);
+  EXPECT_EQ(back->dpm.meter.grid.sample_count(),
+            config.dpm.meter.grid.sample_count());
+  EXPECT_EQ(back->dpm.meter.eval_period, config.dpm.meter.eval_period);
   EXPECT_EQ(back->dpm.boost_hold, config.dpm.boost_hold);
   EXPECT_DOUBLE_EQ(back->dpm.section_alpha, config.dpm.section_alpha);
   EXPECT_EQ(back->rates.rates(), config.rates.rates());

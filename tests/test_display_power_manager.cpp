@@ -60,14 +60,15 @@ struct Rig {
   std::unique_ptr<ComposerHook> composer;
   std::unique_ptr<DisplayPowerManager> dpm;
 
-  explicit Rig(double content_fps, DpmConfig config = {}) {
-    config.grid = GridSpec{10, 10};
+  explicit Rig(double content_fps, DpmConfig config = {},
+               PipelineSpec spec = {{StageId::kSection, StageId::kBoost}}) {
+    config.meter.grid = GridSpec{10, 10};
     app = std::make_unique<TogglerApp>(surface, content_fps);
     composer = std::make_unique<ComposerHook>(flinger);
     panel.add_observer(display::VsyncPhase::kApp, app.get());
     panel.add_observer(display::VsyncPhase::kComposer, composer.get());
     dpm = std::make_unique<DisplayPowerManager>(
-        sim, panel, flinger, std::make_unique<SectionPolicy>(panel.rates()),
+        sim, panel, flinger, build_pipeline(spec, panel.rates(), config),
         nullptr, config);
   }
 };
@@ -127,9 +128,8 @@ TEST(DisplayPowerManager, BoostDecaysAfterHold) {
 }
 
 TEST(DisplayPowerManager, BoostDisabledIgnoresTouch) {
-  DpmConfig config;
-  config.touch_boost = false;
-  Rig rig(/*content_fps=*/5.0, config);
+  // No boost stage in the pipeline = the legacy touch_boost=false gate.
+  Rig rig(/*content_fps=*/5.0, DpmConfig{}, PipelineSpec{{StageId::kSection}});
   rig.sim.run_for(sim::seconds(3));
   input::TouchEvent e{rig.sim.now(), {10, 10},
                       input::TouchEvent::Action::kDown};

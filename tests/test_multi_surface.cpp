@@ -109,11 +109,12 @@ TEST(MultiSurface, BarPixelsLandAboveApp) {
 TEST(MultiSurface, ControllerParksAtMinimumDespiteBarTicks) {
   Rig rig;
   core::DpmConfig config;
-  config.grid = core::GridSpec::grid_9k();
+  config.meter.grid = core::GridSpec::grid_9k();
   core::DisplayPowerManager dpm(
       rig.sim, rig.panel, rig.flinger,
-      std::make_unique<core::SectionPolicy>(rig.panel.rates()), nullptr,
-      config);
+      core::build_pipeline(core::PipelineSpec{{core::StageId::kSection}},
+                           rig.panel.rates(), config),
+      nullptr, config);
   rig.sim.run_for(sim::seconds(5));
   // ~1 fps of bar content keeps the device in the lowest section.
   EXPECT_EQ(rig.panel.refresh_hz(), 20);

@@ -231,7 +231,7 @@ TEST(ObsProperties, GovernorPublishesItsCounters) {
   // One evaluation per eval_period tick, at most.
   const core::GovernorConfig gc;
   EXPECT_LE(evals, static_cast<std::uint64_t>(
-                       c.duration.ticks / gc.eval_period.ticks + 1));
+                       c.duration.ticks / gc.meter.eval_period.ticks + 1));
   // The cap engages at least once (the first post-interaction evaluation
   // moves it off its initial 0 = uncapped).
   EXPECT_GT(sink.counters.value("governor.cap_changes"), 0u);

@@ -1,0 +1,126 @@
+// Golden-identity property: every legacy ControlMode arm is *defined* as a
+// canonical policy-pipeline composition (device::canonical_pipeline_spec),
+// so replaying a scenario with `mode = pipeline` + that spec spelled out
+// must be byte-identical to the legacy-mode run -- traces, counters (the
+// policy.* set included: both arms build the same stages), spans, scalars.
+//
+// The property runs over the whole DST seed corpus in tests/corpus/ plus a
+// couple of targeted scenarios (faulted recovery, explicit floor/boost
+// rungs), which is how the multi-layer refactor stays honest: any drift
+// between the mode table and the spec plumbing shows up as a byte diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/scenario.h"
+#include "device/device_config.h"
+
+namespace ccdem::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<fs::path> corpus_files() {
+  const fs::path dir = fs::path(CCDEM_REPO_DIR) / "tests" / "corpus";
+  std::vector<fs::path> out;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".repro") out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool dpm_family(device::ControlMode m) {
+  return !device::canonical_pipeline_spec(m).empty();
+}
+
+/// Runs `s` as-is and as `mode = pipeline` + the canonical spec, and
+/// demands full byte equality.
+void expect_identity(const Scenario& s, const std::string& what) {
+  ASSERT_TRUE(dpm_family(s.mode)) << what;
+  ASSERT_TRUE(find_app(s.app).has_value()) << what << ": unknown app " << s.app;
+  Scenario explicit_arm = s;
+  explicit_arm.mode = device::ControlMode::kPipeline;
+  explicit_arm.pipeline = device::canonical_pipeline_spec(s.mode).to_string();
+
+  const RunArtifacts legacy = run_scenario_once(s.experiment_config());
+  const RunArtifacts via_spec =
+      run_scenario_once(explicit_arm.experiment_config());
+
+  EXPECT_EQ(legacy.trace_csv, via_spec.trace_csv) << what;
+  EXPECT_EQ(diff_results(legacy.result, via_spec.result, what).value_or(""),
+            "");
+  EXPECT_EQ(diff_counters(legacy.counters, via_spec.counters, what).value_or(""),
+            "");
+}
+
+TEST(PipelineIdentity, CanonicalSpecsMatchTheModeTable) {
+  using device::ControlMode;
+  EXPECT_EQ(device::canonical_pipeline_spec(ControlMode::kSection).to_string(),
+            "section");
+  EXPECT_EQ(
+      device::canonical_pipeline_spec(ControlMode::kSectionWithBoost)
+          .to_string(),
+      "section,boost");
+  EXPECT_EQ(
+      device::canonical_pipeline_spec(ControlMode::kSectionHysteresis)
+          .to_string(),
+      "section,hysteresis,boost");
+  EXPECT_EQ(device::canonical_pipeline_spec(ControlMode::kNaive).to_string(),
+            "naive");
+  EXPECT_TRUE(
+      device::canonical_pipeline_spec(ControlMode::kBaseline60).empty());
+  EXPECT_TRUE(
+      device::canonical_pipeline_spec(ControlMode::kE3FrameRate).empty());
+}
+
+TEST(PipelineIdentity, EveryDpmCorpusScenarioReplaysByteIdentically) {
+  int covered = 0;
+  for (const fs::path& p : corpus_files()) {
+    std::string error;
+    const auto s = parse_scenario(read_file(p), &error);
+    ASSERT_TRUE(s) << p.filename().string() << ": " << error;
+    if (!dpm_family(s->mode)) continue;  // baseline / e3 run no pipeline
+    ++covered;
+    expect_identity(*s, p.filename().string());
+  }
+  EXPECT_GE(covered, 4) << "the corpus lost its DPM-family scenarios";
+}
+
+TEST(PipelineIdentity, FloorAndBoostRungsSurviveTheSpecPath) {
+  Scenario s;
+  s.app = "Jelly Splash";
+  s.mode = device::ControlMode::kSectionHysteresis;
+  s.duration_ms = 2000;
+  s.seed = 97;
+  s.min_hz = 24;
+  s.boost_hz = 40;
+  expect_identity(s, "floor+boost rungs");
+}
+
+TEST(PipelineIdentity, FaultedRecoveryPlaneSurvivesTheSpecPath) {
+  Scenario s;
+  s.app = "TempleRun";
+  s.mode = device::ControlMode::kSectionWithBoost;
+  s.duration_ms = 2500;
+  s.seed = 11;
+  s.fault_scale = 1.5;
+  expect_identity(s, "faulted recovery");
+}
+
+}  // namespace
+}  // namespace ccdem::check

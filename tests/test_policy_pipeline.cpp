@@ -1,0 +1,578 @@
+// The composable policy pipeline: stage semantics (ported from the
+// monolithic SectionPolicy / NaivePolicy / HysteresisPolicy tests), the
+// arbiter's deterministic resolution rules, strict PipelineSpec parsing,
+// and the two new stages (predictive governor, DVFS co-control).
+#include "core/policy_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/policy_stages.h"
+#include "core/section_table.h"
+#include "obs/obs.h"
+
+namespace ccdem::core {
+namespace {
+
+const display::RefreshRateSet kS3 = display::RefreshRateSet::galaxy_s3();
+
+PolicyInput make_input(double fps, int current_hz,
+                       const display::RefreshRateSet& rates = kS3,
+                       sim::Time t = sim::Time{}, bool boost = false) {
+  PolicyInput in;
+  in.now = t;
+  in.content_fps = fps;
+  in.current_hz = current_hz;
+  in.rates = &rates;
+  in.advertised = &rates;
+  in.boost_active = boost;
+  return in;
+}
+
+/// The legacy RefreshPolicy::decide() shape over a pipeline.
+int decide(PolicyPipeline& p, double fps, int current_hz,
+           const display::RefreshRateSet& rates = kS3) {
+  return p.evaluate(make_input(fps, current_hz, rates)).target_hz;
+}
+
+int section_decide(double fps, double alpha = 0.5,
+                   const display::RefreshRateSet& rates = kS3) {
+  SectionStage s(SectionTable::build(rates, alpha));
+  const PolicyInput in = make_input(fps, 60, rates);
+  return s.propose(in)->target_hz;
+}
+
+std::unique_ptr<PolicyPipeline> make_section_hysteresis(
+    int confirmations, const display::RefreshRateSet& rates = kS3) {
+  DpmConfig config;
+  config.hysteresis_down_confirmations = confirmations;
+  return build_pipeline(
+      PipelineSpec{{StageId::kSection, StageId::kHysteresis}}, rates, config);
+}
+
+// --- rate sources (ported) --------------------------------------------------
+
+TEST(SectionStage, FollowsSectionTable) {
+  EXPECT_EQ(section_decide(8.0), 20);
+  EXPECT_EQ(section_decide(33.0), 40);
+  EXPECT_EQ(section_decide(50.0), 60);
+  SectionStage s(SectionTable::build(kS3, 0.5));
+  EXPECT_EQ(s.name(), "section");
+}
+
+TEST(SectionStage, AlwaysAboveContentRate) {
+  for (double c = 0.0; c < 59.0; c += 0.5) {
+    EXPECT_GT(section_decide(c), c);
+  }
+}
+
+TEST(NaiveStage, MapsToCeilRate) {
+  NaiveStage s(kS3);
+  EXPECT_EQ(s.propose(make_input(8.0, 60))->target_hz, 20);
+  EXPECT_EQ(s.propose(make_input(21.0, 60))->target_hz, 24);
+  EXPECT_EQ(s.propose(make_input(59.0, 60))->target_hz, 60);
+  EXPECT_EQ(s.name(), "naive");
+}
+
+TEST(NaiveStage, ExhibitsVsyncTrap) {
+  // The paper's failed first attempt: once at 20 Hz, the measured content
+  // rate can never exceed 20 fps (V-Sync caps it), so the decision never
+  // leaves 20 Hz even though the app wants 45 fps of content.
+  NaiveStage s(kS3);
+  int hz = s.propose(make_input(8.0, 60))->target_hz;  // idle dip
+  EXPECT_EQ(hz, 20);
+  const double true_content = 45.0;
+  for (int step = 0; step < 10; ++step) {
+    const double observed = std::min(true_content, static_cast<double>(hz));
+    hz = s.propose(make_input(observed, hz))->target_hz;
+  }
+  EXPECT_EQ(hz, 20) << "naive control escaped the trap it is known for";
+}
+
+TEST(SectionStage, EscapesVsyncTrap) {
+  // Same scenario: the section table keeps headroom above the observed
+  // rate, so the observation can climb and the controller ramps up.
+  int hz = section_decide(8.0);
+  EXPECT_EQ(hz, 20);
+  const double true_content = 45.0;
+  for (int step = 0; step < 10; ++step) {
+    const double observed = std::min(true_content, static_cast<double>(hz));
+    hz = section_decide(observed);
+  }
+  EXPECT_EQ(hz, 60);
+}
+
+// --- Equation (1) boundary conditions ---------------------------------------
+
+TEST(SectionBoundaries, ThresholdExactRatesMapToTheUpperSection) {
+  // Galaxy S3, alpha = 0.5: thresholds at the medians 10/22/27/35, and each
+  // section is half-open [lo, hi) -- landing exactly on a threshold selects
+  // the higher rate.
+  const struct {
+    double threshold;
+    int below_hz;
+    int at_hz;
+  } cases[] = {{10.0, 20, 24}, {22.0, 24, 30}, {27.0, 30, 40}, {35.0, 40, 60}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(section_decide(std::nextafter(c.threshold, 0.0)), c.below_hz)
+        << "just below " << c.threshold;
+    EXPECT_EQ(section_decide(c.threshold), c.at_hz)
+        << "exactly " << c.threshold;
+  }
+}
+
+TEST(SectionBoundaries, AlphaZeroCollapsesTheBottomSection) {
+  EXPECT_EQ(section_decide(0.0, 0.0), 24);
+  EXPECT_EQ(section_decide(19.9, 0.0), 24);
+  EXPECT_EQ(section_decide(20.0, 0.0), 30);
+}
+
+TEST(SectionBoundaries, AlphaOneIsTheTightMapping) {
+  EXPECT_EQ(section_decide(19.9, 1.0), 20);
+  EXPECT_EQ(section_decide(20.0, 1.0), 24);  // exactly 20 rounds up
+  EXPECT_EQ(section_decide(59.9, 1.0), 60);
+}
+
+TEST(SectionBoundaries, SingleRateLadderAlwaysPicksThatRate) {
+  const display::RefreshRateSet one{60};
+  for (double c : {0.0, 10.0, 60.0, 500.0}) {
+    EXPECT_EQ(section_decide(c, 0.5, one), 60);
+  }
+}
+
+// --- hysteresis as a stage (ported) -----------------------------------------
+
+TEST(HysteresisStage, IncreasesApplyImmediately) {
+  auto p = make_section_hysteresis(3);
+  EXPECT_EQ(decide(*p, 50.0, 20), 60);
+}
+
+TEST(HysteresisStage, HoldsSameRate) {
+  auto p = make_section_hysteresis(3);
+  EXPECT_EQ(decide(*p, 5.0, 20), 20);
+  EXPECT_EQ(decide(*p, 5.0, 20), 20);
+}
+
+TEST(HysteresisStage, DecreaseNeedsConfirmations) {
+  auto p = make_section_hysteresis(3);
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);  // 1st ask: held
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);  // 2nd ask: held
+  EXPECT_EQ(decide(*p, 5.0, 60), 20);  // 3rd ask: applied
+}
+
+TEST(HysteresisStage, IncreaseResetsDownCounter) {
+  auto p = make_section_hysteresis(2);
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);   // pending down = 1
+  EXPECT_EQ(decide(*p, 55.0, 60), 60);  // hold/up: counter resets
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);   // pending down = 1 again
+  EXPECT_EQ(decide(*p, 5.0, 60), 20);   // confirmed
+}
+
+TEST(HysteresisStage, CounterResetsAfterApplying) {
+  auto p = make_section_hysteresis(2);
+  (void)decide(*p, 5.0, 60);
+  EXPECT_EQ(decide(*p, 5.0, 60), 20);
+  // Now at 20 Hz; a fresh decrease opportunity needs confirmations again.
+  EXPECT_EQ(decide(*p, 15.0, 30), 30);
+  EXPECT_EQ(decide(*p, 15.0, 30), 24);
+}
+
+TEST(HysteresisStage, SingleConfirmationBehavesLikeSection) {
+  auto p = make_section_hysteresis(1);
+  for (double c : {5.0, 15.0, 25.0, 33.0, 50.0}) {
+    EXPECT_EQ(decide(*p, c, 60), section_decide(c));
+  }
+}
+
+TEST(HysteresisStage, ZeroConfirmationsAppliesDecreasesImmediately) {
+  auto p = make_section_hysteresis(0);
+  EXPECT_EQ(decide(*p, 5.0, 60), 20);
+}
+
+TEST(HysteresisStage, OscillatingInputProducesFewerSwitches) {
+  // Content rate flapping across the 10 fps threshold: the raw section
+  // stage flips 24<->20 every step; hysteresis holds the higher rate.
+  auto hyst = make_section_hysteresis(3);
+  int hyst_hz = 60, raw_hz = 60;
+  int hyst_switches = 0, raw_switches = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double c = (i % 2 == 0) ? 9.0 : 11.0;
+    const int h = decide(*hyst, c, hyst_hz);
+    if (h != hyst_hz) ++hyst_switches;
+    hyst_hz = h;
+    const int r = section_decide(c);
+    if (r != raw_hz) ++raw_switches;
+    raw_hz = r;
+  }
+  EXPECT_LT(hyst_switches, raw_switches / 4);
+}
+
+TEST(HysteresisStage, SingleRateLadderNeverSwitches) {
+  const display::RefreshRateSet one{30};
+  auto p = make_section_hysteresis(3, one);
+  for (double c : {0.0, 100.0, 0.0, 100.0}) {
+    EXPECT_EQ(decide(*p, c, 30, one), 30);
+  }
+}
+
+TEST(HysteresisStage, HoldAtSameRateDoesNotCountAsDecrease) {
+  auto p = make_section_hysteresis(2);
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);   // pending = 1
+  EXPECT_EQ(decide(*p, 50.0, 60), 60);  // source wants 60: reset
+  EXPECT_EQ(decide(*p, 5.0, 60), 60);   // pending = 1 again
+  EXPECT_EQ(decide(*p, 5.0, 60), 20);
+}
+
+TEST(HysteresisStage, ThresholdExactDecreasePathIsConfirmedToo) {
+  auto p = make_section_hysteresis(2);
+  EXPECT_EQ(decide(*p, 22.0, 60), 60);
+  EXPECT_EQ(decide(*p, 22.0, 60), 30);
+  EXPECT_EQ(decide(*p, 22.0, 30), 30);
+}
+
+// --- arbiter ----------------------------------------------------------------
+
+/// A stage with a canned preempt/proposal, for arbiter tests.
+class StubStage final : public PolicyStage {
+ public:
+  StubStage(std::string name, std::optional<RateProposal> proposal,
+            std::optional<int> pin = std::nullopt)
+      : name_(std::move(name)), proposal_(proposal), pin_(pin) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  std::optional<int> preempt(const PolicyInput&) override { return pin_; }
+  std::optional<RateProposal> propose(const PolicyInput&) override {
+    ++proposals_asked;
+    return proposal_;
+  }
+
+  int proposals_asked = 0;
+
+ private:
+  std::string name_;
+  std::optional<RateProposal> proposal_;
+  std::optional<int> pin_;
+};
+
+RateProposal proposal(int hz, int priority = kPriorityNormal,
+                      bool policy = true) {
+  RateProposal p;
+  p.target_hz = hz;
+  p.priority = priority;
+  p.policy = policy;
+  return p;
+}
+
+TEST(Arbiter, MaxRateWinsAtSamePriority) {
+  PolicyPipeline p;
+  p.add_stage(std::make_unique<StubStage>("a", proposal(40)));
+  p.add_stage(std::make_unique<StubStage>("b", proposal(60)));
+  const auto d = p.evaluate(make_input(10.0, 30));
+  EXPECT_EQ(d.target_hz, 60);
+  EXPECT_FALSE(d.preempted);
+}
+
+TEST(Arbiter, PriorityBeatsRate) {
+  PolicyPipeline p;
+  p.add_stage(std::make_unique<StubStage>("a", proposal(60)));
+  p.add_stage(std::make_unique<StubStage>("b", proposal(20, kPriorityPin)));
+  EXPECT_EQ(p.evaluate(make_input(10.0, 30)).target_hz, 20);
+}
+
+TEST(Arbiter, EarliestStageWinsExactTies) {
+  obs::ObsSink sink;
+  PolicyPipeline p;
+  p.add_stage(std::make_unique<StubStage>("a", proposal(40)));
+  p.add_stage(std::make_unique<StubStage>("b", proposal(40)));
+  p.set_obs(&sink);
+  EXPECT_EQ(p.evaluate(make_input(10.0, 30)).target_hz, 40);
+  const auto value = [&](std::string_view name) {
+    return sink.counters.value(name);
+  };
+  EXPECT_EQ(value("policy.a.wins"), 1u);
+  EXPECT_EQ(value("policy.b.wins"), 0u);
+  EXPECT_EQ(value("policy.a.proposals"), 1u);
+  EXPECT_EQ(value("policy.b.proposals"), 1u);
+}
+
+TEST(Arbiter, NoProposalsHoldsCurrentRate) {
+  PolicyPipeline p;
+  p.add_stage(std::make_unique<StubStage>("a", std::nullopt));
+  const auto d = p.evaluate(make_input(10.0, 30));
+  EXPECT_EQ(d.target_hz, 30);
+  EXPECT_EQ(d.policy_hz, 30);
+}
+
+TEST(Arbiter, PreemptSuspendsTheProposeRound) {
+  PolicyPipeline p;
+  auto stub = std::make_unique<StubStage>("a", proposal(20));
+  StubStage* source = stub.get();
+  p.add_stage(std::move(stub));
+  p.add_stage(
+      std::make_unique<StubStage>("pin", std::nullopt, std::optional<int>{60}));
+  const auto d = p.evaluate(make_input(10.0, 30));
+  EXPECT_TRUE(d.preempted);
+  EXPECT_EQ(d.target_hz, 60);
+  // The policy round never ran: stage state freezes, exactly like the
+  // monolithic controller's suspended policy in safe mode.
+  EXPECT_EQ(source->proposals_asked, 0);
+}
+
+TEST(Arbiter, PolicyHzIgnoresNonPolicyOverlays) {
+  PolicyPipeline p;
+  p.add_stage(std::make_unique<StubStage>("section", proposal(24)));
+  p.add_stage(std::make_unique<StubStage>(
+      "boost", proposal(60, kPriorityNormal, /*policy=*/false)));
+  const auto d = p.evaluate(make_input(10.0, 24));
+  EXPECT_EQ(d.target_hz, 60);   // the overlay wins the actuated rate
+  EXPECT_EQ(d.policy_hz, 24);   // ...but not the policy decision
+}
+
+// --- boost + floor stages ---------------------------------------------------
+
+TEST(BoostStage, ProposesOnlyWhileBoostWindowIsOpen) {
+  BoostStage s(0);
+  EXPECT_FALSE(s.propose(make_input(5.0, 20)).has_value());
+  const auto p =
+      s.propose(make_input(5.0, 20, kS3, sim::Time{}, /*boost=*/true));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->target_hz, 60);
+  EXPECT_FALSE(p->policy);
+}
+
+TEST(BoostStage, ConfiguredCapFallsBackWhenNotAdvertised) {
+  EXPECT_EQ(resolve_boost_hz(kS3, 30), 30);
+  EXPECT_EQ(resolve_boost_hz(kS3, 25), 60);  // not a ladder level
+  EXPECT_EQ(resolve_boost_hz(kS3, 0), 60);
+}
+
+TEST(FloorStage, UnsupportedFloorProposesNothing) {
+  FloorStage supported(30);
+  EXPECT_EQ(supported.propose(make_input(5.0, 20))->target_hz, 30);
+  FloorStage unsupported(25);
+  EXPECT_FALSE(unsupported.propose(make_input(5.0, 20)).has_value());
+}
+
+// --- pipeline specs ---------------------------------------------------------
+
+TEST(PipelineSpec, ParsesAndRendersCanonically) {
+  std::string error;
+  const auto spec = PipelineSpec::parse("section, hysteresis ,boost", &error);
+  ASSERT_TRUE(spec) << error;
+  EXPECT_EQ(spec->stages,
+            (std::vector<StageId>{StageId::kSection, StageId::kHysteresis,
+                                  StageId::kBoost}));
+  EXPECT_EQ(spec->to_string(), "section,hysteresis,boost");
+  const auto again = PipelineSpec::parse(spec->to_string(), &error);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, *spec);
+}
+
+TEST(PipelineSpec, StageKeywordsRoundTrip) {
+  for (StageId id : {StageId::kSection, StageId::kNaive, StageId::kHysteresis,
+                     StageId::kBoost, StageId::kPredictive, StageId::kDvfs}) {
+    const auto back = stage_from_keyword(stage_keyword(id));
+    ASSERT_TRUE(back.has_value()) << stage_keyword(id);
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(stage_from_keyword("florp").has_value());
+}
+
+TEST(PipelineSpec, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(PipelineSpec::parse("", &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  EXPECT_FALSE(PipelineSpec::parse("section,florp", &error));
+  EXPECT_NE(error.find("florp"), std::string::npos) << error;
+  EXPECT_FALSE(PipelineSpec::parse("section,section", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_FALSE(PipelineSpec::parse("boost", &error));  // no rate source
+  EXPECT_FALSE(PipelineSpec::parse("hysteresis,section", &error));
+  EXPECT_FALSE(PipelineSpec::parse("section,,boost", &error));
+}
+
+TEST(PipelineSpec, BuildAppendsFloorAndRecoveryFromConfig) {
+  DpmConfig config;
+  config.min_hz = 30;
+  config.recovery.enabled = true;
+  auto p = build_pipeline(PipelineSpec{{StageId::kSection}}, kS3, config);
+  EXPECT_TRUE(p->has_stage("section"));
+  EXPECT_TRUE(p->has_stage("floor"));
+  EXPECT_TRUE(p->has_stage("recovery"));
+  EXPECT_EQ(p->size(), 3u);
+
+  auto bare = build_pipeline(PipelineSpec{{StageId::kSection}}, kS3, {});
+  EXPECT_FALSE(bare->has_stage("floor"));
+  EXPECT_FALSE(bare->has_stage("recovery"));
+  EXPECT_EQ(bare->size(), 1u);
+}
+
+// --- predictive governor ----------------------------------------------------
+
+PredictiveConfig fast_predictive() {
+  PredictiveConfig c;
+  c.window = 4;
+  c.lead = 2.0;
+  // Stability is residual spread around the window's trend line: a clean
+  // ramp fits exactly (residual 0), while the 30<->10 oscillation leaves
+  // ~10 fps of residual and stays gated.
+  c.stability_threshold = 3.0;
+  c.down_confirmations = 1;
+  c.down_cooldown = sim::Duration{};
+  return c;
+}
+
+TEST(PredictiveRateStage, UpStepsAreInstant) {
+  PredictiveRateStage s(SectionTable::build(kS3, 0.5), fast_predictive());
+  (void)s.propose(make_input(5.0, 60));
+  EXPECT_EQ(s.target_hz(), 20);
+  const auto p = s.propose(make_input(50.0, 20));
+  EXPECT_EQ(p->target_hz, 60);
+}
+
+TEST(PredictiveRateStage, DownStepsNeedConfirmations) {
+  PredictiveConfig c = fast_predictive();
+  c.down_confirmations = 2;
+  PredictiveRateStage s(SectionTable::build(kS3, 0.5), c);
+  (void)s.propose(make_input(50.0, 60));  // seeds target at 60
+  EXPECT_EQ(s.propose(make_input(5.0, 60))->target_hz, 60);  // 1st: held
+  EXPECT_EQ(s.propose(make_input(5.0, 60))->target_hz, 20);  // 2nd: applied
+}
+
+TEST(PredictiveRateStage, StableDowntrendStepsBelowTheReactiveTable) {
+  obs::ObsSink sink;
+  PredictiveRateStage s(SectionTable::build(kS3, 0.5), fast_predictive());
+  s.register_obs(&sink);
+  // A clean -2 fps/tick ramp: once the window fills, the extrapolation
+  // (lead = 2) puts the predicted rate a section below the reactive one.
+  sim::Time t{};
+  bool prestepped = false;
+  double fps = 40.0;
+  for (int i = 0; i < 12; ++i, fps -= 2.0, t = t + sim::milliseconds(100)) {
+    const auto p = s.propose(make_input(fps, 60, kS3, t));
+    const int reactive = SectionTable::build(kS3, 0.5).rate_for(fps);
+    if (p->target_hz < reactive) prestepped = true;
+  }
+  EXPECT_TRUE(prestepped);
+  EXPECT_GT(sink.counters.value("policy.predictive.presteps"), 0u);
+}
+
+TEST(PredictiveRateStage, UnstableContentFallsBackToReactive) {
+  PredictiveRateStage s(SectionTable::build(kS3, 0.5), fast_predictive());
+  // Noisy oscillation (stddev >> threshold): prediction is gated off, so
+  // the stage tracks the reactive table exactly (confirmations = 1).
+  const SectionTable table = SectionTable::build(kS3, 0.5);
+  sim::Time t{};
+  for (int i = 0; i < 20; ++i, t = t + sim::milliseconds(100)) {
+    const double fps = (i % 2 == 0) ? 30.0 : 10.0;
+    const auto p = s.propose(make_input(fps, 60, kS3, t));
+    EXPECT_EQ(p->target_hz, table.rate_for(fps)) << "tick " << i;
+  }
+}
+
+TEST(PredictiveRateStage, DownCooldownLimitsStepRate) {
+  PredictiveConfig c = fast_predictive();
+  c.down_cooldown = sim::seconds(10);
+  PredictiveRateStage s(SectionTable::build(kS3, 0.5), c);
+  sim::Time t{};
+  (void)s.propose(make_input(50.0, 60, kS3, t));
+  t = t + sim::milliseconds(100);
+  EXPECT_EQ(s.propose(make_input(25.0, 60, kS3, t))->target_hz, 30);
+  // Within the cooldown, a further drop is not actuated.
+  t = t + sim::milliseconds(100);
+  EXPECT_EQ(s.propose(make_input(5.0, 60, kS3, t))->target_hz, 30);
+  // After the cooldown it lands.
+  t = t + sim::seconds(11);
+  EXPECT_EQ(s.propose(make_input(5.0, 60, kS3, t))->target_hz, 20);
+}
+
+// --- DVFS co-control --------------------------------------------------------
+
+DvfsConfig fast_dvfs() {
+  DvfsConfig c;
+  c.rungs = 5;
+  c.headroom = 1.25;
+  c.instability_fps = 8.0;
+  c.stable_ticks = 2;
+  return c;
+}
+
+TEST(DvfsCoControlStage, StableLowContentDownRungsAndCapsTheTarget) {
+  DvfsCoControlStage s(fast_dvfs(), /*min_hz=*/0);
+  EXPECT_EQ(s.rung(), 4);  // starts at the top
+  int target = 60;
+  for (int i = 0; i < 20; ++i) {
+    target = 60;
+    s.adjust(make_input(10.0, 60), /*preempted=*/false, target);
+  }
+  // Capacity ladder is 12/24/36/48/60 fps; 10 fps * 1.25 headroom stops the
+  // descent at rung 1 (24 fps), and the display cap follows: ceil(24) = 24.
+  EXPECT_EQ(s.rung(), 1);
+  EXPECT_EQ(target, 24);
+}
+
+TEST(DvfsCoControlStage, InstabilityRungsBackUp) {
+  DvfsCoControlStage s(fast_dvfs(), 0);
+  int target = 60;
+  for (int i = 0; i < 20; ++i) {
+    target = 60;
+    s.adjust(make_input(10.0, 60), false, target);
+  }
+  ASSERT_EQ(s.rung(), 1);
+  // A >8 fps jump is frametime instability: the GPU gets headroom now.
+  target = 60;
+  s.adjust(make_input(40.0, 60), false, target);
+  EXPECT_EQ(s.rung(), 2);
+}
+
+TEST(DvfsCoControlStage, BoostAndPreemptionSuspendTheCap) {
+  DvfsCoControlStage s(fast_dvfs(), 0);
+  for (int i = 0; i < 20; ++i) {
+    int t = 60;
+    s.adjust(make_input(10.0, 60), false, t);
+  }
+  int target = 60;
+  s.adjust(make_input(10.0, 60, kS3, sim::Time{}, /*boost=*/true), false,
+           target);
+  EXPECT_EQ(target, 60) << "boost window must not be capped";
+  target = 60;
+  s.adjust(make_input(10.0, 60), /*preempted=*/true, target);
+  EXPECT_EQ(target, 60) << "recovery pin must not be capped";
+}
+
+TEST(DvfsCoControlStage, FloorBoundsTheCap) {
+  DvfsCoControlStage s(fast_dvfs(), /*min_hz=*/40);
+  int target = 60;
+  for (int i = 0; i < 20; ++i) {
+    target = 60;
+    s.adjust(make_input(5.0, 60), false, target);
+  }
+  EXPECT_EQ(target, 40);  // capped, but never below the configured floor
+}
+
+// --- pipeline evaluation accounting -----------------------------------------
+
+TEST(PolicyPipeline, CountsEvaluations) {
+  auto p = make_section_hysteresis(1);
+  EXPECT_EQ(p->evaluations(), 0u);
+  (void)decide(*p, 5.0, 60);
+  (void)decide(*p, 5.0, 60);
+  EXPECT_EQ(p->evaluations(), 2u);
+}
+
+TEST(PolicyPipeline, StageLookupFindsStagesByName) {
+  auto p = make_section_hysteresis(3);
+  EXPECT_TRUE(p->has_stage("section"));
+  EXPECT_TRUE(p->has_stage("hysteresis"));
+  EXPECT_FALSE(p->has_stage("boost"));
+  auto* h = static_cast<HysteresisStage*>(p->stage("hysteresis"));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->down_confirmations(), 3);
+  EXPECT_EQ(p->stage("florp"), nullptr);
+}
+
+}  // namespace
+}  // namespace ccdem::core

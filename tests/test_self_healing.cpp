@@ -106,7 +106,7 @@ struct Rig {
   explicit Rig(double content_fps, DpmConfig config = {}, int start_hz = 60,
                bool recovery = true)
       : panel(sim, display::RefreshRateSet::galaxy_s3(), start_hz) {
-    config.grid = GridSpec{10, 10};
+    config.meter.grid = GridSpec{10, 10};
     if (recovery && !config.recovery.enabled) {
       config.recovery = fast_recovery();
     }
@@ -116,7 +116,9 @@ struct Rig {
     panel.add_observer(display::VsyncPhase::kApp, app.get());
     panel.add_observer(display::VsyncPhase::kComposer, composer.get());
     dpm = std::make_unique<DisplayPowerManager>(
-        sim, panel, flinger, std::make_unique<SectionPolicy>(panel.rates()),
+        sim, panel, flinger,
+        build_pipeline(PipelineSpec{{StageId::kSection, StageId::kBoost}},
+                       panel.rates(), config),
         nullptr, config);
   }
 
