@@ -1,14 +1,21 @@
 // Micro-benchmark (google-benchmark): raw cost of the grid comparison on
-// this host, for each of Fig. 6's grid configurations.
+// this host, for each of Fig. 6's grid configurations, and of the
+// row-span compare/copy kernels for every runtime-dispatchable variant
+// (scalar / sse2 / avx2 / neon as available on the host).
 //
 // The absolute times on a desktop CPU are far below the Galaxy S3's (the
 // device-side curve lives in core::MeteringCostModel); what this bench
 // validates is the *shape*: cost grows monotonically with the sampled pixel
-// count, and the full-resolution comparison costs orders of magnitude more
-// than the sparse grids.
+// count, full-resolution comparison costs orders of magnitude more than the
+// sparse grids, and the wider SIMD variants dominate scalar on contiguous
+// spans while producing (by the kernel oracle) byte-identical results.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/grid_sampler.h"
+#include "gfx/compare.h"
 #include "gfx/framebuffer.h"
 #include "sim/rng.h"
 
@@ -77,16 +84,95 @@ void BM_GridSample(benchmark::State& state) {
 }
 BENCHMARK(BM_GridSample)->DenseRange(0, 4);
 
-/// Baseline the paper rejects: full-framebuffer memcmp.
-void BM_FullFrameEquals(benchmark::State& state) {
+// --- per-kernel-variant sweep ----------------------------------------------
+// Registered once per entry of available_kernels(), so the reported names
+// (e.g. BM_RowsEqual/avx2) directly compare the dispatch table's options on
+// this host.  Each benchmark pins the variant with ScopedKernelOverride for
+// its duration; everything else (buffers, rects) is identical.
+
+/// Full-frame equality through the dispatched rows_equal -- the worst case
+/// (equal buffers, no early-out) and the memoization verify's hot loop.
+void BM_RowsEqual(benchmark::State& state, const gfx::kernels::KernelOps& ops) {
+  const gfx::kernels::ScopedKernelOverride pin(ops);
+  const gfx::Framebuffer a = make_noise_frame(1);
+  const gfx::Framebuffer b = a;
+  const gfx::Rect full = gfx::Rect::of(kScreen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gfx::kernels::rows_equal(
+        a.pixels().data(), b.pixels().data(), a.width(), full));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          full.area() * 3);
+}
+
+/// A 64x64 tile compare at an unaligned offset -- the tile cache's verify
+/// granule, exercising the offset/stride path rather than one flat span.
+void BM_TileVerify(benchmark::State& state,
+                   const gfx::kernels::KernelOps& ops) {
+  const gfx::kernels::ScopedKernelOverride pin(ops);
+  const gfx::Framebuffer a = make_noise_frame(1);
+  const gfx::Framebuffer b = a;
+  const gfx::Rect tile{131, 257, 64, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gfx::kernels::rows_equal_offset(
+        a.pixels().data(), a.width(), tile, b.pixels().data(), b.width(),
+        gfx::Point{tile.x, tile.y}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tile.area() * 3);
+}
+
+/// The compose copy: a half-screen window blit through copy_rows.
+void BM_CopyRows(benchmark::State& state, const gfx::kernels::KernelOps& ops) {
+  const gfx::kernels::ScopedKernelOverride pin(ops);
+  const gfx::Framebuffer src = make_noise_frame(1);
+  gfx::Framebuffer dst(kScreen);
+  const gfx::kernels::CopyWindow w{gfx::Point{7, 11}, gfx::Point{13, 5},
+                                   gfx::Size{kScreen.width - 20,
+                                             kScreen.height / 2}};
+  for (auto _ : state) {
+    gfx::kernels::copy_rows(dst.pixels_mut().data(), dst.width(),
+                            src.pixels().data(), src.width(), w);
+    benchmark::DoNotOptimize(dst.pixels_mut().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          w.size.area() * 3);
+}
+
+/// Baseline the paper rejects: full-framebuffer equality (identical frames,
+/// no early exit) through Framebuffer::equals, which dispatches too.
+void BM_FullFrameEquals(benchmark::State& state,
+                        const gfx::kernels::KernelOps& ops) {
+  const gfx::kernels::ScopedKernelOverride pin(ops);
   const gfx::Framebuffer a = make_noise_frame(1);
   const gfx::Framebuffer b = a;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.equals(b));
   }
 }
-BENCHMARK(BM_FullFrameEquals);
+
+void register_variant_benchmarks() {
+  for (const gfx::kernels::KernelOps* ops :
+       gfx::kernels::available_kernels()) {
+    const std::string suffix = std::string("/") + ops->name;
+    benchmark::RegisterBenchmark(("BM_RowsEqual" + suffix).c_str(),
+                                 BM_RowsEqual, *ops);
+    benchmark::RegisterBenchmark(("BM_TileVerify" + suffix).c_str(),
+                                 BM_TileVerify, *ops);
+    benchmark::RegisterBenchmark(("BM_CopyRows" + suffix).c_str(),
+                                 BM_CopyRows, *ops);
+    benchmark::RegisterBenchmark(("BM_FullFrameEquals" + suffix).c_str(),
+                                 BM_FullFrameEquals, *ops);
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_variant_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,14 +19,22 @@ void VideoScene::init(gfx::Canvas& canvas) {
 
 void VideoScene::paint_video_frame(gfx::Canvas& canvas,
                                    std::int64_t version) {
-  // A cheap synthetic video: a slowly shifting gradient plus two moving
-  // high-contrast blocks.  Every version changes most of the region's rows,
-  // like real decoded frames do.
+  // A cheap synthetic video with real-codec temporal structure: a gradient
+  // backdrop that only changes when the cut index changes, plus two moving
+  // high-contrast blocks that reposition every decoded frame.  Within a cut
+  // most rows repeat byte-for-byte (inter-frame coherence, the tile cache's
+  // win); every frame still has changed pixels, so the ground-truth content
+  // rate stays at the decode rate.
   const auto v = static_cast<std::uint32_t>(version);
-  const gfx::Rgb888 top{static_cast<std::uint8_t>(40 + (v * 7) % 120),
-                        static_cast<std::uint8_t>(30 + (v * 11) % 100), 60};
-  const gfx::Rgb888 bottom{20, static_cast<std::uint8_t>(60 + (v * 5) % 120),
-                           static_cast<std::uint8_t>(90 + (v * 3) % 100)};
+  const std::uint32_t cut =
+      spec_.video_cut_frames > 0 ? v / static_cast<std::uint32_t>(
+                                           spec_.video_cut_frames)
+                                 : v;
+  const gfx::Rgb888 top{static_cast<std::uint8_t>(40 + (cut * 7) % 120),
+                        static_cast<std::uint8_t>(30 + (cut * 11) % 100), 60};
+  const gfx::Rgb888 bottom{20,
+                           static_cast<std::uint8_t>(60 + (cut * 5) % 120),
+                           static_cast<std::uint8_t>(90 + (cut * 3) % 100)};
   canvas.fill_gradient(video_, top, bottom);
   const int bw = video_.width / 6;
   const int bx = video_.x + static_cast<int>((v * 23) % static_cast<std::uint32_t>(
@@ -52,7 +60,12 @@ bool VideoScene::render(gfx::Canvas& canvas, sim::Time t) {
       static_cast<std::int64_t>(t.seconds() * spec_.video_fps);
   if (version != last_version_) {
     last_version_ = version;
-    paint_video_frame(canvas, version);
+    // The clip loops: past one period every decoded frame repeats an earlier
+    // one exactly, which is what whole-frame memoization keys on.
+    const std::int64_t looped = spec_.video_loop_frames > 0
+                                    ? version % spec_.video_loop_frames
+                                    : version;
+    paint_video_frame(canvas, looped);
     changed = true;
   }
   if (controls_dirty_) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/section_table.h"
+#include "gfx/compare.h"
 #include "obs/obs.h"
 #include "obs/trace_export.h"
 
@@ -70,6 +71,12 @@ RunArtifacts run_scenario_once(harness::ExperimentConfig cfg,
   cfg.obs = &sink;
   cfg.dpm.meter.damage_culling = opt.damage_culling;
   cfg.governor.meter.damage_culling = opt.damage_culling;
+  cfg.tile_memo = opt.tile_memo;
+  cfg.hash_frames = opt.hash_frames;
+  std::optional<gfx::kernels::ScopedKernelOverride> force_scalar;
+  if (opt.force_scalar_kernels) {
+    force_scalar.emplace(gfx::kernels::scalar_kernels());
+  }
   RunArtifacts out;
   out.result = harness::run_experiment(cfg);
   out.counters = sink.counters.snapshot();
@@ -157,6 +164,14 @@ std::optional<std::string> diff_results(const harness::ExperimentResult& a,
   }
   if (auto d = diff_scalar(a.touch_events, b.touch_events, what,
                            "touch_events")) {
+    return d;
+  }
+  if (auto d = diff_scalar(a.final_frame_hash, b.final_frame_hash, what,
+                           "final_frame_hash")) {
+    return d;
+  }
+  if (auto d = diff_scalar(a.frame_stream_hash, b.frame_stream_hash, what,
+                           "frame_stream_hash")) {
     return d;
   }
   return std::nullopt;

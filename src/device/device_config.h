@@ -44,6 +44,10 @@ struct DeviceConfig {
   /// Exact pixel ground truth in the compositor (needed for quality and
   /// meter-error metrics; cheap because it only scans dirty regions).
   bool exact_change_detection = true;
+  /// Tile-hash compose memoization in the flinger (gfx/tile_cache.h).  On
+  /// by default; composed frames are byte-identical either way -- off is the
+  /// differential reference the DST memo oracle runs against.
+  bool tile_memo = true;
   /// Screen brightness in [0, 1]; the paper measures at 50 %.
   double brightness = 0.5;
   /// Fixed rate of the kBaseline60 arm; 0 = the rate set's maximum.

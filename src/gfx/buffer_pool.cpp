@@ -26,7 +26,11 @@ std::vector<Rgb888> BufferPool::take(std::size_t n) {
 
 std::vector<Rgb888> BufferPool::acquire(std::size_t n, Rgb888 fill) {
   std::vector<Rgb888> v = take(n);
-  v.assign(n, fill);
+  // resize()'s value-initialisation is a memset; a non-black fill then
+  // overwrites at copy bandwidth.  assign(n, fill) looped per 3-byte pixel.
+  v.clear();
+  v.resize(n);
+  if (!(fill == Rgb888{})) fill_span(v.data(), n, fill);
   return v;
 }
 

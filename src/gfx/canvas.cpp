@@ -40,7 +40,7 @@ void Canvas::draw_circle(Point center, int radius, Rgb888 c) {
     const int x1 = std::min(center.x + s + 1, clipped.right());
     if (x0 >= x1) continue;
     auto row = fb_->row(y);
-    std::fill(row.begin() + x0, row.begin() + x1, c);
+    fill_span(row.data() + x0, static_cast<std::size_t>(x1 - x0), c);
   }
   mark(clipped);
 }
@@ -56,7 +56,7 @@ void Canvas::fill_gradient(Rect r, Rgb888 top, Rgb888 bottom) {
         static_cast<std::uint8_t>(top.g + t * (bottom.g - top.g)),
         static_cast<std::uint8_t>(top.b + t * (bottom.b - top.b))};
     auto row = fb_->row(y);
-    std::fill(row.begin() + c.x, row.begin() + c.right(), col);
+    fill_span(row.data() + c.x, static_cast<std::size_t>(c.width), col);
   }
   mark(c);
 }
@@ -94,7 +94,7 @@ void Canvas::draw_text_block(Rect r, Rgb888 fg, Rgb888 bg,
     if (runs.empty()) continue;
     auto first = fb_->row(ly);
     for (const auto& [rx, rend] : runs) {
-      std::fill(first.begin() + rx, first.begin() + rend, fg);
+      fill_span(first.data() + rx, static_cast<std::size_t>(rend - rx), fg);
     }
     const int span_x = runs.front().first;
     const int span_end = runs.back().second;

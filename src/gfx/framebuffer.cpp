@@ -6,14 +6,27 @@
 
 #include "gfx/buffer_pool.h"
 #include "gfx/compare.h"
+#include "gfx/hash.h"
 
 namespace ccdem::gfx {
 
+namespace {
+
+/// Sized fill at copy bandwidth (resize value-initialisation compiles to a
+/// memset; a non-black fill then overwrites via fill_span).  The element
+/// loop this replaces dominated device construction cost.
+void fill_pixels(std::vector<Rgb888>& v, std::size_t n, Rgb888 fill) {
+  v.clear();
+  v.resize(n);
+  if (!(fill == Rgb888{})) fill_span(v.data(), n, fill);
+}
+
+}  // namespace
+
 Framebuffer::Framebuffer(int width, int height, Rgb888 fill)
-    : width_(width),
-      height_(height),
-      pixels_(static_cast<std::size_t>(width) * height, fill) {
+    : width_(width), height_(height) {
   assert(width >= 0 && height >= 0);
+  fill_pixels(pixels_, static_cast<std::size_t>(width) * height, fill);
 }
 
 Framebuffer::Framebuffer(int width, int height, BufferPool* pool, Rgb888 fill)
@@ -23,7 +36,7 @@ Framebuffer::Framebuffer(int width, int height, BufferPool* pool, Rgb888 fill)
   if (pool_ != nullptr) {
     pixels_ = pool_->acquire(n, fill);
   } else {
-    pixels_.assign(n, fill);
+    fill_pixels(pixels_, n, fill);
   }
 }
 
@@ -77,7 +90,7 @@ void Framebuffer::fill_rect(Rect r, Rgb888 c) {
   Rgb888* first =
       pixels_.data() + static_cast<std::size_t>(clipped.y) * width_ +
       clipped.x;
-  std::fill(first, first + clipped.width, c);
+  fill_span(first, static_cast<std::size_t>(clipped.width), c);
   const std::size_t bytes =
       static_cast<std::size_t>(clipped.width) * sizeof(Rgb888);
   for (int y = clipped.y + 1; y < clipped.bottom(); ++y) {
@@ -151,6 +164,10 @@ std::uint64_t Framebuffer::content_hash() const {
     h *= 1099511628211ULL;  // FNV prime
   }
   return h;
+}
+
+std::uint64_t Framebuffer::fast_hash() const {
+  return hash_bytes(pixels_.data(), pixels_.size() * sizeof(Rgb888));
 }
 
 }  // namespace ccdem::gfx

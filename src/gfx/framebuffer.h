@@ -68,6 +68,9 @@ class Framebuffer {
             static_cast<std::size_t>(width_)};
   }
   [[nodiscard]] std::span<const Rgb888> pixels() const { return pixels_; }
+  /// Mutable raw storage for callers that compose through the row-span
+  /// kernels directly (the flinger's tile path); prefer blit/fill otherwise.
+  [[nodiscard]] std::span<Rgb888> pixels_mut() { return pixels_; }
 
   void fill(Rgb888 c);
   /// Fills the intersection of `r` with the buffer bounds.
@@ -93,6 +96,12 @@ class Framebuffer {
 
   /// FNV-1a hash over the raw pixel data; cheap change fingerprint in tests.
   [[nodiscard]] std::uint64_t content_hash() const;
+
+  /// Fast 64-bit fingerprint of the whole buffer (gfx/hash.h mixer).  An
+  /// order of magnitude quicker than content_hash; used for the per-frame
+  /// stream hashes the DST oracles compare.  Deliberately a different
+  /// algorithm so the two fingerprints cross-check each other in tests.
+  [[nodiscard]] std::uint64_t fast_hash() const;
 
  private:
   int width_ = 0;

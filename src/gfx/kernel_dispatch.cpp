@@ -1,0 +1,92 @@
+// Kernel table selection: CPUID detection, the CCDEM_KERNEL override, and
+// the registry of variants compiled into this binary.
+//
+// Selection happens once, on the first dispatched call, and is strict about
+// the override: naming a variant the build or the CPU cannot run aborts
+// instead of silently falling back, so a CI matrix leg labelled
+// CCDEM_KERNEL=avx2 either tests AVX2 or fails loudly.
+#include "gfx/compare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ccdem::gfx::kernels {
+
+namespace {
+
+constexpr KernelOps kScalarOps{
+    "scalar",        &scalar::copy_rows,  &scalar::rows_equal,
+    &scalar::rows_equal_offset, &scalar::first_diff, &scalar::gather,
+};
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_has_sse2() { return __builtin_cpu_supports("sse2"); }
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+#else
+bool cpu_has_sse2() { return false; }
+bool cpu_has_avx2() { return false; }
+#endif
+
+std::vector<const KernelOps*> build_available() {
+  std::vector<const KernelOps*> v{&kScalarOps};
+#if defined(__x86_64__) || defined(__i386__)
+  if (cpu_has_sse2()) v.push_back(&sse2_kernels());
+  if (cpu_has_avx2()) v.push_back(&avx2_kernels());
+#elif defined(__ARM_NEON)
+  v.push_back(&neon_kernels());
+#endif
+  return v;
+}
+
+}  // namespace
+
+const KernelOps& scalar_kernels() { return kScalarOps; }
+
+const std::vector<const KernelOps*>& available_kernels() {
+  static const std::vector<const KernelOps*> v = build_available();
+  return v;
+}
+
+const KernelOps* find_kernels(std::string_view name) {
+  for (const KernelOps* ops : available_kernels()) {
+    if (name == ops->name) return ops;
+  }
+  return nullptr;
+}
+
+namespace detail {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps* resolve_and_cache() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const KernelOps* pick = nullptr;
+    if (const char* forced = std::getenv("CCDEM_KERNEL");
+        forced != nullptr && forced[0] != '\0') {
+      pick = find_kernels(forced);
+      if (pick == nullptr) {
+        std::fprintf(stderr,
+                     "CCDEM_KERNEL=%s: unknown or unsupported kernel variant "
+                     "on this CPU (available:",
+                     forced);
+        for (const KernelOps* ops : available_kernels()) {
+          std::fprintf(stderr, " %s", ops->name);
+        }
+        std::fprintf(stderr, ")\n");
+        std::abort();
+      }
+    } else {
+      // Widest available wins; available_kernels() lists narrow to wide.
+      pick = available_kernels().back();
+    }
+    g_active.store(pick, std::memory_order_relaxed);
+  });
+  return g_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace ccdem::gfx::kernels

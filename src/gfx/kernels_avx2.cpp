@@ -1,0 +1,150 @@
+// AVX2 row-span kernels: 32-byte chunks with a 16-byte/leftover tail.
+// Byte-identical to kernels::scalar -- see kernels_sse2.cpp for the span
+// framing; this file only widens the vectors.
+//
+// Built with -mavx2 via set_source_files_properties; only ever entered when
+// __builtin_cpu_supports("avx2") said yes (or the user forced it, in which
+// case running on an older CPU would fault -- which is the honest outcome).
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "gfx/compare.h"
+
+namespace ccdem::gfx::kernels {
+
+namespace {
+
+constexpr std::size_t kVec = 32;
+
+inline const unsigned char* bytes_of(const Rgb888* p) {
+  return reinterpret_cast<const unsigned char*>(p);
+}
+inline unsigned char* bytes_of(Rgb888* p) {
+  return reinterpret_cast<unsigned char*>(p);
+}
+
+inline bool span_equal(const unsigned char* a, const unsigned char* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb))) != 0xFFFFFFFFu) {
+      return false;
+    }
+  }
+  if (i + 16 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) != 0xFFFF) return false;
+    i += 16;
+  }
+  return i == n || std::memcmp(a + i, b + i, n - i) == 0;
+}
+
+/// Regular (cacheable) stores -- see kernels_sse2.cpp for why non-temporal
+/// stores were rejected (the next frame's compare re-reads the frame).
+inline void span_copy(unsigned char* dst, const unsigned char* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  }
+  if (i + 16 <= n) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    i += 16;
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+void copy_rows_avx2(Rgb888* dst_base, int dst_stride, const Rgb888* src_base,
+                    int src_stride, const CopyWindow& w) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(w.size.width) * sizeof(Rgb888);
+  for (int row = 0; row < w.size.height; ++row) {
+    span_copy(bytes_of(dst_base +
+                       static_cast<std::size_t>(w.dst.y + row) * dst_stride +
+                       w.dst.x),
+              bytes_of(src_base +
+                       static_cast<std::size_t>(w.src.y + row) * src_stride +
+                       w.src.x),
+              bytes);
+  }
+}
+
+bool rows_equal_avx2(const Rgb888* a, const Rgb888* b, int stride, Rect r) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(r.width) * sizeof(Rgb888);
+  for (int y = r.y; y < r.bottom(); ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * stride + r.x;
+    if (!span_equal(bytes_of(a + off), bytes_of(b + off), bytes)) return false;
+  }
+  return true;
+}
+
+bool rows_equal_offset_avx2(const Rgb888* a, int a_stride, Rect a_rect,
+                            const Rgb888* b, int b_stride, Point b_origin) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(a_rect.width) * sizeof(Rgb888);
+  for (int row = 0; row < a_rect.height; ++row) {
+    const Rgb888* pa =
+        a + static_cast<std::size_t>(a_rect.y + row) * a_stride + a_rect.x;
+    const Rgb888* pb =
+        b + static_cast<std::size_t>(b_origin.y + row) * b_stride + b_origin.x;
+    if (!span_equal(bytes_of(pa), bytes_of(pb), bytes)) return false;
+  }
+  return true;
+}
+
+FirstDiff first_diff_avx2(const Rgb888* a, const Rgb888* b, int stride,
+                          Rect r) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(r.width) * sizeof(Rgb888);
+  for (int y = r.y; y < r.bottom(); ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * stride + r.x;
+    const unsigned char* pa = bytes_of(a + off);
+    const unsigned char* pb = bytes_of(b + off);
+    if (span_equal(pa, pb, bytes)) continue;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      if (pa[i] != pb[i]) {
+        return {true,
+                Point{r.x + static_cast<int>(i / sizeof(Rgb888)), y}};
+      }
+    }
+  }
+  return {};
+}
+
+void gather_avx2(const Rgb888* px, const std::size_t* idx, std::size_t n,
+                 Rgb888* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::memcpy(out + k, px + idx[k], sizeof(Rgb888));
+  }
+}
+
+constexpr KernelOps kAvx2Ops{
+    "avx2",
+    &copy_rows_avx2,
+    &rows_equal_avx2,
+    &rows_equal_offset_avx2,
+    &first_diff_avx2,
+    &gather_avx2,
+};
+
+}  // namespace
+
+const KernelOps& avx2_kernels() { return kAvx2Ops; }
+
+}  // namespace ccdem::gfx::kernels
+
+#endif  // x86

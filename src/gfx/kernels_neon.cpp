@@ -1,0 +1,25 @@
+// NEON row-span kernels -- the ARM leg of the dispatch table.  No ARM build
+// exists yet, so this is the stub the table shape demands: the variant is
+// listed and selectable only when __ARM_NEON is defined, and until then the
+// implementation simply forwards to the scalar reference so a future port
+// starts from a correct (if unoptimised) baseline.
+#if defined(__ARM_NEON)
+
+#include "gfx/compare.h"
+
+namespace ccdem::gfx::kernels {
+
+namespace {
+
+constexpr KernelOps kNeonOps{
+    "neon",        &scalar::copy_rows,  &scalar::rows_equal,
+    &scalar::rows_equal_offset, &scalar::first_diff, &scalar::gather,
+};
+
+}  // namespace
+
+const KernelOps& neon_kernels() { return kNeonOps; }
+
+}  // namespace ccdem::gfx::kernels
+
+#endif  // __ARM_NEON

@@ -1,0 +1,141 @@
+// SSE2 row-span kernels.  Byte-identical to kernels::scalar by construction
+// (and by the differential tests + DST kernel oracle): every row is handled
+// as a raw byte span -- Rgb888 is three packed bytes, so 16-byte chunks plus
+// a memcmp/memcpy tail reproduce the scalar semantics exactly.
+//
+// Built with -msse2 via set_source_files_properties (a no-op on x86_64 where
+// SSE2 is baseline, but it keeps the variant files uniform).
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "gfx/compare.h"
+
+namespace ccdem::gfx::kernels {
+
+namespace {
+
+constexpr std::size_t kVec = 16;
+
+inline const unsigned char* bytes_of(const Rgb888* p) {
+  return reinterpret_cast<const unsigned char*>(p);
+}
+inline unsigned char* bytes_of(Rgb888* p) {
+  return reinterpret_cast<unsigned char*>(p);
+}
+
+/// True iff `n` bytes match at `a` / `b`.
+inline bool span_equal(const unsigned char* a, const unsigned char* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) != 0xFFFF) return false;
+  }
+  return i == n || std::memcmp(a + i, b + i, n - i) == 0;
+}
+
+/// Regular (cacheable) stores throughout.  Non-temporal stores were tried
+/// for long spans to skip the destination read-for-ownership, but the
+/// composed frame is *not* write-only here: the next frame's damage compare
+/// re-reads it, and keeping it out of cache made that compare miss to DRAM
+/// (~3x slower end-to-end on the video profile).  Plain stores keep the
+/// frame warm for the consumer that actually exists.
+inline void span_copy(unsigned char* dst, const unsigned char* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+void copy_rows_sse2(Rgb888* dst_base, int dst_stride, const Rgb888* src_base,
+                    int src_stride, const CopyWindow& w) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(w.size.width) * sizeof(Rgb888);
+  for (int row = 0; row < w.size.height; ++row) {
+    span_copy(bytes_of(dst_base +
+                       static_cast<std::size_t>(w.dst.y + row) * dst_stride +
+                       w.dst.x),
+              bytes_of(src_base +
+                       static_cast<std::size_t>(w.src.y + row) * src_stride +
+                       w.src.x),
+              bytes);
+  }
+}
+
+bool rows_equal_sse2(const Rgb888* a, const Rgb888* b, int stride, Rect r) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(r.width) * sizeof(Rgb888);
+  for (int y = r.y; y < r.bottom(); ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * stride + r.x;
+    if (!span_equal(bytes_of(a + off), bytes_of(b + off), bytes)) return false;
+  }
+  return true;
+}
+
+bool rows_equal_offset_sse2(const Rgb888* a, int a_stride, Rect a_rect,
+                            const Rgb888* b, int b_stride, Point b_origin) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(a_rect.width) * sizeof(Rgb888);
+  for (int row = 0; row < a_rect.height; ++row) {
+    const Rgb888* pa =
+        a + static_cast<std::size_t>(a_rect.y + row) * a_stride + a_rect.x;
+    const Rgb888* pb =
+        b + static_cast<std::size_t>(b_origin.y + row) * b_stride + b_origin.x;
+    if (!span_equal(bytes_of(pa), bytes_of(pb), bytes)) return false;
+  }
+  return true;
+}
+
+FirstDiff first_diff_sse2(const Rgb888* a, const Rgb888* b, int stride,
+                          Rect r) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(r.width) * sizeof(Rgb888);
+  for (int y = r.y; y < r.bottom(); ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * stride + r.x;
+    const unsigned char* pa = bytes_of(a + off);
+    const unsigned char* pb = bytes_of(b + off);
+    if (span_equal(pa, pb, bytes)) continue;
+    // The first differing byte belongs to the first differing pixel.
+    for (std::size_t i = 0; i < bytes; ++i) {
+      if (pa[i] != pb[i]) {
+        return {true,
+                Point{r.x + static_cast<int>(i / sizeof(Rgb888)), y}};
+      }
+    }
+  }
+  return {};
+}
+
+/// Three-byte element copies: a 4-byte wide load of the final pixel would
+/// read one byte past the source buffer, so the gather stays element-wise.
+void gather_sse2(const Rgb888* px, const std::size_t* idx, std::size_t n,
+                 Rgb888* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::memcpy(out + k, px + idx[k], sizeof(Rgb888));
+  }
+}
+
+constexpr KernelOps kSse2Ops{
+    "sse2",
+    &copy_rows_sse2,
+    &rows_equal_sse2,
+    &rows_equal_offset_sse2,
+    &first_diff_sse2,
+    &gather_sse2,
+};
+
+}  // namespace
+
+const KernelOps& sse2_kernels() { return kSse2Ops; }
+
+}  // namespace ccdem::gfx::kernels
+
+#endif  // x86

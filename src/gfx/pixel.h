@@ -5,7 +5,9 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace ccdem::gfx {
 
@@ -33,6 +35,24 @@ struct Rgb888 {
     return (299 * r + 587 * g + 114 * b) / 1000;
   }
 };
+
+/// Fills `n` pixels at `p` with `c` at copy bandwidth.  A per-element loop
+/// over a 3-byte struct does not vectorise; uniform bytes collapse to one
+/// memset, anything else seeds a pixel and doubles it with memcpy.
+inline void fill_span(Rgb888* p, std::size_t n, Rgb888 c) {
+  if (n == 0) return;
+  if (c.r == c.g && c.g == c.b) {
+    std::memset(static_cast<void*>(p), c.r, n * sizeof(Rgb888));
+    return;
+  }
+  p[0] = c;
+  std::size_t filled = 1;
+  while (filled < n) {
+    const std::size_t chunk = filled < n - filled ? filled : n - filled;
+    std::memcpy(p + filled, p, chunk * sizeof(Rgb888));
+    filled += chunk;
+  }
+}
 
 namespace colors {
 inline constexpr Rgb888 kBlack{0, 0, 0};

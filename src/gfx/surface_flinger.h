@@ -19,6 +19,7 @@
 #include "gfx/region.h"
 #include "gfx/surface.h"
 #include "gfx/swapchain.h"
+#include "gfx/tile_cache.h"
 #include "obs/obs.h"
 #include "sim/time.h"
 
@@ -91,6 +92,29 @@ class SurfaceFlinger {
   /// dirty region is assumed to change content (cheaper, optimistic).
   void set_exact_change_detection(bool on) { exact_change_ = on; }
 
+  /// Enables (default) or disables tile-hash compose memoization.  With it
+  /// on, dirty rects are composed tile by tile and rects whose bytes already
+  /// match the reconciled back buffer are skipped -- no pixel write, no
+  /// damage, so downstream meter compares and next-frame reconciliation skip
+  /// them too.  Every hash hit is byte-verified, so the composed frames are
+  /// byte-identical either way (the DST memo oracle holds this).  Off keeps
+  /// the historical blit-everything path as the differential reference.
+  void set_tile_memo(bool on) { tile_memo_ = on; }
+  [[nodiscard]] bool tile_memo() const { return tile_memo_; }
+
+  /// Physical-write accounting for the memoization layer.  Logical
+  /// composition work (FrameInfo::composed_pixels, the power model's input)
+  /// is unchanged by memoization; these count what actually hit memory.
+  struct MemoStats {
+    std::uint64_t pixels_written = 0;   ///< pixels physically copied
+    std::uint64_t pixels_skipped = 0;   ///< pixels proven unchanged, not copied
+    std::uint64_t tile_hits = 0;        ///< full-tile hash hits verified equal
+    std::uint64_t tile_collisions = 0;  ///< hash matched but bytes differed
+    std::uint64_t frames_memoized = 0;  ///< frames with dirt but zero writes
+    std::uint64_t frame_repeats = 0;    ///< whole-frame fingerprint repeats
+  };
+  [[nodiscard]] const MemoStats& memo_stats() const { return memo_; }
+
   /// Attaches an observability sink (may be null to detach).  Registers the
   /// flinger's counters and emits a compose span per composed frame.
   void set_obs(obs::ObsSink* obs);
@@ -100,6 +124,11 @@ class SurfaceFlinger {
   /// from the currently displayed frame.
   [[nodiscard]] bool region_differs(const Surface& s, Rect dirty) const;
 
+  /// Composes one dirty rect through the tile cache into `target` (the
+  /// reconciled back buffer).  Returns true if any pixels were written.
+  bool compose_rect_memo(const Surface& s, Rect screen_rect,
+                         Framebuffer& target, FrameInfo& info, Region& damage);
+
   Size screen_;
   BufferPool* pool_;
   Swapchain chain_;
@@ -108,6 +137,15 @@ class SurfaceFlinger {
   std::uint64_t frame_seq_ = 0;
   std::uint64_t content_frames_ = 0;
   bool exact_change_ = true;
+  bool tile_memo_ = true;
+
+  TileCache tiles_;
+  MemoStats memo_;
+  /// Ring of recent whole-frame fingerprints; 128 frames covers the video
+  /// loop lengths the corpus exercises (96 frames at 24 fps).
+  static constexpr std::size_t kFrameRing = 128;
+  std::vector<std::uint64_t> frame_ring_;
+  std::size_t frame_ring_next_ = 0;
 
   obs::ObsSink* obs_ = nullptr;
   std::uint64_t* ctr_frames_ = nullptr;
@@ -115,6 +153,12 @@ class SurfaceFlinger {
   std::uint64_t* ctr_redundant_ = nullptr;
   std::uint64_t* ctr_pixels_ = nullptr;
   std::uint64_t* ctr_latched_ = nullptr;
+  std::uint64_t* ctr_memo_written_ = nullptr;
+  std::uint64_t* ctr_memo_skipped_ = nullptr;
+  std::uint64_t* ctr_memo_tile_hits_ = nullptr;
+  std::uint64_t* ctr_memo_collisions_ = nullptr;
+  std::uint64_t* ctr_memo_frames_ = nullptr;
+  std::uint64_t* ctr_memo_repeats_ = nullptr;
 };
 
 }  // namespace ccdem::gfx

@@ -22,16 +22,37 @@ device::DeviceConfig ExperimentConfig::device_config() const {
   dc.brightness = brightness;
   dc.baseline_hz = baseline_hz;
   dc.fast_rate_up = fast_rate_up;
+  dc.tile_memo = tile_memo;
   dc.fault = fault;
   dc.obs = obs;
   return dc;
 }
+
+namespace {
+
+/// Folds a full-buffer fingerprint per composed frame (see
+/// ExperimentConfig::hash_frames).  Purely observational: reads the front
+/// buffer, touches nothing.
+class FrameStreamHasher : public gfx::FrameListener {
+ public:
+  void on_frame(const gfx::FrameInfo&, const gfx::Framebuffer& fb) override {
+    hash_ = gfx::hash_combine(hash_, fb.fast_hash());
+  }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = gfx::kHashSeed;
+};
+
+}  // namespace
 
 ExperimentResult run_experiment_on(device::SimulatedDevice& dev,
                                    const ExperimentConfig& config) {
   assert(config.duration.ticks > 0);
   dev.configure(config.device_config());
   apps::AppModel& app = dev.install_app(config.app);
+  FrameStreamHasher stream_hasher;
+  if (config.hash_frames) dev.add_frame_listener(&stream_hasher);
   dev.start_control();
   if (config.script) {
     // Replay path (.repro files): the embedded script is authoritative.
@@ -68,6 +89,8 @@ ExperimentResult run_experiment_on(device::SimulatedDevice& dev,
   r.content_frames = dev.flinger().content_frames();
   r.frames_posted = app.frames_posted();
   r.touch_events = dev.dispatcher().events_delivered();
+  r.final_frame_hash = dev.flinger().framebuffer().fast_hash();
+  if (config.hash_frames) r.frame_stream_hash = stream_hasher.hash();
   if (metrics::ResponseLatencyRecorder* latency = dev.latency()) {
     r.response_mean_ms = latency->mean_ms();
     r.response_p95_ms = latency->percentile_ms(95.0);

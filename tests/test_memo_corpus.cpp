@@ -1,0 +1,112 @@
+// Memoization property test over the seed corpus: for every checked-in
+// scenario, running with tile-hash compose memoization ON must be
+// observably identical to running with it OFF -- same result scalars, same
+// per-frame framebuffer hash stream, same counters except the meter work
+// and the flinger.memo.* accounting the skips exist to change.  A second
+// pass forces every tile hash to collide (CCDEM_MEMO_COLLIDE=1), proving
+// the byte-verify path alone carries correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "check/dst.h"
+#include "check/oracles.h"
+
+namespace ccdem::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<fs::path> corpus_files() {
+  const fs::path dir = fs::path(CCDEM_REPO_DIR) / "tests" / "corpus";
+  std::vector<fs::path> out;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".repro") out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Counters memoization is allowed to change: how much work the meter did
+/// (damage shrinks to the proven-changed tiles) and its own accounting.
+const std::vector<std::string> kMemoExclusions = {"meter.pixels_",
+                                                  "flinger.memo."};
+
+TEST(MemoCorpus, MemoOnAndOffAreObservablyIdentical) {
+  ASSERT_FALSE(corpus_files().empty());
+  for (const fs::path& p : corpus_files()) {
+    std::string error;
+    const auto s = parse_scenario(read_file(p), &error);
+    ASSERT_TRUE(s) << p.filename().string() << ": " << error;
+    // Meter bit-flip faults legitimately split the legs (a corrupted
+    // retained sample outside the shrunk damage region hits only the
+    // unmemoized run) -- same carve-out as the unculled oracle.
+    if (s->fault_scale > 0.0 && s->fault_classes.meter) continue;
+
+    const RunArtifacts on = run_scenario_once(s->experiment_config());
+    RunOptions off_opt;
+    off_opt.tile_memo = false;
+    const RunArtifacts off = run_scenario_once(s->experiment_config(), off_opt);
+
+    const std::string what = "memo-corpus:" + p.filename().string();
+    EXPECT_FALSE(diff_results(on.result, off.result, what))
+        << *diff_results(on.result, off.result, what);
+    EXPECT_FALSE(diff_counters(on.counters, off.counters, what,
+                               kMemoExclusions))
+        << *diff_counters(on.counters, off.counters, what, kMemoExclusions);
+    // The memo accounting must be registered (zero is fine for scenarios
+    // whose content never repeats) -- its absence would mean the memoized
+    // compose path silently was not in play at all.
+    const auto& ctrs = on.counters.counters;
+    const auto skipped = std::find_if(
+        ctrs.begin(), ctrs.end(), [](const auto& kv) {
+          return kv.first == "flinger.memo.pixels_skipped";
+        });
+    ASSERT_NE(skipped, ctrs.end()) << what;
+  }
+}
+
+TEST(MemoCorpus, ForcedHashCollisionsAreCorrectnessNeutral) {
+  ASSERT_FALSE(corpus_files().empty());
+  // Under CCDEM_MEMO_COLLIDE every tile lookup "hits" and must be saved by
+  // the byte verify.  The observable run is still identical to memo-off.
+  for (const fs::path& p : corpus_files()) {
+    std::string error;
+    const auto s = parse_scenario(read_file(p), &error);
+    ASSERT_TRUE(s) << p.filename().string() << ": " << error;
+    if (s->fault_scale > 0.0 && s->fault_classes.meter) continue;
+
+    ::setenv("CCDEM_MEMO_COLLIDE", "1", 1);
+    const RunArtifacts collide = run_scenario_once(s->experiment_config());
+    ::unsetenv("CCDEM_MEMO_COLLIDE");
+
+    RunOptions off_opt;
+    off_opt.tile_memo = false;
+    const RunArtifacts off = run_scenario_once(s->experiment_config(), off_opt);
+
+    const std::string what = "memo-collide:" + p.filename().string();
+    EXPECT_FALSE(diff_results(collide.result, off.result, what))
+        << *diff_results(collide.result, off.result, what);
+    EXPECT_FALSE(diff_counters(collide.counters, off.counters, what,
+                               kMemoExclusions))
+        << *diff_counters(collide.counters, off.counters, what,
+                          kMemoExclusions);
+  }
+}
+
+}  // namespace
+}  // namespace ccdem::check
