@@ -1,0 +1,379 @@
+// Campaign engine benchmark: the sharded binary-results path vs the same
+// matrix driven through the DST/JSON path, plus the kill/resume smoke.
+//
+//   bench_campaign [seconds_per_run] [out.json]   perf mode (default)
+//   bench_campaign --smoke [dir]                  kill/resume byte-identity
+//
+// Perf mode runs one scenario matrix twice on the same machine:
+//   * campaign arm -- worker processes + ccdem-bin-v1 shard files +
+//     streaming aggregates (one experiment per scenario);
+//   * dst/json arm -- bench_dst_corpus's path: check_scenario serially
+//     (its oracle arms re-run each scenario several times) with a JSON
+//     summary per run.
+// It also times pure result serialization (binary encode vs JsonWriter)
+// over synthetic records, and runs the campaign arm again with twice the
+// seeds to show coordinator RSS is O(shards), not O(runs).  The report
+// (schema `ccdem-bench-campaign-v1`) gates on campaign runs/wall-second
+// >= 5x the dst/json arm.
+//
+// Smoke mode is the CI crash drill: run the matrix with one worker
+// SIGKILLed mid-shard (no retry budget), resume from the manifest, run the
+// same matrix uninterrupted in a second directory, and require the merged
+// aggregates.bin files to be byte-identical.  Exits nonzero on any
+// mismatch.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregates.h"
+#include "campaign/bin_format.h"
+#include "campaign/campaign.h"
+#include "campaign/coordinator.h"
+#include "check/dst.h"
+#include "harness/json_writer.h"
+#include "sim/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ccdem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+campaign::CampaignSpec matrix(int seconds, int seeds) {
+  campaign::CampaignSpec spec;
+  spec.apps = {"Facebook"};
+  spec.modes = {"section+boost", "naive"};
+  spec.grids = {"9k"};
+  spec.fault_scales = {0.0};
+  spec.seeds.clear();
+  for (int s = 1; s <= seeds; ++s) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  spec.duration_ms = std::int64_t{1000} * seconds;
+  spec.shards = 4;
+  return spec;
+}
+
+std::uint64_t shard_bytes_on_disk(const campaign::CampaignSpec& spec,
+                                  const fs::path& dir) {
+  std::uint64_t total = 0;
+  for (int s = 0; s < spec.shards; ++s) {
+    std::error_code ec;
+    const auto n = fs::file_size(dir / campaign::shard_file_name(s), ec);
+    if (!ec) total += n;
+  }
+  return total;
+}
+
+// The old results path: one JSON object per run, like bench_dst_corpus's
+// summary rows.
+void write_result_json(harness::JsonWriter& w,
+                       const campaign::ResultRecord& r) {
+  w.begin_object();
+  w.kv("scenario_index", r.scenario_index);
+  w.kv("app", r.app);
+  w.kv("mode", r.mode);
+  w.kv("seed", r.seed);
+  w.kv("duration_ms", r.duration_ms);
+  w.kv("mean_power_mw", r.mean_power_mw);
+  w.kv("mean_refresh_hz", r.mean_refresh_hz);
+  w.kv("meter_error_rate", r.meter_error_rate);
+  w.kv("response_mean_ms", r.response_mean_ms);
+  w.kv("frames_composed", r.frames_composed);
+  w.kv("content_frames", r.content_frames);
+  w.kv("frames_posted", r.frames_posted);
+  w.kv("rate_switches", r.rate_switches);
+  w.kv("final_frame_hash", r.final_frame_hash);
+  w.key("residency");
+  w.begin_array();
+  for (const campaign::RungResidency& rr : r.residency) {
+    w.begin_array();
+    w.value(std::int64_t{rr.hz});
+    w.value(rr.seconds);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+campaign::ResultRecord synthetic_result(sim::Rng& rng, std::uint64_t i) {
+  campaign::ResultRecord r;
+  r.scenario_index = i;
+  r.app = "Facebook";
+  r.mode = "section+boost";
+  r.seed = rng.next_u64();
+  r.duration_ms = 2000;
+  r.mean_power_mw = rng.uniform(100.0, 1500.0);
+  r.mean_refresh_hz = rng.uniform(20.0, 60.0);
+  r.meter_error_rate = rng.uniform(0.0, 0.1);
+  r.response_mean_ms = rng.uniform(5.0, 40.0);
+  r.frames_composed = rng.next_u64() % 1000;
+  r.content_frames = rng.next_u64() % 1000;
+  r.frames_posted = rng.next_u64() % 1000;
+  r.rate_switches = rng.next_u64() % 100;
+  r.final_frame_hash = rng.next_u64();
+  r.residency = {{20, rng.uniform(0.0, 1.0)},
+                 {40, rng.uniform(0.0, 1.0)},
+                 {60, rng.uniform(0.0, 1.0)}};
+  return r;
+}
+
+struct SerializationArm {
+  double seconds = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  [[nodiscard]] double records_per_second() const {
+    return seconds > 0 ? static_cast<double>(records) / seconds : 0;
+  }
+};
+
+// Repeats each serializer over the same record set until the measurement
+// is comfortably above clock resolution.
+void measure_serialization(SerializationArm& bin, SerializationArm& json) {
+  sim::Rng rng(7);
+  std::vector<campaign::Record> records;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    records.push_back(campaign::Record{synthetic_result(rng, i)});
+  }
+  const auto t_bin = Clock::now();
+  while ((bin.seconds = seconds_since(t_bin)) < 0.2) {
+    const std::string bytes = campaign::encode_all(records);
+    bin.bytes += bytes.size();
+    bin.records += records.size();
+  }
+  const auto t_json = Clock::now();
+  while ((json.seconds = seconds_since(t_json)) < 0.2) {
+    std::ostringstream os;
+    harness::JsonWriter w(os, /*indent=*/0);
+    w.begin_array();
+    for (const campaign::Record& r : records) {
+      write_result_json(w, std::get<campaign::ResultRecord>(r));
+    }
+    w.end_array();
+    json.bytes += os.str().size();
+    json.records += records.size();
+  }
+}
+
+int run_smoke(const fs::path& dir) {
+  const campaign::CampaignSpec spec = matrix(/*seconds=*/1, /*seeds=*/10);
+  std::cerr << "smoke: " << spec.size() << " scenarios over " << spec.shards
+            << " shards, killing shard 1's worker mid-shard\n";
+  fs::remove_all(dir);
+
+  campaign::CampaignOptions killed;
+  killed.workers = 2;
+  killed.worker.threads = 2;
+  killed.worker.chunk = 2;
+  killed.worker.kill_after_runs = 1;  // raise(SIGKILL) after one result
+  killed.kill_shard = 1;
+  killed.max_shard_retries = 0;
+  killed.isolate_crashes = false;
+  killed.log = &std::cerr;
+  const auto interrupted = campaign::run_campaign(spec, dir / "killed", killed);
+  if (interrupted.complete) {
+    std::cerr << "smoke: FAIL -- campaign completed despite the kill\n";
+    return 1;
+  }
+
+  campaign::CampaignOptions resume;
+  resume.workers = 2;
+  resume.worker.threads = 2;
+  resume.resume = true;
+  resume.log = &std::cerr;
+  const auto resumed = campaign::run_campaign(spec, dir / "killed", resume);
+  if (!resumed.complete) {
+    std::cerr << "smoke: FAIL -- resume did not complete: " << resumed.error
+              << "\n";
+    return 1;
+  }
+
+  campaign::CampaignOptions clean;
+  clean.workers = 2;
+  clean.worker.threads = 2;
+  clean.log = &std::cerr;
+  const auto uninterrupted =
+      campaign::run_campaign(spec, dir / "clean", clean);
+  if (!uninterrupted.complete) {
+    std::cerr << "smoke: FAIL -- clean run did not complete: "
+              << uninterrupted.error << "\n";
+    return 1;
+  }
+
+  const auto killed_bytes =
+      campaign::load_file(dir / "killed" / campaign::aggregates_file_name());
+  const auto clean_bytes =
+      campaign::load_file(dir / "clean" / campaign::aggregates_file_name());
+  if (!killed_bytes || !clean_bytes || *killed_bytes != *clean_bytes) {
+    std::cerr << "smoke: FAIL -- resumed aggregates.bin differs from the "
+                 "uninterrupted run\n";
+    return 1;
+  }
+  std::cerr << "smoke: OK -- " << resumed.runs << " runs, aggregates.bin "
+            << "byte-identical (" << killed_bytes->size() << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return run_smoke(argc > 2 ? fs::path(argv[2]) : fs::path("campaign_smoke"));
+  }
+
+  int seconds = 2;
+  if (argc > 1 && std::atoi(argv[1]) > 0) seconds = std::atoi(argv[1]);
+  if (const char* env = std::getenv("CCDEM_BENCH_SECONDS")) {
+    if (std::atoi(env) > 0) seconds = std::atoi(env);
+  }
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_campaign.json";
+
+  const campaign::CampaignSpec spec = matrix(seconds, /*seeds=*/6);
+  const fs::path dir = "bench_campaign_dir";
+  fs::remove_all(dir);
+
+  // Arm 1: the campaign engine (worker processes, binary shard files).
+  campaign::CampaignOptions options;
+  options.workers = 2;
+  options.worker.threads = 2;
+  const auto t_campaign = Clock::now();
+  const auto result = campaign::run_campaign(spec, dir / "small", options);
+  const double campaign_s = seconds_since(t_campaign);
+  if (!result.complete) {
+    std::cerr << "bench_campaign: campaign failed: " << result.error << "\n";
+    return 1;
+  }
+  const std::uint64_t bin_bytes = shard_bytes_on_disk(spec, dir / "small");
+
+  // Arm 2: double the seeds, same shard count -- coordinator RSS must stay
+  // flat (streaming aggregates are O(shards), nothing per-run survives).
+  // Runs before the in-process DST arm so its simulations cannot pollute
+  // the coordinator's VmHWM reading.
+  campaign::CampaignSpec big = spec;
+  for (int s = 7; s <= 12; ++s) {
+    big.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  const auto big_result = campaign::run_campaign(big, dir / "big", options);
+  if (!big_result.complete) {
+    std::cerr << "bench_campaign: 2x campaign failed: " << big_result.error
+              << "\n";
+    return 1;
+  }
+
+  // Arm 3: the same matrix through the DST path with per-run JSON, as
+  // bench_dst_corpus drives it (its oracles re-run each scenario; that
+  // serial redundancy is exactly what the campaign engine removes).
+  check::CheckOptions check_options;
+  std::uint64_t json_bytes = 0;
+  std::uint64_t dst_failures = 0;
+  const auto t_dst = Clock::now();
+  for (std::uint64_t i = 0; i < spec.size(); ++i) {
+    const check::CheckReport report =
+        check::check_scenario(spec.scenario_at(i), check_options);
+    if (!report.ok()) ++dst_failures;
+    std::ostringstream os;
+    harness::JsonWriter w(os, /*indent=*/0);
+    w.begin_object();
+    w.kv("scenario", static_cast<std::uint64_t>(i));
+    w.kv("ok", report.ok());
+    w.key("failures");
+    w.begin_array();
+    for (const std::string& f : report.failures) w.value(f);
+    w.end_array();
+    w.end_object();
+    json_bytes += os.str().size();
+  }
+  const double dst_s = seconds_since(t_dst);
+
+  SerializationArm ser_bin, ser_json;
+  measure_serialization(ser_bin, ser_json);
+
+  const double campaign_rps =
+      campaign_s > 0 ? static_cast<double>(result.runs) / campaign_s : 0;
+  const double dst_rps =
+      dst_s > 0 ? static_cast<double>(spec.size()) / dst_s : 0;
+  const double speedup = dst_rps > 0 ? campaign_rps / dst_rps : 0;
+  // VmHWM is a process-lifetime high-water mark, so arm 3's reading
+  // includes arm 1; flatness shows as a small ratio, not equality.
+  const double rss_growth =
+      result.peak_rss_kb > 0
+          ? static_cast<double>(big_result.peak_rss_kb) /
+                static_cast<double>(result.peak_rss_kb)
+          : 0;
+  const bool speedup_ok = speedup >= 5.0;
+  const bool serialization_ok =
+      ser_bin.records_per_second() >= 5.0 * ser_json.records_per_second();
+  const bool gate_passed = speedup_ok && serialization_ok && dst_failures == 0;
+
+  std::ofstream out(out_path);
+  harness::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "ccdem-bench-campaign-v1");
+  w.kv("seconds_per_run", std::int64_t{seconds});
+  w.key("matrix");
+  w.begin_object();
+  w.kv("scenarios", spec.size());
+  w.kv("shards", std::int64_t{spec.shards});
+  w.kv("workers", std::int64_t{options.workers});
+  w.end_object();
+  w.key("campaign");
+  w.begin_object();
+  w.kv("wall_s", campaign_s);
+  w.kv("runs", result.runs);
+  w.kv("runs_per_wall_s", campaign_rps);
+  w.kv("shard_bytes", bin_bytes);
+  w.kv("bytes_per_run",
+       static_cast<double>(bin_bytes) / static_cast<double>(result.runs));
+  w.kv("peak_rss_kb", std::int64_t{result.peak_rss_kb});
+  w.end_object();
+  w.key("dst_json_path");
+  w.begin_object();
+  w.kv("wall_s", dst_s);
+  w.kv("runs", spec.size());
+  w.kv("runs_per_wall_s", dst_rps);
+  w.kv("json_bytes_per_run",
+       static_cast<double>(json_bytes) / static_cast<double>(spec.size()));
+  w.kv("failures", dst_failures);
+  w.end_object();
+  w.key("rss_scaling");
+  w.begin_object();
+  w.kv("runs_1x", result.runs);
+  w.kv("runs_2x", big_result.runs);
+  w.kv("peak_rss_kb_1x", std::int64_t{result.peak_rss_kb});
+  w.kv("peak_rss_kb_2x", std::int64_t{big_result.peak_rss_kb});
+  w.kv("growth", rss_growth);
+  w.end_object();
+  w.key("serialization");
+  w.begin_object();
+  w.kv("bin_records_per_s", ser_bin.records_per_second());
+  w.kv("json_records_per_s", ser_json.records_per_second());
+  w.kv("bin_bytes_per_record", static_cast<double>(ser_bin.bytes) /
+                                   static_cast<double>(ser_bin.records));
+  w.kv("json_bytes_per_record", static_cast<double>(ser_json.bytes) /
+                                    static_cast<double>(ser_json.records));
+  w.end_object();
+  w.kv("speedup_vs_dst_json", speedup);
+  w.kv("speedup_gate", 5.0);
+  w.kv("speedup_ok", speedup_ok);
+  w.kv("serialization_ok", serialization_ok);
+  w.kv("gate_passed", gate_passed);
+  w.end_object();
+
+  std::cerr << "bench_campaign: campaign " << campaign_rps
+            << " runs/s vs dst/json " << dst_rps << " runs/s ("
+            << speedup << "x), bin " << ser_bin.records_per_second()
+            << " rec/s vs json " << ser_json.records_per_second()
+            << " rec/s, rss " << result.peak_rss_kb << " -> "
+            << big_result.peak_rss_kb << " kB; wrote " << out_path << "\n";
+  fs::remove_all(dir);
+  return gate_passed ? 0 : 1;
+}

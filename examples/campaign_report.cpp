@@ -1,0 +1,102 @@
+// Campaign driver: run a sharded scenario-matrix campaign from a spec
+// file, resume one after a crash, or convert its binary shard files into
+// the human formats.
+//
+//   campaign_report run    <spec.campaign> <dir> [workers]
+//   campaign_report resume <spec.campaign> <dir> [workers]
+//   campaign_report convert <shard.bin> {results-csv|trace-csv|chrome-trace}
+//
+// `run` executes the matrix with worker processes and leaves
+// `<dir>/manifest.txt` (the checkpoint), one `shard_NNNN.bin` per shard,
+// `aggregates.bin` (merged streaming aggregates) and `summary.json`.
+// Kill it -- or any worker -- and `resume` continues from the manifest;
+// the merged output is byte-identical to an uninterrupted run.
+// `convert` decodes a shard file to stdout, so the JSON/CSV cost is paid
+// only when a human asks.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/convert.h"
+#include "campaign/coordinator.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  campaign_report run    <spec.campaign> <dir> [workers]\n"
+         "  campaign_report resume <spec.campaign> <dir> [workers]\n"
+         "  campaign_report convert <shard.bin> "
+         "{results-csv|trace-csv|chrome-trace}\n";
+  return 2;
+}
+
+int run(const std::string& spec_path, const std::string& dir, int workers,
+        bool resume) {
+  const auto text = ccdem::campaign::load_file(spec_path);
+  if (!text) {
+    std::cerr << "campaign: cannot read " << spec_path << "\n";
+    return 1;
+  }
+  std::string error;
+  const auto spec = ccdem::campaign::CampaignSpec::parse(*text, &error);
+  if (!spec) {
+    std::cerr << "campaign: " << spec_path << ": " << error << "\n";
+    return 1;
+  }
+
+  ccdem::campaign::CampaignOptions options;
+  options.workers = workers;
+  options.resume = resume;
+  options.log = &std::cerr;
+  const ccdem::campaign::CampaignResult result =
+      ccdem::campaign::run_campaign(*spec, dir, options);
+  for (const std::string& repro : result.repro_files) {
+    std::cerr << "campaign: wrote " << repro << "\n";
+  }
+  if (!result.complete) {
+    std::cerr << "campaign: " << result.error << "\n";
+    return 1;
+  }
+  std::cerr << "campaign: " << result.runs << " runs, "
+            << result.quarantined.size() << " quarantined, mean power "
+            << result.aggregates.power.mean() << " mW; see " << dir << "/"
+            << ccdem::campaign::summary_file_name() << "\n";
+  return 0;
+}
+
+int convert(const std::string& bin_path, const std::string& format) {
+  std::optional<std::string> error;
+  if (format == "results-csv") {
+    error = ccdem::campaign::bin_to_results_csv(bin_path, std::cout);
+  } else if (format == "trace-csv") {
+    error = ccdem::campaign::bin_to_trace_csv(bin_path, std::cout);
+  } else if (format == "chrome-trace") {
+    error = ccdem::campaign::bin_to_chrome_trace(bin_path, std::cout);
+  } else {
+    return usage();
+  }
+  if (error) {
+    std::cerr << "campaign: " << bin_path << ": " << *error << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if ((cmd == "run" || cmd == "resume") && argc >= 4) {
+    const int workers = argc > 4 ? std::atoi(argv[4]) : 2;
+    if (workers <= 0) return usage();
+    return run(argv[2], argv[3], workers, cmd == "resume");
+  }
+  if (cmd == "convert" && argc == 4) return convert(argv[2], argv[3]);
+  return usage();
+}

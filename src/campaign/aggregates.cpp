@@ -1,0 +1,277 @@
+#include "campaign/aggregates.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "harness/json_writer.h"
+
+namespace ccdem::campaign {
+
+MergeHistogram::MergeHistogram(double lo_in, double hi_in, std::size_t buckets)
+    : lo(lo_in), hi(hi_in), counts(buckets, 0) {
+  assert(hi > lo && buckets >= 1);
+}
+
+void MergeHistogram::add(double v) {
+  assert(!counts.empty());
+  const double span = hi - lo;
+  auto idx = static_cast<std::int64_t>((v - lo) / span *
+                                       static_cast<double>(counts.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(idx)];
+  if (total == 0) {
+    min_value = v;
+    max_value = v;
+  } else {
+    min_value = std::min(min_value, v);
+    max_value = std::max(max_value, v);
+  }
+  ++total;
+  sum += v;
+}
+
+void MergeHistogram::merge(const MergeHistogram& other) {
+  assert(lo == other.lo && hi == other.hi &&
+         counts.size() == other.counts.size() && "histogram shapes differ");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (other.total > 0) {
+    if (total == 0) {
+      min_value = other.min_value;
+      max_value = other.max_value;
+    } else {
+      min_value = std::min(min_value, other.min_value);
+      max_value = std::max(max_value, other.max_value);
+    }
+  }
+  total += other.total;
+  sum += other.sum;
+}
+
+double MergeHistogram::mean() const {
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double MergeHistogram::fraction_below(double v) const {
+  if (total == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (bucket_hi(i) <= v) below += counts[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(total);
+}
+
+double MergeHistogram::bucket_lo(std::size_t i) const {
+  return lo + (hi - lo) * static_cast<double>(i) /
+                  static_cast<double>(counts.size());
+}
+
+double MergeHistogram::bucket_hi(std::size_t i) const {
+  return lo + (hi - lo) * static_cast<double>(i + 1) /
+                  static_cast<double>(counts.size());
+}
+
+bool counter_excluded_from_aggregates(std::string_view name) {
+  return name.rfind("pool.", 0) == 0;
+}
+
+void Aggregates::add(const ResultRecord& r) {
+  ++runs;
+  frames_composed += r.frames_composed;
+  content_frames += r.content_frames;
+  rate_switches += r.rate_switches;
+  sim_seconds += static_cast<double>(r.duration_ms) / 1000.0;
+  power.add(r.mean_power_mw);
+  if (r.has_ab) {
+    ++ab_runs;
+    quality.add(r.quality_pct);
+    savings.add(r.saved_power_pct);
+  }
+  for (const RungResidency& rr : r.residency) {
+    rung_seconds[rr.hz] += rr.seconds;
+  }
+}
+
+void Aggregates::add_counters(const CountersRecord& c) {
+  for (const auto& [name, value] : c.counters) {
+    if (counter_excluded_from_aggregates(name)) continue;
+    counter_sums[name] += value;
+  }
+}
+
+void Aggregates::merge(const Aggregates& other) {
+  runs += other.runs;
+  ab_runs += other.ab_runs;
+  frames_composed += other.frames_composed;
+  content_frames += other.content_frames;
+  rate_switches += other.rate_switches;
+  sim_seconds += other.sim_seconds;
+  power.merge(other.power);
+  quality.merge(other.quality);
+  savings.merge(other.savings);
+  for (const auto& [hz, secs] : other.rung_seconds) rung_seconds[hz] += secs;
+  for (const auto& [name, value] : other.counter_sums) {
+    counter_sums[name] += value;
+  }
+}
+
+namespace {
+
+void encode_histogram(const MergeHistogram& h, PayloadWriter& w) {
+  w.put_f64(h.lo);
+  w.put_f64(h.hi);
+  w.put_u32(static_cast<std::uint32_t>(h.counts.size()));
+  for (const std::uint64_t c : h.counts) w.put_u64(c);
+  w.put_u64(h.total);
+  w.put_f64(h.sum);
+  w.put_f64(h.min_value);
+  w.put_f64(h.max_value);
+}
+
+MergeHistogram decode_histogram(PayloadReader& r) {
+  MergeHistogram h;
+  h.lo = r.get_f64();
+  h.hi = r.get_f64();
+  const std::uint32_t n = r.get_count();
+  if (r.ok() && (n == 0 || !(h.hi > h.lo))) {
+    r.fail("malformed histogram shape");
+    return h;
+  }
+  h.counts.assign(r.ok() ? n : 0, 0);
+  for (std::uint32_t i = 0; r.ok() && i < n; ++i) h.counts[i] = r.get_u64();
+  h.total = r.get_u64();
+  h.sum = r.get_f64();
+  h.min_value = r.get_f64();
+  h.max_value = r.get_f64();
+  return h;
+}
+
+void write_histogram_json(harness::JsonWriter& w, const MergeHistogram& h,
+                          bool with_cdf) {
+  w.begin_object();
+  w.kv("lo", h.lo);
+  w.kv("hi", h.hi);
+  w.kv("total", h.total);
+  w.kv("mean", h.mean());
+  w.kv("min", h.total > 0 ? h.min_value : 0.0);
+  w.kv("max", h.total > 0 ? h.max_value : 0.0);
+  w.key("counts");
+  w.begin_array();
+  for (const std::uint64_t c : h.counts) w.value(c);
+  w.end_array();
+  if (with_cdf) {
+    // Bucket-edge CDF, skipping empty leading/trailing stretches.
+    w.key("cdf");
+    w.begin_array();
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      below += h.counts[i];
+      if (h.counts[i] == 0) continue;
+      w.begin_object();
+      w.kv("le", h.bucket_hi(i));
+      w.kv("p", h.total == 0 ? 0.0
+                             : static_cast<double>(below) /
+                                   static_cast<double>(h.total));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Aggregates::encode() const {
+  std::string out;
+  PayloadWriter w(out);
+  w.put_u64(runs);
+  w.put_u64(ab_runs);
+  w.put_u64(frames_composed);
+  w.put_u64(content_frames);
+  w.put_u64(rate_switches);
+  w.put_f64(sim_seconds);
+  encode_histogram(power, w);
+  encode_histogram(quality, w);
+  encode_histogram(savings, w);
+  w.put_u32(static_cast<std::uint32_t>(rung_seconds.size()));
+  for (const auto& [hz, secs] : rung_seconds) {  // std::map: ascending hz
+    w.put_u32(static_cast<std::uint32_t>(hz));
+    w.put_f64(secs);
+  }
+  w.put_u32(static_cast<std::uint32_t>(counter_sums.size()));
+  for (const auto& [name, value] : counter_sums) {  // ascending name
+    w.put_str(name);
+    w.put_u64(value);
+  }
+  return out;
+}
+
+std::optional<Aggregates> Aggregates::decode(std::string_view payload,
+                                             std::string* error) {
+  PayloadReader r(payload);
+  Aggregates a;
+  a.runs = r.get_u64();
+  a.ab_runs = r.get_u64();
+  a.frames_composed = r.get_u64();
+  a.content_frames = r.get_u64();
+  a.rate_switches = r.get_u64();
+  a.sim_seconds = r.get_f64();
+  a.power = decode_histogram(r);
+  a.quality = decode_histogram(r);
+  a.savings = decode_histogram(r);
+  const std::uint32_t rungs = r.get_count();
+  a.rung_seconds.clear();
+  for (std::uint32_t i = 0; r.ok() && i < rungs; ++i) {
+    const int hz = static_cast<int>(r.get_u32());
+    const double secs = r.get_f64();
+    a.rung_seconds[hz] = secs;
+  }
+  const std::uint32_t ncounters = r.get_count();
+  for (std::uint32_t i = 0; r.ok() && i < ncounters; ++i) {
+    std::string name = r.get_str();
+    const std::uint64_t value = r.get_u64();
+    a.counter_sums[std::move(name)] = value;
+  }
+  if (!r.done()) {
+    if (error != nullptr) {
+      *error = r.ok() ? "trailing bytes in aggregate payload" : r.error();
+    }
+    return std::nullopt;
+  }
+  return a;
+}
+
+void Aggregates::write_json(harness::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("runs", runs);
+  w.kv("ab_runs", ab_runs);
+  w.kv("frames_composed", frames_composed);
+  w.kv("content_frames", content_frames);
+  w.kv("rate_switches", rate_switches);
+  w.kv("sim_seconds", sim_seconds);
+  w.kv("mean_power_mw", power.mean());
+  w.kv("mean_quality_pct", quality.mean());
+  w.kv("mean_saved_pct", savings.mean());
+  w.key("power_mw");
+  write_histogram_json(w, power, /*with_cdf=*/true);
+  w.key("quality_pct");
+  write_histogram_json(w, quality, /*with_cdf=*/false);
+  w.key("saved_pct");
+  write_histogram_json(w, savings, /*with_cdf=*/false);
+  w.key("rung_seconds");
+  w.begin_object();
+  for (const auto& [hz, secs] : rung_seconds) {
+    w.kv(std::to_string(hz), secs);
+  }
+  w.end_object();
+  w.key("counter_sums");
+  w.begin_object();
+  for (const auto& [name, value] : counter_sums) {
+    w.kv(name, value);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace ccdem::campaign

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
 namespace ccdem::harness {
 
@@ -110,15 +113,27 @@ void JsonWriter::value(bool b) {
 }
 
 void JsonWriter::value(double d) {
+  // JSON has no Inf/NaN, and silently writing null would corrupt numeric
+  // columns downstream; a non-finite value is a caller bug.
+  if (!std::isfinite(d)) {
+    throw std::invalid_argument("JsonWriter: non-finite double");
+  }
   comma_and_newline();
   started_ = true;
-  if (!std::isfinite(d)) {
-    os_ << "null";  // JSON has no Inf/NaN
+  // Shortest decimal rendering that strtod's back to exactly `d`, so the
+  // emitted JSON round-trips bit-exactly (max_digits10 always suffices).
+  // Exactly-integral values print as plain integers ("100", not "1e+02").
+  char buf[64];
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", d);
   } else {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", d);
-    os_ << buf;
+    for (int prec = 1; prec <= std::numeric_limits<double>::max_digits10;
+         ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+      if (std::strtod(buf, nullptr) == d) break;
+    }
   }
+  os_ << buf;
   needs_comma_ = true;
 }
 

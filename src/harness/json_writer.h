@@ -37,6 +37,8 @@ class JsonWriter {
   void value(std::string_view s);
   void value(const char* s) { value(std::string_view(s)); }
   void value(bool b);
+  /// Shortest decimal that parses back to exactly `d` (round-trippable);
+  /// throws std::invalid_argument on NaN/inf -- JSON cannot carry them.
   void value(double d);
   void value(std::int64_t v);
   void value(std::uint64_t v);

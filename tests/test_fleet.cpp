@@ -96,5 +96,75 @@ TEST(Fleet, ReusesBuffersAcrossRuns) {
   EXPECT_LE(s.buffer_allocations, s.buffer_acquires / 3 + 1);
 }
 
+// --- degenerate fleet shapes ----------------------------------------------
+// A fleet run must be bit-identical to serial whatever the thread/config
+// ratio; these pin the edges (zero configs, more threads than configs, one
+// thread) with full frame-stream hashing on.
+
+ExperimentConfig hashed_cfg(const char* app, ControlMode mode,
+                            std::uint64_t seed) {
+  ExperimentConfig c = cfg(app, mode, seed);
+  c.duration = sim::seconds(2);
+  c.hash_frames = true;
+  return c;
+}
+
+void expect_bit_identical(const ExperimentResult& a,
+                          const ExperimentResult& b) {
+  EXPECT_EQ(a.app_name, b.app_name);
+  EXPECT_EQ(a.mean_power_mw, b.mean_power_mw);  // exact, not approximate
+  EXPECT_EQ(a.mean_refresh_hz, b.mean_refresh_hz);
+  EXPECT_EQ(a.meter_error_rate, b.meter_error_rate);
+  EXPECT_EQ(a.frames_composed, b.frames_composed);
+  EXPECT_EQ(a.content_frames, b.content_frames);
+  EXPECT_EQ(a.frames_posted, b.frames_posted);
+  EXPECT_EQ(a.rate_switches, b.rate_switches);
+  EXPECT_EQ(a.final_frame_hash, b.final_frame_hash);
+  EXPECT_EQ(a.frame_stream_hash, b.frame_stream_hash);
+}
+
+TEST(Fleet, ZeroScenariosResetsStats) {
+  FleetRunner fleet(2);
+  (void)fleet.run({cfg("Facebook", ControlMode::kBaseline60, 1)});
+  EXPECT_EQ(fleet.stats().runs_completed, 1u);
+
+  EXPECT_TRUE(fleet.run({}).empty());
+  const FleetStats& s = fleet.stats();
+  EXPECT_EQ(s.workers, 0u);
+  EXPECT_EQ(s.runs_completed, 0u);
+  EXPECT_EQ(s.frames_composed, 0u);
+  EXPECT_EQ(s.buffer_acquires, 0u);
+  EXPECT_EQ(s.counters.counter_count(), 0u);
+}
+
+TEST(Fleet, MoreThreadsThanConfigsBitIdenticalToSerial) {
+  const std::vector<ExperimentConfig> configs = {
+      hashed_cfg("Facebook", ControlMode::kSectionWithBoost, 11),
+      hashed_cfg("Naver", ControlMode::kSection, 12),
+  };
+  FleetRunner fleet(16);
+  const auto results = fleet.run(configs);
+  ASSERT_EQ(results.size(), configs.size());
+  EXPECT_EQ(fleet.stats().workers, 2u);  // capped at the config count
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_bit_identical(results[i], run_experiment(configs[i]));
+  }
+}
+
+TEST(Fleet, SingleThreadDegeneratesToSerial) {
+  const std::vector<ExperimentConfig> configs = {
+      hashed_cfg("Facebook", ControlMode::kSectionWithBoost, 21),
+      hashed_cfg("Jelly Splash", ControlMode::kNaive, 22),
+      hashed_cfg("MX Player", ControlMode::kSection, 23),
+  };
+  FleetRunner fleet(1);
+  const auto results = fleet.run(configs);
+  ASSERT_EQ(results.size(), configs.size());
+  EXPECT_EQ(fleet.stats().workers, 1u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_bit_identical(results[i], run_experiment(configs[i]));
+  }
+}
+
 }  // namespace
 }  // namespace ccdem::harness

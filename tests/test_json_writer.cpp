@@ -1,0 +1,123 @@
+// JsonWriter unit tests: structure bookkeeping, escaping, and the
+// round-trippable double formatting (shortest text that strtod's back to
+// the exact value; NaN/inf rejected at the writer).
+#include "harness/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccdem::harness {
+namespace {
+
+std::string emit_double(double d) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_array();
+  w.value(d);
+  w.end_array();
+  const std::string text = os.str();
+  // "[...]\n" -> the number between the brackets.
+  const auto open = text.find('[');
+  const auto close = text.rfind(']');
+  return text.substr(open + 1, close - open - 1);
+}
+
+TEST(JsonWriter, EmitsNestedStructure) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("name", "fleet");
+  w.kv("runs", std::uint64_t{3});
+  w.key("tags");
+  w.begin_array();
+  w.value("a");
+  w.value("b");
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), "{\"name\":\"fleet\",\"runs\":3,\"tags\":[\"a\",\"b\"]}\n");
+}
+
+TEST(JsonWriter, EscapesControlBytesAndQuotes) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te\rf"),
+            "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, DoublesRoundTripBitExactly) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0,
+      1.0 / 3.0,
+      0.1,
+      2.0 / 7.0,
+      6.02214076e23,
+      -1.7976931348623157e308,  // DBL_MAX, negated
+      4.9406564584124654e-324,  // denormal min
+      1234.5678,
+      1e-7,
+      123456789012345.67,
+  };
+  for (const double d : cases) {
+    const std::string text = emit_double(d);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, d) << "emitted '" << text << "'";
+  }
+  // Deterministic sweep over a few thousand synthesized bit patterns.
+  std::uint64_t bits = 0x3ff123456789abcdULL;
+  for (int i = 0; i < 4096; ++i) {
+    bits = bits * 6364136223846793005ULL + 1442695040888963407ULL;
+    double d;
+    static_assert(sizeof d == sizeof bits);
+    std::memcpy(&d, &bits, sizeof d);
+    if (!std::isfinite(d)) continue;
+    const std::string text = emit_double(d);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), d)
+        << "bits=" << std::hex << bits << " emitted '" << text << "'";
+  }
+}
+
+TEST(JsonWriter, ShortValuesStayShort) {
+  // The escalation loop must not pad simple values to 17 digits.
+  EXPECT_EQ(emit_double(0.0), "0");
+  EXPECT_EQ(emit_double(1.0), "1");
+  EXPECT_EQ(emit_double(0.5), "0.5");
+  EXPECT_EQ(emit_double(100.0), "100");
+  EXPECT_EQ(emit_double(0.25), "0.25");
+}
+
+TEST(JsonWriter, RejectsNonFiniteDoubles) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  EXPECT_THROW(w.value(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(w.value(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(w.value(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // The writer is still usable after a rejected value.
+  w.value(1.0);
+  w.end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), "[1]\n");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  std::ostringstream os;
+  JsonWriter w(os);  // default indent=2
+  w.begin_object();
+  w.kv("power_mw", 123.25);
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"power_mw\": 123.25\n}\n");
+}
+
+}  // namespace
+}  // namespace ccdem::harness
