@@ -8,6 +8,14 @@
 //   CCDEM_DST_SEED      campaign seed (default 1; CI passes the run id so
 //                       nightly campaigns explore different scenarios)
 //   CCDEM_DST_MAX       hard cap on fuzzed scenarios (default unlimited)
+//   CCDEM_DST_CHAOS     1 enables chaos-soak mode: nearly every scenario
+//                       carries a fault plan AND pressure episodes, runs
+//                       are longer, and the process gates on flat RSS --
+//                       the peak (VmHWM) measured after the warm-up
+//                       quarter of the budget must not grow by more than
+//                       20 % by the end (a leak under sustained
+//                       fault/pressure churn fails the soak even when
+//                       every oracle stays green)
 //
 // Every tests/corpus/*.repro must replay green first -- the corpus is the
 // regression suite distilled from past campaigns.  Failures (corpus or
@@ -39,6 +47,17 @@ double env_or(const char* name, double fallback) {
     if (d > 0) return d;
   }
   return fallback;
+}
+
+/// Peak resident set (kB) from /proc/self/status; -1 when unavailable
+/// (non-Linux), which disables the RSS gate rather than failing the soak.
+long read_vm_hwm_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return std::atol(line.c_str() + 6);
+  }
+  return -1;
 }
 
 std::string read_file(const fs::path& p) {
@@ -73,6 +92,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(env_or("CCDEM_DST_SEED", 1.0));
   const auto max_scenarios =
       static_cast<std::uint64_t>(env_or("CCDEM_DST_MAX", 1e12));
+  const bool chaos = env_or("CCDEM_DST_CHAOS", 0.0) > 0;
 
   CheckOptions options;
   const ccdem::check::FailurePredicate predicate =
@@ -114,10 +134,25 @@ int main(int argc, char** argv) {
                                          start)
         .count();
   };
-  ccdem::check::ScenarioGen gen(seed);
+  ccdem::check::ScenarioGen::Options gen_options;
+  if (chaos) {
+    // Soak profile: long runs where faults and pressure almost always
+    // coincide, so the self-healing plane and the degradation ladder churn
+    // against each other for the whole budget.
+    gen_options.min_duration_ms = 4000;
+    gen_options.max_duration_ms = 12000;
+    gen_options.fault_p = 0.9;
+    gen_options.pressure_p = 0.9;
+  }
+  ccdem::check::ScenarioGen gen(seed, gen_options);
   std::uint64_t fuzzed = 0;
+  long rss_baseline_kb = -1;
+  long rss_final_kb = -1;
   while (elapsed_s() < budget_s && fuzzed < max_scenarios &&
          failures.size() < 8) {
+    if (chaos && rss_baseline_kb < 0 && elapsed_s() >= budget_s / 4) {
+      rss_baseline_kb = read_vm_hwm_kb();
+    }
     const Scenario s = gen.next();
     const CheckReport r = ccdem::check::check_scenario(s, options);
     ++fuzzed;
@@ -134,6 +169,24 @@ int main(int argc, char** argv) {
         {"fuzz:" + std::to_string(fuzzed - 1), m.scenario, messages});
   }
 
+  // RSS-flatness gate: the allocator should reach steady state within the
+  // warm-up quarter; any later VmHWM growth is churn-driven accumulation.
+  bool rss_flat = true;
+  double rss_growth_pct = 0.0;
+  if (chaos) {
+    rss_final_kb = read_vm_hwm_kb();
+    if (rss_baseline_kb < 0) rss_baseline_kb = rss_final_kb;  // short budget
+    if (rss_baseline_kb > 0 && rss_final_kb > 0) {
+      rss_growth_pct = 100.0 *
+                       static_cast<double>(rss_final_kb - rss_baseline_kb) /
+                       static_cast<double>(rss_baseline_kb);
+      rss_flat = rss_growth_pct <= 20.0;
+    }
+    std::cerr << "dst: chaos soak RSS " << rss_baseline_kb << " kB -> "
+              << rss_final_kb << " kB (" << (rss_flat ? "flat" : "GROWING")
+              << ")\n";
+  }
+
   for (std::size_t i = 0; i < failures.size(); ++i) {
     write_failure("dst_failures", i, failures[i]);
   }
@@ -147,6 +200,13 @@ int main(int argc, char** argv) {
   w.kv("corpus_ok", corpus_ok);
   w.kv("fuzzed", fuzzed);
   w.kv("elapsed_seconds", elapsed_s());
+  w.kv("chaos", chaos);
+  if (chaos) {
+    w.kv("rss_baseline_kb", static_cast<std::int64_t>(rss_baseline_kb));
+    w.kv("rss_final_kb", static_cast<std::int64_t>(rss_final_kb));
+    w.kv("rss_growth_pct", rss_growth_pct);
+    w.kv("rss_flat", rss_flat);
+  }
   w.key("failures");
   w.begin_array();
   for (const Failure& f : failures) {
@@ -158,5 +218,5 @@ int main(int argc, char** argv) {
   w.end_array();
   w.end_object();
   std::cout << "\n";
-  return failures.empty() ? 0 : 1;
+  return failures.empty() && rss_flat ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "campaign/bin_format.h"
+#include "campaign/io_util.h"
 #include "device/control_mode.h"
 
 namespace ccdem::campaign {
@@ -119,7 +120,8 @@ std::string format_double(double v) {
 
 std::uint64_t CampaignSpec::size() const {
   return static_cast<std::uint64_t>(apps.size()) * modes.size() *
-         grids.size() * fault_scales.size() * seeds.size();
+         grids.size() * fault_scales.size() * pressure_scales.size() *
+         seeds.size();
 }
 
 check::Scenario CampaignSpec::scenario_at(std::uint64_t i) const {
@@ -128,6 +130,8 @@ check::Scenario CampaignSpec::scenario_at(std::uint64_t i) const {
   i /= seeds.size();
   const std::uint64_t f = i % fault_scales.size();
   i /= fault_scales.size();
+  const std::uint64_t p = i % pressure_scales.size();
+  i /= pressure_scales.size();
   const std::uint64_t g = i % grids.size();
   i /= grids.size();
   const std::uint64_t m = i % modes.size();
@@ -142,6 +146,7 @@ check::Scenario CampaignSpec::scenario_at(std::uint64_t i) const {
   sc.mode = *mode;
   sc.grid = grids[g];
   sc.fault_scale = fault_scales[f];
+  sc.pressure_scale = pressure_scales[p];
   sc.seed = seeds[s];
   sc.duration_ms = duration_ms;
   return sc;
@@ -157,6 +162,16 @@ std::string CampaignSpec::to_string() const {
   scales.reserve(fault_scales.size());
   for (const double f : fault_scales) scales.push_back(format_double(f));
   os << "fault_scales = " << join(scales) << "\n";
+  // Only emitted when non-trivial so pre-existing specs keep their
+  // canonical text (and thus fingerprint) unchanged.
+  if (!(pressure_scales.size() == 1 && pressure_scales[0] == 0.0)) {
+    std::vector<std::string> pressures;
+    pressures.reserve(pressure_scales.size());
+    for (const double p : pressure_scales) {
+      pressures.push_back(format_double(p));
+    }
+    os << "pressure_scales = " << join(pressures) << "\n";
+  }
   std::vector<std::string> seed_texts;
   seed_texts.reserve(seeds.size());
   for (const std::uint64_t s : seeds) seed_texts.push_back(std::to_string(s));
@@ -214,6 +229,13 @@ std::optional<CampaignSpec> CampaignSpec::parse(const std::string& text,
         if (!d) return fail(line_no, "bad fault scale '" + item + "'");
         spec.fault_scales.push_back(*d);
       }
+    } else if (key == "pressure_scales") {
+      spec.pressure_scales.clear();
+      for (const std::string& item : split_list(value)) {
+        const auto d = parse_double_strict(item);
+        if (!d) return fail(line_no, "bad pressure scale '" + item + "'");
+        spec.pressure_scales.push_back(*d);
+      }
     } else if (key == "seeds") {
       spec.seeds.clear();
       for (const std::string& item : split_list(value)) {
@@ -269,6 +291,10 @@ std::optional<std::string> CampaignSpec::validate() const {
   if (fault_scales.empty()) return "fault_scales must not be empty";
   for (const double f : fault_scales) {
     if (f < 0.0) return "fault scale must be >= 0";
+  }
+  if (pressure_scales.empty()) return "pressure_scales must not be empty";
+  for (const double p : pressure_scales) {
+    if (p < 0.0) return "pressure scale must be >= 0";
   }
   if (seeds.empty()) return "seeds must not be empty";
   if (duration_ms <= 0) return "duration_ms must be positive";
@@ -477,13 +503,13 @@ bool save_file_atomic(const fs::path& path, const std::string& content,
                       std::string* error) {
   const fs::path tmp = path.string() + ".tmp";
   {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    io::FdOStream os(tmp);
     if (!os) {
       if (error != nullptr) *error = "cannot open " + tmp.string();
       return false;
     }
     os.write(content.data(), static_cast<std::streamsize>(content.size()));
-    os.flush();
+    os.close();
     if (!os) {
       if (error != nullptr) *error = "write failed for " + tmp.string();
       return false;
@@ -501,11 +527,7 @@ bool save_file_atomic(const fs::path& path, const std::string& content,
 }
 
 std::optional<std::string> load_file(const fs::path& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
-  std::ostringstream os;
-  os << is.rdbuf();
-  return os.str();
+  return io::read_file(path);
 }
 
 }  // namespace ccdem::campaign

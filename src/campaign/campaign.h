@@ -1,7 +1,8 @@
 // Campaign description and checkpoint manifest.
 //
 // A campaign is a scenario matrix -- the cartesian product
-// app x mode x grid x fault-scale x seed -- plus per-run settings, sharded
+// app x mode x grid x fault-scale x pressure-scale x seed -- plus
+// per-run settings, sharded
 // into contiguous index ranges that worker processes execute independently.
 // Everything is pure data in the repo's strict key=value dialect, so a
 // campaign can be described, resumed and audited without recompiling.
@@ -34,6 +35,11 @@ struct CampaignSpec {
   std::vector<std::string> modes = {"section+boost"};
   std::vector<std::string> grids = {"9k"};
   std::vector<double> fault_scales = {0.0};
+  /// Pressure-episode scales (check::Scenario::pressure_scale axis).  The
+  /// default single 0 keeps every existing spec's canonical text -- and so
+  /// its fingerprint -- unchanged: the key is only serialized when the axis
+  /// is non-trivial.
+  std::vector<double> pressure_scales = {0.0};
   std::vector<std::uint64_t> seeds = {1};
   std::int64_t duration_ms = 2000;
   /// Run a baseline-60 A/B arm per scenario (adds quality/savings to the
@@ -50,7 +56,7 @@ struct CampaignSpec {
   /// Matrix size (product of the axes).
   [[nodiscard]] std::uint64_t size() const;
   /// The scenario at matrix index `i` (seed varies fastest, then
-  /// fault-scale, grid, mode; app varies slowest).
+  /// fault-scale, pressure-scale, grid, mode; app varies slowest).
   [[nodiscard]] check::Scenario scenario_at(std::uint64_t i) const;
 
   /// Canonical `ccdem-campaign-v1` text; parse(to_string()) == *this.

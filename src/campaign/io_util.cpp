@@ -1,0 +1,161 @@
+#include "campaign/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ccdem::campaign::io {
+
+namespace {
+
+constexpr std::size_t kBufSize = 64 * 1024;
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    // A short write is not an error; just keep going with the rest.
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<long>(got);
+}
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char chunk[kBufSize];
+  for (;;) {
+    const long n = read_all(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof chunk) break;  // EOF reached
+  }
+  ::close(fd);
+  return out;
+}
+
+FdStreamBuf::~FdStreamBuf() { (void)close(); }
+
+bool FdStreamBuf::open_write(const std::filesystem::path& path) {
+  if (fd_ >= 0) return false;
+  fd_ = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return false;
+  writing_ = true;
+  buf_.resize(kBufSize);
+  setp(buf_.data(), buf_.data() + buf_.size());
+  return true;
+}
+
+bool FdStreamBuf::open_read(const std::filesystem::path& path) {
+  if (fd_ >= 0) return false;
+  fd_ = open_retry(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return false;
+  writing_ = false;
+  buf_.resize(kBufSize);
+  setg(buf_.data(), buf_.data(), buf_.data());  // empty: first read fills
+  return true;
+}
+
+bool FdStreamBuf::close() {
+  if (fd_ < 0) return true;
+  bool ok = true;
+  if (writing_) ok = flush_buffer();
+  int rc = -1;
+  do {
+    rc = ::close(fd_);
+  } while (rc < 0 && errno == EINTR);
+  fd_ = -1;
+  return ok && rc == 0;
+}
+
+bool FdStreamBuf::flush_buffer() {
+  const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+  if (n > 0 && !write_all(fd_, pbase(), n)) return false;
+  setp(buf_.data(), buf_.data() + buf_.size());
+  return true;
+}
+
+int FdStreamBuf::overflow(int ch) {
+  if (fd_ < 0 || !writing_ || !flush_buffer()) return traits_type::eof();
+  if (ch != traits_type::eof()) {
+    *pptr() = static_cast<char>(ch);
+    pbump(1);
+  }
+  return ch == traits_type::eof() ? 0 : ch;
+}
+
+std::streamsize FdStreamBuf::xsputn(const char* s, std::streamsize n) {
+  if (fd_ < 0 || !writing_) return 0;
+  // Large writes bypass the buffer entirely (after draining it).
+  if (static_cast<std::size_t>(n) >= buf_.size()) {
+    if (!flush_buffer()) return 0;
+    return write_all(fd_, s, static_cast<std::size_t>(n)) ? n : 0;
+  }
+  if (pptr() + n > epptr() && !flush_buffer()) return 0;
+  std::memcpy(pptr(), s, static_cast<std::size_t>(n));
+  pbump(static_cast<int>(n));
+  return n;
+}
+
+int FdStreamBuf::sync() {
+  if (fd_ < 0 || !writing_) return 0;
+  return flush_buffer() ? 0 : -1;
+}
+
+int FdStreamBuf::underflow() {
+  if (fd_ < 0 || writing_) return traits_type::eof();
+  const long n = read_all(fd_, buf_.data(), buf_.size());
+  if (n <= 0) return traits_type::eof();
+  setg(buf_.data(), buf_.data(), buf_.data() + n);
+  return traits_type::to_int_type(buf_[0]);
+}
+
+FdOStream::FdOStream(const std::filesystem::path& path) : std::ostream(&buf_) {
+  if (!buf_.open_write(path)) setstate(failbit);
+}
+
+void FdOStream::close() {
+  if (!buf_.close()) setstate(failbit);
+}
+
+FdIStream::FdIStream(const std::filesystem::path& path) : std::istream(&buf_) {
+  if (!buf_.open_read(path)) setstate(failbit);
+}
+
+}  // namespace ccdem::campaign::io

@@ -1,0 +1,89 @@
+// EINTR-safe file I/O for the campaign layer.
+//
+// Campaign workers run for minutes under a coordinator that signals them
+// (SIGTERM drain, SIGKILL crash tests) and under CI runners that deliver
+// timer/profiling signals; an unretried read(2)/write(2) can fail with
+// EINTR or return a short transfer at exactly the wrong moment and corrupt
+// a shard mid-record.  write_all/read_all retry both cases, and
+// FdOStream/FdIStream adapt them to std::ostream/std::istream so
+// BinWriter/BinReader (which speak iostreams) and the sidecar writers get
+// the retry behaviour without changing their interfaces.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+namespace ccdem::campaign::io {
+
+/// Writes all `size` bytes to `fd`, retrying EINTR and short writes.
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t size);
+
+/// Reads up to `size` bytes from `fd`, retrying EINTR and short reads;
+/// stops early only at EOF.  Returns bytes read, or -1 on error.
+[[nodiscard]] long read_all(int fd, void* data, std::size_t size);
+
+/// Whole-file read through read_all; std::nullopt when the file cannot be
+/// opened or a read fails.
+[[nodiscard]] std::optional<std::string> read_file(
+    const std::filesystem::path& path);
+
+/// Buffered std::streambuf over an owned fd; every flush goes through
+/// write_all and every fill through read_all.  One direction per instance
+/// (decided by the open mode).
+class FdStreamBuf final : public std::streambuf {
+ public:
+  FdStreamBuf() = default;
+  ~FdStreamBuf() override;
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+  /// Opens for writing (O_WRONLY|O_CREAT|O_TRUNC).  False on failure.
+  bool open_write(const std::filesystem::path& path);
+  /// Opens for reading.  False on failure.
+  bool open_read(const std::filesystem::path& path);
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  /// Flushes (write side) and closes; false when either step failed.
+  bool close();
+
+ protected:
+  int overflow(int ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+  int underflow() override;
+
+ private:
+  bool flush_buffer();
+
+  int fd_ = -1;
+  bool writing_ = false;
+  std::vector<char> buf_;
+};
+
+/// std::ostream writing through an EINTR-safe FdStreamBuf.  Failbit is set
+/// on open failure, so the `if (!os)` idiom works unchanged.
+class FdOStream final : public std::ostream {
+ public:
+  explicit FdOStream(const std::filesystem::path& path);
+  /// Flushes and closes; sets failbit if anything failed.
+  void close();
+
+ private:
+  FdStreamBuf buf_;
+};
+
+/// std::istream reading through an EINTR-safe FdStreamBuf.
+class FdIStream final : public std::istream {
+ public:
+  explicit FdIStream(const std::filesystem::path& path);
+
+ private:
+  FdStreamBuf buf_;
+};
+
+}  // namespace ccdem::campaign::io

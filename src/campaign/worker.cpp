@@ -1,14 +1,16 @@
 #include "campaign/worker.h"
 
+#include <signal.h>  // NOLINT(modernize-deprecated-headers): sigaction
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "campaign/aggregates.h"
+#include "campaign/io_util.h"
 #include "check/dst.h"
 #include "device/control_mode.h"
 #include "harness/experiment.h"
@@ -29,6 +31,33 @@ ShardOutcome fail_outcome(std::string why) {
   out.error = std::move(why);
   return out;
 }
+
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void request_drain(int) { g_drain_requested = 1; }
+
+/// Installs the drain handler for SIGTERM and restores the previous
+/// disposition on scope exit, so run_shard can be called in-process (tests)
+/// without leaking handler state.
+class ScopedSigterm {
+ public:
+  ScopedSigterm() {
+    g_drain_requested = 0;
+    struct sigaction sa = {};
+    sa.sa_handler = request_drain;
+    sigemptyset(&sa.sa_mask);
+    installed_ = sigaction(SIGTERM, &sa, &prev_) == 0;
+  }
+  ~ScopedSigterm() {
+    if (installed_) sigaction(SIGTERM, &prev_, nullptr);
+  }
+  ScopedSigterm(const ScopedSigterm&) = delete;
+  ScopedSigterm& operator=(const ScopedSigterm&) = delete;
+
+ private:
+  struct sigaction prev_ = {};
+  bool installed_ = false;
+};
 
 }  // namespace
 
@@ -183,7 +212,9 @@ ShardOutcome run_shard(const CampaignSpec& spec, int shard,
     }
   }
 
-  std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+  ScopedSigterm sigterm_guard;
+
+  io::FdOStream os(tmp_path);
   if (!os) return fail_outcome("cannot open " + tmp_path.string());
   BinWriter writer(os);
 
@@ -191,7 +222,48 @@ ShardOutcome run_shard(const CampaignSpec& spec, int shard,
   obs::Counters total_counters;
   const std::uint64_t chunk = std::max<std::uint64_t>(1, options.chunk);
 
+  // Finishes the `.tmp` file (counters, aggregate, checksummed end marker)
+  // without renaming it, and records `remaining` -- the indices this
+  // invocation never ran -- in the `.progress` sidecar.  Shared by the
+  // normal completion path (remaining empty, file renamed by the caller
+  // below) and the SIGTERM drain.
+  const auto finalize = [&]() -> std::optional<ShardOutcome> {
+    CountersRecord counters;
+    counters.counters = total_counters.snapshot().counters;
+    writer.write(counters);
+    agg.add_counters(counters);
+    writer.write(AggregateRecord{agg.encode()});
+    writer.write_end();
+    os.flush();
+    if (!os) {
+      return fail_outcome("write failed for " + tmp_path.string());
+    }
+    os.close();
+    return std::nullopt;
+  };
+
+  const auto drain = [&](std::vector<std::uint64_t> remaining)
+      -> ShardOutcome {
+    if (auto failed = finalize()) return *failed;
+    if (std::string err;
+        !save_file_atomic(progress_path, progress_to_string(shard, remaining),
+                          &err)) {
+      return fail_outcome(err);
+    }
+    ShardOutcome out;
+    out.ok = true;
+    out.interrupted = true;
+    out.results = writer.results_written();
+    out.bytes = writer.bytes_written();
+    return out;
+  };
+  const auto remaining_from = [&](std::uint64_t next) {
+    return std::vector<std::uint64_t>(
+        pending.begin() + static_cast<std::ptrdiff_t>(next), pending.end());
+  };
+
   for (std::uint64_t off = 0; off < pending.size(); off += chunk) {
+    if (g_drain_requested) return drain(remaining_from(off));
     const std::uint64_t n =
         std::min<std::uint64_t>(chunk, pending.size() - off);
     const std::vector<std::uint64_t> inflight(
@@ -266,6 +338,11 @@ ShardOutcome run_shard(const CampaignSpec& spec, int shard,
           os.flush();
           std::raise(SIGKILL);
         }
+        // The in-flight record is on disk; a requested drain stops here
+        // (unless it was the last record anyway -- then finish normally).
+        if (g_drain_requested && off + j + 1 < pending.size()) {
+          return drain(remaining_from(off + j + 1));
+        }
       }
       continue;
     }
@@ -310,17 +387,14 @@ ShardOutcome run_shard(const CampaignSpec& spec, int shard,
         std::raise(SIGKILL);
       }
     }
+    // The whole chunk's records are on disk; a drain stops before the next
+    // fleet sweep starts.
+    if (g_drain_requested && off + chunk < pending.size()) {
+      return drain(remaining_from(off + chunk));
+    }
   }
 
-  CountersRecord counters;
-  counters.counters = total_counters.snapshot().counters;
-  writer.write(counters);
-  agg.add_counters(counters);
-  writer.write(AggregateRecord{agg.encode()});
-  writer.write_end();
-  os.flush();
-  if (!os) return fail_outcome("write failed for " + tmp_path.string());
-  os.close();
+  if (auto failed = finalize()) return *failed;
 
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);

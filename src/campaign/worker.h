@@ -16,6 +16,13 @@
 // `.progress` sidecar naming the in-flight scenario indices.  When a worker
 // dies, the coordinator re-runs exactly those scenarios in isolation to
 // find the guilty one (coordinator.h).
+//
+// Graceful termination: run_shard installs a SIGTERM handler (restored on
+// return) that requests a drain.  At the next record/chunk boundary the
+// worker finishes the in-flight record, writes the counters/aggregate/end
+// marker onto the `.tmp` file (decodable, but never renamed -- the shard is
+// not done), rewrites `.progress` with the unfinished indices, and returns
+// ok so the process exits 0 instead of dying mid-record.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +68,12 @@ struct WorkerOptions {
 struct ShardOutcome {
   bool ok = false;
   std::string error;  ///< single line when !ok
+  /// SIGTERM drain: the worker finished its in-flight record, closed the
+  /// `.tmp` file with the checksummed end marker (complete-decodable but
+  /// NOT renamed), and listed the unfinished indices in the `.progress`
+  /// sidecar.  `ok` is true -- the worker exits 0 -- and a relaunch
+  /// re-runs the shard.
+  bool interrupted = false;
   std::uint64_t results = 0;
   std::uint64_t bytes = 0;
   /// Set when a scenario tripped an oracle (spec.oracles): its matrix index

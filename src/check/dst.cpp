@@ -1,9 +1,12 @@
 #include "check/dst.h"
 
+#include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "fault/fault_plan.h"
 #include "gfx/compare.h"
 #include "harness/fleet.h"
 #include "metrics/quality.h"
@@ -27,7 +30,52 @@ bool quality_arm_applies(const Scenario& s) {
     proposed = spec && (spec->contains(core::StageId::kSection) ||
                         spec->contains(core::StageId::kPredictive));
   }
-  return proposed && s.fault_scale == 0.0 && s.duration_ms >= 2500;
+  return proposed && s.fault_scale == 0.0 && s.pressure_scale == 0.0 &&
+         s.duration_ms >= 2500;
+}
+
+/// The tail of `t` restricted to points at or after `from` (for comparing
+/// post-recovery steady state between two arms).
+sim::Trace trace_tail(const sim::Trace& t, sim::Time from) {
+  sim::Trace out{"tail"};
+  for (const sim::TracePoint& p : t.points()) {
+    if (p.t.ticks >= from.ticks) out.record(p.t, p.value);
+  }
+  return out;
+}
+
+/// Time-weighted mean of a step signal over [lo, hi].
+double mean_step_over(const sim::Trace& step, sim::Time lo, sim::Time hi) {
+  if (hi.ticks <= lo.ticks) return 0.0;
+  double acc = 0.0;
+  double value = step.value_at(lo, 0.0);
+  sim::Time at = lo;
+  for (const sim::TracePoint& p : step.points()) {
+    if (p.t.ticks <= lo.ticks) continue;
+    if (p.t.ticks > hi.ticks) break;
+    acc += value * static_cast<double>(p.t.ticks - at.ticks);
+    value = p.value;
+    at = p.t;
+  }
+  acc += value * static_cast<double>(hi.ticks - at.ticks);
+  return acc / static_cast<double>(hi.ticks - lo.ticks);
+}
+
+/// Where invariant I8's bounded recovery window ends for scenario `s`, or
+/// nullopt when the scenario never stops its pressure episodes.  Mirrors
+/// TraceInvariantChecker::check_ladder_return.
+std::optional<sim::Time> recovery_deadline(const Scenario& s) {
+  if (s.pressure_scale == 0.0 || s.pressure_until_ms == 0) return std::nullopt;
+  const core::LadderConfig ladder{};
+  const fault::FaultPlan nominal = fault::FaultPlan::pressure_nominal();
+  const std::int64_t residual_ms =
+      std::max({nominal.thermal_duration.ticks, nominal.brownout_duration.ticks,
+                nominal.jitter_duration.ticks}) /
+      1000;
+  const std::int64_t per_step_ms =
+      ladder.recovery_cooldown.ticks / 1000 + s.eval_ms;
+  const std::int64_t window_ms = residual_ms + 4 * per_step_ms + 500;
+  return sim::Time{} + sim::milliseconds(s.pressure_until_ms + window_ms);
 }
 
 }  // namespace
@@ -189,6 +237,47 @@ CheckReport check_scenario(const Scenario& s, const CheckOptions& options) {
          << "% < " << options.quality_gate_pct << "% (actual "
          << q.actual_content_fps << " fps, delivered "
          << q.delivered_content_fps << " fps)";
+      report.failures.push_back(os.str());
+    }
+  }
+
+  // I8 steady-state arm: after the bounded recovery window, the pressured
+  // run must be indistinguishable (quality, mean refresh) from the same
+  // scenario without pressure.  Fault-free only: link/sensor faults diverge
+  // the arms for their own reasons.
+  const std::optional<sim::Time> deadline = recovery_deadline(s);
+  if (options.pressure_recovery_arm && deadline && s.fault_scale == 0.0 &&
+      s.mode != device::ControlMode::kBaseline60 &&
+      deadline->ticks + sim::milliseconds(1500).ticks <=
+          sim::milliseconds(s.duration_ms).ticks) {
+    Scenario clean = s;
+    clean.pressure_scale = 0.0;
+    clean.pressure_until_ms = 0;
+    clean.pressure_classes = PressureClasses{};
+    const RunArtifacts unpressured =
+        run_scenario_once(clean.experiment_config(), {true, /*spans=*/false});
+    const sim::Time tail_start = *deadline;
+    const metrics::QualityReport q = metrics::compare_quality(
+        trace_tail(unpressured.result.content_rate, tail_start),
+        trace_tail(culled.result.content_rate, tail_start));
+    if (q.actual_content_fps >= 1.0 &&
+        q.display_quality_pct < options.recovery_quality_pct) {
+      std::ostringstream os;
+      os << "I8 steady state: post-recovery tail quality "
+         << q.display_quality_pct << "% of the unpressured arm (gate "
+         << options.recovery_quality_pct << "%)";
+      report.failures.push_back(os.str());
+    }
+    const sim::Time end = sim::Time{} + sim::milliseconds(s.duration_ms);
+    const double mean_p =
+        mean_step_over(culled.result.refresh_rate, tail_start, end);
+    const double mean_u =
+        mean_step_over(unpressured.result.refresh_rate, tail_start, end);
+    if (std::abs(mean_p - mean_u) > options.recovery_rate_tolerance_hz) {
+      std::ostringstream os;
+      os << "I8 steady state: post-recovery mean refresh " << mean_p
+         << " Hz vs " << mean_u << " Hz unpressured (tolerance "
+         << options.recovery_rate_tolerance_hz << " Hz)";
       report.failures.push_back(os.str());
     }
   }

@@ -52,6 +52,14 @@ struct CheckOptions {
   /// scenario may legitimately combine an aggressive alpha with a sparse
   /// ladder.
   double quality_gate_pct = 30.0;
+  /// I8 steady-state arm: pressured scenarios whose episodes end mid-run
+  /// with enough tail get a pressure-free arm; the post-recovery tail's
+  /// delivered quality relative to that arm must stay above the gate and
+  /// the tail's mean refresh rate within the tolerance (a ladder stuck on a
+  /// high rung shows up as a parked-low refresh rate).
+  bool pressure_recovery_arm = true;
+  double recovery_quality_pct = 85.0;
+  double recovery_rate_tolerance_hz = 12.0;
   InvariantOptions invariant_options{};
 };
 

@@ -7,6 +7,7 @@
 
 #include "core/display_power_manager.h"
 #include "device/simulated_device.h"
+#include "fault/fault_plan.h"
 #include "display/refresh_rate.h"
 #include "input/monkey.h"
 #include "sim/rng.h"
@@ -75,6 +76,8 @@ std::vector<std::string> TraceInvariantChecker::check(
   check_meter_accounting(culled, unculled, out);
   check_counter_graph(culled, out);
   check_span_stream(culled, out);
+  check_ladder_order(culled, out);
+  check_ladder_return(culled, out);
   return out;
 }
 
@@ -145,6 +148,9 @@ void TraceInvariantChecker::check_touch_boost(
   }
   if (!boosted_mode) return;
   if (scenario_.fault_scale != 0.0) return;
+  // Under pressure the degradation ladder legitimately sheds the boost
+  // (rung 1) before anything else, so the window guarantee is off.
+  if (scenario_.pressure_scale != 0.0) return;
   if (!obs::SpanRecorder::compiled_in() || spans_maybe_dropped(r)) return;
 
   const display::RefreshRateSet ladder{scenario_.rates};
@@ -190,6 +196,17 @@ void TraceInvariantChecker::check_touch_boost(
 
 void TraceInvariantChecker::check_recovery(const RunArtifacts& r,
                                            std::vector<std::string>& out) const {
+  if (scenario_.pressure_scale == 0.0) {
+    // The pressure plane's zero-cost contract, independent of the fault
+    // half: no pressure scale, no pressure/ladder instrumentation.
+    std::string name;
+    if (has_counter_with_prefix(r.counters, "pressure.", &name) ||
+        has_counter_with_prefix(r.counters, "degrade.", &name) ||
+        has_counter_with_prefix(r.counters, "policy.degrade.", &name)) {
+      out.push_back("I3 recovery: pressure-free run registered counter '" +
+                    name + "'");
+    }
+  }
   if (scenario_.fault_scale == 0.0) {
     // A clean run must not even register fault or recovery instrumentation:
     // the injector is absent and the DPM's recovery plane stays off.
@@ -421,6 +438,110 @@ void TraceInvariantChecker::check_span_stream(
       out.push_back(os.str());
       break;
     }
+  }
+}
+
+void TraceInvariantChecker::check_ladder_order(
+    const RunArtifacts& r, std::vector<std::string>& out) const {
+  if (!obs::SpanRecorder::compiled_in() || spans_maybe_dropped(r)) return;
+  // Every rung change stamps one kDegrade span (arg = the new rung), and the
+  // ladder starts at rung 0 -- so the ordered span stream IS the rung
+  // history.  The LadderConfig defaults are the only values the device
+  // assembly ever builds the ladder with.
+  const core::LadderConfig ladder{};
+  int prev = 0;
+  sim::Time prev_t{};
+  bool first = true;
+  for (const obs::Span& sp : r.spans) {
+    if (sp.phase != obs::Phase::kDegrade) continue;
+    const int rung = static_cast<int>(sp.arg);
+    if (rung < 0 || rung > 4) {
+      std::ostringstream os;
+      os << "I7 ladder: rung " << rung << " at " << sp.begin.ticks
+         << "us is outside [0, 4]";
+      out.push_back(os.str());
+      return;
+    }
+    const int step = rung - prev;
+    if (step != 1 && step != -1) {
+      std::ostringstream os;
+      os << "I7 ladder: rung jumped " << prev << " -> " << rung << " at "
+         << sp.begin.ticks << "us (rungs must change one at a time)";
+      out.push_back(os.str());
+      return;
+    }
+    if (!first) {
+      const sim::Duration gap{sp.begin.ticks - prev_t.ticks};
+      if (gap.ticks < ladder.step_hold.ticks) {
+        std::ostringstream os;
+        os << "I7 ladder: rung changes " << gap.ticks << "us apart at "
+           << sp.begin.ticks << "us, below the " << ladder.step_hold.ticks
+           << "us step hold";
+        out.push_back(os.str());
+        return;
+      }
+      if (step == -1 && gap.ticks < ladder.recovery_cooldown.ticks) {
+        std::ostringstream os;
+        os << "I7 ladder: recovery step " << gap.ticks << "us after the "
+           << "previous change at " << sp.begin.ticks << "us, below the "
+           << ladder.recovery_cooldown.ticks << "us cooldown";
+        out.push_back(os.str());
+        return;
+      }
+    }
+    prev = rung;
+    prev_t = sp.begin;
+    first = false;
+  }
+}
+
+void TraceInvariantChecker::check_ladder_return(
+    const RunArtifacts& r, std::vector<std::string>& out) const {
+  if (scenario_.pressure_scale == 0.0 || scenario_.pressure_until_ms == 0) {
+    return;
+  }
+  if (!obs::SpanRecorder::compiled_in() || spans_maybe_dropped(r)) return;
+
+  // Bounded recovery window after the last episode can have cleared: the
+  // longest episode still live at the horizon drains out, then the ladder
+  // climbs down at most four rungs, one per cooldown, each observed at the
+  // next evaluation tick.  Plus margin for the boundary tick.
+  const core::LadderConfig ladder{};
+  const fault::FaultPlan nominal = fault::FaultPlan::pressure_nominal();
+  const std::int64_t residual_ms =
+      std::max({nominal.thermal_duration.ticks, nominal.brownout_duration.ticks,
+                nominal.jitter_duration.ticks}) /
+      1000;
+  const std::int64_t per_step_ms =
+      ladder.recovery_cooldown.ticks / 1000 + scenario_.eval_ms;
+  const std::int64_t window_ms = residual_ms + 4 * per_step_ms + 500;
+  if (scenario_.pressure_until_ms + window_ms > scenario_.duration_ms) {
+    return;  // the run ends inside the window: recovery need not complete
+  }
+  const sim::Time deadline =
+      sim::Time{} + sim::milliseconds(scenario_.pressure_until_ms + window_ms);
+
+  int final_rung = 0;
+  sim::Time final_t{};
+  for (const obs::Span& sp : r.spans) {
+    if (sp.phase != obs::Phase::kDegrade) continue;
+    final_rung = static_cast<int>(sp.arg);
+    final_t = sp.begin;
+    if (sp.begin.ticks > deadline.ticks) {
+      std::ostringstream os;
+      os << "I8 ladder: rung changed to " << final_rung << " at "
+         << sp.begin.ticks << "us, after the recovery deadline "
+         << deadline.ticks << "us";
+      out.push_back(os.str());
+      return;
+    }
+  }
+  if (final_rung != 0) {
+    std::ostringstream os;
+    os << "I8 ladder: run ended at rung " << final_rung << " (last change at "
+       << final_t.ticks << "us); expected a return to rung 0 by "
+       << deadline.ticks << "us";
+    out.push_back(os.str());
   }
 }
 

@@ -24,9 +24,19 @@
 //                        composed, vsyncs >= frames) and the span stream
 //                        matches it one span per phase occurrence, in
 //                        nondecreasing time, presenting only ladder rates.
+//  I7 ladder order    -- the degradation ladder sheds and recovers one rung
+//                        at a time, never skipping, with every consecutive
+//                        rung change at least step_hold apart and down-steps
+//                        at least recovery_cooldown apart.
+//  I8 ladder return   -- once pressure episodes stop arriving
+//                        (pressure_until_ms) and the run is long enough, the
+//                        ladder returns to rung 0 within a bounded recovery
+//                        window and stays there.
 //
 // (I4, the display-quality gate, lives in dst.cpp: it needs a second
-// baseline-mode run to compare against.)
+// baseline-mode run to compare against -- as does I8's steady-state
+// quality/energy arm, which diffs the post-recovery tail against the
+// unpressured run.)
 //
 // check() returns every violation found, not just the first, so a fuzz
 // failure report shows the full blast radius of a bug.
@@ -71,6 +81,10 @@ class TraceInvariantChecker {
                            std::vector<std::string>& out) const;
   void check_span_stream(const RunArtifacts& r,
                          std::vector<std::string>& out) const;
+  void check_ladder_order(const RunArtifacts& r,
+                          std::vector<std::string>& out) const;
+  void check_ladder_return(const RunArtifacts& r,
+                           std::vector<std::string>& out) const;
 
   Scenario scenario_;
   InvariantOptions options_;

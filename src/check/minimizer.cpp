@@ -53,6 +53,7 @@ class Shrinker {
       changed |= shrink_duration();
       changed |= shrink_fleet();
       changed |= shrink_faults();
+      changed |= shrink_pressure();
       changed |= shrink_pipeline();
       changed |= shrink_mode();
       changed |= shrink_script();
@@ -128,6 +129,38 @@ class Shrinker {
       }
       Scenario c = result_.scenario;
       c.fault_classes = fc;
+      any |= try_accept(std::move(c));
+    }
+    return any;
+  }
+
+  /// Mirrors shrink_faults for the pressure half: drop the whole plane,
+  /// then the horizon, then one episode class at a time -- the surviving
+  /// class is the one the failure needs.
+  bool shrink_pressure() {
+    if (result_.scenario.pressure_scale == 0.0) return false;
+    bool any = false;
+    {
+      Scenario c = result_.scenario;
+      c.pressure_scale = 0.0;
+      c.pressure_until_ms = 0;
+      c.pressure_classes = PressureClasses{};
+      if (try_accept(std::move(c))) return true;
+    }
+    if (result_.scenario.pressure_until_ms != 0) {
+      Scenario c = result_.scenario;
+      c.pressure_until_ms = 0;
+      any |= try_accept(std::move(c));
+    }
+    const auto flags = {&PressureClasses::thermal, &PressureClasses::brownout,
+                        &PressureClasses::jitter};
+    for (const auto flag : flags) {
+      if (!(result_.scenario.pressure_classes.*flag)) continue;
+      PressureClasses pc = result_.scenario.pressure_classes;
+      pc.*flag = false;
+      if (!pc.thermal && !pc.brownout && !pc.jitter) continue;
+      Scenario c = result_.scenario;
+      c.pressure_classes = pc;
       any |= try_accept(std::move(c));
     }
     return any;

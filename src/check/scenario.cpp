@@ -112,6 +112,37 @@ std::optional<FaultClasses> parse_fault_classes(const std::string& v) {
   return fc;
 }
 
+std::optional<PressureClasses> parse_pressure_classes(const std::string& v) {
+  PressureClasses pc{false, false, false};
+  if (v == "none") return pc;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string item =
+        trim(v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+    if (item == "thermal") pc.thermal = true;
+    else if (item == "brownout") pc.brownout = true;
+    else if (item == "jitter") pc.jitter = true;
+    else return std::nullopt;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return pc;
+}
+
+std::string pressure_classes_to_string(const PressureClasses& pc) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (pc.thermal) add("thermal");
+  if (pc.brownout) add("brownout");
+  if (pc.jitter) add("jitter");
+  return out.empty() ? "none" : out;
+}
+
 std::string fault_classes_to_string(const FaultClasses& fc) {
   std::string out;
   const auto add = [&out](const char* name) {
@@ -194,6 +225,19 @@ harness::ExperimentConfig Scenario::experiment_config() const {
     }
     cfg.fault = plan;
   }
+  if (pressure_scale > 0.0) {
+    // Overlay the pressure half onto whatever the fault half set above --
+    // the two halves never write the same fields.
+    const fault::FaultPlan p =
+        fault::FaultPlan::pressure_nominal().scaled(pressure_scale);
+    if (pressure_classes.thermal) cfg.fault.thermal_per_s = p.thermal_per_s;
+    if (pressure_classes.brownout) cfg.fault.brownout_per_s = p.brownout_per_s;
+    if (pressure_classes.jitter) cfg.fault.jitter_per_s = p.jitter_per_s;
+    if (pressure_until_ms > 0) {
+      cfg.fault.pressure_until =
+          sim::Time{sim::milliseconds(pressure_until_ms).ticks};
+    }
+  }
   cfg.script = script;
   return cfg;
 }
@@ -228,6 +272,14 @@ std::string scenario_to_string(const Scenario& s) {
     os << "fault_until_ms = " << s.fault_until_ms << "\n";
     os << "fault_classes = " << fault_classes_to_string(s.fault_classes)
        << "\n";
+  }
+  // Unlike fault_scale, the pressure keys are omitted entirely at zero so
+  // every pre-pressure repro and golden stays byte-identical.
+  if (s.pressure_scale > 0.0) {
+    os << "pressure_scale = " << double_to_string(s.pressure_scale) << "\n";
+    os << "pressure_until_ms = " << s.pressure_until_ms << "\n";
+    os << "pressure_classes = "
+       << pressure_classes_to_string(s.pressure_classes) << "\n";
   }
   os << "fleet = " << (s.fleet ? 1 : 0) << "\n";
   if (s.script) {
@@ -395,6 +447,18 @@ std::optional<Scenario> parse_scenario(const std::string& text,
       const auto fc = parse_fault_classes(value);
       if (!fc) return bad_value();
       s.fault_classes = *fc;
+    } else if (key == "pressure_scale") {
+      const auto f = parse_double_strict(value);
+      if (!f || *f < 0.0 || *f > 100.0) return bad_value();
+      s.pressure_scale = *f;
+    } else if (key == "pressure_until_ms") {
+      const auto ms = parse_int_strict(value);
+      if (!ms || *ms < 0 || *ms > 600'000) return bad_value();
+      s.pressure_until_ms = *ms;
+    } else if (key == "pressure_classes") {
+      const auto pc = parse_pressure_classes(value);
+      if (!pc) return bad_value();
+      s.pressure_classes = *pc;
     } else if (key == "fleet") {
       const auto b = parse_bool_strict(value);
       if (!b) return bad_value();
@@ -439,6 +503,10 @@ std::optional<Scenario> parse_scenario(const std::string& text,
   if (s.fault_scale == 0.0) {
     s.fault_until_ms = 0;
     s.fault_classes = FaultClasses{};
+  }
+  if (s.pressure_scale == 0.0) {
+    s.pressure_until_ms = 0;
+    s.pressure_classes = PressureClasses{};
   }
   return s;
 }

@@ -41,6 +41,17 @@ struct FaultClasses {
   [[nodiscard]] bool operator==(const FaultClasses&) const = default;
 };
 
+/// Which pressure episode classes of the (scaled) pressure-nominal plan stay
+/// enabled.  The minimizer uses these to isolate the guilty episode class.
+struct PressureClasses {
+  bool thermal = true;   ///< rate-ladder-capping throttle episodes
+  bool brownout = true;  ///< state-of-charge sag episodes
+  bool jitter = true;    ///< vsync late/drop storms
+
+  [[nodiscard]] bool all() const { return thermal && brownout && jitter; }
+  [[nodiscard]] bool operator==(const PressureClasses&) const = default;
+};
+
 struct Scenario {
   std::string app = "Facebook";
   device::ControlMode mode = device::ControlMode::kSectionWithBoost;
@@ -65,6 +76,13 @@ struct Scenario {
   double fault_scale = 0.0;
   std::int64_t fault_until_ms = 0;  ///< 0 = faults active for the whole run
   FaultClasses fault_classes{};
+  /// 0 = no pressure; otherwise FaultPlan::pressure_nominal().scaled(...)
+  /// with the classes below masked, overlaid on the fault plan.
+  double pressure_scale = 0.0;
+  /// 0 = episodes arrive for the whole run; otherwise they stop arriving
+  /// here and the ladder must recover to rung 0 (invariant I8).
+  std::int64_t pressure_until_ms = 0;
+  PressureClasses pressure_classes{};
   /// Additionally diff the run through the FleetRunner (serial == fleet).
   bool fleet = false;
   /// Explicit touch script; unset = the seed's Monkey script.

@@ -127,6 +127,20 @@ Scenario ScenarioGen::next() {
     s.fault_classes = fc;
   }
   s.fleet = rng_.chance(options_.fleet_p);
+  // Pressure draws come last so enabling the pressure plane left every
+  // pre-existing sequence (and its replayable failures) untouched.
+  if (rng_.chance(options_.pressure_p)) {
+    s.pressure_scale = rng_.uniform(0.25, 3.0);
+    // Usually end the episodes mid-run so invariant I8's bounded-recovery
+    // check is live on most pressured scenarios.
+    s.pressure_until_ms = rng_.chance(0.6) ? s.duration_ms / 2 : 0;
+    PressureClasses pc;
+    pc.thermal = rng_.chance(0.8);
+    pc.brownout = rng_.chance(0.8);
+    pc.jitter = rng_.chance(0.8);
+    if (!pc.thermal && !pc.brownout && !pc.jitter) pc.thermal = true;
+    s.pressure_classes = pc;
+  }
   return s;
 }
 

@@ -24,6 +24,10 @@ class ScenarioGen {
     double fleet_p = 0.25;
     /// Probability a scenario carries a fault plan.
     double fault_p = 0.45;
+    /// Probability a scenario carries pressure episodes (independent of the
+    /// fault plan, so pressure-only, fault-only and combined runs all
+    /// appear).
+    double pressure_p = 0.35;
   };
 
   explicit ScenarioGen(std::uint64_t seed) : ScenarioGen(seed, Options{}) {}

@@ -105,6 +105,36 @@ struct DvfsConfig {
   int stable_ticks = 5;
 };
 
+/// DegradationLadderStage: the system-pressure safety plane (DESIGN.md
+/// section 14).  Disabled by default -- with `enabled == false` the stage is
+/// never built, no degrade.* counters register and golden traces stay
+/// bit-identical.  The device layer auto-enables it when the FaultPlan
+/// carries pressure episode classes.
+struct LadderConfig {
+  bool enabled = false;
+  /// Minimum dwell on a rung before the ladder sheds one more (rungs are
+  /// never skipped: pressure severity only sets the shedding *target*).
+  sim::Duration step_hold = sim::milliseconds(200);
+  /// Hysteretic recovery: after pressure clears, one rung is regained per
+  /// cooldown (never faster, never skipping a rung).
+  sim::Duration recovery_cooldown = sim::milliseconds(500);
+  /// Brightness multiplier applied at the dim rung (rung 3+).
+  double dim_factor = 0.6;
+  /// Rate cap applied from rung 2 up; 0 = one ladder step below the
+  /// hardware maximum.
+  int cap_hz = 0;
+};
+
+/// What the degradation ladder listens to: the fault layer's modeled
+/// environmental pressure (thermal / brownout / vsync jitter).  Severity is
+/// the rung the ladder sheds toward -- 0 = no pressure, up to 4 = safe mode.
+class PressureSource {
+ public:
+  virtual ~PressureSource() = default;
+  [[nodiscard]] virtual bool under_pressure(sim::Time t) const = 0;
+  [[nodiscard]] virtual int severity(sim::Time t) const = 0;
+};
+
 /// Configuration of the proposed controller: the meter plus the knobs the
 /// policy-pipeline stages are built from (which stages actually run is the
 /// PipelineSpec's choice; unused knobs are inert).
@@ -141,6 +171,7 @@ struct DpmConfig {
   PredictiveConfig predictive{};
   DvfsConfig dvfs{};
   RecoveryConfig recovery{};
+  LadderConfig ladder{};
 };
 
 }  // namespace ccdem::core

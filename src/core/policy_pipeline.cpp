@@ -47,6 +47,10 @@ void PolicyPipeline::stop() {
 
 PipelineDecision PolicyPipeline::evaluate(const PolicyInput& in) {
   PipelineDecision d;
+  // Cleared up front so a preempted round never exposes the previous
+  // round's proposals through the adjust-phase input below.
+  proposals_.clear();
+  owners_.clear();
 
   for (const auto& stage : stages_) {
     if (const std::optional<int> pin = stage->preempt(in)) {
@@ -58,8 +62,6 @@ PipelineDecision PolicyPipeline::evaluate(const PolicyInput& in) {
   }
 
   if (!d.preempted) {
-    proposals_.clear();
-    owners_.clear();
     PolicyInput round = in;
     round.upstream = &proposals_;
     for (std::size_t i = 0; i < stages_.size(); ++i) {
@@ -90,8 +92,12 @@ PipelineDecision PolicyPipeline::evaluate(const PolicyInput& in) {
     d.policy_hz = round.best_policy_hz(in.current_hz);
   }
 
+  // Adjust-phase input carries this round's proposals so safety planes can
+  // read the policy's own decision (the ladder's drop-boost rung).
+  PolicyInput adj = in;
+  adj.upstream = &proposals_;
   for (const auto& stage : stages_) {
-    stage->adjust(in, d.preempted, d.target_hz);
+    stage->adjust(adj, d.preempted, d.target_hz);
   }
 
   ++evaluations_;
@@ -261,6 +267,11 @@ std::unique_ptr<PolicyPipeline> build_pipeline(
   }
   if (config.recovery.enabled) {
     pipeline->add_stage(std::make_unique<RecoveryStage>(config.recovery));
+  }
+  if (config.ladder.enabled) {
+    // Last on purpose: the ladder caps whatever every other plane decided,
+    // and on pin ties the recovery plane (earlier) wins.
+    pipeline->add_stage(std::make_unique<DegradationLadderStage>(config.ladder));
   }
   return pipeline;
 }

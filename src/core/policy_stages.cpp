@@ -288,4 +288,114 @@ void RecoveryStage::adjust(const PolicyInput& in, bool preempted,
   }
 }
 
+// --- DegradationLadderStage ------------------------------------------------
+
+void DegradationLadderStage::register_obs(obs::ObsSink* obs) {
+  obs_ = obs;
+  ctr_sheds_ = &obs->counters.counter("degrade.sheds");
+  ctr_recoveries_ = &obs->counters.counter("degrade.recoveries");
+  ctr_safe_modes_ = &obs->counters.counter("degrade.safe_modes");
+  ctr_caps_ = &obs->counters.counter("degrade.caps");
+  gauge_rung_ = &obs->counters.gauge("degrade.rung");
+  *gauge_rung_ = 0.0;
+}
+
+void DegradationLadderStage::set_rung(sim::Time now, int next,
+                                      int /*severity*/) {
+  if (next == rung_) return;
+  const bool shed = next > rung_;
+  if (power_ != nullptr) {
+    if (next >= 3 && rung_ < 3) {
+      base_brightness_ = power_->brightness();
+      power_->set_brightness(now, base_brightness_ * config_.dim_factor);
+    } else if (next < 3 && rung_ >= 3) {
+      power_->set_brightness(now, base_brightness_);
+    }
+  }
+  rung_ = next;
+  last_change_ = now;
+  ++changes_;
+  if (obs_ != nullptr) {
+    if (shed) {
+      ++*ctr_sheds_;
+      if (next == 4) ++*ctr_safe_modes_;
+    } else {
+      ++*ctr_recoveries_;
+    }
+    *gauge_rung_ = static_cast<double>(rung_);
+  }
+  CCDEM_OBS_SPAN(obs_, obs::Phase::kDegrade, now, sim::Duration{}, changes_,
+                 rung_);
+}
+
+void DegradationLadderStage::update_rung(sim::Time now) {
+  // preempt() and adjust() both land here; run the state machine once per
+  // evaluation tick.
+  if (now == last_update_) return;
+  last_update_ = now;
+  const bool pressured = source_ != nullptr && source_->under_pressure(now);
+  if (pressured) {
+    const int want = std::clamp(source_->severity(now), 1, 4);
+    if (rung_ < want && now - last_change_ >= config_.step_hold) {
+#if defined(CCDEM_CANARY_BUG)
+      // Canary (CI mutation smoke): jump straight to the severity target,
+      // skipping intermediate rungs -- invariant I7 must catch this.
+      set_rung(now, want, want);
+#else
+      set_rung(now, rung_ + 1, want);
+#endif
+    }
+    // Never step down while pressure is active (I7 monotonicity), even if
+    // the severity estimate sags.
+  } else if (rung_ > 0 && now - last_change_ >= config_.recovery_cooldown) {
+    set_rung(now, rung_ - 1, 0);
+  }
+}
+
+int DegradationLadderStage::cap_rate(const PolicyInput& in) const {
+  if (config_.cap_hz > 0 && in.advertised->supports(config_.cap_hz)) {
+    return config_.cap_hz;
+  }
+  // Default: the highest advertised rate strictly below the hardware max
+  // (under thermal pressure the max is revoked anyway; under brownout this
+  // is the one-step-down cap).
+  int cap = in.advertised->min_hz();
+  for (const int r : in.advertised->rates()) {
+    if (r < in.rates->max_hz()) cap = r;
+  }
+  return cap;
+}
+
+std::optional<int> DegradationLadderStage::preempt(const PolicyInput& in) {
+  update_rung(in.now);
+  if (rung_ >= 4) {
+    // Safe mode: content control is beside the point; hold the panel at
+    // the cheapest rate the DDIC still advertises.
+    return in.advertised->min_hz();
+  }
+  return std::nullopt;
+}
+
+void DegradationLadderStage::adjust(const PolicyInput& in, bool preempted,
+                                    int& target_hz) {
+  update_rung(in.now);
+  if (preempted) return;  // a pinning plane (recovery, or rung 4) owns it
+  if (rung_ >= 1 && in.boost_active) {
+    // Rung 1: drop the boost -- the target never exceeds the policy's own
+    // content-derived choice.
+    const int policy = in.best_policy_hz(in.current_hz);
+    if (target_hz > policy) {
+      target_hz = policy;
+      if (ctr_caps_ != nullptr) ++*ctr_caps_;
+    }
+  }
+  if (rung_ >= 2) {
+    const int cap = cap_rate(in);
+    if (target_hz > cap) {
+      target_hz = cap;
+      if (ctr_caps_ != nullptr) ++*ctr_caps_;
+    }
+  }
+}
+
 }  // namespace ccdem::core

@@ -211,4 +211,62 @@ class RecoveryStage final : public PolicyStage {
   std::uint64_t* ctr_retry_giveups_ = nullptr;
 };
 
+/// The system-pressure safety plane (DESIGN.md section 14): a fixed-order
+/// graceful-degradation ladder over the modeled environmental pressure
+/// (thermal throttle, battery brownout, vsync jitter storms).
+///
+///   rung 0  normal operation
+///   rung 1  drop boost: the target never exceeds the policy's own choice
+///   rung 2  cap the max rate (config cap, or one ladder step below max)
+///   rung 3  additionally dim the panel (brightness * dim_factor)
+///   rung 4  safe mode: pin the minimum advertised rate
+///
+/// Invariant contract (check/invariants.h, I7/I8): rungs shed one at a time
+/// toward the pressure severity -- never skipping -- each after `step_hold`
+/// on the previous rung, and never step down while pressure is active.
+/// After pressure clears, one rung is regained per `recovery_cooldown`.
+/// Every rung change stamps a kDegrade span (frame = change index, arg =
+/// the new rung).
+class DegradationLadderStage final : public PolicyStage {
+ public:
+  explicit DegradationLadderStage(LadderConfig config) : config_(config) {}
+  [[nodiscard]] std::string_view name() const override { return "degrade"; }
+  std::optional<int> preempt(const PolicyInput& in) override;
+  void adjust(const PolicyInput& in, bool preempted, int& target_hz) override;
+  void register_obs(obs::ObsSink* obs) override;
+
+  /// Late wiring (device assembly): the pressure source the ladder listens
+  /// to and the power model whose brightness the dim rung actuates.  Either
+  /// may be null (the ladder then idles at rung 0 / skips dimming).
+  void bind_pressure(PressureSource* source, power::DevicePowerModel* power) {
+    source_ = source;
+    power_ = power;
+  }
+
+  [[nodiscard]] int rung() const { return rung_; }
+
+ private:
+  void update_rung(sim::Time now);
+  void set_rung(sim::Time now, int rung, int severity);
+  [[nodiscard]] int cap_rate(const PolicyInput& in) const;
+
+  LadderConfig config_;
+  PressureSource* source_ = nullptr;
+  power::DevicePowerModel* power_ = nullptr;
+
+  int rung_ = 0;
+  /// Sentinel "long ago" so the first shed on pressure onset is immediate.
+  sim::Time last_change_{sim::Time{} - sim::seconds(3600)};
+  sim::Time last_update_{sim::Time{} - sim::seconds(3600)};
+  double base_brightness_ = 0.0;  // captured when the dim rung engages
+  std::uint64_t changes_ = 0;
+
+  obs::ObsSink* obs_ = nullptr;
+  std::uint64_t* ctr_sheds_ = nullptr;
+  std::uint64_t* ctr_recoveries_ = nullptr;
+  std::uint64_t* ctr_safe_modes_ = nullptr;
+  std::uint64_t* ctr_caps_ = nullptr;
+  double* gauge_rung_ = nullptr;
+};
+
 }  // namespace ccdem::core

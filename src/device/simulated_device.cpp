@@ -177,11 +177,20 @@ void SimulatedDevice::start_control() {
     core::DpmConfig dc = config_.dpm;
     // A faulted run always gets the self-healing plane: content-rate
     // control against a flaky panel without recovery is not a supported
-    // configuration.
-    if (fault_) dc.recovery.enabled = true;
+    // configuration.  Pressure episode classes likewise auto-enable the
+    // degradation ladder -- each half independently, so a pressure-only
+    // plan registers no recovery counters and vice versa.
+    if (!config_.fault.fault_empty()) dc.recovery.enabled = true;
+    if (!config_.fault.pressure_empty()) dc.ladder.enabled = true;
     const core::PipelineSpec spec = resolved_pipeline_spec(config_);
     assert(!spec.validate() && "invalid pipeline spec reached the device");
     auto pipeline = core::build_pipeline(spec, config_.rates, dc);
+    if (fault_ != nullptr && dc.ladder.enabled) {
+      // The only stage named "degrade" is the ladder build_pipeline added.
+      auto* ladder = static_cast<core::DegradationLadderStage*>(
+          pipeline->stage("degrade"));
+      ladder->bind_pressure(fault_.get(), power_.get());
+    }
     if (config_.self_refresh) {
       // PSR rides the pipeline when a DPM runs (the stage constructs the
       // controller in start(), preserving the canonical after-the-DPM

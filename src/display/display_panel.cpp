@@ -84,14 +84,41 @@ void DisplayPanel::tick(sim::Time t) {
     for (const auto& cb : rate_listeners_) cb(t, refresh_hz_);
   }
 
-  ++vsync_count_;
   last_tick_ = t;
+  const sim::Duration period = sim::period_of_hz(refresh_hz_);
+
+  VsyncFaultHook::Verdict verdict{};
+  if (vsync_hook_ != nullptr) {
+    verdict = vsync_hook_->on_vsync_tick(t, refresh_hz_);
+  }
+  if (verdict.drop) {
+    // Missed deadline: the frame never reaches the observers (and does not
+    // count), but the timing generator keeps its cadence.
+    next_tick_ =
+        sim_.at(t + period, [this](sim::Time next) { tick(next); });
+    return;
+  }
+  ++vsync_count_;
+  if (verdict.delay.ticks > 0) {
+    // Late delivery, clamped inside this period so ordering with the next
+    // vsync (and any boundary rate change) is preserved.
+    const sim::Duration delay{std::min(verdict.delay.ticks, period.ticks - 1)};
+    const int hz = refresh_hz_;
+    sim_.at(t + delay, [this, hz](sim::Time late) {
+      if (!running_) return;
+      for (const auto& phase : observers_) {
+        for (VsyncObserver* obs : phase) obs->on_vsync(late, hz);
+      }
+    });
+    next_tick_ =
+        sim_.at(t + period, [this](sim::Time next) { tick(next); });
+    return;
+  }
   for (const auto& phase : observers_) {
     for (VsyncObserver* obs : phase) obs->on_vsync(t, refresh_hz_);
   }
 
-  next_tick_ = sim_.at(t + sim::period_of_hz(refresh_hz_),
-                       [this](sim::Time next) { tick(next); });
+  next_tick_ = sim_.at(t + period, [this](sim::Time next) { tick(next); });
 }
 
 }  // namespace ccdem::display

@@ -44,6 +44,22 @@ class SwitchInterceptor {
   virtual Decision on_switch_request(sim::Time t, int from_hz, int to_hz) = 0;
 };
 
+/// Models panel-side vsync delivery faults -- jitter/deadline-miss storms
+/// (fault layer).  Consulted once per tick before the observers run; the
+/// default -- no hook installed -- delivers every vsync on time.  A dropped
+/// vsync never reaches the observers and does not count (downstream
+/// watchdogs see the stall, exactly as a missed scan-out deadline looks); a
+/// delayed one is delivered late within the same period, cadence unchanged.
+class VsyncFaultHook {
+ public:
+  struct Verdict {
+    bool drop = false;      ///< the frame never reaches the observers
+    sim::Duration delay{};  ///< late delivery (clamped below the period)
+  };
+  virtual ~VsyncFaultHook() = default;
+  virtual Verdict on_vsync_tick(sim::Time t, int refresh_hz) = 0;
+};
+
 /// Outcome of a switch request.  Converts to bool as "the pending rate
 /// moved" -- exactly what set_refresh_rate() used to return -- so existing
 /// call sites keep working; `nacked` distinguishes a DDIC refusal from a
@@ -89,6 +105,10 @@ class DisplayPanel {
     interceptor_ = interceptor;
   }
 
+  /// Interposes on vsync delivery (fault layer); null restores on-time
+  /// delivery.  Not owned; must outlive the panel's use.
+  void set_vsync_fault_hook(VsyncFaultHook* hook) { vsync_hook_ = hook; }
+
   /// Requests a refresh rate change; `hz` must be a supported level.
   /// Takes effect at the next V-Sync boundary (later if an interceptor adds
   /// settle time).  `changed` is true if the target differs from the
@@ -117,6 +137,7 @@ class DisplayPanel {
   int pending_hz_;          // rate requested for the next period
   sim::Time pending_applies_at_{};  // boundary gate for a settling switch
   SwitchInterceptor* interceptor_ = nullptr;
+  VsyncFaultHook* vsync_hook_ = nullptr;
   bool running_ = true;
   bool fast_rate_up_ = false;
   sim::EventHandle next_tick_;

@@ -13,6 +13,14 @@ constexpr std::uint64_t kSwitchStream = 1;
 constexpr std::uint64_t kEpisodeStream = 2;
 constexpr std::uint64_t kTouchStream = 3;
 constexpr std::uint64_t kMeterStream = 4;
+constexpr std::uint64_t kThermalStream = 5;
+constexpr std::uint64_t kBrownoutStream = 6;
+constexpr std::uint64_t kJitterStream = 7;
+
+// Base state of charge of the brownout model: a low-battery regime just
+// above the rate-cap threshold, so only an episode's load transient sags
+// the SoC below the BrownoutThresholds.
+constexpr double kBaseSoc = 0.16;
 
 sim::Duration exp_gap(sim::Rng& rng, double per_s) {
   // Mean gap 1/rate seconds; floor at one tick so a huge rate cannot
@@ -31,8 +39,14 @@ FaultInjector::FaultInjector(sim::Simulator& sim, const FaultPlan& plan,
       switch_rng_(rng.fork(kSwitchStream)),
       episode_rng_(rng.fork(kEpisodeStream)),
       touch_rng_(rng.fork(kTouchStream)),
-      meter_rng_(rng.fork(kMeterStream)) {
-  if (obs != nullptr) {
+      meter_rng_(rng.fork(kMeterStream)),
+      thermal_rng_(rng.fork(kThermalStream)),
+      brownout_rng_(rng.fork(kBrownoutStream)),
+      jitter_rng_(rng.fork(kJitterStream)) {
+  // Counter families register per plan half: a pressure-only plan publishes
+  // no fault.* names (and vice versa), so the I3 clean-run checks can
+  // assert absence of whichever family the scenario did not ask for.
+  if (obs != nullptr && !plan_.fault_empty()) {
     ctr_switch_naks_ = &obs->counters.counter("fault.switch_naks");
     ctr_switch_delays_ = &obs->counters.counter("fault.switch_delays");
     ctr_stuck_episodes_ = &obs->counters.counter("fault.stuck_episodes");
@@ -41,6 +55,14 @@ FaultInjector::FaultInjector(sim::Simulator& sim, const FaultPlan& plan,
     ctr_touch_duplicated_ = &obs->counters.counter("fault.touch_duplicated");
     ctr_touch_delayed_ = &obs->counters.counter("fault.touch_delayed");
     ctr_meter_bitflips_ = &obs->counters.counter("fault.meter_bitflips");
+  }
+  if (obs != nullptr && !plan_.pressure_empty()) {
+    ctr_thermal_episodes_ =
+        &obs->counters.counter("pressure.thermal_episodes");
+    ctr_brownouts_ = &obs->counters.counter("pressure.brownouts");
+    ctr_jitter_storms_ = &obs->counters.counter("pressure.jitter_storms");
+    ctr_vsync_dropped_ = &obs->counters.counter("pressure.vsync_dropped");
+    ctr_vsync_delayed_ = &obs->counters.counter("pressure.vsync_delayed");
   }
 }
 
@@ -52,6 +74,12 @@ void FaultInjector::attach_panel(display::DisplayPanel* panel) {
   if (plan_.stuck_per_s > 0.0) schedule_next_stuck(sim_.now());
   if (plan_.capability_loss_per_s > 0.0) {
     schedule_next_capability_loss(sim_.now());
+  }
+  if (plan_.thermal_per_s > 0.0) schedule_next_thermal(sim_.now());
+  if (plan_.brownout_per_s > 0.0) schedule_next_brownout(sim_.now());
+  if (plan_.jitter_per_s > 0.0) {
+    panel_->set_vsync_fault_hook(this);
+    schedule_next_jitter(sim_.now());
   }
 }
 
@@ -82,7 +110,9 @@ void FaultInjector::schedule_next_capability_loss(sim::Time t) {
       for (const int hz : adv.rates()) {
         if (hz != panel_->rates().max_hz()) candidates.push_back(hz);
       }
-      if (!candidates.empty()) {
+      // adv.count() >= 2: with the thermal cap possibly holding the maximum
+      // revoked, losing the last advertised rate would empty the set.
+      if (adv.count() >= 2 && !candidates.empty()) {
         const std::size_t pick = static_cast<std::size_t>(
             episode_rng_.uniform_int(0, static_cast<std::int64_t>(
                                             candidates.size() - 1)));
@@ -96,6 +126,119 @@ void FaultInjector::schedule_next_capability_loss(sim::Time t) {
     }
     schedule_next_capability_loss(now);
   });
+}
+
+void FaultInjector::schedule_next_thermal(sim::Time t) {
+  const sim::Duration gap = exp_gap(thermal_rng_, plan_.thermal_per_s);
+  sim_.at(t + gap, [this](sim::Time now) {
+    if (plan_.pressure_active(now) && panel_ != nullptr) {
+      bump(thermal_episodes_, ctr_thermal_episodes_);
+      thermal_until_ = std::max(thermal_until_, now + plan_.thermal_duration);
+      // Throttle = the DDIC stops advertising its top rate.  Skipped when
+      // the set is down to one rate (something must stay advertised); the
+      // degradation ladder still caps through the severity feed.
+      const display::RefreshRateSet& adv = panel_->advertised_rates();
+      const int max_hz = panel_->rates().max_hz();
+      if (!thermal_revoked_ && adv.count() >= 2 && adv.supports(max_hz)) {
+        thermal_revoked_ = true;
+        panel_->set_rate_advertised(max_hz, false);
+        arm_thermal_restore();
+      }
+    }
+    schedule_next_thermal(now);
+  });
+}
+
+void FaultInjector::arm_thermal_restore() {
+  sim_.at(thermal_until_, [this](sim::Time now) {
+    if (!thermal_revoked_) return;
+    if (now < thermal_until_) {
+      // The episode was extended while the restore slept: chase the new
+      // horizon.
+      arm_thermal_restore();
+      return;
+    }
+    thermal_revoked_ = false;
+    panel_->set_rate_advertised(panel_->rates().max_hz(), true);
+  });
+}
+
+void FaultInjector::schedule_next_brownout(sim::Time t) {
+  const sim::Duration gap = exp_gap(brownout_rng_, plan_.brownout_per_s);
+  sim_.at(t + gap, [this](sim::Time now) {
+    if (plan_.pressure_active(now)) {
+      bump(brownouts_, ctr_brownouts_);
+      brownout_until_ =
+          std::max(brownout_until_, now + plan_.brownout_duration);
+      // Load transient: sag the modeled SoC below the brownout thresholds.
+      // The deeper draws also cross the brightness threshold, raising the
+      // episode's severity.
+      brownout_soc_ = kBaseSoc - brownout_rng_.uniform(0.04, 0.10);
+    }
+    schedule_next_brownout(now);
+  });
+}
+
+void FaultInjector::schedule_next_jitter(sim::Time t) {
+  const sim::Duration gap = exp_gap(jitter_rng_, plan_.jitter_per_s);
+  sim_.at(t + gap, [this](sim::Time now) {
+    if (plan_.pressure_active(now)) {
+      bump(jitter_storms_, ctr_jitter_storms_);
+      jitter_until_ = std::max(jitter_until_, now + plan_.jitter_duration);
+    }
+    schedule_next_jitter(now);
+  });
+}
+
+double FaultInjector::soc(sim::Time t) const {
+  return t < brownout_until_ ? brownout_soc_ : kBaseSoc;
+}
+
+bool FaultInjector::under_pressure(sim::Time t) const {
+  return t < thermal_until_ || t < brownout_until_ || t < jitter_until_;
+}
+
+int FaultInjector::severity(sim::Time t) const {
+  // Per-class weights express which rung neutralises the class: jitter is
+  // absorbed by dropping the boost (1), a thermal cap or rate-threshold
+  // brownout wants the max rate capped (2), a deep brownout below the
+  // brightness threshold wants the panel dimmed too (3).  Concurrent
+  // classes push one rung further each, up to safe mode.
+  int live = 0;
+  int worst = 0;
+  if (t < jitter_until_) {
+    ++live;
+    worst = std::max(worst, 1);
+  }
+  if (t < thermal_until_) {
+    ++live;
+    worst = std::max(worst, 2);
+  }
+  if (t < brownout_until_) {
+    ++live;
+    const bool deep = brownout_soc_ < thresholds_.cap_brightness_below_soc;
+    worst = std::max(worst, deep ? 3 : 2);
+  }
+  if (live == 0) return 0;
+  return std::min(4, worst + (live - 1));
+}
+
+display::VsyncFaultHook::Verdict FaultInjector::on_vsync_tick(
+    sim::Time t, int /*refresh_hz*/) {
+  display::VsyncFaultHook::Verdict v;
+  if (t >= jitter_until_) return v;
+  if (jitter_rng_.chance(plan_.jitter_drop_p)) {
+    bump(vsync_dropped_, ctr_vsync_dropped_);
+    v.drop = true;
+    return v;
+  }
+  if (jitter_rng_.chance(plan_.jitter_late_p)) {
+    bump(vsync_delayed_, ctr_vsync_delayed_);
+    const double hi = static_cast<double>(plan_.jitter_late_max.ticks);
+    v.delay =
+        sim::Duration{static_cast<std::int64_t>(jitter_rng_.uniform(1.0, hi))};
+  }
+  return v;
 }
 
 display::SwitchInterceptor::Decision FaultInjector::on_switch_request(
@@ -126,7 +269,7 @@ display::SwitchInterceptor::Decision FaultInjector::on_switch_request(
 
 input::InputFaultHook::Verdict FaultInjector::on_event(
     const input::TouchEvent& e) {
-  Verdict v;
+  input::InputFaultHook::Verdict v;
   if (!plan_.active(e.t)) return v;
   // Mutually exclusive branches: one fault per event keeps reasoning (and
   // the per-class probabilities) simple.

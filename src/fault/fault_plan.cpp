@@ -4,11 +4,17 @@
 
 namespace ccdem::fault {
 
-bool FaultPlan::empty() const {
+bool FaultPlan::fault_empty() const {
   return switch_nak_p <= 0.0 && switch_delay_p <= 0.0 && stuck_per_s <= 0.0 &&
          capability_loss_per_s <= 0.0 && touch_drop_p <= 0.0 &&
          touch_dup_p <= 0.0 && touch_delay_p <= 0.0 && meter_bitflip_p <= 0.0;
 }
+
+bool FaultPlan::pressure_empty() const {
+  return thermal_per_s <= 0.0 && brownout_per_s <= 0.0 && jitter_per_s <= 0.0;
+}
+
+bool FaultPlan::empty() const { return fault_empty() && pressure_empty(); }
 
 FaultPlan FaultPlan::nominal() {
   FaultPlan p;
@@ -23,19 +29,33 @@ FaultPlan FaultPlan::nominal() {
   return p;
 }
 
+FaultPlan FaultPlan::pressure_nominal() {
+  FaultPlan p;
+  p.thermal_per_s = 0.08;
+  p.brownout_per_s = 0.04;
+  p.jitter_per_s = 0.10;
+  return p;
+}
+
 FaultPlan FaultPlan::scaled(double factor) const {
   const auto prob = [factor](double p) {
     return std::clamp(p * factor, 0.0, 1.0);
   };
+  const auto rate = [factor](double r) { return std::max(0.0, r * factor); };
   FaultPlan s = *this;
   s.switch_nak_p = prob(switch_nak_p);
   s.switch_delay_p = prob(switch_delay_p);
-  s.stuck_per_s = std::max(0.0, stuck_per_s * factor);
-  s.capability_loss_per_s = std::max(0.0, capability_loss_per_s * factor);
+  s.stuck_per_s = rate(stuck_per_s);
+  s.capability_loss_per_s = rate(capability_loss_per_s);
   s.touch_drop_p = prob(touch_drop_p);
   s.touch_dup_p = prob(touch_dup_p);
   s.touch_delay_p = prob(touch_delay_p);
   s.meter_bitflip_p = prob(meter_bitflip_p);
+  s.thermal_per_s = rate(thermal_per_s);
+  s.brownout_per_s = rate(brownout_per_s);
+  s.jitter_per_s = rate(jitter_per_s);
+  // The per-vsync storm probabilities are part of the storm's character,
+  // not its frequency: scaling sweeps how often storms arrive.
   return s;
 }
 

@@ -96,6 +96,9 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
   ExperimentConfig config;
   bool have_app = false;
   bool have_pipeline = false;
+  // Applied after the loop so 'fault_scale' (which rebuilds the whole plan)
+  // and 'pressure_scale' compose regardless of key order.
+  double pressure_scale = 0.0;
   std::string line;
   int line_no = 0;
   while (std::getline(is, line)) {
@@ -192,6 +195,10 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
       if (!f || *f < 0.0) return bad_value();
       config.fault = *f > 0.0 ? fault::FaultPlan::nominal().scaled(*f)
                               : fault::FaultPlan{};
+    } else if (key == "pressure_scale") {
+      const auto f = parse_double_strict(value);
+      if (!f || *f < 0.0) return bad_value();
+      pressure_scale = *f;
     } else {
       set_error(error, "line " + std::to_string(line_no) +
                            ": unknown key '" + key + "'");
@@ -201,6 +208,13 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
   if (!have_app) {
     set_error(error, "missing required key 'app'");
     return std::nullopt;
+  }
+  if (pressure_scale > 0.0) {
+    const fault::FaultPlan p =
+        fault::FaultPlan::pressure_nominal().scaled(pressure_scale);
+    config.fault.thermal_per_s = p.thermal_per_s;
+    config.fault.brownout_per_s = p.brownout_per_s;
+    config.fault.jitter_per_s = p.jitter_per_s;
   }
   // Keys may appear in any order, so the mode <-> pipeline pairing is
   // checked once the whole file is read.

@@ -12,6 +12,7 @@ const char* phase_name(Phase p) {
     case Phase::kPanelPresent: return "panel_present";
     case Phase::kRecover: return "recover";
     case Phase::kArbiter: return "arbiter";
+    case Phase::kDegrade: return "degrade";
   }
   return "unknown";
 }

@@ -36,8 +36,9 @@ enum class Phase : std::uint8_t {
   kPanelPresent = 3,  ///< panel scans out a composed frame
   kRecover = 4,       ///< self-healing action (retry, fallback, safe mode)
   kArbiter = 5,       ///< policy-pipeline arbitration (one per evaluation)
+  kDegrade = 6,       ///< degradation-ladder rung change (arg = new rung)
 };
-inline constexpr int kPhaseCount = 6;
+inline constexpr int kPhaseCount = 7;
 
 [[nodiscard]] const char* phase_name(Phase p);
 [[nodiscard]] std::optional<Phase> phase_from_name(std::string_view name);

@@ -16,6 +16,19 @@ struct BatterySpec {
   static BatterySpec galaxy_s3() { return BatterySpec{}; }
 };
 
+/// State-of-charge thresholds below which a brownout episode constitutes
+/// system pressure (fault/fault_injector.h models the sagging SoC; the
+/// degradation ladder in core/ sheds rate and brightness in response).
+/// Both are fractions of full charge in [0, 1].
+struct BrownoutThresholds {
+  /// Below this SoC a live brownout episode caps the max refresh rate.
+  double cap_rate_below_soc = 0.15;
+  /// Below this SoC it additionally dims the panel (the ladder's dim rung).
+  double cap_brightness_below_soc = 0.10;
+
+  static BrownoutThresholds galaxy_s3() { return BrownoutThresholds{}; }
+};
+
 class Battery {
  public:
   explicit Battery(BatterySpec spec) : spec_(spec) {}

@@ -120,6 +120,40 @@ TEST(CampaignSpec, ScenarioIndexingIsSeedFastestMixedRadix) {
   EXPECT_EQ(spec.scenario_at(5).duration_ms, 400);
 }
 
+TEST(CampaignSpec, PressureAxisDefaultKeepsCanonicalTextStable) {
+  // The single-0 default must not appear in the canonical text: old specs
+  // keep their fingerprints, old campaign directories stay resumable.
+  const CampaignSpec spec = tiny_spec();
+  EXPECT_EQ(spec.to_string().find("pressure_scales"), std::string::npos);
+  const auto parsed = CampaignSpec::parse(spec.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->pressure_scales, (std::vector<double>{0.0}));
+  EXPECT_EQ(parsed->fingerprint(), spec.fingerprint());
+}
+
+TEST(CampaignSpec, PressureAxisRoundTripsAndExpandsTheMatrix) {
+  CampaignSpec spec = tiny_spec();  // 6 scenarios without the pressure axis
+  spec.pressure_scales = {0.0, 2.0};
+  EXPECT_EQ(spec.size(), 12u);
+  EXPECT_FALSE(spec.validate().has_value());
+  EXPECT_NE(spec.to_string().find("pressure_scales = 0,2"),
+            std::string::npos);
+  const auto parsed = CampaignSpec::parse(spec.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+  // Pressure varies after fault-scale (both trivial here), before grid: the
+  // two halves of each seed-block differ only in pressure_scale.
+  EXPECT_DOUBLE_EQ(spec.scenario_at(0).pressure_scale, 0.0);
+  EXPECT_DOUBLE_EQ(spec.scenario_at(3).pressure_scale, 2.0);
+  EXPECT_EQ(spec.scenario_at(0).seed, spec.scenario_at(3).seed);
+  EXPECT_EQ(spec.scenario_at(0).mode, spec.scenario_at(3).mode);
+
+  spec.pressure_scales = {-0.5};
+  EXPECT_TRUE(spec.validate().has_value());
+  spec.pressure_scales = {};
+  EXPECT_TRUE(spec.validate().has_value());
+}
+
 TEST(CampaignSpec, ShardRangesPartitionTheMatrix) {
   CampaignSpec spec = tiny_spec();
   spec.seeds = {1, 2, 3, 4, 5, 6, 7};  // 14 scenarios over 3 shards
@@ -292,6 +326,54 @@ TEST(Worker, SkipsQuarantinedIndices) {
   const ShardOutcome out = run_shard(spec, 0, tmp.path(), w);
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_EQ(out.results, range.size() - 1);
+}
+
+TEST(Worker, SigtermDrainsGracefullyAndLeavesAResumableShard) {
+  testing::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const CampaignSpec spec = tiny_spec();
+  const ShardRange range = shard_range(spec, 0);
+  ASSERT_GE(range.size(), 2u);
+
+  // SIGTERM arrives while the first scenario is in flight (run_shard runs
+  // in-process here, so the raise hits its own ScopedSigterm handler).
+  WorkerOptions w;
+  w.threads = 1;
+  w.chunk = 1;
+  w.run_hook = [&](std::uint64_t index) {
+    if (index == range.begin) std::raise(SIGTERM);
+  };
+  const ShardOutcome out = run_shard(spec, 0, tmp.path(), w);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_TRUE(out.interrupted);
+  EXPECT_EQ(out.results, 1u);  // the in-flight record was finished, not cut
+
+  // The drained file is complete-decodable (counters, aggregate, checksummed
+  // end marker) but was NOT renamed -- the shard is not done.
+  EXPECT_FALSE(std::filesystem::exists(tmp.file(shard_file_name(0))));
+  const std::string bytes =
+      read_file(tmp.file(shard_file_name(0) + std::string(".tmp")));
+  EXPECT_EQ(bytes.size(), out.bytes);
+  std::string error;
+  ASSERT_TRUE(decode_all(bytes, &error).has_value()) << error;
+
+  // The progress sidecar names exactly the indices that never ran.
+  const auto remaining =
+      parse_progress(read_file(tmp.file(shard_progress_name(0))));
+  ASSERT_TRUE(remaining.has_value());
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t i = range.begin + 1; i < range.end; ++i) {
+    expected.push_back(i);
+  }
+  EXPECT_EQ(*remaining, expected);
+
+  // A relaunch starts clean (the handler and flag were restored on return)
+  // and completes the shard normally.
+  const ShardOutcome again = run_shard(spec, 0, tmp.path(), {});
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_FALSE(again.interrupted);
+  EXPECT_EQ(again.results, range.size());
+  EXPECT_TRUE(std::filesystem::exists(tmp.file(shard_file_name(0))));
 }
 
 // --- coordinator ----------------------------------------------------------

@@ -83,6 +83,86 @@ TEST(DstCanary, MinimizesToASmallReplayableRepro) {
   EXPECT_TRUE(predicate(*parsed));
 }
 
+// The ladder canary: under system pressure the planted bug makes
+// DegradationLadderStage jump straight to the target rung instead of
+// stepping one rung per evaluation.  Thermal or brownout episodes carry
+// severity 2, so the first shed from rung 0 skips rung 1 -- an I7
+// violation.  Jitter alone (severity 1) never exposes it, which is what
+// lets the minimizer isolate a guilty episode class.
+Scenario ladder_canary_scenario() {
+  Scenario s;
+  s.app = "Facebook";
+  s.mode = device::ControlMode::kSectionWithBoost;
+  s.duration_ms = 4000;
+  s.seed = 7;
+  s.pressure_scale = 4.0;
+  s.pressure_classes.thermal = true;
+  s.pressure_classes.brownout = true;
+  s.pressure_classes.jitter = true;
+  return s;
+}
+
+/// I7/I8 run alone during ladder-canary shrinking: one replay per
+/// predicate call, and the cull canary (also armed in this build) cannot
+/// steal the failure.
+CheckOptions invariants_only() {
+  CheckOptions o;
+  o.oracle_determinism = false;
+  o.oracle_unculled = false;
+  o.oracle_spans_off = false;
+  o.oracle_fleet = false;
+  o.oracle_kernel = false;
+  o.oracle_tile_memo = false;
+  o.oracle_reference = false;
+  o.quality_arm = false;
+  o.pressure_recovery_arm = false;
+  return o;
+}
+
+TEST(DstCanary, LadderRungSkipCaughtByI7) {
+  const CheckReport r = check_scenario(ladder_canary_scenario(),
+                                       invariants_only());
+  ASSERT_FALSE(r.ok()) << "canary build but the ladder invariants passed";
+  bool i7 = false;
+  for (const std::string& f : r.failures) {
+    if (f.rfind("I7 ladder:", 0) == 0) i7 = true;
+  }
+  EXPECT_TRUE(i7) << "expected an I7 failure, got:\n" << r.to_string();
+}
+
+TEST(DstCanary, LadderCanaryMinimizesToOneEpisodeClass) {
+  const Scenario start = ladder_canary_scenario();
+  const FailurePredicate predicate =
+      make_failure_predicate(invariants_only());
+  ASSERT_TRUE(predicate(start)) << "invariants alone miss the ladder canary";
+
+  const MinimizeResult m = minimize_scenario(start, predicate);
+  ASSERT_FALSE(m.failure.empty());
+  EXPECT_GT(m.scenario.pressure_scale, 0.0);
+  const auto& pc = m.scenario.pressure_classes;
+  const int classes = (pc.thermal ? 1 : 0) + (pc.brownout ? 1 : 0) +
+                      (pc.jitter ? 1 : 0);
+  EXPECT_EQ(classes, 1) << "minimizer kept more than the guilty class";
+  EXPECT_FALSE(pc.jitter) << "jitter (severity 1) cannot skip a rung";
+
+  // The written .repro must parse back and still fail.
+  testing::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::filesystem::path file = tmp.file("ladder_canary.repro");
+  {
+    std::ofstream os(file);
+    os << repro_to_string(m.scenario, {m.failure});
+  }
+  std::ifstream in(file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto parsed = parse_scenario(text.str(), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, m.scenario);
+  EXPECT_TRUE(predicate(*parsed));
+}
+
 #endif  // CCDEM_CANARY_BUG
 
 }  // namespace

@@ -104,8 +104,10 @@ struct Rig {
   std::unique_ptr<DisplayPowerManager> dpm;
 
   explicit Rig(double content_fps, DpmConfig config = {}, int start_hz = 60,
-               bool recovery = true)
-      : panel(sim, display::RefreshRateSet::galaxy_s3(), start_hz) {
+               bool recovery = true,
+               display::RefreshRateSet rates =
+                   display::RefreshRateSet::galaxy_s3())
+      : panel(sim, rates, start_hz) {
     config.meter.grid = GridSpec{10, 10};
     if (recovery && !config.recovery.enabled) {
       config.recovery = fast_recovery();
@@ -255,6 +257,71 @@ TEST(SelfHealing, SafeModeIgnoresTouchBoostRedundantly) {
   rig.dpm->on_touch(e);
   EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kSafeMode);
   EXPECT_EQ(rig.link.requests, requests_before);
+}
+
+TEST(SelfHealing, BackoffShiftSaturatesAtDeepRetryCounts) {
+  // schedule_retry computes `backoff << min(retries, 16)`.  With a retry
+  // budget far past the clamp, an unclamped shift would be UB (shift >= 64)
+  // or push the next retry days out; the clamp keeps the cadence at
+  // backoff * 2^16 so a persistently refusing link still accumulates
+  // retries and reaches the give-up path inside the run.
+  DpmConfig config;
+  config.recovery.enabled = true;
+  config.recovery.max_retries = 100;
+  config.recovery.retry_backoff = sim::Duration{1};  // 1 us base
+  config.recovery.switch_timeout = sim::seconds(30);
+  config.recovery.safe_mode_after = 1000;  // keep the ladder running
+  Rig rig(/*content_fps=*/5.0, config);
+  rig.link.nak_all = true;
+  rig.sim.run_for(sim::seconds(10));
+  // Saturated cadence is ~65 ms per attempt: the first ladder alone burns
+  // its 100 retries in ~5.6 s of simulated time.
+  EXPECT_GT(rig.link.naks, 80);
+  EXPECT_NE(rig.dpm->degradation_state(), DegradationState::kNormal);
+}
+
+TEST(SelfHealing, SafeModeRearmsExactlyAtCooldownBoundary) {
+  Rig rig(/*content_fps=*/5.0);
+  rig.link.nak_downward = true;
+  ASSERT_TRUE(rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kSafeMode;
+      },
+      sim::seconds(20)));
+  rig.link.nak_downward = false;  // the link heals during the cooldown
+
+  // One tick before the boundary the controller must still be in safe
+  // mode (re-arm is `now >= safe_until`, never early) ...
+  const sim::Time boundary = rig.dpm->safe_until();
+  ASSERT_GT(boundary.ticks, rig.sim.now().ticks);
+  rig.sim.run_until(sim::Time{boundary.ticks - 1});
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kSafeMode);
+
+  // ... and the first evaluation tick at or past the boundary re-arms.
+  rig.sim.run_for(sim::Duration{sim::milliseconds(100).ticks + 1});
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kNormal);
+  EXPECT_EQ(rig.dpm->consecutive_faults(), 0);
+}
+
+TEST(SelfHealing, SafeModeEntryWithSingleRungLadder) {
+  // A one-rate panel has no downward switch to fault on, so the fault
+  // streak is injected straight through the RecoveryHost interface.  Entry
+  // must pin the only rung (max == min == 60) without any rate motion, and
+  // the cooldown must re-arm cleanly.
+  Rig rig(/*content_fps=*/5.0, {}, /*start_hz=*/60, /*recovery=*/true,
+          display::RefreshRateSet({60}));
+  rig.sim.run_for(sim::seconds(1));
+  rig.dpm->note_fault(rig.sim.now());
+  rig.dpm->note_fault(rig.sim.now());  // fast_recovery: safe_mode_after = 2
+  EXPECT_EQ(rig.dpm->degradation_state(), DegradationState::kSafeMode);
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+  ASSERT_TRUE(rig.run_until_state(
+      [&] {
+        return rig.dpm->degradation_state() == DegradationState::kNormal;
+      },
+      sim::seconds(5)));
+  EXPECT_EQ(rig.panel.refresh_hz(), 60);
+  EXPECT_EQ(rig.dpm->consecutive_faults(), 0);
 }
 
 }  // namespace
