@@ -16,6 +16,9 @@
 //                       20 % by the end (a leak under sustained
 //                       fault/pressure churn fails the soak even when
 //                       every oracle stays green)
+//   CCDEM_DST_SCENES    probability a scenario targets the scene-DSL space
+//                       (UI state machines, burst video, multi-surface
+//                       demos; default 0.25 -- nightly CI raises it)
 //
 // Every tests/corpus/*.repro must replay green first -- the corpus is the
 // regression suite distilled from past campaigns.  Failures (corpus or
@@ -144,6 +147,9 @@ int main(int argc, char** argv) {
     gen_options.fault_p = 0.9;
     gen_options.pressure_p = 0.9;
   }
+  // Scene draws come last in the generator, so overriding the weight never
+  // perturbs the pre-scene prefix of a seed's sequence.
+  gen_options.scene_p = env_or("CCDEM_DST_SCENES", gen_options.scene_p);
   ccdem::check::ScenarioGen gen(seed, gen_options);
   std::uint64_t fuzzed = 0;
   long rss_baseline_kb = -1;

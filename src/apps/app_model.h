@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/scene.h"
 #include "display/display_panel.h"
@@ -47,6 +48,15 @@ struct AppSpec {
 
   SceneSpec scene{};
   input::MonkeyProfile monkey = input::MonkeyProfile::general_app();
+
+  /// Multi-surface composition: where this app's surface sits on screen
+  /// (empty = full screen) and at which z-order.  `overlays` are auxiliary
+  /// surfaces (status bar, dialog band, ...) installed alongside the
+  /// primary app, each with its own scene, damage tracking and fixed RNG
+  /// stream -- adding one never perturbs the primary app's randomness.
+  gfx::Rect surface_rect{};
+  int surface_z = 0;
+  std::vector<AppSpec> overlays;
 };
 
 class AppModel final : public display::VsyncObserver,

@@ -167,6 +167,121 @@ AppSpec app_by_name(const std::string& name) {
   std::abort();
 }
 
+std::vector<AppSpec> scene_demo_apps() {
+  std::vector<AppSpec> v;
+  {
+    // Menu UI: a six-state machine touring every UiState kind, with the
+    // dialog reachable both from the menu (touch) and the marquee.  Per-
+    // state animation rates stay at or below 24 fps so the quality arm's
+    // delivered/actual ratio holds even on sparse ladders.
+    AppSpec s;
+    s.name = "Menu UI";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 10.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 1.0;
+    s.render_mj_per_frame = 3.0;
+    UiSceneSpec ui;
+    ui.states = {
+        {UiState::Kind::kIdle, 1200, 2.0, 1, 1},
+        {UiState::Kind::kMenu, 900, 6.0, 2, 3},
+        {UiState::Kind::kScroll, 700, 24.0, 4, -1},
+        {UiState::Kind::kDialog, 600, 12.0, 1, 0},
+        {UiState::Kind::kSlide, 500, 24.0, 5, -1},
+        {UiState::Kind::kMarquee, 1500, 24.0, 0, 3},
+    };
+    ui.idle_timeout_ms = 2500;
+    ui.marquee_px = 6;
+    s.scene = SceneSpec::ui_machine(std::move(ui));
+    s.monkey = input::MonkeyProfile::general_app();
+    v.push_back(std::move(s));
+  }
+  {
+    // Burst Video: long static gaps punctuated by 12-frame bursts at 30
+    // fps, with EVSO-style per-segment motion levels.  The 700 ms gap is
+    // shorter than the default 1 s meter window, so the measured rate
+    // never fully drains between bursts.
+    AppSpec s;
+    s.name = "Burst Video";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 26.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 0.6;
+    s.render_mj_per_frame = 4.0;
+    s.scene = SceneSpec::burst_video({700, 12, 30.0, {1, 3, 0, 2}});
+    s.monkey = input::MonkeyProfile::general_app();
+    s.monkey.mean_gap_s = 12.0;  // mostly watched, rarely touched
+    v.push_back(std::move(s));
+  }
+  {
+    // Overlay Suite: a UI primary plus two auxiliary surfaces with
+    // independent damage -- a 40 px status bar on top (z 10) and a dialog
+    // band mid-screen (z 5) -- composed through SurfaceFlinger.
+    AppSpec s;
+    s.name = "Overlay Suite";
+    s.category = AppSpec::Category::kGeneral;
+    s.idle_request_fps = 10.0;
+    s.burst_request_fps = 60.0;
+    s.burst_hold_s = 1.0;
+    s.render_mj_per_frame = 3.0;
+    UiSceneSpec ui;
+    ui.states = {
+        {UiState::Kind::kIdle, 1000, 2.0, 1, 1},
+        {UiState::Kind::kMenu, 800, 6.0, 2, 2},
+        {UiState::Kind::kScroll, 600, 24.0, 0, -1},
+    };
+    s.scene = SceneSpec::ui_machine(std::move(ui));
+    s.monkey = input::MonkeyProfile::general_app();
+    {
+      AppSpec bar;
+      bar.name = "Status Bar";
+      bar.idle_request_fps = 4.0;
+      bar.burst_request_fps = 4.0;
+      bar.burst_hold_s = 0.0;
+      bar.render_mj_per_frame = 0.5;
+      UiSceneSpec clock;
+      clock.states = {{UiState::Kind::kIdle, 0, 1.0, 0, -1}};
+      clock.idle_timeout_ms = 0;
+      bar.scene = SceneSpec::ui_machine(std::move(clock));
+      bar.surface_rect = {0, 0, 720, 40};
+      bar.surface_z = 10;
+      s.overlays.push_back(std::move(bar));
+    }
+    {
+      AppSpec band;
+      band.name = "Dialog Band";
+      band.idle_request_fps = 6.0;
+      band.burst_request_fps = 6.0;
+      band.burst_hold_s = 0.0;
+      band.render_mj_per_frame = 1.0;
+      UiSceneSpec blink;
+      blink.states = {
+          {UiState::Kind::kDialog, 1500, 4.0, 1, -1},
+          {UiState::Kind::kMarquee, 1500, 8.0, 0, -1},
+      };
+      blink.idle_timeout_ms = 0;
+      blink.marquee_px = 4;
+      band.scene = SceneSpec::ui_machine(std::move(blink));
+      band.surface_rect = {60, 420, 600, 320};
+      band.surface_z = 5;
+      s.overlays.push_back(std::move(band));
+    }
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+std::optional<AppSpec> find_profile(const std::string& name) {
+  for (AppSpec& s : all_apps()) {
+    if (s.name == name) return std::move(s);
+  }
+  if (AppSpec w = nexus_revampled_wallpaper(); w.name == name) return w;
+  for (AppSpec& s : scene_demo_apps()) {
+    if (s.name == name) return std::move(s);
+  }
+  return std::nullopt;
+}
+
 AppSpec nexus_revampled_wallpaper() {
   AppSpec s;
   s.name = "Nexus Revampled";

@@ -14,6 +14,7 @@
 // what the reproduction validates.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,5 +40,16 @@ inline constexpr gfx::Size kGalaxyS3Screen{720, 1280};
 
 /// The Nexus Revampled live wallpaper used for the Fig. 6 accuracy study.
 [[nodiscard]] AppSpec nexus_revampled_wallpaper();
+
+/// Scene-demo profiles exercising the DSL-described scenes: "Menu UI" (a
+/// UiScene state machine), "Burst Video" (gap/burst video) and "Overlay
+/// Suite" (primary UI plus status-bar and dialog overlay surfaces).  Kept
+/// out of all_apps() so the paper's 30-app evaluation set stays exact.
+[[nodiscard]] std::vector<AppSpec> scene_demo_apps();
+
+/// Looks up any known profile by name: the 30 evaluation apps, the live
+/// wallpaper, and the scene demos.  This is the lookup Scenario files and
+/// experiment configs resolve `app` keys against.
+[[nodiscard]] std::optional<AppSpec> find_profile(const std::string& name);
 
 }  // namespace ccdem::apps

@@ -8,7 +8,10 @@
 // frames, exactly the waste pattern of Fig. 2/3.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "gfx/canvas.h"
 #include "input/touch_event.h"
@@ -37,9 +40,53 @@ class Scene {
   [[nodiscard]] virtual double nominal_content_fps(sim::Time t) const = 0;
 };
 
+/// One state of a UiScene state machine (the ccdem-scene-v1 DSL, see
+/// apps/scene_dsl.h).  Transitions fire on a dwell timer (`next`) and on
+/// touch (`touch_next`); the scene-wide interaction timeout returns the
+/// machine to state 0.
+struct UiState {
+  enum class Kind { kIdle, kMenu, kScroll, kSlide, kMarquee, kDialog };
+  Kind kind = Kind::kIdle;
+  std::int64_t dwell_ms = 1000;  ///< 0 disables the timed transition
+  double anim_fps = 8.0;         ///< per-state animation rate
+  int next = 0;                  ///< state entered when dwell expires
+  int touch_next = -1;           ///< state entered on touch-down (-1 = none)
+  [[nodiscard]] bool operator==(const UiState&) const = default;
+};
+
+/// State graph + scene-wide knobs for UiScene.  State 0 is the initial
+/// (and idle-timeout) state; `states` is never empty.
+struct UiSceneSpec {
+  std::vector<UiState> states{UiState{}};
+  std::int64_t idle_timeout_ms = 3000;  ///< 0 disables timeout-to-state-0
+  int marquee_px = 6;  ///< marquee band height; 1 px is the Fig. 6 case
+  [[nodiscard]] bool operator==(const UiSceneSpec&) const = default;
+};
+
+/// Long static gaps punctuated by frame bursts (the BurstLink shape), with
+/// EVSO-style per-segment motion levels: `motion[seg % motion.size()]` is
+/// how many blocks move per burst frame (0 = the segment only changes its
+/// backdrop once).
+struct BurstVideoSpec {
+  std::int64_t gap_ms = 900;   ///< static gap between bursts
+  int burst_frames = 12;       ///< frames per burst
+  double burst_fps = 30.0;     ///< decode rate inside a burst
+  std::vector<int> motion{2};  ///< per-segment motion level, 0..3, cycled
+  [[nodiscard]] bool operator==(const BurstVideoSpec&) const = default;
+};
+
 /// Flat description of a scene; the factory turns it into a Scene instance.
 struct SceneSpec {
-  enum class Type { kStaticUi, kVideo, kGame, kWallpaper, kTyping, kMap };
+  enum class Type {
+    kStaticUi,
+    kVideo,
+    kGame,
+    kWallpaper,
+    kTyping,
+    kMap,
+    kUi,
+    kBurstVideo
+  };
   Type type = Type::kStaticUi;
 
   // --- kStaticUi: browse/feed UI with an ad ticker and touch scrolling ---
@@ -75,6 +122,10 @@ struct SceneSpec {
   // --- kTyping: messenger with cursor blink, keystrokes, message bubbles ---
   double cursor_blink_fps = 2.0;
   double incoming_msg_period_s = 8.0;
+
+  // --- kUi / kBurstVideo: DSL-described scenes (apps/scene_dsl.h) ---
+  UiSceneSpec ui{};
+  BurstVideoSpec burst{};
 
   static SceneSpec static_ui(double idle_content_fps) {
     SceneSpec s;
@@ -118,6 +169,18 @@ struct SceneSpec {
     SceneSpec s;
     s.type = Type::kMap;
     s.idle_content_fps = marker_pulse_fps;
+    return s;
+  }
+  static SceneSpec ui_machine(UiSceneSpec spec) {
+    SceneSpec s;
+    s.type = Type::kUi;
+    s.ui = std::move(spec);
+    return s;
+  }
+  static SceneSpec burst_video(BurstVideoSpec spec) {
+    SceneSpec s;
+    s.type = Type::kBurstVideo;
+    s.burst = std::move(spec);
     return s;
   }
 };

@@ -3,6 +3,7 @@
 #include "apps/scene.h"
 #include "apps/static_ui_scene.h"
 #include "apps/typing_scene.h"
+#include "apps/ui_scene.h"
 #include "apps/video_scene.h"
 #include "apps/wallpaper_scene.h"
 
@@ -23,6 +24,10 @@ std::unique_ptr<Scene> make_scene(const SceneSpec& spec,
       return std::make_unique<TypingScene>(spec, surface_size, rng);
     case SceneSpec::Type::kMap:
       return std::make_unique<MapScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kUi:
+      return std::make_unique<UiScene>(spec, surface_size, rng);
+    case SceneSpec::Type::kBurstVideo:
+      return std::make_unique<BurstVideoScene>(spec, surface_size, rng);
   }
   return nullptr;  // unreachable: all enum values handled
 }

@@ -1,0 +1,358 @@
+#include "apps/ui_scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdem::apps {
+
+namespace {
+
+#if defined(CCDEM_CANARY_BUG)
+// Planted bug (-DCCDEM_CANARY_BUG=ON): dialog entries are seeded from a
+// process-global session counter, so UI state leaks across scene instances
+// and two runs of the same scenario paint different dialog overlays.  The
+// DST determinism oracle must catch this, and the minimizer must shrink
+// the state graph down to (little more than) a reachable dialog state.
+std::uint32_t g_dialog_sessions = 0;
+#endif
+
+constexpr int kScrollV0Px = 24;      // initial inertia, px per frame
+constexpr double kScrollDecay = 0.85;
+constexpr int kMarqueeDriftRange = 32;  // covers every sample-grid stride
+
+/// Animation colour with collision-free low bits: two paints of the same
+/// element with seeds differing by less than 8192 (and not both identical)
+/// always differ in at least one channel, so "we painted" implies "pixels
+/// changed".  Red stays below 160; backdrops start at 192, so animations
+/// and backdrops can never alias either.
+gfx::Rgb888 anim_color(std::uint32_t seed, std::uint8_t rbase,
+                       std::uint8_t gbase, std::uint8_t bbase) {
+  return {static_cast<std::uint8_t>(rbase + (seed % 8u) * 4u),
+          static_cast<std::uint8_t>(gbase + (seed % 128u)),
+          static_cast<std::uint8_t>(bbase + ((seed / 128u) % 64u))};
+}
+
+}  // namespace
+
+UiScene::UiScene(const SceneSpec& spec, gfx::Size size, sim::Rng /*rng*/)
+    : spec_(spec.ui), size_(size) {
+  // Sanitize so a hand-built spec can never index out of range: the DSL
+  // parser rejects these, but scenes are also constructed directly.
+  if (spec_.states.empty()) spec_.states.push_back(UiState{});
+  const int n = static_cast<int>(spec_.states.size());
+  for (UiState& st : spec_.states) {
+    if (st.next < 0 || st.next >= n) st.next = 0;
+    if (st.touch_next < -1 || st.touch_next >= n) st.touch_next = -1;
+    st.anim_fps = std::max(0.0, st.anim_fps);
+    st.dwell_ms = std::max<std::int64_t>(0, st.dwell_ms);
+  }
+  spec_.marquee_px = std::clamp(spec_.marquee_px, 1, 4096);
+  spec_.idle_timeout_ms = std::max<std::int64_t>(0, spec_.idle_timeout_ms);
+}
+
+gfx::Rgb888 UiScene::backdrop_color() const {
+  const auto i = static_cast<std::uint32_t>(state_);
+  const auto k = static_cast<std::uint32_t>(cur().kind);
+  // 37 is odd, so i*37 mod 64 is injective for i < 64: every state index
+  // gets a unique backdrop red, which is what makes a cross-state
+  // transition an honest full-surface change.
+  return {static_cast<std::uint8_t>(192 + (i * 37u) % 64u),
+          static_cast<std::uint8_t>(60 + k * 24u),
+          static_cast<std::uint8_t>(40 + (i * 53u) % 128u)};
+}
+
+void UiScene::paint_backdrop(gfx::Canvas& canvas, bool& changed) {
+  canvas.fill(backdrop_color());
+  changed = true;
+}
+
+void UiScene::arm_dialog_entry() {
+  if (cur().kind != UiState::Kind::kDialog) return;
+#if defined(CCDEM_CANARY_BUG)
+  dialog_seed_base_ = ++g_dialog_sessions * 1000003u;
+#else
+  dialog_seed_base_ = 0;
+#endif
+}
+
+void UiScene::init(gfx::Canvas& canvas) {
+  state_ = 0;
+  entered_ = sim::Time{};
+  last_version_ = -1;
+  bool changed = false;
+  paint_backdrop(canvas, changed);
+  // The initial state counts as entered: a one-state dialog graph must
+  // still express dialog-entry behaviour (and the canary bug).
+  arm_dialog_entry();
+}
+
+void UiScene::on_touch(const input::TouchEvent& e) {
+  touched_ = true;
+  last_touch_ = e.t;
+  if (e.action != input::TouchEvent::Action::kDown) return;
+  const int target = cur().touch_next;
+  if (target >= 0) pending_touch_target_ = target;
+}
+
+void UiScene::enter_state(gfx::Canvas& canvas, int target, sim::Time t,
+                          bool& changed) {
+  const int n = static_cast<int>(spec_.states.size());
+  if (target < 0 || target >= n) target = 0;
+  const bool same = target == state_;
+  state_ = target;
+  entered_ = t;
+  last_version_ = -1;
+  slide_edge_px_ = 0;
+  ++entry_seq_;
+  if (!same) {
+    paint_backdrop(canvas, changed);
+    marquee_y_ = -1;  // the old band is under the new backdrop now
+  }
+  arm_dialog_entry();
+}
+
+bool UiScene::render(gfx::Canvas& canvas, sim::Time t) {
+  bool changed = false;
+
+  // A touch that arrived since the last render drives its transition first.
+  if (pending_touch_target_ >= 0) {
+    const int target = pending_touch_target_;
+    pending_touch_target_ = -1;
+    enter_state(canvas, target, t, changed);
+  }
+
+  // Timed transitions plus the interaction timeout.  The sweep is bounded:
+  // a render gap longer than a whole dwell cycle fast-forwards at most 8
+  // hops instead of looping through the cycle once per elapsed dwell.
+  for (int hop = 0; hop < 8; ++hop) {
+    const UiState& st = cur();
+    const sim::Time anchor =
+        touched_ && last_touch_ > entered_ ? last_touch_ : entered_;
+    if (spec_.idle_timeout_ms > 0 && state_ != 0 &&
+        t - anchor >= sim::milliseconds(spec_.idle_timeout_ms)) {
+      enter_state(canvas, 0, t, changed);
+      continue;
+    }
+    if (st.dwell_ms > 0 && t - entered_ >= sim::milliseconds(st.dwell_ms)) {
+      enter_state(canvas, st.next, t, changed);
+      continue;
+    }
+    break;
+  }
+
+  if (animate(canvas, t)) changed = true;
+  return changed;
+}
+
+bool UiScene::animate(gfx::Canvas& canvas, sim::Time t) {
+  const UiState& st = cur();
+  if (st.anim_fps <= 0.0) return false;
+  const auto version =
+      static_cast<std::int64_t>((t - entered_).seconds() * st.anim_fps);
+  if (version == last_version_) return false;
+  last_version_ = version;
+
+  const int w = size_.width;
+  const int h = size_.height;
+  const std::uint32_t seed = anim_seed(version);
+
+  switch (st.kind) {
+    case UiState::Kind::kIdle: {
+      // A small clock/widget tick in the top-left corner.
+      canvas.fill_rect(gfx::Rect{0, 0, std::min(w, 120), std::min(h, 24)},
+                       anim_color(seed, 56, 40, 40));
+      return true;
+    }
+    case UiState::Kind::kMenu: {
+      const int rows = std::clamp(h / 24, 1, 8);
+      const int rh = std::max(1, h / rows);
+      const auto row_rect = [&](int i) {
+        return gfx::Rect{0, i * rh, w, std::min(rh, h - i * rh)};
+      };
+      const int cur_row = static_cast<int>(version % rows);
+      if (rows > 1) {
+        const int prev_row = static_cast<int>((version + rows - 1) % rows);
+        if (prev_row != cur_row) {
+          canvas.fill_rect(row_rect(prev_row), gfx::Rgb888{64, 90, 110});
+        }
+      }
+      canvas.draw_text_block(row_rect(cur_row), anim_color(seed, 16, 10, 20),
+                             anim_color(seed, 96, 60, 40), seed);
+      return true;
+    }
+    case UiState::Kind::kScroll: {
+      // Inertia: the fling velocity decays geometrically and the state goes
+      // quiet once it rounds to zero -- the burst-then-idle scroll shape.
+      const int dy0 = static_cast<int>(std::lround(
+          kScrollV0Px * std::pow(kScrollDecay, static_cast<double>(version))));
+      const int dy = std::min(dy0, h);
+      if (dy <= 0) return false;
+      if (dy < h) canvas.scroll_up(gfx::Rect{0, 0, w, h}, dy);
+      canvas.fill_rect(gfx::Rect{0, h - dy, w, dy},
+                       anim_color(seed, 32, 80, 100));
+      return true;
+    }
+    case UiState::Kind::kSlide: {
+      // A panel sweeps in from the left, one column strip per frame, then
+      // the state goes quiet until its dwell expires.
+      if (slide_edge_px_ >= w) return false;
+      const int step = std::max(8, w / 10);
+      const int new_edge = std::min(w, slide_edge_px_ + step);
+      canvas.fill_rect(gfx::Rect{slide_edge_px_, 0, new_edge - slide_edge_px_,
+                                 h},
+                       anim_color(seed, 100, 50, 60));
+      slide_edge_px_ = new_edge;
+      return true;
+    }
+    case UiState::Kind::kMarquee: {
+      // A text band `marquee_px` tall; its vertical position drifts one
+      // pixel per frame across kMarqueeDriftRange, so even a 1-px band
+      // periodically crosses every sample-grid row instead of living
+      // forever in a blind gap (the Fig. 6 failure mode under test).
+      const int bh = std::min(spec_.marquee_px, h);
+      const int range = std::min(h - bh, kMarqueeDriftRange);
+      int y = (h - bh) / 2;
+      if (range > 0) {
+        const auto ph = static_cast<int>(version % (2 * range));
+        const int off = ph < range ? ph : 2 * range - ph;
+        y = std::clamp((h - bh) / 2 - range / 2 + off, 0, h - bh);
+      }
+      if (marquee_y_ >= 0 && marquee_y_ != y) {
+        canvas.fill_rect(gfx::Rect{0, marquee_y_, w, bh}, backdrop_color());
+      }
+      canvas.fill_rect(gfx::Rect{0, y, w, bh}, anim_color(seed, 48, 30, 110));
+      const int hw = std::min(8, w);
+      const auto x = static_cast<int>(
+          (version * 16) % std::max<std::int64_t>(1, w - hw + 1));
+      canvas.fill_rect(gfx::Rect{x, y, hw, bh}, anim_color(seed, 120, 90, 10));
+      marquee_y_ = y;
+      return true;
+    }
+    case UiState::Kind::kDialog: {
+      const int bw = std::max(1, w * 3 / 5);
+      const int bh = std::max(1, h * 2 / 5);
+      const gfx::Rect box{(w - bw) / 2, (h - bh) / 2, bw, bh};
+      const std::uint32_t s = seed + dialog_seed_base_;
+      canvas.draw_text_block(box, anim_color(s, 16, 20, 10),
+                             anim_color(s, 80, 70, 90), s);
+      if (bw > 8 && bh > 8) {
+        canvas.draw_frame(box, 2, anim_color(s, 120, 30, 60));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+double UiScene::nominal_content_fps(sim::Time t) const {
+  const UiState& st = cur();
+  if (st.anim_fps <= 0.0) return 0.0;
+  if (st.kind == UiState::Kind::kScroll) {
+    const auto version =
+        static_cast<std::int64_t>((t - entered_).seconds() * st.anim_fps);
+    const int dy = static_cast<int>(std::lround(
+        kScrollV0Px * std::pow(kScrollDecay, static_cast<double>(version))));
+    if (dy <= 0) return 0.0;
+  }
+  if (st.kind == UiState::Kind::kSlide && slide_edge_px_ >= size_.width) {
+    return 0.0;
+  }
+  return st.anim_fps;
+}
+
+// ---------------------------------------------------------------------------
+// BurstVideoScene
+
+BurstVideoScene::BurstVideoScene(const SceneSpec& spec, gfx::Size size,
+                                 sim::Rng /*rng*/)
+    : spec_(spec.burst), size_(size) {
+  spec_.burst_frames = std::clamp(spec_.burst_frames, 1, 1000);
+  if (!(spec_.burst_fps > 0.0)) spec_.burst_fps = 30.0;
+  spec_.gap_ms = std::max<std::int64_t>(0, spec_.gap_ms);
+  if (spec_.motion.empty()) spec_.motion.push_back(2);
+  for (int& m : spec_.motion) m = std::clamp(m, 0, 3);
+  burst_ms_ = std::max<std::int64_t>(
+      1, std::llround(spec_.burst_frames * 1000.0 / spec_.burst_fps));
+  period_ms_ = burst_ms_ + spec_.gap_ms;
+}
+
+BurstVideoScene::Position BurstVideoScene::position_at(sim::Time t) const {
+  const std::int64_t t_ms = t.ticks / sim::kTicksPerMillisecond;
+  Position p;
+  p.segment = t_ms / period_ms_;
+  const std::int64_t off = t_ms % period_ms_;
+  p.in_burst = off < burst_ms_;
+  p.frame = p.in_burst
+                ? std::min(spec_.burst_frames - 1,
+                           static_cast<int>(static_cast<double>(off) *
+                                            spec_.burst_fps / 1000.0))
+                : spec_.burst_frames - 1;
+  return p;
+}
+
+int BurstVideoScene::motion_level(std::int64_t segment) const {
+  return spec_.motion[static_cast<std::size_t>(
+      segment % static_cast<std::int64_t>(spec_.motion.size()))];
+}
+
+void BurstVideoScene::init(gfx::Canvas& canvas) {
+  canvas.fill(gfx::Rgb888{8, 8, 16});
+}
+
+void BurstVideoScene::paint_burst_frame(gfx::Canvas& canvas,
+                                        std::int64_t version,
+                                        std::int64_t segment, int level) {
+  // Segment backdrop: a gradient that always differs between consecutive
+  // segments (both channels cycle with the segment index).
+  const auto s32 = static_cast<std::uint32_t>(segment);
+  const gfx::Rgb888 top{static_cast<std::uint8_t>(24 + (s32 % 8u) * 2u),
+                        static_cast<std::uint8_t>(40 + (s32 % 120u)), 100};
+  const gfx::Rgb888 bottom{static_cast<std::uint8_t>(24 + (s32 % 8u) * 2u),
+                           static_cast<std::uint8_t>(160 + (s32 % 64u)), 40};
+  canvas.fill_gradient(gfx::Rect::of(size_), top, bottom);
+
+  // `level` moving blocks per frame (EVSO motion level).  Block colour is
+  // collision-free across consecutive versions, and block red (>= 100)
+  // never matches the gradient red (< 40), so every burst frame changes
+  // pixels while level-0 segments stay perfectly static after their first.
+  const auto vs = static_cast<std::uint32_t>(version);
+  const int bw = std::min(std::max(8, size_.width / 8), size_.width);
+  const int bh = std::min(std::max(8, size_.height / 10), size_.height);
+  for (int b = 0; b < level; ++b) {
+    const std::uint32_t hash =
+        vs * 2654435761u + static_cast<std::uint32_t>(b) * 40503u;
+    const int x = static_cast<int>(
+        hash % static_cast<std::uint32_t>(size_.width - bw + 1));
+    const int y = static_cast<int>(
+        (hash >> 12) % static_cast<std::uint32_t>(size_.height - bh + 1));
+    canvas.fill_rect(
+        gfx::Rect{x, y, bw, bh},
+        gfx::Rgb888{static_cast<std::uint8_t>(100 + (vs % 8u) * 4u +
+                                              static_cast<std::uint32_t>(b)),
+                    static_cast<std::uint8_t>(40 + (vs % 128u)),
+                    static_cast<std::uint8_t>(30 + ((vs / 128u) % 64u))});
+  }
+}
+
+bool BurstVideoScene::render(gfx::Canvas& canvas, sim::Time t) {
+  const Position p = position_at(t);
+  const std::int64_t version = p.segment * spec_.burst_frames + p.frame;
+  if (version == last_version_) return false;
+  last_version_ = version;
+  const int level = motion_level(p.segment);
+  const bool new_segment = p.segment != last_segment_;
+  last_segment_ = p.segment;
+  // A level-0 segment changes pixels exactly once (its backdrop); every
+  // later frame of the burst is a true no-op.
+  if (level == 0 && !new_segment) return false;
+  paint_burst_frame(canvas, version, p.segment, level);
+  return true;
+}
+
+double BurstVideoScene::nominal_content_fps(sim::Time t) const {
+  const Position p = position_at(t);
+  if (!p.in_burst) return 0.0;
+  return motion_level(p.segment) > 0 ? spec_.burst_fps : 0.0;
+}
+
+}  // namespace ccdem::apps

@@ -1,0 +1,104 @@
+// UiScene: an interactive UI modelled as a state machine.
+//
+// Real UIs are not statistical loops: they sit in discrete states (idle
+// screen, menu, scrolling list, slide transition, marquee ticker, modal
+// dialog), each with its own animation rate, and move between them on
+// timers and touches.  That shape -- long quiet stretches, short animated
+// flurries, sub-pixel-thin content like a 1-px marquee -- is exactly the
+// adversarial input for a content-rate-driven refresh governor, so the
+// state graph is fully scriptable through UiSceneSpec (serialized by the
+// ccdem-scene-v1 DSL, apps/scene_dsl.h).
+//
+// Determinism contract: rendering is a pure function of (spec, touch
+// sequence, render times).  No RNG is consumed after construction, so two
+// scenes built from the same spec produce byte-identical frame sequences
+// for the same inputs -- the property the DST determinism oracle leans on.
+//
+// BurstVideoScene lives here too: frame bursts separated by long static
+// gaps (the BurstLink hard case) with EVSO-style per-segment motion levels.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/scene.h"
+
+namespace ccdem::apps {
+
+class UiScene final : public Scene {
+ public:
+  UiScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  void on_touch(const input::TouchEvent& e) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+  /// Current state index; exposed for state-machine tests.
+  [[nodiscard]] int state() const { return state_; }
+
+ private:
+  /// Advances the machine to `target` at time `t`.  Entering a *different*
+  /// state repaints the full backdrop (every backdrop colour is unique per
+  /// state index, and animations never use backdrop-range colours, so the
+  /// repaint always changes pixels); re-entering the current state resets
+  /// the dwell/animation clocks without touching the canvas.
+  void enter_state(gfx::Canvas& canvas, int target, sim::Time t,
+                   bool& changed);
+  void paint_backdrop(gfx::Canvas& canvas, bool& changed);
+  bool animate(gfx::Canvas& canvas, sim::Time t);
+  /// Latches per-entry dialog state; the canary build plants its bug here.
+  void arm_dialog_entry();
+  [[nodiscard]] gfx::Rgb888 backdrop_color() const;
+
+  [[nodiscard]] const UiState& cur() const {
+    return spec_.states[static_cast<std::size_t>(state_)];
+  }
+  /// Seed that differs between consecutive animation versions *and* between
+  /// consecutive entries of the same state, so every repaint is an honest
+  /// pixel change even across self-transitions.
+  [[nodiscard]] std::uint32_t anim_seed(std::int64_t version) const {
+    return static_cast<std::uint32_t>(version * 2 + (entry_seq_ & 1));
+  }
+
+  UiSceneSpec spec_;
+  gfx::Size size_;
+  int state_ = 0;
+  sim::Time entered_{};
+  sim::Time last_touch_{};
+  bool touched_ = false;  ///< any touch seen yet
+  int pending_touch_target_ = -1;
+  std::int64_t last_version_ = -1;
+  std::uint32_t entry_seq_ = 0;
+  std::uint32_t dialog_seed_base_ = 0;
+  int slide_edge_px_ = 0;
+  int marquee_y_ = -1;  ///< band top painted by the last marquee frame
+};
+
+class BurstVideoScene final : public Scene {
+ public:
+  BurstVideoScene(const SceneSpec& spec, gfx::Size size, sim::Rng rng);
+
+  void init(gfx::Canvas& canvas) override;
+  bool render(gfx::Canvas& canvas, sim::Time t) override;
+  [[nodiscard]] double nominal_content_fps(sim::Time t) const override;
+
+ private:
+  struct Position {
+    std::int64_t segment = 0;  ///< burst index since t=0
+    int frame = 0;             ///< frame within the burst
+    bool in_burst = false;
+  };
+  [[nodiscard]] Position position_at(sim::Time t) const;
+  [[nodiscard]] int motion_level(std::int64_t segment) const;
+  void paint_burst_frame(gfx::Canvas& canvas, std::int64_t version,
+                         std::int64_t segment, int level);
+
+  BurstVideoSpec spec_;
+  gfx::Size size_;
+  std::int64_t burst_ms_ = 0;   ///< burst phase length
+  std::int64_t period_ms_ = 1;  ///< burst + gap
+  std::int64_t last_version_ = -1;
+  std::int64_t last_segment_ = -1;
+};
+
+}  // namespace ccdem::apps

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "apps/scene.h"
+#include "apps/scene_dsl.h"
 #include "device/simulated_device.h"
 #include "display/refresh_rate.h"
 #include "input/monkey.h"
@@ -57,6 +59,7 @@ class Shrinker {
       changed |= shrink_pipeline();
       changed |= shrink_mode();
       changed |= shrink_script();
+      changed |= shrink_scene();
       changed |= shrink_scalars();
       changed |= shrink_ladder();
     }
@@ -261,6 +264,110 @@ class Shrinker {
         }
       }
       if (chunk == 1) break;
+    }
+    return any;
+  }
+
+  /// Re-serializes `spec` and keeps it if the scenario still fails.
+  bool accept_scene(const apps::SceneSpec& spec) {
+    Scenario c = result_.scenario;
+    c.scene = apps::scene_spec_to_string(spec);
+    return try_accept(std::move(c));
+  }
+
+  /// State-graph shrinking for a UI scene, one accepted mutation per call:
+  /// drop whole states (bypassing edges through the dropped state's timed
+  /// successor), halve dwells toward 100 ms, then straighten the graph --
+  /// touch edges off, timed edges into self-loops, idle timeout off.
+  bool shrink_ui_scene(const apps::SceneSpec& spec) {
+    const int n = static_cast<int>(spec.ui.states.size());
+    for (int i = 0; n > 1 && i < n; ++i) {
+      apps::SceneSpec cand = spec;
+      auto& states = cand.ui.states;
+      int bypass = states[static_cast<std::size_t>(i)].next;
+      if (bypass == i) bypass = 0;
+      states.erase(states.begin() + i);
+      for (auto& st : states) {
+        if (st.next == i) st.next = bypass;
+        if (st.next > i) --st.next;
+        if (st.touch_next == i) st.touch_next = -1;
+        if (st.touch_next > i) --st.touch_next;
+      }
+      if (accept_scene(cand)) return true;
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto& st = spec.ui.states[static_cast<std::size_t>(i)];
+      if (st.dwell_ms > 100) {
+        apps::SceneSpec cand = spec;
+        cand.ui.states[static_cast<std::size_t>(i)].dwell_ms =
+            std::max<std::int64_t>(100, st.dwell_ms / 2);
+        if (accept_scene(cand)) return true;
+      }
+      if (st.touch_next != -1) {
+        apps::SceneSpec cand = spec;
+        cand.ui.states[static_cast<std::size_t>(i)].touch_next = -1;
+        if (accept_scene(cand)) return true;
+      }
+      if (st.next != i) {
+        apps::SceneSpec cand = spec;
+        cand.ui.states[static_cast<std::size_t>(i)].next = i;
+        if (accept_scene(cand)) return true;
+      }
+    }
+    if (spec.ui.idle_timeout_ms != 0) {
+      apps::SceneSpec cand = spec;
+      cand.ui.idle_timeout_ms = 0;
+      if (accept_scene(cand)) return true;
+    }
+    return false;
+  }
+
+  /// Burst-video shrinking: drop motion segments, halve the burst, then
+  /// halve the gap; one accepted mutation per call.
+  bool shrink_burst_scene(const apps::SceneSpec& spec) {
+    for (std::size_t i = 0; spec.burst.motion.size() > 1 &&
+                            i < spec.burst.motion.size();
+         ++i) {
+      apps::SceneSpec cand = spec;
+      cand.burst.motion.erase(cand.burst.motion.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (accept_scene(cand)) return true;
+    }
+    if (spec.burst.burst_frames > 1) {
+      apps::SceneSpec cand = spec;
+      cand.burst.burst_frames = std::max(1, spec.burst.burst_frames / 2);
+      if (accept_scene(cand)) return true;
+    }
+    if (spec.burst.gap_ms > 100) {
+      apps::SceneSpec cand = spec;
+      cand.burst.gap_ms = std::max<std::int64_t>(100, spec.burst.gap_ms / 2);
+      if (accept_scene(cand)) return true;
+    }
+    return false;
+  }
+
+  /// Shrinks the scene override: drop it entirely first, then mutate the
+  /// parsed spec one accepted step at a time until a fixpoint.
+  bool shrink_scene() {
+    if (result_.scenario.scene.empty()) return false;
+    bool any = false;
+    {
+      Scenario c = result_.scenario;
+      c.scene.clear();
+      if (try_accept(std::move(c))) return true;
+    }
+    bool changed = true;
+    while (changed && budget_left()) {
+      changed = false;
+      const auto spec =
+          apps::scene_spec_from_string(result_.scenario.scene, nullptr);
+      if (!spec) return any;  // parse_scenario validated it; defensive only
+      if (spec->type == apps::SceneSpec::Type::kUi) {
+        changed = shrink_ui_scene(*spec);
+      } else if (spec->type == apps::SceneSpec::Type::kBurstVideo) {
+        changed = shrink_burst_scene(*spec);
+      }
+      any |= changed;
     }
     return any;
   }

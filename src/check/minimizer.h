@@ -13,7 +13,10 @@
 //   3. walk the mode ladder down (hysteresis -> boost -> plain section),
 //   4. materialize the Monkey script into the scenario and delta-debug the
 //      gesture list (so the final repro carries its own, minimal script),
-//   5. reset tuning scalars to defaults and thin the rate ladder.
+//   5. drop or shrink the scene override (state-graph shrinking: drop
+//      states, halve dwells, straighten transitions into self-loops; for
+//      burst video, thin the motion list and halve the burst and gap),
+//   6. reset tuning scalars to defaults and thin the rate ladder.
 // Every accepted step re-validates with the predicate, so the result is
 // always a genuinely failing scenario.
 #pragma once

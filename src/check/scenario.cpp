@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "apps/app_profiles.h"
+#include "apps/scene_dsl.h"
 #include "fault/fault_plan.h"
 #include "input/script_io.h"
 
@@ -165,13 +166,7 @@ bool set_error(std::string* error, const std::string& msg) {
 }  // namespace
 
 std::optional<apps::AppSpec> find_app(const std::string& name) {
-  for (const auto& spec : apps::all_apps()) {
-    if (spec.name == name) return spec;
-  }
-  if (const auto wp = apps::nexus_revampled_wallpaper(); wp.name == name) {
-    return wp;
-  }
-  return std::nullopt;
+  return apps::find_profile(name);
 }
 
 core::GridSpec Scenario::grid_spec() const {
@@ -185,6 +180,11 @@ harness::ExperimentConfig Scenario::experiment_config() const {
   assert(spec && "unknown app; parse_scenario validates this");
   harness::ExperimentConfig cfg;
   cfg.app = *spec;
+  if (!scene.empty()) {
+    const auto ss = apps::scene_spec_from_string(scene, nullptr);
+    assert(ss && "invalid scene DSL; parse_scenario validates this");
+    cfg.app.scene = *ss;
+  }
   cfg.mode = mode;
   if (mode == device::ControlMode::kPipeline) {
     const auto ps = core::PipelineSpec::parse(pipeline, nullptr);
@@ -282,6 +282,13 @@ std::string scenario_to_string(const Scenario& s) {
        << pressure_classes_to_string(s.pressure_classes) << "\n";
   }
   os << "fleet = " << (s.fleet ? 1 : 0) << "\n";
+  // Like the pressure keys, the scene block only exists when a scene
+  // override does, so pre-scene repro files stay byte-identical.
+  if (!s.scene.empty()) {
+    os << "begin_scene\n";
+    os << s.scene;
+    os << "end_scene\n";
+  }
   if (s.script) {
     os << "begin_script\n";
     os << input::script_to_string(*s.script);
@@ -316,9 +323,44 @@ std::optional<Scenario> parse_scenario(const std::string& text,
   std::string line;
   int line_no = 0;
   bool have_script = false;
+  bool have_scene = false;
   while (std::getline(is, line)) {
     ++line_no;
     const std::string raw = trim(line);
+    if (raw == "begin_scene") {
+      if (have_scene) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": duplicate begin_scene");
+        return std::nullopt;
+      }
+      std::string scene_text;
+      bool closed = false;
+      while (std::getline(is, line)) {
+        ++line_no;
+        if (trim(line) == "end_scene") {
+          closed = true;
+          break;
+        }
+        scene_text += line;
+        scene_text += "\n";
+      }
+      if (!closed) {
+        set_error(error, "unterminated begin_scene block");
+        return std::nullopt;
+      }
+      std::string scene_error;
+      const auto scene = apps::scene_spec_from_string(scene_text,
+                                                      &scene_error);
+      if (!scene) {
+        set_error(error, "embedded scene: " + scene_error);
+        return std::nullopt;
+      }
+      // Canonical rendering, so round-trip is byte-exact regardless of the
+      // input's spacing.
+      s.scene = apps::scene_spec_to_string(*scene);
+      have_scene = true;
+      continue;
+    }
     if (raw == "begin_script") {
       if (have_script) {
         set_error(error, "line " + std::to_string(line_no) +

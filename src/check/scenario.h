@@ -85,6 +85,11 @@ struct Scenario {
   PressureClasses pressure_classes{};
   /// Additionally diff the run through the FleetRunner (serial == fleet).
   bool fleet = false;
+  /// Scene override in canonical ccdem-scene-v1 text (apps/scene_dsl.h);
+  /// empty = the app profile's own scene.  Serialized between
+  /// `begin_scene` / `end_scene` markers and omitted entirely when empty,
+  /// so every pre-scene repro and golden stays byte-identical.
+  std::string scene;
   /// Explicit touch script; unset = the seed's Monkey script.
   std::optional<std::vector<input::TouchGesture>> script;
 
@@ -112,8 +117,9 @@ struct Scenario {
 [[nodiscard]] std::string repro_to_string(
     const Scenario& s, const std::vector<std::string>& failures);
 
-/// App lookup across the paper's 30 profiles plus the accuracy-study
-/// wallpaper; std::nullopt for unknown names (app_by_name() would abort).
+/// App lookup across the paper's 30 profiles, the accuracy-study wallpaper
+/// and the scene-demo apps; std::nullopt for unknown names (app_by_name()
+/// would abort).
 [[nodiscard]] std::optional<apps::AppSpec> find_app(const std::string& name);
 
 }  // namespace ccdem::check

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "apps/app_profiles.h"
+#include "apps/scene.h"
+#include "apps/scene_dsl.h"
 
 namespace ccdem::check {
 
@@ -74,12 +76,56 @@ T pick(sim::Rng& rng, std::initializer_list<T> values) {
   return *(values.begin() + i);
 }
 
+/// A random UI state graph over the quality-arm-safe palette: animation
+/// rates capped at 24 fps (so delivered/actual stays well above the I4
+/// gate even on a throttled ladder) and dwells short enough that a 1.5 s
+/// run already walks several transitions.
+apps::UiSceneSpec sample_ui_scene(sim::Rng& rng) {
+  apps::UiSceneSpec ui;
+  ui.states.clear();
+  const int n = static_cast<int>(rng.uniform_int(1, 5));
+  for (int i = 0; i < n; ++i) {
+    apps::UiState st;
+    st.kind = static_cast<apps::UiState::Kind>(rng.uniform_int(0, 5));
+    st.dwell_ms = pick(rng, {0L, 200L, 400L, 700L, 1200L});
+    st.anim_fps = pick(rng, {0.0, 2.0, 6.0, 12.0, 24.0});
+    st.next = static_cast<int>(rng.uniform_int(0, n - 1));
+    st.touch_next =
+        rng.chance(0.5) ? static_cast<int>(rng.uniform_int(0, n - 1)) : -1;
+    ui.states.push_back(st);
+  }
+  ui.idle_timeout_ms = pick(rng, {0L, 1500L, 3000L});
+  ui.marquee_px = pick(rng, {1, 2, 6, 12});
+  return ui;
+}
+
+/// A random burst-video timeline.  Gaps stay under the shortest sampled
+/// meter window (500 ms) so the content-rate meter never fully decays
+/// between bursts on a clean run.
+apps::BurstVideoSpec sample_burst_scene(sim::Rng& rng) {
+  apps::BurstVideoSpec b;
+  b.gap_ms = pick(rng, {200L, 350L, 450L});
+  b.burst_frames = static_cast<int>(rng.uniform_int(4, 20));
+  b.burst_fps = pick(rng, {12.0, 24.0, 30.0});
+  b.motion.clear();
+  const int n = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < n; ++i) {
+    b.motion.push_back(static_cast<int>(rng.uniform_int(0, 3)));
+  }
+  return b;
+}
+
 }  // namespace
 
 ScenarioGen::ScenarioGen(std::uint64_t seed, Options options)
     : rng_(seed), options_(options) {
   for (const auto& spec : apps::all_apps()) app_pool_.push_back(spec.name);
   app_pool_.push_back(apps::nexus_revampled_wallpaper().name);
+  // Scene demos live in their own pool: the app draw below indexes
+  // app_pool_, so growing it would shift every pre-scene sequence.
+  for (const auto& spec : apps::scene_demo_apps()) {
+    scene_pool_.push_back(spec.name);
+  }
 }
 
 Scenario ScenarioGen::next() {
@@ -140,6 +186,33 @@ Scenario ScenarioGen::next() {
     pc.jitter = rng_.chance(0.8);
     if (!pc.thermal && !pc.brownout && !pc.jitter) pc.thermal = true;
     s.pressure_classes = pc;
+  }
+  // Scene draws come last, same rule as pressure: raising scene_p (or
+  // enriching the samplers above) never perturbs the pre-scene prefix of
+  // any sequence, so old repro seeds keep replaying byte-identically.
+  if (rng_.chance(options_.scene_p)) {
+    s.app = scene_pool_[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(scene_pool_.size()) - 1))];
+    if (rng_.chance(0.6)) {
+      const apps::SceneSpec spec =
+          rng_.chance(0.5)
+              ? apps::SceneSpec::ui_machine(sample_ui_scene(rng_))
+              : apps::SceneSpec::burst_video(sample_burst_scene(rng_));
+      s.scene = apps::scene_spec_to_string(spec);
+    }
+    // Sparse scene content on a deep ladder can park a clean run below the
+    // I4 quality gate (the controller idles at 1 Hz through a burst gap and
+    // misses most of the next burst).  Apply the LTPO safety-floor
+    // precedent: pin min_hz to the first rung >= 10 when the ladder dips
+    // below it.
+    if (ladder.min_hz() < 10 && s.min_hz < 10) {
+      for (std::size_t i = 0; i < ladder.count(); ++i) {
+        if (ladder.at(i) >= 10) {
+          s.min_hz = ladder.at(i);
+          break;
+        }
+      }
+    }
   }
   return s;
 }

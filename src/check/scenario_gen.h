@@ -28,6 +28,11 @@ class ScenarioGen {
     /// fault plan, so pressure-only, fault-only and combined runs all
     /// appear).
     double pressure_p = 0.35;
+    /// Probability a scenario targets the DSL scene space: the app is
+    /// re-pointed at a scene-demo profile and usually carries a randomized
+    /// ccdem-scene-v1 override (UI state graphs, burst video).  Drawn last,
+    /// so raising it never perturbs pre-scene sequences.
+    double scene_p = 0.25;
   };
 
   explicit ScenarioGen(std::uint64_t seed) : ScenarioGen(seed, Options{}) {}
@@ -43,6 +48,7 @@ class ScenarioGen {
   sim::Rng rng_;
   Options options_;
   std::vector<std::string> app_pool_;
+  std::vector<std::string> scene_pool_;
   std::uint64_t generated_ = 0;
 };
 

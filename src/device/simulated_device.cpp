@@ -145,8 +145,16 @@ apps::AppModel& SimulatedDevice::install_app(const apps::AppSpec& spec,
                                              std::uint64_t rng_stream,
                                              bool foreground, int z_order) {
   assert(sim_ && "configure() the device before installing apps");
-  gfx::Surface* surface = flinger_->create_surface(
-      spec.name, gfx::Rect::of(config_.screen), z_order);
+  // An empty surface_rect means full screen (the classic single-surface
+  // case); otherwise the app paints a partial surface at its own z-order,
+  // clamped to the panel.  An explicit z_order argument wins over the spec.
+  gfx::Rect rect = spec.surface_rect.empty()
+                       ? gfx::Rect::of(config_.screen)
+                       : spec.surface_rect.intersect(
+                             gfx::Rect::of(config_.screen));
+  if (rect.empty()) rect = gfx::Rect::of(config_.screen);
+  const int z = z_order != 0 ? z_order : spec.surface_z;
+  gfx::Surface* surface = flinger_->create_surface(spec.name, rect, z);
   auto model = std::make_unique<apps::AppModel>(spec, surface, power_.get(),
                                                 root_.fork(rng_stream));
   if (!foreground) model->set_foreground(false);
@@ -157,7 +165,14 @@ apps::AppModel& SimulatedDevice::install_app(const apps::AppSpec& spec,
     pending_input_apps_.push_back(model.get());
   }
   apps_.push_back(std::move(model));
-  return *apps_.back();
+  apps::AppModel& installed = *apps_.back();
+  // Overlay surfaces ride along on fixed aux RNG streams: installing (or
+  // removing) one never perturbs the primary app's stream, so a multi-
+  // surface profile stays seed-comparable with its single-surface twin.
+  for (std::size_t i = 0; i < spec.overlays.size(); ++i) {
+    install_app(spec.overlays[i], kAuxRngStreamBase + i, foreground, 0);
+  }
+  return installed;
 }
 
 void SimulatedDevice::start_control() {

@@ -60,6 +60,9 @@ class SimulatedDevice {
   static constexpr std::uint64_t kAppRngStream = 1;
   static constexpr std::uint64_t kMonkeyRngStream = 2;
   static constexpr std::uint64_t kFaultRngStream = 3;
+  /// Overlay surfaces (AppSpec::overlays) fork streams 16, 17, ... in
+  /// declaration order, well clear of the primary streams above.
+  static constexpr std::uint64_t kAuxRngStreamBase = 16;
 
   explicit SimulatedDevice(bool use_buffer_pool = false);
   ~SimulatedDevice();
@@ -71,8 +74,10 @@ class SimulatedDevice {
   /// panel starts ticking at sim time 0 (first V-Sync fires at now()).
   void configure(const DeviceConfig& config);
 
-  /// Creates a full-window surface and its AppModel (RNG = fork of the
-  /// config seed at `rng_stream`).  Apps installed before start_control()
+  /// Creates the app's surface (full-window unless the spec carries a
+  /// surface_rect) and its AppModel (RNG = fork of the config seed at
+  /// `rng_stream`), then installs any AppSpec::overlays on aux streams.
+  /// Apps installed before start_control()
   /// receive input after the controller (boost fires before the app, as on
   /// Android); apps installed later append in install order.
   apps::AppModel& install_app(const apps::AppSpec& spec,

@@ -121,15 +121,11 @@ std::optional<ExperimentConfig> parse_experiment_config(std::istream& is,
     };
 
     if (key == "app") {
-      bool found = false;
-      for (const auto& spec : apps::all_apps()) {
-        if (spec.name == value) {
-          config.app = spec;
-          found = true;
-          break;
-        }
-      }
-      if (!found) return bad_value();
+      // find_profile spans the paper's 30 apps, the accuracy-study
+      // wallpaper and the scene-demo profiles.
+      const auto spec = apps::find_profile(value);
+      if (!spec) return bad_value();
+      config.app = *spec;
       have_app = true;
     } else if (key == "mode") {
       const auto m = device::control_mode_from_keyword(value);

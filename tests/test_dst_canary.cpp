@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "apps/scene_dsl.h"
 #include "check/dst.h"
 #include "check/oracles.h"
 #include "test_tmpdir.h"
@@ -149,6 +150,95 @@ TEST(DstCanary, LadderCanaryMinimizesToOneEpisodeClass) {
   testing::TempDir tmp;
   ASSERT_TRUE(tmp.ok());
   const std::filesystem::path file = tmp.file("ladder_canary.repro");
+  {
+    std::ofstream os(file);
+    os << repro_to_string(m.scenario, {m.failure});
+  }
+  std::ifstream in(file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto parsed = parse_scenario(text.str(), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, m.scenario);
+  EXPECT_TRUE(predicate(*parsed));
+}
+
+// The UI-scene canary: dialog entries are seeded from a process-global
+// session counter (apps/ui_scene.cpp), so the same scenario paints
+// different dialog overlays on consecutive executions -- exactly what the
+// determinism oracle exists to catch.  The scene arrives as an explicit
+// DSL override on a non-scene app, so dropping the override makes the
+// failure vanish and the minimizer must keep (and shrink) the state graph.
+Scenario ui_scene_canary_scenario() {
+  Scenario s;
+  s.app = "Facebook";
+  s.mode = device::ControlMode::kSectionWithBoost;
+  s.duration_ms = 4000;
+  s.seed = 5;
+  s.scene =
+      "schema = ccdem-scene-v1\n"
+      "type = ui\n"
+      "idle_timeout_ms = 0\n"
+      "marquee_px = 6\n"
+      "state = idle dwell_ms=300 fps=2 next=1 touch=-1\n"
+      "state = menu dwell_ms=300 fps=6 next=2 touch=-1\n"
+      "state = scroll dwell_ms=300 fps=12 next=3 touch=-1\n"
+      "state = slide dwell_ms=300 fps=12 next=4 touch=-1\n"
+      "state = dialog dwell_ms=400 fps=8 next=5 touch=-1\n"
+      "state = marquee dwell_ms=400 fps=12 next=0 touch=-1\n";
+  return s;
+}
+
+/// The determinism oracle runs alone while shrinking the UI canary: two
+/// replays per predicate call, and the cull canary (also armed in this
+/// build, but identical across replays) cannot steal the failure.
+CheckOptions determinism_only() {
+  CheckOptions o;
+  o.oracle_unculled = false;
+  o.oracle_spans_off = false;
+  o.oracle_fleet = false;
+  o.oracle_kernel = false;
+  o.oracle_tile_memo = false;
+  o.oracle_reference = false;
+  o.invariants = false;
+  o.quality_arm = false;
+  o.pressure_recovery_arm = false;
+  return o;
+}
+
+TEST(DstCanary, UiDialogLeakCaughtByDeterminism) {
+  const CheckReport r =
+      check_scenario(ui_scene_canary_scenario(), determinism_only());
+  ASSERT_FALSE(r.ok()) << "canary build but the determinism oracle passed";
+}
+
+TEST(DstCanary, UiCanaryMinimizesToATinyStateGraph) {
+  const Scenario start = ui_scene_canary_scenario();
+  const FailurePredicate predicate =
+      make_failure_predicate(determinism_only());
+  ASSERT_TRUE(predicate(start)) << "determinism alone misses the UI canary";
+
+  const MinimizeResult m = minimize_scenario(start, predicate);
+  ASSERT_FALSE(m.failure.empty());
+  // The scene override is load-bearing (Facebook's own scene is clean), and
+  // the state graph must have shrunk to little more than the dialog state.
+  ASSERT_FALSE(m.scenario.scene.empty()) << "minimizer dropped the scene";
+  const auto spec = apps::scene_spec_from_string(m.scenario.scene);
+  ASSERT_TRUE(spec);
+  ASSERT_EQ(spec->type, apps::SceneSpec::Type::kUi);
+  EXPECT_LE(spec->ui.states.size(), 3u)
+      << "state graph did not shrink:\n" << m.scenario.scene;
+  bool has_dialog = false;
+  for (const auto& st : spec->ui.states) {
+    has_dialog |= st.kind == apps::UiState::Kind::kDialog;
+  }
+  EXPECT_TRUE(has_dialog) << "the guilty dialog state was dropped";
+
+  // The written .repro must parse back and still fail.
+  testing::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::filesystem::path file = tmp.file("ui_canary.repro");
   {
     std::ofstream os(file);
     os << repro_to_string(m.scenario, {m.failure});

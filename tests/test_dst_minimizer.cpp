@@ -2,6 +2,7 @@
 // so each shrink lever can be pinned down exactly and the suite stays fast.
 #include <gtest/gtest.h>
 
+#include "apps/scene_dsl.h"
 #include "check/minimizer.h"
 
 namespace ccdem::check {
@@ -121,6 +122,97 @@ TEST(Minimizer, DeltaDebugsScriptToTheOneGuiltyGesture) {
   EXPECT_EQ(r.scenario.script->front(), guilty);
   // Duration shrank, but never below the gesture it must keep.
   EXPECT_GE(r.scenario.duration_ms, 700);
+}
+
+TEST(Minimizer, DropsAnInnocentSceneOverride) {
+  Scenario s = big_scenario();
+  s.scene =
+      "schema = ccdem-scene-v1\n"
+      "type = burst_video\n"
+      "gap_ms = 700\n"
+      "burst_frames = 12\n"
+      "burst_fps = 30\n"
+      "motion = 1,3,0,2\n";
+  const MinimizeResult r = minimize_scenario(
+      s, [](const Scenario&) -> std::optional<std::string> { return "boom"; });
+  EXPECT_TRUE(r.scenario.scene.empty());
+}
+
+TEST(Minimizer, ShrinksTheStateGraphToTheGuiltyDialog) {
+  // The synthetic "bug" needs a reachable dialog state: the minimizer must
+  // keep the scene, drop the innocent states (remapping transition edges),
+  // and straighten what remains.
+  Scenario s = big_scenario();
+  s.scene =
+      "schema = ccdem-scene-v1\n"
+      "type = ui\n"
+      "idle_timeout_ms = 3000\n"
+      "marquee_px = 6\n"
+      "state = idle dwell_ms=1200 fps=2 next=1 touch=1\n"
+      "state = menu dwell_ms=900 fps=6 next=2 touch=3\n"
+      "state = scroll dwell_ms=700 fps=24 next=3 touch=-1\n"
+      "state = dialog dwell_ms=600 fps=12 next=4 touch=0\n"
+      "state = slide dwell_ms=500 fps=24 next=5 touch=-1\n"
+      "state = marquee dwell_ms=1500 fps=24 next=0 touch=3\n";
+  const MinimizeResult r = minimize_scenario(
+      s, [](const Scenario& c) -> std::optional<std::string> {
+        if (c.scene.empty()) return std::nullopt;
+        const auto spec = apps::scene_spec_from_string(c.scene);
+        if (!spec || spec->type != apps::SceneSpec::Type::kUi) {
+          return std::nullopt;
+        }
+        // "Reachable": walk the timed chain from state 0.
+        int at = 0;
+        for (int hops = 0; hops < 8; ++hops) {
+          const auto& st = spec->ui.states[static_cast<std::size_t>(at)];
+          if (st.kind == apps::UiState::Kind::kDialog) {
+            return "dialog state trips the bug";
+          }
+          if (st.dwell_ms == 0 || st.next == at) break;
+          at = st.next;
+        }
+        return std::nullopt;
+      });
+  ASSERT_FALSE(r.scenario.scene.empty());
+  const auto spec = apps::scene_spec_from_string(r.scenario.scene);
+  ASSERT_TRUE(spec);
+  ASSERT_EQ(spec->type, apps::SceneSpec::Type::kUi);
+  EXPECT_LE(spec->ui.states.size(), 3u) << r.scenario.scene;
+  bool has_dialog = false;
+  for (const auto& st : spec->ui.states) {
+    has_dialog |= st.kind == apps::UiState::Kind::kDialog;
+  }
+  EXPECT_TRUE(has_dialog);
+  EXPECT_EQ(spec->ui.idle_timeout_ms, 0) << "timeout was not straightened";
+}
+
+TEST(Minimizer, ShrinksBurstVideoToTheGuiltyMotionLevel) {
+  Scenario s = big_scenario();
+  s.scene =
+      "schema = ccdem-scene-v1\n"
+      "type = burst_video\n"
+      "gap_ms = 800\n"
+      "burst_frames = 16\n"
+      "burst_fps = 30\n"
+      "motion = 1,3,0,2\n";
+  const MinimizeResult r = minimize_scenario(
+      s, [](const Scenario& c) -> std::optional<std::string> {
+        if (c.scene.empty()) return std::nullopt;
+        const auto spec = apps::scene_spec_from_string(c.scene);
+        if (!spec || spec->type != apps::SceneSpec::Type::kBurstVideo) {
+          return std::nullopt;
+        }
+        for (const int level : spec->burst.motion) {
+          if (level == 3) return "level-3 segments trip the bug";
+        }
+        return std::nullopt;
+      });
+  ASSERT_FALSE(r.scenario.scene.empty());
+  const auto spec = apps::scene_spec_from_string(r.scenario.scene);
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->burst.motion, std::vector<int>{3}) << r.scenario.scene;
+  EXPECT_LE(spec->burst.burst_frames, 2);
+  EXPECT_LE(spec->burst.gap_ms, 100);
 }
 
 TEST(Minimizer, RespectsTheAttemptBudget) {

@@ -38,7 +38,7 @@ std::vector<fs::path> corpus_files() {
 }
 
 TEST(DstReplay, CorpusIsPresent) {
-  EXPECT_GE(corpus_files().size(), 6u)
+  EXPECT_GE(corpus_files().size(), 14u)
       << "seed corpus under tests/corpus/ went missing";
 }
 

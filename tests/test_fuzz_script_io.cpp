@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "check/scenario.h"
+#include "check/scenario_gen.h"
 #include "input/monkey.h"
 #include "input/script_io.h"
 #include "sim/rng.h"
@@ -133,6 +135,86 @@ TEST(ScriptIoFuzz, RejectsSpecificMalformedLines) {
     std::string error;
     EXPECT_FALSE(input::script_from_string(text, &error).has_value()) << text;
     EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+// A scenario carrying every optional plane at once -- embedded script AND
+// fault plan AND pressure episodes AND a scene override -- must survive the
+// full write -> parse round-trip byte-exactly: the script and scene blocks
+// are nested text formats inside the repro format, and this is where their
+// markers could collide.
+TEST(ScenarioIoFuzz, CombinedPlanesRoundTrip) {
+  check::Scenario s;
+  s.app = "Menu UI";
+  s.mode = device::ControlMode::kSectionWithBoost;
+  s.duration_ms = 4000;
+  s.seed = 0xfeedULL;
+  s.fault_scale = 1.25;
+  s.fault_until_ms = 2000;
+  s.fault_classes = {true, false, true, true, false};
+  s.pressure_scale = 0.75;
+  s.pressure_until_ms = 1500;
+  s.pressure_classes = {true, false, true};
+  s.fleet = true;
+  s.scene =
+      "schema = ccdem-scene-v1\n"
+      "type = ui\n"
+      "idle_timeout_ms = 2000\n"
+      "marquee_px = 1\n"
+      "state = marquee dwell_ms=800 fps=24 next=1 touch=-1\n"
+      "state = dialog dwell_ms=600 fps=8 next=0 touch=0\n";
+  sim::Rng rng(3);
+  s.script = random_script(rng, 6);
+  const std::string text = check::scenario_to_string(s);
+  std::string error;
+  const auto parsed = check::parse_scenario(text, &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, s);
+  EXPECT_EQ(check::scenario_to_string(*parsed), text);
+}
+
+// Generator-sampled scenarios (scene draws forced on) round-trip across
+// seeds: whatever combination of planes the fuzzer can produce, the repro
+// file preserves it.
+TEST(ScenarioIoFuzz, SampledScenesRoundTripAcrossSeeds) {
+  check::ScenarioGen::Options opt;
+  opt.scene_p = 1.0;
+  check::ScenarioGen gen(23, opt);
+  int with_scene = 0;
+  for (int i = 0; i < 60; ++i) {
+    check::Scenario s = gen.next();
+    if (i % 3 == 0) {
+      sim::Rng rng(static_cast<std::uint64_t>(i) + 1);
+      s.script = random_script(rng, static_cast<int>(rng.uniform_int(0, 8)));
+    }
+    with_scene += s.scene.empty() ? 0 : 1;
+    std::string error;
+    const auto parsed = check::parse_scenario(check::scenario_to_string(s),
+                                              &error);
+    ASSERT_TRUE(parsed) << "scenario " << i << ": " << error;
+    EXPECT_EQ(*parsed, s) << "scenario " << i;
+  }
+  EXPECT_GT(with_scene, 10);  // the scene plane is actually exercised
+}
+
+TEST(ScenarioIoFuzz, MutatedScenarioTextErrorsNotCrashes) {
+  check::ScenarioGen::Options opt;
+  opt.scene_p = 1.0;
+  check::ScenarioGen gen(29, opt);
+  sim::Rng rng(31);
+  for (int i = 0; i < 120; ++i) {
+    std::string text = check::scenario_to_string(gen.next());
+    const int flips = static_cast<int>(rng.uniform_int(1, 6));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      text[pos] = static_cast<char>(rng.uniform_int(1, 127));
+    }
+    std::string error = "unset";
+    const auto parsed = check::parse_scenario(text, &error);
+    if (!parsed.has_value()) {
+      EXPECT_NE(error, "unset") << "scenario " << i;
+    }
   }
 }
 

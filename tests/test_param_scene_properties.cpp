@@ -19,6 +19,19 @@ struct SceneCase {
 };
 
 std::vector<SceneCase> scene_cases() {
+  UiSceneSpec menu;
+  menu.states = {
+      {UiState::Kind::kIdle, 400, 2.0, 1, 1},
+      {UiState::Kind::kMenu, 300, 12.0, 2, 3},
+      {UiState::Kind::kScroll, 250, 24.0, 3, -1},
+      {UiState::Kind::kSlide, 300, 24.0, 4, 0},
+      {UiState::Kind::kDialog, 350, 8.0, 0, -1},
+  };
+  menu.idle_timeout_ms = 1500;
+  UiSceneSpec marquee1;
+  marquee1.states = {{UiState::Kind::kMarquee, 0, 24.0, 0, -1}};
+  marquee1.marquee_px = 1;  // the 1-px blind-spot stressor
+  marquee1.idle_timeout_ms = 0;
   return {
       {"feed", SceneSpec::static_ui(2.0)},
       {"static", SceneSpec::static_ui(0.0)},
@@ -28,6 +41,9 @@ std::vector<SceneCase> scene_cases() {
       {"wallpaper", SceneSpec::wallpaper(2, 8)},
       {"typing", SceneSpec::typing(2.0, 3.0)},
       {"map", SceneSpec::map(2.0)},
+      {"ui_menu", SceneSpec::ui_machine(menu)},
+      {"ui_marquee1", SceneSpec::ui_machine(marquee1)},
+      {"burst", SceneSpec::burst_video({300, 8, 30.0, {1, 3, 0, 2}})},
   };
 }
 
@@ -108,7 +124,7 @@ TEST_P(SceneProperty, NominalContentRateNonNegative) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllScenes, SceneProperty,
-    ::testing::Combine(::testing::Range(0, 8),
+    ::testing::Combine(::testing::Range(0, 11),
                        ::testing::Values<std::uint64_t>(1, 7, 42)),
     [](const ::testing::TestParamInfo<Param>& info) {
       const SceneCase c = scene_cases()[static_cast<std::size_t>(
